@@ -1,0 +1,46 @@
+# Convenience targets for the SBR reproduction. Everything is plain
+# `go` — the Makefile only names the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench fuzz examples experiments experiments-quick clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/wire
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/weathermon
+	$(GO) run ./examples/stockfeed
+	$(GO) run ./examples/mixedstreams
+	$(GO) run ./examples/netfeed
+
+# The full paper-scale evaluation (takes minutes; see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments -run all
+
+experiments-quick:
+	$(GO) run ./cmd/experiments -run all -quick
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,375 @@
+// Package sbr holds the repository-level benchmark harness: one benchmark
+// per table and figure of the paper's evaluation (each drives the same
+// entry point the cmd/experiments tool prints from, at reduced "quick"
+// scale so the suite stays fast), plus micro-benchmarks for the hot loops
+// of the SBR pipeline. Regenerate the paper-scale numbers with
+//
+//	go run ./cmd/experiments -run all
+package sbr
+
+import (
+	"fmt"
+	"testing"
+
+	"sbr/internal/aggregate"
+	"sbr/internal/base"
+	"sbr/internal/core"
+	"sbr/internal/datagen"
+	"sbr/internal/dct"
+	"sbr/internal/experiments"
+	"sbr/internal/interval"
+	"sbr/internal/metrics"
+	"sbr/internal/regression"
+	"sbr/internal/timeseries"
+	"sbr/internal/wavelet"
+	"sbr/internal/wire"
+)
+
+func quickCfg() experiments.Config { return experiments.Config{Seed: 42, Quick: true} }
+
+// BenchmarkTable2Weather regenerates the Weather half of Table 2 (average
+// SSE vs compression ratio, SBR vs Wavelets vs DCT vs Histograms).
+func BenchmarkTable2Weather(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		weather, _, err := experiments.Table2(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(weather.Cell(0, experiments.MethodSBR), "sbr-mse")
+	}
+}
+
+// BenchmarkTable2Stock regenerates the Stock half of Table 2.
+func BenchmarkTable2Stock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, stock, err := experiments.Table2(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(stock.Cell(0, experiments.MethodSBR), "sbr-mse")
+	}
+}
+
+// BenchmarkTable3Phone regenerates Table 3 (Phone Call dataset, average
+// SSE and total sum squared relative error).
+func BenchmarkTable3Phone(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, rel, err := experiments.Table3(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rel.Cell(0, experiments.MethodSBR), "sbr-rel")
+	}
+}
+
+// BenchmarkTable4Mixed regenerates Table 4 (mixed dataset).
+func BenchmarkTable4Mixed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mse, _, err := experiments.Table4(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(mse.Cell(0, experiments.MethodSBR), "sbr-mse")
+	}
+}
+
+// BenchmarkTable5BaseSignals regenerates Table 5 (GetBase vs GetBaseSVD vs
+// plain regression vs GetBaseDCT).
+func BenchmarkTable5BaseSignals(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table5(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Ratio[0][0], "svd-over-getbase")
+	}
+}
+
+// BenchmarkTable6Inserts regenerates Table 6 (base intervals inserted per
+// transmission).
+func BenchmarkTable6Inserts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table6(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var total int
+		for _, ins := range res.Inserts {
+			for _, v := range ins {
+				total += v
+			}
+		}
+		b.ReportMetric(float64(total), "inserted")
+	}
+}
+
+// BenchmarkFigure5Timing regenerates Figure 5 (running time vs TotalBand).
+func BenchmarkFigure5Timing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Seconds[0][0]*1000, "ms-per-tx")
+	}
+}
+
+// BenchmarkFigure6BaseSize regenerates Figure 6 (error vs base-signal
+// size, plus SBR's automatic selection).
+func BenchmarkFigure6BaseSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure6(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.SBRChoice[0]), "sbr-picks")
+	}
+}
+
+// BenchmarkSBRShortcut measures the Section 4.4 shortcut path
+// (GetIntervals only, no base update) against the full path; see also
+// `-run timing` in cmd/experiments.
+func BenchmarkSBRShortcut(b *testing.B) {
+	ds := datagen.StocksSized(42, 256, 2)
+	n := ds.N() * ds.FileLen
+	cfg := core.Config{TotalBand: n / 10, MBase: 256, Metric: metrics.SSE}
+	comp, err := core.NewCompressor(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := comp.Encode(ds.File(0)); err != nil {
+		b.Fatal(err)
+	}
+	batch := ds.File(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := comp.EncodeShortcut(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "values/s")
+}
+
+// --- micro-benchmarks for the hot loops ---
+
+func benchSeries(n int) timeseries.Series {
+	s := make(timeseries.Series, n)
+	for i := range s {
+		s[i] = float64(i%17) * 0.37
+	}
+	return s
+}
+
+func BenchmarkRegressionSSE(b *testing.B) {
+	x := benchSeries(256)
+	y := benchSeries(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		regression.SSE(x, y, 0, 0, 256)
+	}
+}
+
+func BenchmarkRegressionSSEWithPrefix(b *testing.B) {
+	x := benchSeries(256)
+	y := benchSeries(256)
+	px := timeseries.NewPrefix(x)
+	var sumY, sumY2 float64
+	for _, v := range y {
+		sumY += v
+		sumY2 += v * v
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		regression.SSEWithPrefix(x, px, y, sumY, sumY2, 0, 0, 256)
+	}
+}
+
+func BenchmarkRegressionMinimax(b *testing.B) {
+	x := benchSeries(256)
+	y := benchSeries(256)
+	for i := 0; i < b.N; i++ {
+		regression.Minimax(x, y, 0, 0, 256)
+	}
+}
+
+func BenchmarkBestMapShiftScan(b *testing.B) {
+	x := benchSeries(1024)
+	y := benchSeries(64)
+	m := interval.NewMapper(x, 64, regression.Fitter{Kind: metrics.SSE})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		iv := interval.Interval{Start: 0, Length: 64}
+		m.BestMap(y, &iv)
+	}
+}
+
+func BenchmarkGetIntervals(b *testing.B) {
+	x := benchSeries(512)
+	y := benchSeries(4096)
+	m := interval.NewMapper(x, 64, regression.Fitter{Kind: metrics.SSE})
+	for i := 0; i < b.N; i++ {
+		interval.GetIntervals(m, y, 4, 1024, 400, interval.Options{})
+	}
+}
+
+func BenchmarkGetBase(b *testing.B) {
+	ds := datagen.StocksSized(1, 256, 1)
+	fitter := regression.Fitter{Kind: metrics.SSE}
+	for i := 0; i < b.N; i++ {
+		base.GetBase(ds.File(0), 50, 8, fitter)
+	}
+}
+
+func BenchmarkSBREncode(b *testing.B) {
+	ds := datagen.StocksSized(42, 256, 1)
+	n := ds.N() * ds.FileLen
+	batch := ds.File(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.Config{TotalBand: n / 10, MBase: 256, Metric: metrics.SSE}
+		comp, err := core.NewCompressor(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := comp.Encode(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWaveletTransform(b *testing.B) {
+	s := benchSeries(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wavelet.Forward(s)
+	}
+}
+
+func BenchmarkDCTTransform(b *testing.B) {
+	s := benchSeries(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dct.Transform(s)
+	}
+}
+
+func BenchmarkWireRoundTrip(b *testing.B) {
+	ds := datagen.StocksSized(42, 256, 1)
+	n := ds.N() * ds.FileLen
+	cfg := core.Config{TotalBand: n / 10, MBase: 256, Metric: metrics.SSE}
+	comp, err := core.NewCompressor(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	t, err := comp.Encode(ds.File(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err := wire.Encode(t)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.DecodeBytes(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation and extension benchmarks ---
+
+// BenchmarkAblationBenefitAdjust compares GetBase with and without the
+// Figure-4 benefit adjustment (see `-run ablations`).
+func BenchmarkAblationBenefitAdjust(b *testing.B) {
+	ds := datagen.WeatherSized(42, 512, 2)
+	for i := 0; i < b.N; i++ {
+		opts := experiments.DefaultSBROptions()
+		opts.Builder = core.BuilderGetBaseNoAdjust
+		noAdj, err := experiments.RunSBR(ds, 0.10, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		def, err := experiments.RunSBR(ds, 0.10, experiments.DefaultSBROptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(noAdj.AvgMSE/def.AvgMSE, "err-ratio")
+	}
+}
+
+// BenchmarkAblationQuadratic compares the Section-6 quadratic encoding
+// against the paper's linear one under equal bandwidth.
+func BenchmarkAblationQuadratic(b *testing.B) {
+	ds := datagen.StocksSized(42, 512, 2)
+	for i := 0; i < b.N; i++ {
+		opts := experiments.DefaultSBROptions()
+		opts.Quadratic = true
+		quad, err := experiments.RunSBR(ds, 0.10, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lin, err := experiments.RunSBR(ds, 0.10, experiments.DefaultSBROptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(quad.AvgMSE/lin.AvgMSE, "err-ratio")
+	}
+}
+
+// BenchmarkGetBaseLowMem measures the O(√n)-space GetBase variant.
+func BenchmarkGetBaseLowMem(b *testing.B) {
+	ds := datagen.StocksSized(1, 256, 1)
+	fitter := regression.Fitter{Kind: metrics.SSE}
+	for i := 0; i < b.N; i++ {
+		base.GetBaseLowMem(ds.File(0), 50, 8, fitter)
+	}
+}
+
+// BenchmarkAdaptiveStream measures the adaptive (Section 4.4) pipeline
+// end to end: mostly shortcut encodes after the base signal stabilises.
+func BenchmarkAdaptiveStream(b *testing.B) {
+	ds := datagen.StocksSized(42, 256, 4)
+	n := ds.N() * ds.FileLen
+	cfg := core.Config{TotalBand: n / 10, MBase: 256, Metric: metrics.SSE}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := core.NewAdaptiveCompressor(cfg, core.AdaptivePolicy{MinFullRuns: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for f := 0; f < ds.Files; f++ {
+			if _, _, err := a.Encode(ds.File(f)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAggregationEpoch measures one TAG aggregation epoch over a
+// 64-node tree.
+func BenchmarkAggregationEpoch(b *testing.B) {
+	parents := map[string]string{}
+	readings := map[string]float64{}
+	prev := ""
+	for i := 0; i < 64; i++ {
+		id := fmt.Sprintf("n%02d", i)
+		parents[id] = prev
+		readings[id] = float64(i)
+		if i%8 == 7 {
+			prev = id // a new subtree root every 8 nodes
+		}
+	}
+	tree, err := aggregate.NewTree(parents)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := tree.Epoch(readings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section 5). Each run prints the same rows or series the paper
+// reports; absolute values differ (synthetic datasets, modern hardware) but
+// the comparisons are the reproduction target.
+//
+// Usage:
+//
+//	experiments -run table2          # one experiment
+//	experiments -run all             # everything
+//	experiments -run table3 -quick   # reduced scale, seconds instead of minutes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sbr/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "experiment to run: table2|table3|table4|table5|table6|figure5|figure6|timing|ablations|netflow|all")
+		quick  = flag.Bool("quick", false, "reduced dataset sizes and ratio sweep")
+		csvDir = flag.String("csv", "", "also write machine-readable CSVs of the tables/figures into this directory")
+		seed   = flag.Int64("seed", 42, "dataset generator seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "creating CSV dir: %v\n", err)
+			os.Exit(1)
+		}
+		csvOut = *csvDir
+	}
+	runners := map[string]func(experiments.Config) error{
+		"table2":    runTable2,
+		"table3":    runTable3,
+		"table4":    runTable4,
+		"table5":    runTable5,
+		"table6":    runTable6,
+		"figure5":   runFigure5,
+		"figure6":   runFigure6,
+		"timing":    runTiming,
+		"ablations": runAblations,
+		"netflow":   runNetflow,
+	}
+	order := []string{"table2", "table3", "table4", "table5", "table6", "figure5", "figure6", "timing", "ablations", "netflow"}
+
+	var selected []string
+	if *run == "all" {
+		selected = order
+	} else if _, ok := runners[*run]; ok {
+		selected = []string{*run}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, name := range selected {
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		if err := runners[name](cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// csvOut, when non-empty, receives machine-readable copies of results.
+var csvOut string
+
+// exportCSV writes one result file into the -csv directory, if enabled.
+func exportCSV(name string, write func(io.Writer) error) error {
+	if csvOut == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(csvOut, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}
+
+func runTable2(cfg experiments.Config) error {
+	weather, stock, err := experiments.Table2(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatRatioTable(weather))
+	fmt.Println()
+	fmt.Print(experiments.FormatRatioTable(stock))
+	if err := exportCSV("table2_weather.csv", weather.WriteCSV); err != nil {
+		return err
+	}
+	return exportCSV("table2_stock.csv", stock.WriteCSV)
+}
+
+func runTable3(cfg experiments.Config) error {
+	mse, rel, err := experiments.Table3(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatRatioTable(mse))
+	fmt.Println()
+	fmt.Print(experiments.FormatRatioTable(rel))
+	if err := exportCSV("table3_mse.csv", mse.WriteCSV); err != nil {
+		return err
+	}
+	return exportCSV("table3_rel.csv", rel.WriteCSV)
+}
+
+func runTable4(cfg experiments.Config) error {
+	mse, rel, err := experiments.Table4(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatRatioTable(mse))
+	fmt.Println()
+	fmt.Print(experiments.FormatRatioTable(rel))
+	if err := exportCSV("table4_mse.csv", mse.WriteCSV); err != nil {
+		return err
+	}
+	return exportCSV("table4_rel.csv", rel.WriteCSV)
+}
+
+func runTable5(cfg experiments.Config) error {
+	res, err := experiments.Table5(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatTable5(res))
+	return nil
+}
+
+func runTable6(cfg experiments.Config) error {
+	res, err := experiments.Table6(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatTable6(res))
+	return nil
+}
+
+func runFigure5(cfg experiments.Config) error {
+	res, err := experiments.Figure5(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatFigure5(res))
+	return exportCSV("figure5.csv", res.WriteCSV)
+}
+
+func runFigure6(cfg experiments.Config) error {
+	res, err := experiments.Figure6(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatFigure6(res))
+	return exportCSV("figure6.csv", res.WriteCSV)
+}
+
+func runAblations(cfg experiments.Config) error {
+	res, err := experiments.Ablations(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatAblations(res))
+	return nil
+}
+
+func runNetflow(cfg experiments.Config) error {
+	res, err := experiments.Netflow(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatNetflow(res))
+	return nil
+}
+
+func runTiming(cfg experiments.Config) error {
+	res, err := experiments.Timing(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatTiming(res))
+	return nil
+}

@@ -1,0 +1,229 @@
+// Command sbrc is the SBR compressor as a command-line tool: it reads a
+// multi-column CSV of time series, compresses it with SBR (or one of the
+// baseline methods) at a chosen compression ratio, decodes it back, and
+// reports per-column errors. With -out it writes the reconstruction, and
+// with -gen it first synthesises one of the evaluation datasets.
+//
+// Examples:
+//
+//	sbrc -gen weather -o weather.csv          # synthesise a dataset
+//	sbrc -in weather.csv -ratio 0.1           # compress and report errors
+//	sbrc -in weather.csv -method wavelet      # baseline comparison
+//	sbrc -in weather.csv -out approx.csv      # write the reconstruction
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sbr/internal/core"
+	"sbr/internal/datagen"
+	"sbr/internal/dct"
+	"sbr/internal/dft"
+	"sbr/internal/histogram"
+	"sbr/internal/linreg"
+	"sbr/internal/metrics"
+	"sbr/internal/timeseries"
+	"sbr/internal/wavelet"
+	"sbr/internal/wire"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input CSV (columns = series, header row)")
+		out     = flag.String("out", "", "write the reconstruction CSV here")
+		gen     = flag.String("gen", "", "generate a dataset instead: weather|phone|stock|mixed|netflow")
+		genOut  = flag.String("o", "dataset.csv", "output path for -gen")
+		seed    = flag.Int64("seed", 42, "generator seed for -gen")
+		ratio   = flag.Float64("ratio", 0.10, "compression ratio (TotalBand / data size)")
+		mbase   = flag.Int("mbase", 0, "base-signal buffer in values (default: 10% of data)")
+		method  = flag.String("method", "sbr", "sbr|wavelet|dct|dft|histogram|linreg")
+		metricF = flag.String("metric", "sse", "sbr error metric: sse|relative|maxabs")
+		builder = flag.String("builder", "getbase", "sbr base construction: getbase|lowmem|svd|dct|none")
+		quad    = flag.Bool("quadratic", false, "sbr: use the quadratic (non-linear) encoding extension")
+	)
+	flag.Parse()
+
+	if *gen != "" {
+		if err := generate(*gen, *seed, *genOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "need -in <csv> (or -gen <dataset>)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	labels, rows, err := datagen.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		fatal(fmt.Errorf("no data in %s", *in))
+	}
+	n := len(rows) * len(rows[0])
+	budget := int(*ratio * float64(n))
+
+	var approx []timeseries.Series
+	switch *method {
+	case "sbr":
+		approx, err = runSBR(rows, budget, *mbase, *metricF, *builder, *quad)
+		if err != nil {
+			fatal(err)
+		}
+	case "wavelet":
+		approx = wavelet.ApproximateRows(rows, budget)
+	case "dct":
+		approx = dct.ApproximateRows(rows, budget)
+	case "dft":
+		approx = dft.ApproximateRows(rows, budget)
+	case "histogram":
+		approx = histogram.ApproximateRows(rows, budget)
+	case "linreg":
+		approx = linreg.Adaptive(rows, budget, metrics.SSE)
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	fmt.Printf("%-14s %14s %14s %12s\n", "series", "MSE", "rel-SSE", "max-abs")
+	y := timeseries.Concat(rows...)
+	yh := timeseries.Concat(approx...)
+	for i, label := range labels {
+		fmt.Printf("%-14s %14.6g %14.6g %12.6g\n", label,
+			metrics.MeanSquared(rows[i], approx[i]),
+			metrics.SumSquaredRelative(rows[i], approx[i], metrics.DefaultSanity),
+			metrics.MaxAbsolute(rows[i], approx[i]))
+	}
+	fmt.Printf("%-14s %14.6g %14.6g %12.6g\n", "TOTAL",
+		metrics.MeanSquared(y, yh),
+		metrics.SumSquaredRelative(y, yh, metrics.DefaultSanity),
+		metrics.MaxAbsolute(y, yh))
+	fmt.Printf("method=%s ratio=%.2f budget=%d values (of %d)\n", *method, *ratio, budget, n)
+
+	if *out != "" {
+		g, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer g.Close()
+		if err := datagen.WriteCSV(g, labels, approx); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("reconstruction written to %s\n", *out)
+	}
+}
+
+func runSBR(rows []timeseries.Series, budget, mbase int, metricName, builderName string, quadratic bool) ([]timeseries.Series, error) {
+	kind, err := parseMetric(metricName)
+	if err != nil {
+		return nil, err
+	}
+	b, err := parseBuilder(builderName)
+	if err != nil {
+		return nil, err
+	}
+	if mbase == 0 {
+		mbase = budget
+	}
+	cfg := core.Config{TotalBand: budget, MBase: mbase, Metric: kind, Builder: b, Quadratic: quadratic}
+	comp, err := core.NewCompressor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := core.NewDecoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t, err := comp.Encode(rows)
+	if err != nil {
+		return nil, err
+	}
+	// Round-trip through the wire format, as a real deployment would.
+	frame, err := wire.Encode(t)
+	if err != nil {
+		return nil, err
+	}
+	back, err := wire.DecodeBytes(frame)
+	if err != nil {
+		return nil, err
+	}
+	approx, err := dec.Decode(back)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("transmission: %d values (%d base intervals, %d interval records), frame %d bytes\n",
+		t.Cost, t.Ins(), len(t.Intervals), len(frame))
+	return approx, nil
+}
+
+func parseMetric(s string) (metrics.Kind, error) {
+	switch s {
+	case "sse":
+		return metrics.SSE, nil
+	case "relative":
+		return metrics.RelativeSSE, nil
+	case "maxabs":
+		return metrics.MaxAbs, nil
+	default:
+		return 0, fmt.Errorf("unknown metric %q", s)
+	}
+}
+
+func parseBuilder(s string) (core.BaseBuilder, error) {
+	switch s {
+	case "getbase":
+		return core.BuilderGetBase, nil
+	case "lowmem":
+		return core.BuilderGetBaseLowMem, nil
+	case "svd":
+		return core.BuilderSVD, nil
+	case "dct":
+		return core.BuilderDCT, nil
+	case "none":
+		return core.BuilderNone, nil
+	default:
+		return 0, fmt.Errorf("unknown builder %q", s)
+	}
+}
+
+func generate(name string, seed int64, path string) error {
+	var ds *datagen.Dataset
+	switch name {
+	case "weather":
+		ds = datagen.Weather(seed)
+	case "phone":
+		ds = datagen.PhoneCalls(seed)
+	case "stock":
+		ds = datagen.Stocks(seed)
+	case "mixed":
+		ds = datagen.Mixed(seed)
+	case "netflow":
+		ds = datagen.NetworkTraffic(seed)
+	default:
+		return fmt.Errorf("unknown dataset %q", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := datagen.WriteCSV(f, ds.Labels, ds.Rows); err != nil {
+		return err
+	}
+	fmt.Printf("%s dataset (%d series × %d samples) written to %s\n",
+		ds.Name, ds.N(), len(ds.Rows[0]), path)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sbrc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command stationd runs a standalone base station: it listens for sensor
+// connections over TCP, decodes and logs every transmission (per-sensor
+// append-only logs on disk, as in Section 3.2), and periodically prints
+// reception statistics. Pair it with sensors built on internal/sensor and
+// internal/netio, or try it against cmd/sensorsim's source model.
+//
+//	stationd -addr 127.0.0.1:7070 -logdir /tmp/sbr-logs -band 150 -mbase 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"sbr/internal/core"
+	"sbr/internal/metrics"
+	"sbr/internal/netio"
+	"sbr/internal/station"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7070", "TCP listen address")
+		logDir = flag.String("logdir", "", "directory for per-sensor logs (empty: memory only)")
+		band   = flag.Int("band", 150, "TotalBand the sensors were configured with")
+		mbase  = flag.Int("mbase", 64, "MBase the sensors were configured with")
+		every  = flag.Duration("report", 10*time.Second, "statistics reporting interval")
+	)
+	flag.Parse()
+
+	cfg := core.Config{TotalBand: *band, MBase: *mbase, Metric: metrics.SSE}
+	st, err := station.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	var store *station.LogStore
+	if *logDir != "" {
+		store, err = station.NewLogStore(*logDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+	}
+
+	srv, err := netio.Serve(st, *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("stationd: listening on %s (TotalBand=%d MBase=%d)\n", srv.Addr(), *band, *mbase)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	ticker := time.NewTicker(*every)
+	defer ticker.Stop()
+
+	for {
+		select {
+		case <-ticker.C:
+			report(st)
+		case <-stop:
+			fmt.Println("\nstationd: shutting down")
+			if err := srv.Close(); err != nil {
+				fatal(err)
+			}
+			report(st)
+			return
+		}
+	}
+}
+
+func report(st *station.Station) {
+	ids := st.Sensors()
+	if len(ids) == 0 {
+		fmt.Println("stationd: no sensors yet")
+		return
+	}
+	fmt.Printf("stationd: %d sensors\n", len(ids))
+	for _, id := range ids {
+		stats, err := st.SensorStats(id)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %-16s %4d transmissions, %d quantities × %d samples each, %d values\n",
+			id, stats.Transmissions, stats.Quantities, stats.SamplesPerRow, stats.Values)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stationd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package sbr is a from-scratch Go reproduction of "Compressing Historical
+// Information in Sensor Networks" (Deligiannakis, Kotidis, Roussopoulos —
+// SIGMOD 2004): the Self-Based Regression (SBR) lossy compression framework
+// for correlated time series, with every substrate its evaluation depends
+// on.
+//
+// The repository root holds only documentation and the benchmark harness
+// (one benchmark per table and figure of the paper); all code lives under
+// internal/, the executables under cmd/, and the runnable demonstrations
+// under examples/. Start with README.md for the tour, DESIGN.md for the
+// system inventory and the per-experiment index, and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package sbr

@@ -1,0 +1,114 @@
+package sbr
+
+import (
+	"testing"
+
+	"sbr/internal/core"
+	"sbr/internal/datagen"
+	"sbr/internal/metrics"
+	"sbr/internal/netio"
+	"sbr/internal/sensor"
+	"sbr/internal/station"
+)
+
+// TestEndToEndSystem is the capstone integration test: synthetic weather
+// feeds three streaming sensors under the adaptive schedule, frames travel
+// over real TCP to a base station, and the reconstructed histories answer
+// queries within sane error — the complete Figure-1 deployment in one test.
+func TestEndToEndSystem(t *testing.T) {
+	const (
+		quantities = 3
+		batchLen   = 256
+		batches    = 4
+	)
+	cfg := core.Config{
+		TotalBand: quantities * batchLen / 10,
+		MBase:     quantities * batchLen / 8,
+		Metric:    metrics.SSE,
+	}
+
+	st, err := station.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := netio.Serve(st, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Three sensors fed from three weather generators.
+	type feed struct {
+		id   string
+		ds   *datagen.Dataset
+		rows [][]float64 // per tick: one sample per quantity
+	}
+	var feeds []feed
+	for k := 0; k < 3; k++ {
+		ds := datagen.WeatherSized(int64(100+k), batchLen, batches)
+		f := feed{id: string(rune('A' + k)), ds: ds}
+		total := batchLen * batches
+		for i := 0; i < total; i++ {
+			f.rows = append(f.rows, []float64{ds.Rows[0][i], ds.Rows[1][i], ds.Rows[5][i]})
+		}
+		feeds = append(feeds, f)
+	}
+
+	for _, f := range feeds {
+		client, err := netio.Dial(srv.Addr(), f.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sensor.New(sensor.Config{
+			Core:       cfg,
+			Quantities: quantities,
+			BatchLen:   batchLen,
+			Adaptive:   &core.AdaptivePolicy{MinFullRuns: 2},
+		}, func(_ *core.Transmission, frame []byte) error {
+			return client.Send(frame)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tick := range f.rows {
+			if err := s.Record(tick...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		client.Close()
+		stats := s.Stats()
+		if stats.Batches != batches {
+			t.Fatalf("sensor %s flushed %d batches, want %d", f.id, stats.Batches, batches)
+		}
+		if stats.FullRuns >= batches {
+			t.Errorf("sensor %s never took the adaptive shortcut", f.id)
+		}
+	}
+
+	// The station must hold every sensor's full history and answer queries
+	// with error well below the signal's variance.
+	if got := len(st.Sensors()); got != 3 {
+		t.Fatalf("station knows %d sensors, want 3", got)
+	}
+	for _, f := range feeds {
+		for q, row := range []int{0, 1, 5} {
+			hist, err := st.History(f.id, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig := f.ds.Rows[row][:len(hist)]
+			if mse := metrics.MeanSquared(orig, hist); mse > orig.Variance()/2 {
+				t.Errorf("sensor %s quantity %d: MSE %v vs variance %v",
+					f.id, q, mse, orig.Variance())
+			}
+		}
+		// A windowed query across the whole record.
+		pts, err := st.Run(station.Query{Sensor: f.id, Row: 0, Step: batchLen, Agg: station.AggAvg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) != batches {
+			t.Errorf("sensor %s: %d windows, want %d", f.id, len(pts), batches)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Mixedstreams demonstrates SBR's robustness when cross-signal correlation
+// is weak — the Section 5.1.2 scenario. It mixes phone-call counts, weather
+// quantities and stock prices into one batch, runs SBR and every baseline
+// at the same budget, and inspects how SBR adapts: how much bandwidth the
+// base signal takes, and how many intervals fall back to plain linear
+// regression when no base feature matches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sbr/internal/core"
+	"sbr/internal/datagen"
+	"sbr/internal/dct"
+	"sbr/internal/dft"
+	"sbr/internal/histogram"
+	"sbr/internal/interval"
+	"sbr/internal/linreg"
+	"sbr/internal/metrics"
+	"sbr/internal/timeseries"
+	"sbr/internal/wavelet"
+)
+
+func main() {
+	ds := datagen.MixedSized(42, 1024, 10)
+	n := ds.N() * ds.FileLen
+	budget := n / 10
+	cfg := core.Config{TotalBand: budget, MBase: n / 10, Metric: metrics.SSE}
+
+	comp, err := core.NewCompressor(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := core.NewDecoder(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mixed batch: %v\n", ds.Labels)
+	fmt.Printf("%d signals × %d samples, budget %d values (10%%)\n\n", ds.N(), ds.FileLen, budget)
+
+	totals := map[string]float64{}
+	var ramp, shifted, baseValues int
+	for f := 0; f < ds.Files; f++ {
+		batch := ds.File(f)
+		y := timeseries.Concat(batch...)
+
+		t, err := comp.Encode(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := dec.Decode(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totals["SBR"] += metrics.SumSquaredRelative(y, timeseries.Concat(got...), metrics.DefaultSanity)
+		totals["Wavelets"] += relErr(batch, wavelet.ApproximateRows(batch, budget))
+		totals["DCT"] += relErr(batch, dct.ApproximateRows(batch, budget))
+		totals["DFT"] += relErr(batch, dft.ApproximateRows(batch, budget))
+		totals["Histograms"] += relErr(batch, histogram.ApproximateRows(batch, budget))
+		totals["LinReg"] += relErr(batch, linreg.Adaptive(batch, budget, metrics.SSE))
+
+		baseValues += t.Ins() * (t.W + 1)
+		for _, iv := range t.Intervals {
+			if iv.Shift == interval.RampShift {
+				ramp++
+			} else {
+				shifted++
+			}
+		}
+	}
+
+	fmt.Println("total sum squared relative error across 10 transmissions:")
+	for _, m := range []string{"SBR", "Wavelets", "DCT", "DFT", "Histograms", "LinReg"} {
+		marker := ""
+		if m == "SBR" {
+			marker = "  ← this library"
+		}
+		fmt.Printf("  %-12s %14.2f%s\n", m, totals[m], marker)
+	}
+
+	fmt.Printf("\nhow SBR adapted to the weak correlations:\n")
+	fmt.Printf("  bandwidth spent on base-signal updates: %d of %d values (%.1f%%)\n",
+		baseValues, budget*ds.Files, 100*float64(baseValues)/float64(budget*ds.Files))
+	fmt.Printf("  interval mappings: %d onto the base signal, %d plain-regression fall-backs (%.1f%% ramp)\n",
+		shifted, ramp, 100*float64(ramp)/float64(ramp+shifted))
+	fmt.Println("\nthe fall-back is the Section 5.1.2 safety net: when no base feature")
+	fmt.Println("matches an interval, SBR is never worse than piecewise linear regression.")
+}
+
+func relErr(orig, approx []timeseries.Series) float64 {
+	return metrics.SumSquaredRelative(
+		timeseries.Concat(orig...), timeseries.Concat(approx...), metrics.DefaultSanity)
+}

@@ -1,0 +1,114 @@
+// Quickstart: compress one batch of correlated sensor measurements with
+// SBR, ship it through the wire format, decode it at the "base station",
+// and report the error — the minimal end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"sbr/internal/core"
+	"sbr/internal/metrics"
+	"sbr/internal/timeseries"
+	"sbr/internal/wire"
+)
+
+func main() {
+	// Three correlated quantities, 512 samples each: a shared daily cycle
+	// with per-quantity scale and offset — the structure SBR exploits.
+	rng := rand.New(rand.NewSource(1))
+	const m = 1024
+	rows := make([]timeseries.Series, 4)
+	for q := range rows {
+		scale := 1 + float64(q)
+		offset := 10 * float64(q)
+		rows[q] = make(timeseries.Series, m)
+		for i := range rows[q] {
+			cycle := math.Sin(2*math.Pi*float64(i)/128) + 0.4*math.Sin(2*math.Pi*float64(i)/32)
+			rows[q][i] = scale*10*cycle + offset + 0.2*rng.NormFloat64()
+		}
+	}
+	n := len(rows) * m
+
+	// The only two knobs the paper requires: the bandwidth budget and the
+	// base-signal buffer (Section 3.3).
+	cfg := core.Config{
+		TotalBand: n / 10, // 10 % compression ratio
+		MBase:     n / 8,
+		Metric:    metrics.SSE,
+	}
+
+	comp, err := core.NewCompressor(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := core.NewDecoder(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sensor side: compress the batch.
+	t, err := comp.Encode(rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	frame, err := wire.Encode(t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch: %d values → transmission of %d values (%d base intervals + %d interval records), %d wire bytes\n",
+		n, t.Cost, t.Ins(), len(t.Intervals), len(frame))
+
+	// Base-station side: decode and compare.
+	received, err := wire.DecodeBytes(frame)
+	if err != nil {
+		log.Fatal(err)
+	}
+	approx, err := dec.Decode(received)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for q := range rows {
+		mse := metrics.MeanSquared(rows[q], approx[q])
+		maxAbs := metrics.MaxAbsolute(rows[q], approx[q])
+		fmt.Printf("quantity %d: per-value MSE %.5f, max abs error %.4f (signal range %.1f..%.1f)\n",
+			q, mse, maxAbs, rows[q].Min(), rows[q].Max())
+	}
+
+	// Sketch original vs reconstruction for the first quantity.
+	fmt.Println("\nquantity 0, first 64 samples (o = original, x = reconstruction):")
+	sketch(rows[0][:64], approx[0][:64])
+}
+
+// sketch renders two small series as rows of a character plot.
+func sketch(orig, approx timeseries.Series) {
+	lo, hi := orig.Min(), orig.Max()
+	const height = 12
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = make([]byte, len(orig))
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	level := func(v float64) int {
+		l := int((v - lo) / (hi - lo) * float64(height-1))
+		if l < 0 {
+			l = 0
+		}
+		if l >= height {
+			l = height - 1
+		}
+		return height - 1 - l
+	}
+	for i := range orig {
+		grid[level(approx[i])][i] = 'x'
+		grid[level(orig[i])][i] = 'o'
+	}
+	for _, row := range grid {
+		fmt.Println(string(row))
+	}
+}

@@ -1,0 +1,102 @@
+// Stockfeed reproduces the paper's motivational example (Figures 2 and 3)
+// and then applies the full pipeline to a stock-tick feed. Two market
+// indexes that "go up and down together" are nearly a straight line in an
+// XY scatter, so two regression coefficients approximate one series from
+// the other — the observation the base signal generalises. The example
+// prints the scatter, the fitted line, and then compares SBR against the
+// wavelet baseline on ten correlated tickers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sbr/internal/core"
+	"sbr/internal/datagen"
+	"sbr/internal/metrics"
+	"sbr/internal/regression"
+	"sbr/internal/timeseries"
+	"sbr/internal/wavelet"
+)
+
+func main() {
+	// Figures 2–3: two correlated indexes over 128 days.
+	industrial, insurance := datagen.StockIndexes(7)
+	fit := regression.SSE(industrial, insurance, 0, 0, len(industrial))
+	fmt.Printf("Insurance ≈ %.4f·Industrial + %.4f  (SSE %.2f over %d days, %.3f per day)\n",
+		fit.A, fit.B, fit.Err, len(industrial), fit.Err/float64(len(industrial)))
+	fmt.Println("\nXY scatter (Industrial vs Insurance), * = day, - = regression line:")
+	scatter(industrial, insurance, fit)
+
+	// The whole-series approximation of the motivational example: one
+	// series stored exactly (the base), the other as just two values.
+	approx := fit.Evaluate(industrial, 0, len(industrial))
+	fmt.Printf("\napproximating Insurance with 2 values: per-value MSE %.4f (variance %.2f)\n",
+		metrics.MeanSquared(insurance, approx), insurance.Variance())
+
+	// Now the real pipeline on ten correlated tickers.
+	ds := datagen.StocksSized(42, 1024, 10)
+	n := ds.N() * ds.FileLen
+	cfg := core.Config{TotalBand: n / 10, MBase: n / 10, Metric: metrics.SSE}
+	comp, err := core.NewCompressor(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := core.NewDecoder(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ncompressing %d tickers × %d trades per transmission at a 10%% ratio:\n",
+		ds.N(), ds.FileLen)
+	fmt.Printf("  %-4s %14s %14s %9s\n", "tx", "SBR MSE", "wavelet MSE", "SBR wins")
+	var sbrTotal, wavTotal float64
+	for f := 0; f < ds.Files; f++ {
+		batch := ds.File(f)
+		t, err := comp.Encode(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := dec.Decode(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		y := timeseries.Concat(batch...)
+		sbrMSE := metrics.MeanSquared(y, timeseries.Concat(got...))
+		wavMSE := metrics.MeanSquared(y, timeseries.Concat(wavelet.ApproximateRows(batch, cfg.TotalBand)...))
+		sbrTotal += sbrMSE
+		wavTotal += wavMSE
+		fmt.Printf("  %-4d %14.6f %14.6f %9v\n", f, sbrMSE, wavMSE, sbrMSE < wavMSE)
+	}
+	fmt.Printf("\naverage MSE: SBR %.6f vs wavelets %.6f (%.1fx better)\n",
+		sbrTotal/float64(ds.Files), wavTotal/float64(ds.Files), wavTotal/sbrTotal)
+}
+
+// scatter renders the XY plot of Figure 3 in ASCII, with the fitted line.
+func scatter(x, y timeseries.Series, fit regression.Fit) {
+	const width, height = 64, 20
+	minX, maxX := x.Min(), x.Max()
+	minY, maxY := y.Min(), y.Max()
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(xv, yv float64, ch byte) {
+		c := int((xv - minX) / (maxX - minX) * float64(width-1))
+		r := height - 1 - int((yv-minY)/(maxY-minY)*float64(height-1))
+		if c >= 0 && c < width && r >= 0 && r < height && grid[r][c] == ' ' {
+			grid[r][c] = ch
+		}
+	}
+	for c := 0; c < width; c++ {
+		xv := minX + (maxX-minX)*float64(c)/float64(width-1)
+		plot(xv, fit.A*xv+fit.B, '-')
+	}
+	for i := range x {
+		plot(x[i], y[i], '*')
+	}
+	for _, row := range grid {
+		fmt.Println(string(row))
+	}
+}

@@ -1,0 +1,3 @@
+module sbr
+
+go 1.22

@@ -1,0 +1,187 @@
+// Package aggregate implements TAG-style in-network aggregation (Madden et
+// al., cited as [18] in the paper), the data-reduction alternative the
+// paper's introduction contrasts with approximation: non-leaf nodes of the
+// routing tree merge their children's partial state records before
+// forwarding, so each epoch costs one fixed-size message per node
+// regardless of how many sensors contribute. Aggregation reduces volume
+// brutally but answers only the registered statistic — the motivating gap
+// SBR fills for applications that need detailed histories (Section 1).
+package aggregate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Func identifies a decomposable aggregate function.
+type Func int
+
+const (
+	Sum Func = iota
+	Count
+	Avg
+	Min
+	Max
+)
+
+// String implements fmt.Stringer.
+func (f Func) String() string {
+	switch f {
+	case Sum:
+		return "sum"
+	case Count:
+		return "count"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("aggregate.Func(%d)", int(f))
+	}
+}
+
+// Partial is the partial state record flowing up the aggregation tree: it
+// is closed under Merge for every supported Func, the TAG requirement for
+// in-network decomposition.
+type Partial struct {
+	Sum   float64
+	Count int
+	Min   float64
+	Max   float64
+}
+
+// NewPartial seeds a partial state record with one reading.
+func NewPartial(v float64) Partial {
+	return Partial{Sum: v, Count: 1, Min: v, Max: v}
+}
+
+// Merge folds another partial record into p.
+func (p *Partial) Merge(o Partial) {
+	if o.Count == 0 {
+		return
+	}
+	if p.Count == 0 {
+		*p = o
+		return
+	}
+	p.Sum += o.Sum
+	p.Count += o.Count
+	p.Min = math.Min(p.Min, o.Min)
+	p.Max = math.Max(p.Max, o.Max)
+}
+
+// Add folds one reading into p.
+func (p *Partial) Add(v float64) { p.Merge(NewPartial(v)) }
+
+// Value evaluates the aggregate function over the merged state.
+func (p Partial) Value(f Func) (float64, error) {
+	if p.Count == 0 {
+		return 0, fmt.Errorf("aggregate: %v of empty partial", f)
+	}
+	switch f {
+	case Sum:
+		return p.Sum, nil
+	case Count:
+		return float64(p.Count), nil
+	case Avg:
+		return p.Sum / float64(p.Count), nil
+	case Min:
+		return p.Min, nil
+	case Max:
+		return p.Max, nil
+	default:
+		return 0, fmt.Errorf("aggregate: unknown function %v", f)
+	}
+}
+
+// PartialBytes is the wire size of one partial state record: sum, min and
+// max as float64 plus a 32-bit count.
+const PartialBytes = 8*3 + 4
+
+// Tree is an aggregation tree over named nodes: every node has a parent
+// ("" denotes the base station). It mirrors the routing tree the sensor
+// network already maintains.
+type Tree struct {
+	parent   map[string]string
+	children map[string][]string
+	order    []string // leaves-to-root evaluation order
+}
+
+// NewTree builds and validates a tree from a child→parent map. Parents
+// must either be "" (the base station) or appear as nodes themselves;
+// cycles are rejected.
+func NewTree(parent map[string]string) (*Tree, error) {
+	t := &Tree{
+		parent:   make(map[string]string, len(parent)),
+		children: make(map[string][]string),
+	}
+	for id, p := range parent {
+		if id == "" {
+			return nil, fmt.Errorf("aggregate: empty node ID")
+		}
+		if p != "" {
+			if _, ok := parent[p]; !ok {
+				return nil, fmt.Errorf("aggregate: node %q has unknown parent %q", id, p)
+			}
+		}
+		t.parent[id] = p
+		t.children[p] = append(t.children[p], id)
+	}
+	// Topological order from the base station down, then reversed:
+	// deterministic via sorted children.
+	for _, kids := range t.children {
+		sort.Strings(kids)
+	}
+	var topDown []string
+	frontier := append([]string(nil), t.children[""]...)
+	for len(frontier) > 0 {
+		id := frontier[0]
+		frontier = frontier[1:]
+		topDown = append(topDown, id)
+		frontier = append(frontier, t.children[id]...)
+	}
+	if len(topDown) != len(parent) {
+		return nil, fmt.Errorf("aggregate: %d of %d nodes reachable from the base station (cycle or orphan)",
+			len(topDown), len(parent))
+	}
+	for i := len(topDown) - 1; i >= 0; i-- {
+		t.order = append(t.order, topDown[i])
+	}
+	return t, nil
+}
+
+// Epoch runs one aggregation epoch: every node contributes one reading,
+// partial records flow leaves-to-root with merging at every hop, and the
+// merged record arrives at the base station. It returns that record plus
+// the message count (one per node — the TAG property) and the total bytes
+// that crossed the radio.
+func (t *Tree) Epoch(readings map[string]float64) (Partial, int, int, error) {
+	states := make(map[string]Partial, len(t.parent))
+	for id := range t.parent {
+		v, ok := readings[id]
+		if !ok {
+			return Partial{}, 0, 0, fmt.Errorf("aggregate: no reading for node %q", id)
+		}
+		states[id] = NewPartial(v)
+	}
+	var root Partial
+	messages := 0
+	for _, id := range t.order { // leaves first
+		s := states[id]
+		messages++
+		if p := t.parent[id]; p == "" {
+			root.Merge(s)
+		} else {
+			ps := states[p]
+			ps.Merge(s)
+			states[p] = ps
+		}
+	}
+	return root, messages, messages * PartialBytes, nil
+}
+
+// Nodes returns the node IDs in leaves-to-root order.
+func (t *Tree) Nodes() []string { return append([]string(nil), t.order...) }

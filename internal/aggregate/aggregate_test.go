@@ -1,0 +1,171 @@
+package aggregate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartialMergeMatchesFlatAggregation(t *testing.T) {
+	vals := []float64{3, -1, 7, 7, 0.5}
+	var p Partial
+	for _, v := range vals {
+		p.Add(v)
+	}
+	check := func(f Func, want float64) {
+		t.Helper()
+		got, err := p.Value(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("%v = %v, want %v", f, got, want)
+		}
+	}
+	check(Sum, 16.5)
+	check(Count, 5)
+	check(Avg, 3.3)
+	check(Min, -1)
+	check(Max, 7)
+}
+
+func TestPartialEmpty(t *testing.T) {
+	var p Partial
+	if _, err := p.Value(Avg); err == nil {
+		t.Error("empty partial evaluated")
+	}
+	// Merging empty into non-empty and vice versa.
+	q := NewPartial(4)
+	q.Merge(Partial{})
+	if v, _ := q.Value(Count); v != 1 {
+		t.Error("merging an empty partial changed the state")
+	}
+	var r Partial
+	r.Merge(q)
+	if v, _ := r.Value(Sum); v != 4 {
+		t.Error("merging into an empty partial lost the state")
+	}
+}
+
+func TestValueUnknownFunc(t *testing.T) {
+	p := NewPartial(1)
+	if _, err := p.Value(Func(42)); err == nil {
+		t.Error("unknown function evaluated")
+	}
+	if Func(42).String() == "" {
+		t.Error("empty String for unknown func")
+	}
+}
+
+// Property: merging partials in any grouping gives the same result as
+// aggregating the flat list (associativity/commutativity — the TAG
+// decomposability requirement).
+func TestMergeOrderIndependenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 1
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 10
+		}
+		var flat Partial
+		for _, v := range vals {
+			flat.Add(v)
+		}
+		// Random binary grouping.
+		parts := make([]Partial, n)
+		for i, v := range vals {
+			parts[i] = NewPartial(v)
+		}
+		for len(parts) > 1 {
+			i := rng.Intn(len(parts) - 1)
+			parts[i].Merge(parts[i+1])
+			parts = append(parts[:i+1], parts[i+2:]...)
+		}
+		for _, fn := range []Func{Sum, Count, Avg, Min, Max} {
+			a, _ := flat.Value(fn)
+			b, _ := parts[0].Value(fn)
+			if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func chainTree(t *testing.T) *Tree {
+	t.Helper()
+	tree, err := NewTree(map[string]string{
+		"a": "",
+		"b": "a",
+		"c": "b",
+		"d": "a",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestTreeEpoch(t *testing.T) {
+	tree := chainTree(t)
+	root, msgs, bytes, err := tree.Epoch(map[string]float64{
+		"a": 1, "b": 2, "c": 3, "d": 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs != 4 {
+		t.Errorf("%d messages, want one per node", msgs)
+	}
+	if bytes != 4*PartialBytes {
+		t.Errorf("%d bytes", bytes)
+	}
+	if v, _ := root.Value(Sum); v != 10 {
+		t.Errorf("sum = %v, want 10", v)
+	}
+	if v, _ := root.Value(Max); v != 4 {
+		t.Errorf("max = %v, want 4", v)
+	}
+	if v, _ := root.Value(Count); v != 4 {
+		t.Errorf("count = %v, want 4", v)
+	}
+}
+
+func TestTreeEpochMissingReading(t *testing.T) {
+	tree := chainTree(t)
+	if _, _, _, err := tree.Epoch(map[string]float64{"a": 1}); err == nil {
+		t.Error("missing readings accepted")
+	}
+}
+
+func TestTreeValidation(t *testing.T) {
+	if _, err := NewTree(map[string]string{"a": "ghost"}); err == nil {
+		t.Error("unknown parent accepted")
+	}
+	if _, err := NewTree(map[string]string{"a": "b", "b": "a"}); err == nil {
+		t.Error("cycle accepted")
+	}
+	if _, err := NewTree(map[string]string{"": ""}); err == nil {
+		t.Error("empty node ID accepted")
+	}
+	if tree, err := NewTree(nil); err != nil || len(tree.Nodes()) != 0 {
+		t.Error("empty tree rejected")
+	}
+}
+
+func TestTreeOrderIsLeavesFirst(t *testing.T) {
+	tree := chainTree(t)
+	pos := map[string]int{}
+	for i, id := range tree.Nodes() {
+		pos[id] = i
+	}
+	// Children must appear before their parents.
+	if !(pos["c"] < pos["b"] && pos["b"] < pos["a"] && pos["d"] < pos["a"]) {
+		t.Errorf("order %v is not leaves-first", tree.Nodes())
+	}
+}

@@ -1,0 +1,53 @@
+package base
+
+import (
+	"math"
+
+	"sbr/internal/svd"
+	"sbr/internal/timeseries"
+)
+
+// GetBaseSVD builds an alternative base signal from the top-maxIns right
+// singular vectors of the K×W matrix whose rows are the CBIs, per the
+// paper's Appendix: each eigenvector of RᵀR captures a dominant linear
+// trend among the data windows. The returned intervals have width w and are
+// ordered by decreasing eigenvalue.
+func GetBaseSVD(rows []timeseries.Series, w, maxIns int) []timeseries.Series {
+	cands := Candidates(rows, w)
+	if len(cands) == 0 || maxIns <= 0 {
+		return nil
+	}
+	r := make([][]float64, len(cands))
+	for i, c := range cands {
+		r[i] = c.Data
+	}
+	vecs := svd.RightSingularVectors(r, maxIns)
+	out := make([]timeseries.Series, len(vecs))
+	for i, v := range vecs {
+		out[i] = timeseries.Series(v)
+	}
+	return out
+}
+
+// GetBaseDCT builds the fixed cosine base of the Appendix: for each
+// frequency f in [0, maxIns) one interval of width w with values
+// cos((2i+1)·π·f / (2w)). These intervals are computable on the fly at both
+// ends, so they cost no bandwidth and no sensor memory; callers account for
+// that when comparing methods (Section 5.2).
+func GetBaseDCT(w, maxIns int) []timeseries.Series {
+	if w <= 0 || maxIns <= 0 {
+		return nil
+	}
+	if maxIns > w+1 {
+		maxIns = w + 1 // the paper enumerates 0 <= f <= W
+	}
+	out := make([]timeseries.Series, maxIns)
+	for f := 0; f < maxIns; f++ {
+		iv := make(timeseries.Series, w)
+		for i := 0; i < w; i++ {
+			iv[i] = math.Cos(float64(2*i+1) * math.Pi * float64(f) / float64(2*w))
+		}
+		out[f] = iv
+	}
+	return out
+}

@@ -1,0 +1,326 @@
+package base
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sbr/internal/metrics"
+	"sbr/internal/regression"
+	"sbr/internal/timeseries"
+)
+
+func sseFitter() regression.Fitter { return regression.Fitter{Kind: metrics.SSE} }
+
+func randSeries(rng *rand.Rand, n int) timeseries.Series {
+	s := make(timeseries.Series, n)
+	for i := range s {
+		s[i] = rng.NormFloat64() * 10
+	}
+	return s
+}
+
+func TestCandidates(t *testing.T) {
+	rows := []timeseries.Series{
+		{1, 2, 3, 4, 5, 6},
+		{7, 8, 9, 10, 11, 12},
+	}
+	cands := Candidates(rows, 3)
+	if len(cands) != 4 {
+		t.Fatalf("%d candidates, want 4", len(cands))
+	}
+	if cands[0].Row != 0 || cands[0].Index != 0 || !timeseries.Equal(cands[0].Data, timeseries.Series{1, 2, 3}, 0) {
+		t.Errorf("candidate 0 = %+v", cands[0])
+	}
+	if cands[3].Row != 1 || cands[3].Index != 1 || !timeseries.Equal(cands[3].Data, timeseries.Series{10, 11, 12}, 0) {
+		t.Errorf("candidate 3 = %+v", cands[3])
+	}
+}
+
+func TestCandidatesDropRemainder(t *testing.T) {
+	rows := []timeseries.Series{{1, 2, 3, 4, 5}}
+	cands := Candidates(rows, 2)
+	if len(cands) != 2 {
+		t.Errorf("%d candidates, want 2 (remainder dropped)", len(cands))
+	}
+}
+
+// TestGetBaseFigure4Semantics verifies the benefit-adjustment behaviour of
+// Figure 4: after the most beneficial CBI is stored, a CBI whose initial
+// benefit was lower can overtake one whose benefit came from data the
+// stored CBI already covers.
+func TestGetBaseFigure4Semantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	w := 16
+	// Feature A: a distinctive shape appearing in rows 0 and 1 (shared).
+	shapeA := randSeries(rng, w)
+	// Feature B: a second distinctive shape appearing once.
+	shapeB := randSeries(rng, w)
+	// Near-duplicate of A (so it has a high initial benefit that the
+	// adjustment must cancel once A is selected).
+	shapeA2 := shapeA.Clone()
+	for i := range shapeA2 {
+		shapeA2[i] = 1.4*shapeA2[i] + 2 + 0.01*rng.NormFloat64()
+	}
+	rows := []timeseries.Series{
+		timeseries.Concat(shapeA, shapeA2),
+		timeseries.Concat(shapeA.Clone().Scale(2), shapeB),
+	}
+	selected := GetBase(rows, w, 2, sseFitter())
+	if len(selected) != 2 {
+		t.Fatalf("selected %d CBIs, want 2", len(selected))
+	}
+	// One of the A variants first, then B — not both A variants.
+	isA := func(c Candidate) bool {
+		f := regression.SSE(shapeA, c.Data, 0, 0, w)
+		return f.Err < 1e-2
+	}
+	if !isA(selected[0]) {
+		t.Errorf("first pick is not the shared feature A: %+v", selected[0])
+	}
+	if isA(selected[1]) {
+		t.Errorf("second pick duplicates feature A instead of covering B: %+v", selected[1])
+	}
+}
+
+func TestGetBaseSelectsSharedFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	w := 8
+	feature := randSeries(rng, w)
+	// Three rows, each containing an affine image of the feature plus a
+	// purely linear filler window (no benefit over the ramp).
+	mkRow := func(a, b float64) timeseries.Series {
+		img := feature.Clone().Scale(a).Shift(b)
+		filler := make(timeseries.Series, w)
+		for i := range filler {
+			filler[i] = float64(i)
+		}
+		return timeseries.Concat(img, filler)
+	}
+	rows := []timeseries.Series{mkRow(1, 0), mkRow(2, 3), mkRow(-1, 5)}
+	selected := GetBase(rows, w, 1, sseFitter())
+	if len(selected) != 1 {
+		t.Fatalf("selected %d CBIs, want 1", len(selected))
+	}
+	fit := regression.SSE(feature, selected[0].Data, 0, 0, w)
+	if fit.Err > 1e-6 {
+		t.Errorf("selected CBI is not an affine image of the shared feature (err %v)", fit.Err)
+	}
+}
+
+func TestGetBaseLowMemMatchesGetBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rows := []timeseries.Series{randSeries(rng, 64), randSeries(rng, 64), randSeries(rng, 64)}
+	w := 8
+	full := GetBase(rows, w, 5, sseFitter())
+	low := GetBaseLowMem(rows, w, 5, sseFitter())
+	if len(full) != len(low) {
+		t.Fatalf("selection sizes differ: %d vs %d", len(full), len(low))
+	}
+	for i := range full {
+		if full[i].Row != low[i].Row || full[i].Index != low[i].Index {
+			t.Errorf("pick %d differs: full=(%d,%d) low=(%d,%d)",
+				i, full[i].Row, full[i].Index, low[i].Row, low[i].Index)
+		}
+	}
+}
+
+func TestGetBaseEdgeCases(t *testing.T) {
+	if got := GetBase(nil, 4, 3, sseFitter()); got != nil {
+		t.Errorf("empty rows gave %v", got)
+	}
+	rows := []timeseries.Series{{1, 2, 3, 4}}
+	if got := GetBase(rows, 4, 0, sseFitter()); got != nil {
+		t.Errorf("maxIns=0 gave %v", got)
+	}
+	// maxIns larger than the dictionary clamps.
+	got := GetBase(rows, 2, 10, sseFitter())
+	if len(got) > 2 {
+		t.Errorf("selected %d CBIs from a 2-CBI dictionary", len(got))
+	}
+}
+
+func TestSignals(t *testing.T) {
+	cands := []Candidate{{Data: timeseries.Series{1}}, {Data: timeseries.Series{2}}}
+	sigs := Signals(cands)
+	if len(sigs) != 2 || sigs[0][0] != 1 || sigs[1][0] != 2 {
+		t.Errorf("Signals = %v", sigs)
+	}
+}
+
+func TestGetBaseDCT(t *testing.T) {
+	w := 8
+	ivs := GetBaseDCT(w, 3)
+	if len(ivs) != 3 {
+		t.Fatalf("%d intervals, want 3", len(ivs))
+	}
+	// f=0 is the constant 1 interval.
+	for _, v := range ivs[0] {
+		if math.Abs(v-1) > 1e-12 {
+			t.Errorf("f=0 interval not constant 1: %v", ivs[0])
+			break
+		}
+	}
+	// Spot-check f=1: cos((2i+1)π/16).
+	for i, v := range ivs[1] {
+		want := math.Cos(float64(2*i+1) * math.Pi / 16)
+		if math.Abs(v-want) > 1e-12 {
+			t.Errorf("f=1[%d] = %v, want %v", i, v, want)
+		}
+	}
+	// Frequencies are capped at W+1.
+	if got := GetBaseDCT(4, 100); len(got) != 5 {
+		t.Errorf("%d intervals, want cap at W+1=5", len(got))
+	}
+	if got := GetBaseDCT(0, 3); got != nil {
+		t.Errorf("w=0 gave %v", got)
+	}
+}
+
+func TestGetBaseSVDCapturesDominantDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	w := 8
+	dir := randSeries(rng, w)
+	var norm float64
+	for _, v := range dir {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	for i := range dir {
+		dir[i] /= norm
+	}
+	// Rows = random multiples of dir plus tiny noise.
+	var windows []timeseries.Series
+	for k := 0; k < 6; k++ {
+		win := dir.Clone().Scale(rng.NormFloat64() * 10)
+		for i := range win {
+			win[i] += 0.001 * rng.NormFloat64()
+		}
+		windows = append(windows, win)
+	}
+	rows := []timeseries.Series{timeseries.Concat(windows[:3]...), timeseries.Concat(windows[3:]...)}
+	got := GetBaseSVD(rows, w, 1)
+	if len(got) != 1 {
+		t.Fatalf("%d vectors, want 1", len(got))
+	}
+	// The top right-singular vector must be ±dir.
+	var dot float64
+	for i := range dir {
+		dot += dir[i] * got[0][i]
+	}
+	if math.Abs(math.Abs(dot)-1) > 1e-3 {
+		t.Errorf("top singular vector misaligned with the dominant direction: |dot|=%v", math.Abs(dot))
+	}
+}
+
+func TestGetBaseSVDEdgeCases(t *testing.T) {
+	if got := GetBaseSVD(nil, 4, 2); got != nil {
+		t.Errorf("empty rows gave %v", got)
+	}
+	if got := GetBaseSVD([]timeseries.Series{{1, 2, 3, 4}}, 4, 0); got != nil {
+		t.Errorf("maxIns=0 gave %v", got)
+	}
+}
+
+func TestGetBaseNoAdjustPicksDuplicates(t *testing.T) {
+	// Construct data where one dominant feature appears (affinely) in many
+	// windows and a second, weaker feature appears once. The adjusted
+	// GetBase must cover both; the no-adjust ablation must pick two copies
+	// of the dominant feature.
+	rng := rand.New(rand.NewSource(21))
+	w := 16
+	dominant := randSeries(rng, w)
+	weak := randSeries(rng, w).Scale(0.5)
+	rows := []timeseries.Series{
+		timeseries.Concat(dominant, dominant.Clone().Scale(2).Shift(1)),
+		timeseries.Concat(dominant.Clone().Scale(-1), weak),
+	}
+	fitter := sseFitter()
+	matches := func(c Candidate, f timeseries.Series) bool {
+		return regression.SSE(f, c.Data, 0, 0, w).Err < 1e-6
+	}
+
+	adjusted := GetBase(rows, w, 2, fitter)
+	var adjCoversWeak bool
+	for _, c := range adjusted {
+		if matches(c, weak) {
+			adjCoversWeak = true
+		}
+	}
+	if !adjCoversWeak {
+		t.Errorf("adjusted GetBase did not cover the weak feature")
+	}
+
+	naive := GetBaseNoAdjust(rows, w, 2, fitter)
+	var naiveDominant int
+	for _, c := range naive {
+		if matches(c, dominant) {
+			naiveDominant++
+		}
+	}
+	if naiveDominant != 2 {
+		t.Errorf("no-adjust ablation picked %d dominant copies, want 2 (the failure mode)", naiveDominant)
+	}
+}
+
+func TestGetBaseNoAdjustEdgeCases(t *testing.T) {
+	if got := GetBaseNoAdjust(nil, 4, 2, sseFitter()); got != nil {
+		t.Errorf("empty rows gave %v", got)
+	}
+	rows := []timeseries.Series{{1, 2, 3, 4}}
+	if got := GetBaseNoAdjust(rows, 4, 0, sseFitter()); got != nil {
+		t.Errorf("maxIns=0 gave %v", got)
+	}
+	if got := GetBaseNoAdjust(rows, 2, 10, sseFitter()); len(got) > 2 {
+		t.Errorf("selected %d CBIs from a 2-CBI dictionary", len(got))
+	}
+}
+
+// TestFigure4ExactNumbers replays the paper's Figure-4 worked example with
+// its literal benefit matrix: the greedy must pick CBI 1 (total benefit
+// 2.45) and then CBI 3 (adjusted benefit 0.50 over CBI 2's 0.10), even
+// though CBI 2's initial benefit (2.35) exceeded CBI 3's (2.25).
+func TestFigure4ExactNumbers(t *testing.T) {
+	benefit := [3][3]float64{
+		{1, 0.95, 0.50},
+		{0.8, 1, 0.55},
+		{0.6, 0.65, 1},
+	}
+	// Normalise LinearErr(j) = 1; err(i→j) = 1 − benefit[i][j]. Run the
+	// same greedy GetBase uses.
+	bestErr := [3]float64{1, 1, 1}
+	taken := [3]bool{}
+	var picks []int
+	var benefits []float64
+	for pick := 0; pick < 2; pick++ {
+		bestIdx, bestBen := -1, 0.0
+		for i := 0; i < 3; i++ {
+			if taken[i] {
+				continue
+			}
+			var ben float64
+			for j := 0; j < 3; j++ {
+				if gain := bestErr[j] - (1 - benefit[i][j]); gain > 0 {
+					ben += gain
+				}
+			}
+			if bestIdx == -1 || ben > bestBen {
+				bestIdx, bestBen = i, ben
+			}
+		}
+		picks = append(picks, bestIdx+1)
+		benefits = append(benefits, bestBen)
+		taken[bestIdx] = true
+		for j := 0; j < 3; j++ {
+			if e := 1 - benefit[bestIdx][j]; e < bestErr[j] {
+				bestErr[j] = e
+			}
+		}
+	}
+	if picks[0] != 1 || picks[1] != 3 {
+		t.Errorf("picks = %v, want [1 3] (the paper's Figure 4)", picks)
+	}
+	if math.Abs(benefits[0]-2.45) > 1e-12 || math.Abs(benefits[1]-0.50) > 1e-12 {
+		t.Errorf("benefits = %v, want [2.45 0.50]", benefits)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"sbr/internal/timeseries"
+)
+
+// AdaptivePolicy configures when an AdaptiveCompressor runs the full SBR
+// algorithm (base-signal update included) instead of the cheap
+// GetIntervals-only shortcut. Section 4.4 of the paper observes that after
+// the first few transmissions the base signal is rarely updated, so
+// constrained sensors should "perform [the full] execution only
+// periodically (i.e., when we notice a degradation in the quality of the
+// approximation)" — this type is that scheduler.
+type AdaptivePolicy struct {
+	// MinFullRuns is the number of initial transmissions that always run
+	// the full algorithm, populating the base signal. Default 2 (the
+	// paper's Table 6 shows most insertions happen in the first two
+	// transmissions).
+	MinFullRuns int
+
+	// DegradeFactor triggers a full run when the current shortcut error
+	// exceeds DegradeFactor × (the reference error recorded after the last
+	// full run). Default 1.5.
+	DegradeFactor float64
+
+	// Every forces a full run after this many consecutive shortcut
+	// transmissions regardless of quality, bounding staleness. Zero
+	// disables the periodic trigger.
+	Every int
+}
+
+func (p AdaptivePolicy) withDefaults() AdaptivePolicy {
+	if p.MinFullRuns <= 0 {
+		p.MinFullRuns = 2
+	}
+	if p.DegradeFactor <= 1 {
+		p.DegradeFactor = 1.5
+	}
+	return p
+}
+
+// AdaptiveCompressor wraps a Compressor with the Section 4.4 scheduling:
+// full SBR runs only while the base signal is being populated or when the
+// approximation quality degrades; all other batches take the linear-time
+// shortcut path. The produced transmission stream is decodable by a plain
+// Decoder — scheduling is invisible to the receiver.
+type AdaptiveCompressor struct {
+	comp   *Compressor
+	policy AdaptivePolicy
+
+	refErr        float64 // error right after the last full run
+	sinceFull     int
+	transmissions int
+	fullRuns      int
+	degraded      bool // set when the last shortcut error broke the threshold
+}
+
+// NewAdaptiveCompressor creates an adaptive compressor over cfg.
+func NewAdaptiveCompressor(cfg Config, policy AdaptivePolicy) (*AdaptiveCompressor, error) {
+	comp, err := NewCompressor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveCompressor{comp: comp, policy: policy.withDefaults()}, nil
+}
+
+// Compressor exposes the underlying compressor (base signal, pool, config).
+func (a *AdaptiveCompressor) Compressor() *Compressor { return a.comp }
+
+// FullRuns returns how many transmissions ran the full algorithm so far.
+func (a *AdaptiveCompressor) FullRuns() int { return a.fullRuns }
+
+// Transmissions returns the total number of encoded batches.
+func (a *AdaptiveCompressor) Transmissions() int { return a.transmissions }
+
+// Encode compresses one batch, choosing between the full algorithm and the
+// shortcut according to the policy. The returned bool reports whether the
+// full algorithm ran.
+func (a *AdaptiveCompressor) Encode(rows []timeseries.Series) (*Transmission, bool, error) {
+	runFull := a.shouldRunFull(rows)
+	var (
+		t   *Transmission
+		err error
+	)
+	if runFull {
+		t, err = a.comp.Encode(rows)
+	} else {
+		t, err = a.comp.EncodeShortcut(rows)
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("core: adaptive encode: %w", err)
+	}
+	a.transmissions++
+	if runFull {
+		a.fullRuns++
+		a.sinceFull = 0
+		a.refErr = t.TotalErr
+		a.degraded = false
+	} else {
+		a.sinceFull++
+		// Degradation latch: if this shortcut transmission's error broke
+		// the threshold, the *next* batch runs the full algorithm. The
+		// sensor cannot know a batch's error before encoding it, so the
+		// trigger necessarily lags by one transmission.
+		a.degraded = a.refErr > 0 && t.TotalErr > a.policy.DegradeFactor*a.refErr
+	}
+	return t, runFull, nil
+}
+
+// shouldRunFull implements the trigger rules: populate the base signal
+// first, then full runs only on a periodic schedule or after a detected
+// quality degradation (Section 4.4).
+func (a *AdaptiveCompressor) shouldRunFull([]timeseries.Series) bool {
+	if a.transmissions < a.policy.MinFullRuns {
+		return true
+	}
+	if a.policy.Every > 0 && a.sinceFull >= a.policy.Every {
+		return true
+	}
+	return a.degraded
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sbr/internal/metrics"
+	"sbr/internal/timeseries"
+)
+
+func adaptiveConfig() Config {
+	return Config{TotalBand: 200, MBase: 96, Metric: metrics.SSE}
+}
+
+func TestAdaptiveFirstRunsAreFull(t *testing.T) {
+	a, err := NewAdaptiveCompressor(adaptiveConfig(), AdaptivePolicy{MinFullRuns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := testRows(40, 3, 256)
+	for i := 0; i < 5; i++ {
+		_, full, err := a.Encode(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i < 3; full != want {
+			t.Errorf("transmission %d: full=%v, want %v", i, full, want)
+		}
+	}
+	if a.FullRuns() != 3 || a.Transmissions() != 5 {
+		t.Errorf("counters: %d full of %d", a.FullRuns(), a.Transmissions())
+	}
+}
+
+func TestAdaptivePeriodicTrigger(t *testing.T) {
+	a, err := NewAdaptiveCompressor(adaptiveConfig(), AdaptivePolicy{MinFullRuns: 1, Every: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := testRows(41, 3, 256)
+	var pattern []bool
+	for i := 0; i < 9; i++ {
+		_, full, err := a.Encode(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pattern = append(pattern, full)
+	}
+	// tx0 full (MinFullRuns), then every 4th (3 shortcuts + 1 full).
+	want := []bool{true, false, false, false, true, false, false, false, true}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("pattern = %v, want %v", pattern, want)
+		}
+	}
+}
+
+func TestAdaptiveDegradationTrigger(t *testing.T) {
+	a, err := NewAdaptiveCompressor(adaptiveConfig(), AdaptivePolicy{MinFullRuns: 1, DegradeFactor: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm := testRows(42, 3, 256)
+	// A structurally different regime: new dominant frequency and scale.
+	rng := rand.New(rand.NewSource(99))
+	wild := make([]timeseries.Series, 3)
+	for r := range wild {
+		wild[r] = make(timeseries.Series, 256)
+		for i := range wild[r] {
+			wild[r][i] = 40*math.Sin(float64(i)/2.1) + 10*rng.NormFloat64()
+		}
+	}
+
+	if _, full, err := a.Encode(calm); err != nil || !full {
+		t.Fatalf("first encode: full=%v err=%v", full, err)
+	}
+	if _, full, err := a.Encode(calm); err != nil || full {
+		t.Fatalf("stable batch triggered a full run (err=%v)", err)
+	}
+	// The regime change degrades the shortcut error…
+	if _, full, err := a.Encode(wild); err != nil || full {
+		t.Fatalf("regime-change batch itself should still be a shortcut (err=%v)", err)
+	}
+	// …which latches the trigger for the next batch.
+	if _, full, err := a.Encode(wild); err != nil || !full {
+		t.Fatalf("degradation did not trigger a full run (err=%v)", err)
+	}
+}
+
+func TestAdaptiveStreamDecodes(t *testing.T) {
+	cfg := adaptiveConfig()
+	a, err := NewAdaptiveCompressor(cfg, AdaptivePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := testRows(43, 3, 256)
+	for i := 0; i < 6; i++ {
+		tr, _, err := a.Encode(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.Decode(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := timeseries.Concat(rows...)
+		yh := timeseries.Concat(got...)
+		if e := metrics.SumSquared(y, yh); math.Abs(e-tr.TotalErr) > 1e-6*(1+tr.TotalErr) {
+			t.Fatalf("tx %d: decoder err %v, sender err %v", i, e, tr.TotalErr)
+		}
+	}
+	if !timeseries.Equal(a.Compressor().BaseSignal(), dec.BaseSignal(), 0) {
+		t.Error("adaptive stream base replica diverged")
+	}
+}
+
+func TestAdaptivePolicyDefaults(t *testing.T) {
+	p := AdaptivePolicy{}.withDefaults()
+	if p.MinFullRuns != 2 || p.DegradeFactor != 1.5 {
+		t.Errorf("defaults = %+v", p)
+	}
+	if _, err := NewAdaptiveCompressor(Config{}, AdaptivePolicy{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

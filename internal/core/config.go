@@ -1,0 +1,149 @@
+// Package core implements the Self-Based Regression (SBR) algorithm of the
+// paper (Algorithms 5–7): per-batch construction and maintenance of the
+// base signal, the binary search that balances base-signal growth against
+// interval budget, transmission assembly under a strict bandwidth bound,
+// and the receiver-side decoder that reconstructs the approximate series
+// and maintains the base-signal replica.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sbr/internal/metrics"
+)
+
+// BaseBuilder selects how new base-signal features are generated.
+type BaseBuilder int
+
+const (
+	// BuilderGetBase is the paper's GetBase greedy selection (Algorithm 4).
+	BuilderGetBase BaseBuilder = iota
+	// BuilderGetBaseLowMem is the O(√n)-space GetBase variant.
+	BuilderGetBaseLowMem
+	// BuilderSVD uses the top right-singular-vectors construction of the
+	// Appendix. Like GetBase intervals, these must be shipped and stored.
+	BuilderSVD
+	// BuilderDCT uses the fixed cosine base of the Appendix. The intervals
+	// are computable on the fly, so they consume neither bandwidth nor
+	// sensor memory; only the first transmission materialises them.
+	BuilderDCT
+	// BuilderNone disables the base signal entirely: every interval falls
+	// back to plain linear regression (3 values per record).
+	BuilderNone
+	// BuilderGetBaseNoAdjust is the ablation of GetBase's benefit
+	// adjustment (Figure 4): top-maxIns by initial benefit, no
+	// re-discounting. Exists for the ablation benchmarks.
+	BuilderGetBaseNoAdjust
+)
+
+// String implements fmt.Stringer.
+func (b BaseBuilder) String() string {
+	switch b {
+	case BuilderGetBase:
+		return "getbase"
+	case BuilderGetBaseLowMem:
+		return "getbase-lowmem"
+	case BuilderSVD:
+		return "svd"
+	case BuilderDCT:
+		return "dct"
+	case BuilderNone:
+		return "none"
+	case BuilderGetBaseNoAdjust:
+		return "getbase-noadjust"
+	default:
+		return fmt.Sprintf("core.BaseBuilder(%d)", int(b))
+	}
+}
+
+// AutoIns asks SBR to pick the number of inserted base intervals with the
+// binary search of Algorithm 7 (the default).
+const AutoIns = -1
+
+// Config carries the two user-supplied parameters of the paper
+// (Section 3.3) plus the documented extensions and experiment switches.
+type Config struct {
+	// TotalBand is the bandwidth constraint: the exact number of values
+	// each transmission may carry, covering both inserted base intervals
+	// (W+1 values each) and interval records (4 values each).
+	TotalBand int
+
+	// MBase is the buffer reserved for base-signal values on the sensor.
+	MBase int
+
+	// Metric selects the error metric the approximation minimises.
+	// Defaults to sum squared error.
+	Metric metrics.Kind
+
+	// Sanity bounds relative-error denominators (metrics.DefaultSanity
+	// when zero).
+	Sanity float64
+
+	// Builder selects the base-signal construction. Default BuilderGetBase.
+	Builder BaseBuilder
+
+	// SkipBaseUpdate enables the shortcut of Section 4.4: the expensive
+	// GetBase/Search phase is skipped and the existing base signal is used
+	// as is, leaving the whole bandwidth to interval records.
+	SkipBaseUpdate bool
+
+	// DisableRampFallback removes plain linear regression from BestMap's
+	// candidate set, as in the Section 5.2 base-signal comparison.
+	DisableRampFallback bool
+
+	// ErrorTarget, when positive, stops interval splitting early once the
+	// total error reaches the target (Section 4.5): the transmission may
+	// then be smaller than TotalBand.
+	ErrorTarget float64
+
+	// ForceIns fixes the number of inserted base intervals instead of
+	// searching (Figure 6's manual sweep). AutoIns (the default, -1 via
+	// NewCompressor) enables the search.
+	ForceIns int
+
+	// W overrides the base-interval width. Zero means the paper's
+	// W = ⌊√(N·M)⌋, fixed at the first transmission.
+	W int
+
+	// Quadratic enables the non-linear encoding extension the paper leaves
+	// as future work (Section 6): intervals are projected onto the base
+	// signal as Y' = C·X² + A·X + B, at a record cost of 5 values instead
+	// of 4 (4 instead of 3 without a base signal). Only supported under
+	// the SSE metric.
+	Quadratic bool
+}
+
+// Validate checks the configuration for structural errors.
+func (c *Config) Validate() error {
+	if c.TotalBand <= 0 {
+		return errors.New("core: TotalBand must be positive")
+	}
+	if c.MBase < 0 {
+		return errors.New("core: MBase must be non-negative")
+	}
+	if c.W < 0 {
+		return errors.New("core: W must be non-negative")
+	}
+	if c.ForceIns < AutoIns {
+		return fmt.Errorf("core: ForceIns must be >= %d", AutoIns)
+	}
+	if c.Quadratic && c.Metric != metrics.SSE {
+		return errors.New("core: quadratic encoding is only supported under the SSE metric")
+	}
+	return nil
+}
+
+// widthFor returns the base-interval width for a batch of n values:
+// the configured override, or ⌊√n⌋.
+func (c *Config) widthFor(n int) int {
+	if c.W > 0 {
+		return c.W
+	}
+	w := int(math.Sqrt(float64(n)))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

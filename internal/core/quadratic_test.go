@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"sbr/internal/interval"
+	"sbr/internal/metrics"
+	"sbr/internal/timeseries"
+)
+
+// parabolicRows builds rows that are piecewise-quadratic in time, where the
+// quadratic encoding has a decisive advantage over the linear one.
+func parabolicRows(n, m int) []timeseries.Series {
+	rows := make([]timeseries.Series, n)
+	for r := range rows {
+		rows[r] = make(timeseries.Series, m)
+		for i := range rows[r] {
+			t := float64(i%64) - 32
+			rows[r][i] = float64(r+1) * (0.1*t*t - 2*t + 5)
+		}
+	}
+	return rows
+}
+
+func TestQuadraticEncodeDecodeRoundTrip(t *testing.T) {
+	rows := parabolicRows(3, 256)
+	cfg := Config{TotalBand: 150, MBase: 80, Metric: metrics.SSE, Quadratic: true}
+	comp, err := NewCompressor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := comp.Encode(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cost > cfg.TotalBand {
+		t.Fatalf("cost %d exceeds budget %d", tr.Cost, cfg.TotalBand)
+	}
+	got, err := dec.Decode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := timeseries.Concat(rows...)
+	yh := timeseries.Concat(got...)
+	if errv := metrics.SumSquared(y, yh); math.Abs(errv-tr.TotalErr) > 1e-6*(1+tr.TotalErr) {
+		t.Errorf("decoder err %v, sender err %v", errv, tr.TotalErr)
+	}
+}
+
+func TestQuadraticBeatsLinearOnParabolicData(t *testing.T) {
+	rows := parabolicRows(3, 256)
+	run := func(quad bool) float64 {
+		cfg := Config{TotalBand: 120, MBase: 80, Metric: metrics.SSE, Quadratic: quad}
+		comp, err := NewCompressor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := comp.Encode(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.TotalErr
+	}
+	linear := run(false)
+	quadratic := run(true)
+	// Per record the quadratic run gets fewer intervals (5 values each),
+	// but the data is exactly quadratic per segment, so it must still win
+	// decisively.
+	if quadratic > linear/2 {
+		t.Errorf("quadratic err %v not well below linear err %v on parabolic data",
+			quadratic, linear)
+	}
+}
+
+func TestQuadraticRecordCost(t *testing.T) {
+	rows := parabolicRows(2, 128)
+	cfg := Config{TotalBand: 100, MBase: 0, Metric: metrics.SSE, Builder: BuilderNone, Quadratic: true}
+	comp, err := NewCompressor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := comp.Encode(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BuilderNone elides the shift pointer, so a quadratic ramp record is
+	// start + three coefficients = ValuesPerQuadInterval − 1.
+	if want := len(tr.Intervals) * (interval.ValuesPerQuadInterval - 1); tr.Cost != want {
+		t.Errorf("cost %d for %d quad ramp records, want %d", tr.Cost, len(tr.Intervals), want)
+	}
+}
+
+func TestQuadraticRequiresSSE(t *testing.T) {
+	cfg := Config{TotalBand: 100, MBase: 32, Metric: metrics.RelativeSSE, Quadratic: true}
+	if _, err := NewCompressor(cfg); err == nil {
+		t.Error("quadratic + relative metric accepted")
+	}
+	cfg.Metric = metrics.MaxAbs
+	if _, err := NewCompressor(cfg); err == nil {
+		t.Error("quadratic + max-abs metric accepted")
+	}
+}
+
+func TestQuadraticBaseSignalStaysInSync(t *testing.T) {
+	rows := parabolicRows(3, 256)
+	cfg := Config{TotalBand: 200, MBase: 96, Metric: metrics.SSE, Quadratic: true}
+	comp, _ := NewCompressor(cfg)
+	dec, _ := NewDecoder(cfg)
+	for i := 0; i < 3; i++ {
+		tr, err := comp.Encode(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.Decode(tr); err != nil {
+			t.Fatal(err)
+		}
+		if !timeseries.Equal(comp.BaseSignal(), dec.BaseSignal(), 0) {
+			t.Fatal("quadratic-mode base replica diverged")
+		}
+	}
+}

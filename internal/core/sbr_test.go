@@ -1,0 +1,517 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sbr/internal/interval"
+	"sbr/internal/metrics"
+	"sbr/internal/timeseries"
+)
+
+// testRows builds a deterministic batch of correlated rows: a shared
+// periodic pattern with per-row affine distortion plus noise, the kind of
+// structure SBR thrives on.
+func testRows(seed int64, n, m int) []timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	pattern := make(timeseries.Series, m)
+	for i := range pattern {
+		pattern[i] = math.Sin(float64(i)/7) + 0.5*math.Sin(float64(i)/3)
+	}
+	rows := make([]timeseries.Series, n)
+	for r := range rows {
+		a := 1 + rng.Float64()*3
+		b := rng.NormFloat64() * 5
+		row := make(timeseries.Series, m)
+		for i := range row {
+			row[i] = a*pattern[i] + b + 0.05*rng.NormFloat64()
+		}
+		rows[r] = row
+	}
+	return rows
+}
+
+func testConfig(n, m int) Config {
+	return Config{
+		TotalBand: n * m / 10,
+		MBase:     256,
+		Metric:    metrics.SSE,
+	}
+}
+
+func TestCompressorRoundTrip(t *testing.T) {
+	rows := testRows(1, 4, 256)
+	cfg := testConfig(4, 256)
+	comp, err := NewCompressor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		tr, err := comp.Encode(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Cost > cfg.TotalBand {
+			t.Fatalf("cost %d exceeds TotalBand %d", tr.Cost, cfg.TotalBand)
+		}
+		got, err := dec.Decode(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 4 || len(got[0]) != 256 {
+			t.Fatalf("decoded shape %dx%d", len(got), len(got[0]))
+		}
+		// Decoder output must equal the sender-side reconstruction exactly
+		// (same intervals, same base signal).
+		senderErr := tr.TotalErr
+		y := timeseries.Concat(rows...)
+		yh := timeseries.Concat(got...)
+		decErr := metrics.SumSquared(y, yh)
+		if math.Abs(senderErr-decErr) > 1e-6*(1+senderErr) {
+			t.Fatalf("round %d: sender err %v, decoder err %v", round, senderErr, decErr)
+		}
+	}
+}
+
+func TestCompressorBeatsBudgetlessBaseline(t *testing.T) {
+	// Sanity: the compressed error is dramatically smaller than
+	// approximating every row by its mean (the 0-line baseline).
+	rows := testRows(2, 4, 256)
+	cfg := testConfig(4, 256)
+	cfg.TotalBand = 4 * 256 / 4 // 25 % ratio: room to split below 2W
+	comp, _ := NewCompressor(cfg)
+	tr, err := comp.Encode(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meanErr float64
+	for _, r := range rows {
+		mean := r.Mean()
+		for _, v := range r {
+			meanErr += (v - mean) * (v - mean)
+		}
+	}
+	if tr.TotalErr > meanErr/4 {
+		t.Errorf("SBR error %v vs mean-baseline %v: compression is not working", tr.TotalErr, meanErr)
+	}
+}
+
+func TestBaseSignalReplicaStaysInSync(t *testing.T) {
+	rows1 := testRows(3, 3, 128)
+	rows2 := testRows(4, 3, 128)
+	cfg := Config{TotalBand: 120, MBase: 64, Metric: metrics.SSE}
+	comp, _ := NewCompressor(cfg)
+	dec, _ := NewDecoder(cfg)
+	for _, rows := range [][]timeseries.Series{rows1, rows2, rows1, rows2} {
+		tr, err := comp.Encode(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.Decode(tr); err != nil {
+			t.Fatal(err)
+		}
+		if !timeseries.Equal(comp.BaseSignal(), dec.BaseSignal(), 0) {
+			t.Fatalf("base-signal replica diverged after seq %d", tr.Seq)
+		}
+	}
+}
+
+func TestDecodeOutOfOrderRejected(t *testing.T) {
+	rows := testRows(5, 2, 64)
+	cfg := Config{TotalBand: 40, MBase: 32, Metric: metrics.SSE}
+	comp, _ := NewCompressor(cfg)
+	dec, _ := NewDecoder(cfg)
+	t1, _ := comp.Encode(rows)
+	t2, _ := comp.Encode(rows)
+	if _, err := dec.Decode(t2); err == nil {
+		t.Error("decoding transmission 1 before 0 must fail")
+	}
+	if _, err := dec.Decode(t1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(t2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForcedInsertCount(t *testing.T) {
+	rows := testRows(6, 4, 256)
+	cfg := Config{TotalBand: 300, MBase: 320, Metric: metrics.SSE}
+	for _, force := range []int{0, 1, 3} {
+		comp, err := NewCompressorForceIns(cfg, force)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := comp.Encode(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Ins() != force {
+			t.Errorf("forced %d inserts, got %d", force, tr.Ins())
+		}
+	}
+	if _, err := NewCompressorForceIns(cfg, -2); err == nil {
+		t.Error("negative forced count accepted")
+	}
+}
+
+func TestSkipBaseUpdate(t *testing.T) {
+	rows := testRows(7, 4, 256)
+	cfg := Config{TotalBand: 300, MBase: 320, Metric: metrics.SSE, SkipBaseUpdate: true}
+	comp, _ := NewCompressor(cfg)
+	tr, err := comp.Encode(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Ins() != 0 {
+		t.Errorf("shortcut mode inserted %d base intervals", tr.Ins())
+	}
+}
+
+func TestEncodeShortcutTogglesOnce(t *testing.T) {
+	rows := testRows(8, 4, 256)
+	cfg := Config{TotalBand: 300, MBase: 320, Metric: metrics.SSE}
+	comp, _ := NewCompressor(cfg)
+	if _, err := comp.Encode(rows); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := comp.EncodeShortcut(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Ins() != 0 {
+		t.Errorf("shortcut encode inserted %d intervals", tr.Ins())
+	}
+	// The next regular encode may insert again (flag restored).
+	if comp.Config().SkipBaseUpdate {
+		t.Error("EncodeShortcut left SkipBaseUpdate set")
+	}
+}
+
+func TestBuilderNoneUsesThreeValueRecords(t *testing.T) {
+	rows := testRows(9, 2, 128)
+	cfg := Config{TotalBand: 90, MBase: 0, Metric: metrics.SSE, Builder: BuilderNone}
+	comp, _ := NewCompressor(cfg)
+	tr, err := comp.Encode(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Ins() != 0 {
+		t.Errorf("BuilderNone inserted base intervals")
+	}
+	if want := len(tr.Intervals) * interval.ValuesPerRampInterval; tr.Cost != want {
+		t.Errorf("cost %d, want %d (3 values per record)", tr.Cost, want)
+	}
+	for _, iv := range tr.Intervals {
+		if iv.Shift != interval.RampShift {
+			t.Errorf("BuilderNone produced a shifted interval %v", iv)
+		}
+	}
+	// Decode must round-trip too.
+	dec, _ := NewDecoder(cfg)
+	if _, err := dec.Decode(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderDCTDecodesWithoutShippingBase(t *testing.T) {
+	rows := testRows(10, 3, 128)
+	cfg := Config{TotalBand: 120, MBase: 60, Metric: metrics.SSE, Builder: BuilderDCT}
+	comp, _ := NewCompressor(cfg)
+	dec, _ := NewDecoder(cfg)
+	tr, err := comp.Encode(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.BaseIntervals) != 0 {
+		t.Error("DCT base intervals were transmitted")
+	}
+	got, err := dec.Decode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := timeseries.Concat(rows...)
+	yh := timeseries.Concat(got...)
+	if gotErr := metrics.SumSquared(y, yh); math.Abs(gotErr-tr.TotalErr) > 1e-6*(1+tr.TotalErr) {
+		t.Errorf("decoder err %v, sender err %v", gotErr, tr.TotalErr)
+	}
+}
+
+func TestBuilderSVDRoundTrip(t *testing.T) {
+	rows := testRows(11, 3, 128)
+	cfg := Config{TotalBand: 150, MBase: 80, Metric: metrics.SSE, Builder: BuilderSVD}
+	comp, _ := NewCompressor(cfg)
+	dec, _ := NewDecoder(cfg)
+	for i := 0; i < 2; i++ {
+		tr, err := comp.Encode(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.Decode(tr); err != nil {
+			t.Fatal(err)
+		}
+		if !timeseries.Equal(comp.BaseSignal(), dec.BaseSignal(), 0) {
+			t.Fatal("SVD base replica diverged")
+		}
+	}
+}
+
+func TestBuilderLowMemMatchesGetBase(t *testing.T) {
+	rows := testRows(12, 3, 128)
+	run := func(b BaseBuilder) *Transmission {
+		cfg := Config{TotalBand: 150, MBase: 80, Metric: metrics.SSE, Builder: b}
+		comp, _ := NewCompressor(cfg)
+		tr, err := comp.Encode(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	full := run(BuilderGetBase)
+	low := run(BuilderGetBaseLowMem)
+	if full.Ins() != low.Ins() {
+		t.Fatalf("insert counts differ: %d vs %d", full.Ins(), low.Ins())
+	}
+	for i := range full.BaseIntervals {
+		if !timeseries.Equal(full.BaseIntervals[i], low.BaseIntervals[i], 0) {
+			t.Errorf("base interval %d differs between GetBase and its low-memory variant", i)
+		}
+	}
+}
+
+func TestRelativeMetricEndToEnd(t *testing.T) {
+	rows := testRows(13, 3, 128)
+	cfg := Config{TotalBand: 150, MBase: 80, Metric: metrics.RelativeSSE}
+	comp, _ := NewCompressor(cfg)
+	dec, _ := NewDecoder(cfg)
+	tr, err := comp.Encode(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.Decode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := timeseries.Concat(rows...)
+	yh := timeseries.Concat(got...)
+	rel := metrics.SumSquaredRelative(y, yh, metrics.DefaultSanity)
+	if math.Abs(rel-tr.TotalErr) > 1e-6*(1+tr.TotalErr) {
+		t.Errorf("relative metric: decoder err %v, sender err %v", rel, tr.TotalErr)
+	}
+}
+
+func TestMaxAbsMetricEndToEnd(t *testing.T) {
+	rows := testRows(14, 2, 64)
+	cfg := Config{TotalBand: 60, MBase: 24, Metric: metrics.MaxAbs}
+	comp, _ := NewCompressor(cfg)
+	dec, _ := NewDecoder(cfg)
+	tr, err := comp.Encode(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.Decode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := timeseries.Concat(rows...)
+	yh := timeseries.Concat(got...)
+	maxAbs := metrics.MaxAbsolute(y, yh)
+	if math.Abs(maxAbs-tr.TotalErr) > 1e-6*(1+tr.TotalErr) {
+		t.Errorf("max-abs metric: decoder err %v, sender err %v", maxAbs, tr.TotalErr)
+	}
+}
+
+func TestErrorTargetShrinksTransmission(t *testing.T) {
+	rows := testRows(15, 2, 256)
+	base := Config{TotalBand: 256, MBase: 0, Metric: metrics.SSE, Builder: BuilderNone}
+	comp, _ := NewCompressor(base)
+	trFull, err := comp.Encode(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded := base
+	bounded.ErrorTarget = trFull.TotalErr * 100
+	comp2, _ := NewCompressor(bounded)
+	trBounded, err := comp2.Encode(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trBounded.Cost >= trFull.Cost {
+		t.Errorf("error target did not shrink the transmission: %d vs %d",
+			trBounded.Cost, trFull.Cost)
+	}
+	if trBounded.TotalErr > bounded.ErrorTarget {
+		t.Errorf("bounded run error %v exceeds target %v", trBounded.TotalErr, bounded.ErrorTarget)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{TotalBand: 0},
+		{TotalBand: 10, MBase: -1},
+		{TotalBand: 10, W: -3},
+	}
+	for _, cfg := range bad {
+		if _, err := NewCompressor(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestEncodeShapeErrors(t *testing.T) {
+	cfg := Config{TotalBand: 100, MBase: 32, Metric: metrics.SSE}
+	comp, _ := NewCompressor(cfg)
+	if _, err := comp.Encode(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := comp.Encode([]timeseries.Series{{}}); err == nil {
+		t.Error("empty rows accepted")
+	}
+	if _, err := comp.Encode([]timeseries.Series{{1, 2}, {1}}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	// First batch fixes the size.
+	if _, err := comp.Encode(testRows(16, 2, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := comp.Encode(testRows(16, 2, 32)); err == nil {
+		t.Error("batch size change accepted")
+	}
+}
+
+func TestTotalBandTooSmall(t *testing.T) {
+	cfg := Config{TotalBand: 7, MBase: 32, Metric: metrics.SSE} // < 4 values × 2 rows
+	comp, _ := NewCompressor(cfg)
+	if _, err := comp.Encode(testRows(17, 2, 64)); err == nil {
+		t.Error("insufficient TotalBand accepted")
+	}
+}
+
+func TestWidthOverride(t *testing.T) {
+	rows := testRows(18, 2, 64)
+	cfg := Config{TotalBand: 64, MBase: 32, Metric: metrics.SSE, W: 8}
+	comp, _ := NewCompressor(cfg)
+	if _, err := comp.Encode(rows); err != nil {
+		t.Fatal(err)
+	}
+	if comp.W() != 8 {
+		t.Errorf("W = %d, want 8", comp.W())
+	}
+}
+
+func TestDefaultWidthIsSqrtN(t *testing.T) {
+	rows := testRows(19, 4, 256) // n=1024, √n=32
+	cfg := testConfig(4, 256)
+	comp, _ := NewCompressor(cfg)
+	if _, err := comp.Encode(rows); err != nil {
+		t.Fatal(err)
+	}
+	if comp.W() != 32 {
+		t.Errorf("W = %d, want 32", comp.W())
+	}
+}
+
+func TestSearchFindsUnimodalMinimum(t *testing.T) {
+	for _, tc := range []struct {
+		errs []float64
+		want int
+	}{
+		{[]float64{5, 4, 3, 2, 3, 4}, 3},
+		{[]float64{1, 2, 3, 4}, 0},
+		{[]float64{4, 3, 2, 1}, 3},
+		{[]float64{2}, 0},
+		{[]float64{3, 1}, 1},
+		{[]float64{1, 3}, 0},
+	} {
+		got := search(func(i int) float64 { return tc.errs[i] }, 0, len(tc.errs)-1)
+		if got != tc.want {
+			t.Errorf("search(%v) = %d, want %d", tc.errs, got, tc.want)
+		}
+	}
+}
+
+func TestSearchEvaluationsAreMemoisable(t *testing.T) {
+	// The driver memoises; here we check search never indexes out of range
+	// and terminates for adversarial (non-unimodal) curves.
+	errs := []float64{5, 1, 4, 0, 6, 2, 7}
+	calls := 0
+	got := search(func(i int) float64 {
+		calls++
+		if i < 0 || i >= len(errs) {
+			t.Fatalf("search evaluated out-of-range index %d", i)
+		}
+		return errs[i]
+	}, 0, len(errs)-1)
+	if got < 0 || got >= len(errs) {
+		t.Fatalf("search returned out-of-range %d", got)
+	}
+	if calls > 100 {
+		t.Errorf("search did not terminate promptly (%d calls)", calls)
+	}
+}
+
+func TestReconstructionErrorHelper(t *testing.T) {
+	rows := testRows(20, 2, 64)
+	cfg := Config{TotalBand: 64, MBase: 32, Metric: metrics.SSE}
+	comp, _ := NewCompressor(cfg)
+	tr, err := comp.Encode(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := comp.BaseSignal()
+	got := ReconstructionError(metrics.SSE, x, tr, rows)
+	if math.Abs(got-tr.TotalErr) > 1e-6*(1+tr.TotalErr) {
+		t.Errorf("ReconstructionError = %v, want %v", got, tr.TotalErr)
+	}
+}
+
+func TestBuilderString(t *testing.T) {
+	for b, want := range map[BaseBuilder]string{
+		BuilderGetBase:       "getbase",
+		BuilderGetBaseLowMem: "getbase-lowmem",
+		BuilderSVD:           "svd",
+		BuilderDCT:           "dct",
+		BuilderNone:          "none",
+		BaseBuilder(9):       "core.BaseBuilder(9)",
+	} {
+		if got := b.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(b), got, want)
+		}
+	}
+}
+
+func TestDecoderRejectsMalformedIntervals(t *testing.T) {
+	rows := testRows(50, 2, 64)
+	cfg := Config{TotalBand: 80, MBase: 32, Metric: metrics.SSE}
+	comp, _ := NewCompressor(cfg)
+	tr, err := comp.Encode(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A shift beyond the base signal must be rejected, not panic.
+	forged := *tr
+	forged.Intervals = append([]interval.Interval(nil), tr.Intervals...)
+	forged.Intervals[0].Shift = 1 << 20
+	dec, _ := NewDecoder(cfg)
+	if _, err := dec.Decode(&forged); err == nil {
+		t.Error("huge shift accepted")
+	}
+	// A start beyond the batch must be rejected too.
+	dec2, _ := NewDecoder(cfg)
+	forged2 := *tr
+	forged2.Intervals = append([]interval.Interval(nil), tr.Intervals...)
+	forged2.Intervals[len(forged2.Intervals)-1].Start = 2 * 64 * 10
+	if _, err := dec2.Decode(&forged2); err == nil {
+		t.Error("out-of-range start accepted")
+	}
+	// The genuine transmission still decodes on a fresh decoder.
+	dec3, _ := NewDecoder(cfg)
+	if _, err := dec3.Decode(tr); err != nil {
+		t.Fatalf("genuine transmission rejected: %v", err)
+	}
+}

@@ -1,0 +1,77 @@
+package datagen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"sbr/internal/timeseries"
+)
+
+// WriteCSV writes the rows as columns of a CSV table with a header line,
+// one sample per record: the layout tools and spreadsheets expect.
+func WriteCSV(w io.Writer, labels []string, rows []timeseries.Series) error {
+	if len(labels) != len(rows) {
+		return fmt.Errorf("datagen: %d labels for %d rows", len(labels), len(rows))
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(labels); err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		cw.Flush()
+		return cw.Error()
+	}
+	m := len(rows[0])
+	rec := make([]string, len(rows))
+	for i := 0; i < m; i++ {
+		for j, r := range rows {
+			if len(r) != m {
+				return fmt.Errorf("datagen: row %d has length %d, want %d", j, len(r), m)
+			}
+			rec[j] = strconv.FormatFloat(r[i], 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a table written by WriteCSV (or any numeric CSV with a
+// header), returning the column labels and one series per column.
+func ReadCSV(r io.Reader) (labels []string, rows []timeseries.Series, err error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("datagen: reading CSV header: %w", err)
+	}
+	labels = append([]string(nil), header...)
+	rows = make([]timeseries.Series, len(labels))
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("datagen: reading CSV line %d: %w", line+1, err)
+		}
+		line++
+		if len(rec) != len(labels) {
+			return nil, nil, fmt.Errorf("datagen: CSV line %d has %d fields, want %d",
+				line, len(rec), len(labels))
+		}
+		for j, field := range rec {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("datagen: CSV line %d field %d: %w", line, j+1, err)
+			}
+			rows[j] = append(rows[j], v)
+		}
+	}
+	return labels, rows, nil
+}

@@ -1,0 +1,333 @@
+package datagen
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"sbr/internal/timeseries"
+)
+
+func TestDatasetShapes(t *testing.T) {
+	cases := []struct {
+		ds      *Dataset
+		n, m, f int
+	}{
+		{Weather(1), 6, 4096, 10},
+		{PhoneCalls(1), 15, 2560, 10},
+		{Stocks(1), 10, 2048, 10},
+		{Mixed(1), 9, 2048, 10},
+	}
+	for _, c := range cases {
+		if c.ds.N() != c.n {
+			t.Errorf("%s: N=%d, want %d", c.ds.Name, c.ds.N(), c.n)
+		}
+		if c.ds.FileLen != c.m || c.ds.Files != c.f {
+			t.Errorf("%s: file layout %dx%d, want %dx%d",
+				c.ds.Name, c.ds.FileLen, c.ds.Files, c.m, c.f)
+		}
+		if len(c.ds.Labels) != c.n {
+			t.Errorf("%s: %d labels for %d rows", c.ds.Name, len(c.ds.Labels), c.n)
+		}
+		for r, row := range c.ds.Rows {
+			if len(row) != c.m*c.f {
+				t.Errorf("%s row %d: length %d, want %d", c.ds.Name, r, len(row), c.m*c.f)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Weather(7)
+	b := Weather(7)
+	for r := range a.Rows {
+		if !timeseries.Equal(a.Rows[r], b.Rows[r], 0) {
+			t.Fatalf("weather row %d differs across identical seeds", r)
+		}
+	}
+	c := Weather(8)
+	same := true
+	for r := range a.Rows {
+		if !timeseries.Equal(a.Rows[r], c.Rows[r], 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical weather data")
+	}
+}
+
+func TestFileSlicing(t *testing.T) {
+	ds := Stocks(3)
+	f0 := ds.File(0)
+	f9 := ds.File(9)
+	if len(f0) != ds.N() || len(f0[0]) != ds.FileLen {
+		t.Fatalf("file shape %dx%d", len(f0), len(f0[0]))
+	}
+	if !timeseries.Equal(f0[0], ds.Rows[0][:ds.FileLen], 0) {
+		t.Error("file 0 is not the first window")
+	}
+	if !timeseries.Equal(f9[0], ds.Rows[0][9*ds.FileLen:], 0) {
+		t.Error("file 9 is not the last window")
+	}
+	if got := ds.AllFiles(); len(got) != 10 {
+		t.Errorf("AllFiles returned %d files", len(got))
+	}
+}
+
+func TestFileOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("File(10) did not panic")
+		}
+	}()
+	Stocks(1).File(10)
+}
+
+func TestWeatherPhysicalInvariants(t *testing.T) {
+	ds := Weather(5)
+	temp, dew := ds.Rows[0], ds.Rows[1]
+	wind, peak := ds.Rows[2], ds.Rows[3]
+	solar, hum := ds.Rows[4], ds.Rows[5]
+	for i := range temp {
+		if dew[i] > temp[i] {
+			t.Fatalf("dewpoint %v above temperature %v at %d", dew[i], temp[i], i)
+		}
+		if wind[i] < 0 || solar[i] < 0 {
+			t.Fatalf("negative wind/solar at %d", i)
+		}
+		if peak[i] < wind[i] {
+			t.Fatalf("wind peak %v below sustained wind %v at %d", peak[i], wind[i], i)
+		}
+		if hum[i] < 5 || hum[i] > 100 {
+			t.Fatalf("humidity %v outside [5,100] at %d", hum[i], i)
+		}
+	}
+	// Solar has a day/night cycle: a large share of samples must be zero.
+	var zeros int
+	for _, v := range solar {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if frac := float64(zeros) / float64(len(solar)); frac < 0.2 || frac > 0.8 {
+		t.Errorf("solar zero fraction %v, want a plausible night share", frac)
+	}
+}
+
+func TestPhoneCallsInvariants(t *testing.T) {
+	ds := PhoneCalls(6)
+	for r, row := range ds.Rows {
+		var max float64
+		for i, v := range row {
+			if v < 0 {
+				t.Fatalf("negative call count row %d idx %d", r, i)
+			}
+			if v != math.Trunc(v) {
+				t.Fatalf("non-integral call count %v", v)
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if max == 0 {
+			t.Errorf("state %s never receives calls", ds.Labels[r])
+		}
+	}
+	// CA must dwarf AZ on average (scale separation drives Table 3).
+	az, ca := ds.Rows[0], ds.Rows[1]
+	if ca.Mean() < 2*az.Mean() {
+		t.Errorf("CA mean %v not well above AZ mean %v", ca.Mean(), az.Mean())
+	}
+}
+
+func TestStocksCorrelatedThroughMarketFactor(t *testing.T) {
+	ds := Stocks(9)
+	// Log-return correlation between two tickers must be clearly positive.
+	ret := func(s timeseries.Series) []float64 {
+		out := make([]float64, len(s)-1)
+		for i := range out {
+			out[i] = math.Log(s[i+1] / s[i])
+		}
+		return out
+	}
+	a, b := ret(ds.Rows[0]), ret(ds.Rows[1])
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(len(a))
+	mb /= float64(len(b))
+	var cov, va, vb float64
+	for i := range a {
+		cov += (a[i] - ma) * (b[i] - mb)
+		va += (a[i] - ma) * (a[i] - ma)
+		vb += (b[i] - mb) * (b[i] - mb)
+	}
+	corr := cov / math.Sqrt(va*vb)
+	if corr < 0.15 {
+		t.Errorf("ticker return correlation %v, want clearly positive", corr)
+	}
+	for r, row := range ds.Rows {
+		for i, v := range row {
+			if v <= 0 {
+				t.Fatalf("non-positive price row %d idx %d", r, i)
+			}
+		}
+	}
+}
+
+func TestMixedComposition(t *testing.T) {
+	ds := Mixed(4)
+	if ds.N() != 9 {
+		t.Fatalf("mixed has %d rows", ds.N())
+	}
+	wantLabels := []string{"phone-AZ", "phone-CA", "phone-FL", "air-temp", "pressure", "solar", "MSFT", "INTC", "ORCL"}
+	for i, l := range wantLabels {
+		if ds.Labels[i] != l {
+			t.Errorf("label %d = %q, want %q", i, ds.Labels[i], l)
+		}
+	}
+	// Pressure hovers near 1013 hPa.
+	p := ds.Rows[4]
+	if p.Mean() < 950 || p.Mean() > 1070 {
+		t.Errorf("pressure mean %v implausible", p.Mean())
+	}
+}
+
+func TestStockIndexesCorrelated(t *testing.T) {
+	ind, ins := StockIndexes(2)
+	if len(ind) != 128 || len(ins) != 128 {
+		t.Fatalf("index lengths %d, %d", len(ind), len(ins))
+	}
+	var mi, mj float64
+	for i := range ind {
+		mi += ind[i]
+		mj += ins[i]
+	}
+	mi /= 128
+	mj /= 128
+	var cov, vi, vj float64
+	for i := range ind {
+		cov += (ind[i] - mi) * (ins[i] - mj)
+		vi += (ind[i] - mi) * (ind[i] - mi)
+		vj += (ins[i] - mj) * (ins[i] - mj)
+	}
+	if corr := cov / math.Sqrt(vi*vj); corr < 0.9 {
+		t.Errorf("index correlation %v, want very strong (motivational example)", corr)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := StocksSized(3, 16, 2)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds.Labels, ds.Rows); err != nil {
+		t.Fatal(err)
+	}
+	labels, rows, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != len(ds.Labels) {
+		t.Fatalf("%d labels back", len(labels))
+	}
+	for i := range rows {
+		if !timeseries.Equal(rows[i], ds.Rows[i], 0) {
+			t.Errorf("row %d differs after CSV round trip", i)
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if err := WriteCSV(&bytes.Buffer{}, []string{"a"}, nil); err == nil {
+		t.Error("label/row mismatch accepted")
+	}
+	if err := WriteCSV(&bytes.Buffer{}, []string{"a", "b"},
+		[]timeseries.Series{{1, 2}, {1}}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	if _, _, err := ReadCSV(strings.NewReader("a,b\n1,x\n")); err == nil {
+		t.Error("non-numeric CSV accepted")
+	}
+	if _, _, err := ReadCSV(strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("short record accepted")
+	}
+}
+
+func TestNetworkTrafficInvariants(t *testing.T) {
+	ds := NetworkTraffic(11)
+	if ds.N() != 8 || ds.FileLen != 2048 || ds.Files != 10 {
+		t.Fatalf("shape %dx%dx%d", ds.N(), ds.FileLen, ds.Files)
+	}
+	for r, row := range ds.Rows {
+		for i, v := range row {
+			if v < 0 {
+				t.Fatalf("negative byte count row %d idx %d", r, i)
+			}
+			if v != math.Trunc(v) {
+				t.Fatalf("non-integral byte count %v", v)
+			}
+		}
+	}
+	// The two directions of a link must correlate strongly.
+	in, out := ds.Rows[0], ds.Rows[1]
+	mi, mo := in.Mean(), out.Mean()
+	var cov, vi, vo float64
+	for i := range in {
+		cov += (in[i] - mi) * (out[i] - mo)
+		vi += (in[i] - mi) * (in[i] - mi)
+		vo += (out[i] - mo) * (out[i] - mo)
+	}
+	if corr := cov / math.Sqrt(vi*vo); corr < 0.5 {
+		t.Errorf("link direction correlation %v, want strong", corr)
+	}
+	// Heavy tail: the maximum should dwarf the mean.
+	if in.Max() < 3*mi {
+		t.Errorf("traffic lacks bursts: max %v vs mean %v", in.Max(), mi)
+	}
+}
+
+func TestNetworkTrafficSized(t *testing.T) {
+	ds := NetworkTrafficSized(11, 512, 3)
+	if ds.Name != "netflow" || ds.FileLen != 512 || ds.Files != 3 {
+		t.Fatalf("sized netflow shape wrong: %s %dx%d", ds.Name, ds.FileLen, ds.Files)
+	}
+	a := NetworkTrafficSized(11, 512, 3)
+	for r := range ds.Rows {
+		if !timeseries.Equal(ds.Rows[r], a.Rows[r], 0) {
+			t.Fatal("netflow generation is not deterministic")
+		}
+	}
+}
+
+// TestGoldenValues pins a handful of generated samples at the canonical
+// seed: the experiment results in EXPERIMENTS.md are only reproducible if
+// the generators stay byte-for-byte stable, so any intentional change to
+// them must update these values and regenerate experiments_full.txt.
+func TestGoldenValues(t *testing.T) {
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 5e-7 }
+	w := Weather(42)
+	if !approx(w.Rows[0][0], -2.239880) || !approx(w.Rows[0][1], -2.455712) ||
+		!approx(w.Rows[5][100], 78.269378) {
+		t.Errorf("weather golden values changed: %v %v %v",
+			w.Rows[0][0], w.Rows[0][1], w.Rows[5][100])
+	}
+	p := PhoneCalls(42)
+	if p.Rows[0][0] != 116 || p.Rows[1][500] != 6337 || p.Rows[14][1000] != 1875 {
+		t.Errorf("phone golden values changed: %v %v %v",
+			p.Rows[0][0], p.Rows[1][500], p.Rows[14][1000])
+	}
+	s := Stocks(42)
+	if !approx(s.Rows[0][0], 91.347508) || !approx(s.Rows[9][2047], 24.999278) {
+		t.Errorf("stock golden values changed: %v %v", s.Rows[0][0], s.Rows[9][2047])
+	}
+	nf := NetworkTraffic(42)
+	if nf.Rows[0][0] != 19584765 || nf.Rows[7][999] != 2493467 {
+		t.Errorf("netflow golden values changed: %v %v", nf.Rows[0][0], nf.Rows[7][999])
+	}
+}

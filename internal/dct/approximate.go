@@ -1,0 +1,107 @@
+package dct
+
+import (
+	"math"
+	"sort"
+
+	"sbr/internal/timeseries"
+)
+
+// ValuesPerCoefficient is the bandwidth cost of one retained DCT
+// coefficient: its index and its value.
+const ValuesPerCoefficient = 2
+
+// Coefficient is one retained transform coefficient.
+type Coefficient struct {
+	Index int
+	Value float64
+}
+
+// Synopsis is a sparse DCT representation of a signal.
+type Synopsis struct {
+	Length int
+	Coeffs []Coefficient
+}
+
+// Cost returns the bandwidth cost of the synopsis in values.
+func (s Synopsis) Cost() int { return ValuesPerCoefficient * len(s.Coeffs) }
+
+// TopB keeps the b largest-magnitude coefficients of the orthonormal DCT
+// of s, the L2-optimal sparse choice for an orthonormal basis.
+func TopB(s timeseries.Series, b int) Synopsis {
+	coeffs := Transform(s)
+	idx := make([]int, len(coeffs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		return math.Abs(coeffs[idx[i]]) > math.Abs(coeffs[idx[j]])
+	})
+	if b > len(idx) {
+		b = len(idx)
+	}
+	if b < 0 {
+		b = 0
+	}
+	kept := make([]Coefficient, b)
+	for i := 0; i < b; i++ {
+		kept[i] = Coefficient{Index: idx[i], Value: coeffs[idx[i]]}
+	}
+	return Synopsis{Length: len(s), Coeffs: kept}
+}
+
+// Reconstruct materialises the approximate signal.
+func (s Synopsis) Reconstruct() timeseries.Series {
+	dense := make(timeseries.Series, s.Length)
+	for _, c := range s.Coeffs {
+		dense[c.Index] = c.Value
+	}
+	return Inverse(dense)
+}
+
+// Approximate compresses s into at most budget values and returns the
+// reconstruction.
+func Approximate(s timeseries.Series, budget int) timeseries.Series {
+	return TopB(s, budget/ValuesPerCoefficient).Reconstruct()
+}
+
+// ApproximateRows compresses the batch under a shared budget, choosing the
+// better of a concatenated transform and an equal per-row split, as the
+// paper reports the best layout per method.
+func ApproximateRows(rows []timeseries.Series, budget int) []timeseries.Series {
+	y := timeseries.Concat(rows...)
+	concat := splitLike(Approximate(y, budget), rows)
+
+	split := make([]timeseries.Series, len(rows))
+	if len(rows) > 0 {
+		per := budget / len(rows)
+		for i, r := range rows {
+			split[i] = Approximate(r, per)
+		}
+	}
+	if sse(rows, split) < sse(rows, concat) {
+		return split
+	}
+	return concat
+}
+
+func splitLike(y timeseries.Series, like []timeseries.Series) []timeseries.Series {
+	out := make([]timeseries.Series, len(like))
+	off := 0
+	for i, r := range like {
+		out[i] = y[off : off+len(r)]
+		off += len(r)
+	}
+	return out
+}
+
+func sse(y, approx []timeseries.Series) float64 {
+	var t float64
+	for i := range y {
+		for j := range y[i] {
+			d := y[i][j] - approx[i][j]
+			t += d * d
+		}
+	}
+	return t
+}

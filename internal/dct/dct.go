@@ -1,0 +1,120 @@
+// Package dct implements the orthonormal Discrete Cosine Transform
+// (DCT-II with DCT-III inverse), one of the competing approximation methods
+// in the paper's evaluation and the basis of the GetBaseDCT construction.
+// The fast path reduces the transform to a single same-length FFT via
+// Makhoul's even-odd reordering, so arbitrary lengths run in O(n log n).
+package dct
+
+import (
+	"math"
+
+	"sbr/internal/dft"
+	"sbr/internal/timeseries"
+)
+
+// Transform computes the orthonormal DCT-II of s.
+func Transform(s timeseries.Series) timeseries.Series {
+	n := len(s)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return timeseries.Series{s[0]}
+	}
+	// Makhoul reordering: v = (x0, x2, x4, …, x5, x3, x1).
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := 0; 2*i < n; i++ {
+		re[i] = s[2*i]
+	}
+	for i := 0; 2*i+1 < n; i++ {
+		re[n-1-i] = s[2*i+1]
+	}
+	dft.FFT(re, im)
+
+	out := make(timeseries.Series, n)
+	scale0 := math.Sqrt(1 / float64(n))
+	scale := math.Sqrt(2 / float64(n))
+	for k := 0; k < n; k++ {
+		theta := math.Pi * float64(k) / float64(2*n)
+		c := re[k]*math.Cos(theta) + im[k]*math.Sin(theta)
+		if k == 0 {
+			out[k] = c * scale0
+		} else {
+			out[k] = c * scale
+		}
+	}
+	return out
+}
+
+// Inverse computes the orthonormal DCT-III, the inverse of Transform.
+func Inverse(c timeseries.Series) timeseries.Series {
+	n := len(c)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return timeseries.Series{c[0]}
+	}
+	// Undo the orthonormal scaling to recover the raw cosine sums C[k].
+	raw := make([]float64, n)
+	raw[0] = c[0] * math.Sqrt(float64(n))
+	half := math.Sqrt(float64(n) / 2)
+	for k := 1; k < n; k++ {
+		raw[k] = c[k] * half
+	}
+	// V[k] = (C[k] − i·C[n−k])·e^{iπk/(2n)}, V[0] = C[0]; v = IFFT(V).
+	re := make([]float64, n)
+	im := make([]float64, n)
+	re[0] = raw[0]
+	for k := 1; k < n; k++ {
+		theta := math.Pi * float64(k) / float64(2*n)
+		cr, ci := raw[k], -raw[n-k]
+		re[k] = cr*math.Cos(theta) - ci*math.Sin(theta)
+		im[k] = cr*math.Sin(theta) + ci*math.Cos(theta)
+	}
+	dft.IFFT(re, im)
+
+	out := make(timeseries.Series, n)
+	for i := 0; 2*i < n; i++ {
+		out[2*i] = re[i]
+	}
+	for i := 0; 2*i+1 < n; i++ {
+		out[2*i+1] = re[n-1-i]
+	}
+	return out
+}
+
+// TransformNaive is the O(n²) textbook DCT-II, retained as the reference
+// implementation the fast path is validated against.
+func TransformNaive(s timeseries.Series) timeseries.Series {
+	n := len(s)
+	out := make(timeseries.Series, n)
+	for k := 0; k < n; k++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += s[i] * math.Cos(math.Pi*float64(k)*float64(2*i+1)/float64(2*n))
+		}
+		if k == 0 {
+			out[k] = sum * math.Sqrt(1/float64(n))
+		} else {
+			out[k] = sum * math.Sqrt(2/float64(n))
+		}
+	}
+	return out
+}
+
+// InverseNaive is the O(n²) textbook DCT-III.
+func InverseNaive(c timeseries.Series) timeseries.Series {
+	n := len(c)
+	out := make(timeseries.Series, n)
+	for i := 0; i < n; i++ {
+		sum := c[0] * math.Sqrt(1/float64(n))
+		for k := 1; k < n; k++ {
+			sum += c[k] * math.Sqrt(2/float64(n)) *
+				math.Cos(math.Pi*float64(k)*float64(2*i+1)/float64(2*n))
+		}
+		out[i] = sum
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package dct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sbr/internal/timeseries"
+)
+
+func randSeries(rng *rand.Rand, n int) timeseries.Series {
+	s := make(timeseries.Series, n)
+	for i := range s {
+		s[i] = rng.NormFloat64() * 10
+	}
+	return s
+}
+
+func TestTransformMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 30, 64, 100} {
+		s := randSeries(rng, n)
+		fast := Transform(s)
+		naive := TransformNaive(s)
+		if !timeseries.Equal(fast, naive, 1e-8) {
+			t.Errorf("n=%d: fast DCT diverges from naive", n)
+		}
+	}
+}
+
+func TestInverseMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 30, 64} {
+		c := randSeries(rng, n)
+		fast := Inverse(c)
+		naive := InverseNaive(c)
+		if !timeseries.Equal(fast, naive, 1e-8) {
+			t.Errorf("n=%d: fast inverse DCT diverges from naive", n)
+		}
+	}
+}
+
+func TestRoundTripIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 7, 32, 100, 128} {
+		s := randSeries(rng, n)
+		got := Inverse(Transform(s))
+		if !timeseries.Equal(got, s, 1e-8) {
+			t.Errorf("n=%d: DCT round trip diverged", n)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if Transform(nil) != nil || Inverse(nil) != nil {
+		t.Error("empty transform results not nil")
+	}
+}
+
+// Property: the orthonormal DCT preserves energy (Parseval).
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 1
+		s := randSeries(rng, n)
+		c := Transform(s)
+		var es, ec float64
+		for i := range s {
+			es += s[i] * s[i]
+			ec += c[i] * c[i]
+		}
+		return math.Abs(es-ec) < 1e-6*(1+es)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstantSignalIsSingleCoefficient(t *testing.T) {
+	s := timeseries.Series{5, 5, 5, 5, 5}
+	c := Transform(s)
+	if math.Abs(c[0]-5*math.Sqrt(5)) > 1e-9 {
+		t.Errorf("DC coefficient = %v, want 5√5", c[0])
+	}
+	for _, v := range c[1:] {
+		if math.Abs(v) > 1e-9 {
+			t.Errorf("constant signal has AC energy: %v", c)
+			break
+		}
+	}
+}
+
+func TestTopBFullBudgetExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := randSeries(rng, 33)
+	syn := TopB(s, 33)
+	if !timeseries.Equal(syn.Reconstruct(), s, 1e-8) {
+		t.Error("full-budget DCT synopsis is not lossless")
+	}
+	if syn.Cost() != 66 {
+		t.Errorf("Cost = %d, want 66", syn.Cost())
+	}
+}
+
+// Property: SSE decreases weakly as the kept-coefficient count grows.
+func TestTopBMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randSeries(rng, 40)
+		prev := math.Inf(1)
+		for b := 0; b <= 40; b += 5 {
+			rec := TopB(s, b).Reconstruct()
+			var sse float64
+			for i := range s {
+				d := s[i] - rec[i]
+				sse += d * d
+			}
+			if sse > prev+1e-9 {
+				return false
+			}
+			prev = sse
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproximateRowsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := []timeseries.Series{randSeries(rng, 30), randSeries(rng, 30)}
+	out := ApproximateRows(rows, 20)
+	if len(out) != 2 || len(out[0]) != 30 || len(out[1]) != 30 {
+		t.Fatal("ApproximateRows changed the shape")
+	}
+}
+
+func TestApproximateSmoothSignal(t *testing.T) {
+	// A single cosine is captured exactly by one DCT coefficient (plus DC).
+	n := 64
+	s := make(timeseries.Series, n)
+	for i := range s {
+		s[i] = 3 * math.Cos(math.Pi*float64(5)*float64(2*i+1)/float64(2*n))
+	}
+	rec := Approximate(s, 4) // 2 coefficients
+	var sse float64
+	for i := range s {
+		d := s[i] - rec[i]
+		sse += d * d
+	}
+	if sse > 1e-9 {
+		t.Errorf("pure cosine not captured by 2 coefficients: sse=%v", sse)
+	}
+}

@@ -1,0 +1,133 @@
+package dft
+
+import (
+	"math"
+	"sort"
+
+	"sbr/internal/timeseries"
+)
+
+// ValuesPerFrequency is the bandwidth cost of one retained frequency of a
+// real signal: its index and the complex coefficient (the conjugate mirror
+// frequency comes for free by symmetry).
+const ValuesPerFrequency = 3
+
+// Frequency is one retained DFT frequency of a real signal.
+type Frequency struct {
+	Index  int
+	Re, Im float64
+}
+
+// Synopsis is a sparse Fourier representation of a real signal.
+type Synopsis struct {
+	Length int
+	Freqs  []Frequency
+}
+
+// Cost returns the bandwidth cost of the synopsis in values.
+func (s Synopsis) Cost() int { return ValuesPerFrequency * len(s.Freqs) }
+
+// TopB keeps the b energy-dominant frequencies of s. Only frequencies in
+// [0, n/2] are candidates; each retained k>0 implicitly restores its
+// conjugate mirror n−k, so the reconstruction stays real.
+func TopB(s timeseries.Series, b int) Synopsis {
+	n := len(s)
+	re := append([]float64(nil), s...)
+	im := make([]float64, n)
+	FFT(re, im)
+
+	half := n / 2
+	idx := make([]int, 0, half+1)
+	for k := 0; k <= half; k++ {
+		idx = append(idx, k)
+	}
+	energy := func(k int) float64 {
+		e := re[k]*re[k] + im[k]*im[k]
+		if k != 0 && 2*k != n {
+			e *= 2 // the mirror frequency doubles the captured energy
+		}
+		return e
+	}
+	sort.Slice(idx, func(i, j int) bool { return energy(idx[i]) > energy(idx[j]) })
+	if b > len(idx) {
+		b = len(idx)
+	}
+	if b < 0 {
+		b = 0
+	}
+	kept := make([]Frequency, b)
+	for i := 0; i < b; i++ {
+		k := idx[i]
+		kept[i] = Frequency{Index: k, Re: re[k], Im: im[k]}
+	}
+	return Synopsis{Length: n, Freqs: kept}
+}
+
+// Reconstruct materialises the approximate signal.
+func (s Synopsis) Reconstruct() timeseries.Series {
+	n := s.Length
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for _, f := range s.Freqs {
+		re[f.Index] = f.Re
+		im[f.Index] = f.Im
+		if f.Index != 0 && 2*f.Index != n {
+			re[n-f.Index] = f.Re
+			im[n-f.Index] = -f.Im
+		}
+	}
+	IFFT(re, im)
+	out := make(timeseries.Series, n)
+	copy(out, re)
+	return out
+}
+
+// Approximate compresses s into at most budget values and returns the
+// reconstruction.
+func Approximate(s timeseries.Series, budget int) timeseries.Series {
+	return TopB(s, budget/ValuesPerFrequency).Reconstruct()
+}
+
+// ApproximateRows compresses the batch under a shared budget, choosing the
+// better of a concatenated transform and an equal per-row split, mirroring
+// the methodology used for the other transform baselines.
+func ApproximateRows(rows []timeseries.Series, budget int) []timeseries.Series {
+	y := timeseries.Concat(rows...)
+	concat := splitLike(Approximate(y, budget), rows)
+
+	split := make([]timeseries.Series, len(rows))
+	if len(rows) > 0 {
+		per := budget / len(rows)
+		for i, r := range rows {
+			split[i] = Approximate(r, per)
+		}
+	}
+	if sse(rows, split) < sse(rows, concat) {
+		return split
+	}
+	return concat
+}
+
+func splitLike(y timeseries.Series, like []timeseries.Series) []timeseries.Series {
+	out := make([]timeseries.Series, len(like))
+	off := 0
+	for i, r := range like {
+		out[i] = y[off : off+len(r)]
+		off += len(r)
+	}
+	return out
+}
+
+func sse(y, approx []timeseries.Series) float64 {
+	var t float64
+	for i := range y {
+		for j := range y[i] {
+			d := y[i][j] - approx[i][j]
+			t += d * d
+		}
+	}
+	if math.IsNaN(t) {
+		return math.Inf(1)
+	}
+	return t
+}

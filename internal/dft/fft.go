@@ -1,0 +1,129 @@
+// Package dft provides the discrete Fourier machinery the evaluation needs:
+// an iterative radix-2 FFT, a Bluestein chirp-z fallback for arbitrary
+// lengths, and a top-B sparse approximation of real signals (the Fourier
+// competitor the paper mentions produced "consistently larger errors than
+// DCT"). The DCT package builds its fast transform on this FFT.
+package dft
+
+import "math"
+
+// FFT computes the in-place forward discrete Fourier transform of the
+// complex sequence (re, im). Any length is supported: powers of two run
+// the radix-2 algorithm directly, other lengths use Bluestein's chirp-z
+// reduction to a power-of-two convolution.
+func FFT(re, im []float64) {
+	transform(re, im, false)
+}
+
+// IFFT computes the inverse transform, including the 1/n scaling.
+func IFFT(re, im []float64) {
+	transform(re, im, true)
+	n := float64(len(re))
+	for i := range re {
+		re[i] /= n
+		im[i] /= n
+	}
+}
+
+func transform(re, im []float64, inverse bool) {
+	if len(re) != len(im) {
+		panic("dft: mismatched real and imaginary lengths")
+	}
+	n := len(re)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(re, im, inverse)
+		return
+	}
+	bluestein(re, im, inverse)
+}
+
+// radix2 is the iterative Cooley–Tukey algorithm for power-of-two lengths.
+func radix2(re, im []float64, inverse bool) {
+	n := len(re)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wRe, wIm := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += length {
+			curRe, curIm := 1.0, 0.0
+			half := length / 2
+			for k := 0; k < half; k++ {
+				i, j := start+k, start+k+half
+				tRe := re[j]*curRe - im[j]*curIm
+				tIm := re[j]*curIm + im[j]*curRe
+				re[j] = re[i] - tRe
+				im[j] = im[i] - tIm
+				re[i] += tRe
+				im[i] += tIm
+				curRe, curIm = curRe*wRe-curIm*wIm, curRe*wIm+curIm*wRe
+			}
+		}
+	}
+}
+
+// bluestein reduces an arbitrary-length DFT to a cyclic convolution of
+// power-of-two length: x[k]·w^(k²/2) convolved with the conjugate chirp.
+func bluestein(re, im []float64, inverse bool) {
+	n := len(re)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp c[k] = exp(sign·iπk²/n). k² mod 2n avoids precision loss for
+	// large k.
+	chirpRe := make([]float64, n)
+	chirpIm := make([]float64, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		ang := sign * math.Pi * float64(kk) / float64(n)
+		chirpRe[k] = math.Cos(ang)
+		chirpIm[k] = math.Sin(ang)
+	}
+	m := 1
+	for m < 2*n-1 {
+		m *= 2
+	}
+	aRe := make([]float64, m)
+	aIm := make([]float64, m)
+	for k := 0; k < n; k++ {
+		aRe[k] = re[k]*chirpRe[k] - im[k]*chirpIm[k]
+		aIm[k] = re[k]*chirpIm[k] + im[k]*chirpRe[k]
+	}
+	bRe := make([]float64, m)
+	bIm := make([]float64, m)
+	bRe[0], bIm[0] = chirpRe[0], -chirpIm[0]
+	for k := 1; k < n; k++ {
+		bRe[k], bIm[k] = chirpRe[k], -chirpIm[k]
+		bRe[m-k], bIm[m-k] = chirpRe[k], -chirpIm[k]
+	}
+	radix2(aRe, aIm, false)
+	radix2(bRe, bIm, false)
+	for k := 0; k < m; k++ {
+		aRe[k], aIm[k] = aRe[k]*bRe[k]-aIm[k]*bIm[k], aRe[k]*bIm[k]+aIm[k]*bRe[k]
+	}
+	radix2(aRe, aIm, true)
+	scale := 1 / float64(m)
+	for k := 0; k < n; k++ {
+		cr, ci := aRe[k]*scale, aIm[k]*scale
+		re[k] = cr*chirpRe[k] - ci*chirpIm[k]
+		im[k] = cr*chirpIm[k] + ci*chirpRe[k]
+	}
+}

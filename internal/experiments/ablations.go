@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sbr/internal/core"
+	"sbr/internal/datagen"
+)
+
+// AblationRow compares one design variant against the paper's default on
+// the same dataset and budget: Ratio > 1 means the default wins.
+type AblationRow struct {
+	Name    string
+	Dataset string
+	Default float64 // avg per-value MSE of the paper's configuration
+	Variant float64 // avg per-value MSE of the ablated/extended variant
+	Ratio   float64 // Variant / Default
+	Comment string
+}
+
+// AblationResult collects the design-choice ablations of DESIGN.md §6.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// Ablations quantifies the design choices the paper makes implicitly:
+// the GetBase benefit adjustment (Figure 4), the W = √n interval width,
+// the binary search over the insert count (against always inserting the
+// maximum), and the future-work quadratic encoding (Section 6).
+func Ablations(c Config) (*AblationResult, error) {
+	c = c.withDefaults()
+	const ratio = 0.10
+	res := &AblationResult{}
+
+	run := func(ds *datagen.Dataset, opts SBROptions) (float64, error) {
+		r, err := RunSBR(ds, ratio, opts)
+		if err != nil {
+			return 0, err
+		}
+		return r.AvgMSE, nil
+	}
+	add := func(name string, ds func() *datagen.Dataset, variant SBROptions, comment string) error {
+		def, err := run(ds(), DefaultSBROptions())
+		if err != nil {
+			return fmt.Errorf("experiments: ablation %q default: %w", name, err)
+		}
+		vr, err := run(ds(), variant)
+		if err != nil {
+			return fmt.Errorf("experiments: ablation %q variant: %w", name, err)
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Name: name, Dataset: ds().Name,
+			Default: def, Variant: vr, Ratio: vr / def,
+			Comment: comment,
+		})
+		return nil
+	}
+
+	noAdjust := DefaultSBROptions()
+	noAdjust.Builder = core.BuilderGetBaseNoAdjust
+	if err := add("benefit-adjustment off", c.weather, noAdjust,
+		"GetBase without the Figure-4 re-discounting"); err != nil {
+		return nil, err
+	}
+
+	// Interval width: halve and double the paper's √n.
+	n := c.weather().N() * c.weather().FileLen
+	w := int(math.Sqrt(float64(n)))
+	halfW := DefaultSBROptions()
+	halfW.W = w / 2
+	if err := add("W = sqrt(n)/2", c.weather, halfW,
+		"narrower base intervals"); err != nil {
+		return nil, err
+	}
+	doubleW := DefaultSBROptions()
+	doubleW.W = 2 * w
+	if err := add("W = 2*sqrt(n)", c.weather, doubleW,
+		"wider base intervals"); err != nil {
+		return nil, err
+	}
+
+	// Insert-count search vs. always inserting the maximum.
+	maxIns := DefaultSBROptions()
+	maxIns.ForceIns = 1 << 20 // clamped to maxIns by the compressor
+	if err := add("always max inserts", c.weather, maxIns,
+		"no Algorithm-7 search: fill the base signal every transmission"); err != nil {
+		return nil, err
+	}
+
+	// The quadratic-encoding extension (future work, Section 6).
+	quad := DefaultSBROptions()
+	quad.Quadratic = true
+	if err := add("quadratic encoding", c.stock, quad,
+		"5-value records with a squared term"); err != nil {
+		return nil, err
+	}
+	if err := add("quadratic encoding", c.weather, quad,
+		"5-value records with a squared term"); err != nil {
+		return nil, err
+	}
+
+	return res, nil
+}
+
+// FormatAblations renders the ablation table.
+func FormatAblations(a *AblationResult) string {
+	var b strings.Builder
+	b.WriteString("Design-choice ablations at a 10% compression ratio (ratio > 1: paper default wins)\n")
+	fmt.Fprintf(&b, "%-24s %-9s %12s %12s %8s  %s\n",
+		"variant", "dataset", "default", "variant", "ratio", "note")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%-24s %-9s %12.5f %12.5f %8.2f  %s\n",
+			r.Name, r.Dataset, r.Default, r.Variant, r.Ratio, r.Comment)
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV export of experiment results, for plotting Figures 5–6 and the
+// tables with external tools. Layouts mirror the printed forms: one row
+// per ratio/sweep point, one column per method/series.
+
+// WriteCSV writes a RatioTable with a header row.
+func (t *RatioTable) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"ratio"}
+	for _, m := range t.Methods {
+		header = append(header, string(m))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, ratio := range t.Ratios {
+		rec := []string{formatFloat(ratio)}
+		for j := range t.Methods {
+			rec = append(rec, formatFloat(t.Cells[i][j]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes the Figure-5 timing sweep: one row per ratio, one column
+// per batch size.
+func (f *Figure5Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"ratio"}
+	for _, n := range f.NSizes {
+		header = append(header, fmt.Sprintf("seconds_n%d", n))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for j, ratio := range f.Ratios {
+		rec := []string{formatFloat(ratio)}
+		for i := range f.NSizes {
+			rec = append(rec, formatFloat(f.Seconds[i][j]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes the Figure-6 sweep: one row per base-signal size, one
+// column per dataset, with the SBR/optimal choices as trailing comment-like
+// rows ("sbr_choice", "optimum").
+func (f *Figure6Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"base_size"}
+	header = append(header, f.Datasets...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for k, size := range f.BaseSizes {
+		rec := []string{strconv.Itoa(size)}
+		for i := range f.Datasets {
+			rec = append(rec, formatFloat(f.NormErr[i][k]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	choice := []string{"sbr_choice"}
+	opt := []string{"optimum"}
+	for i := range f.Datasets {
+		choice = append(choice, strconv.Itoa(f.SBRChoice[i]))
+		opt = append(opt, strconv.Itoa(f.OptChoice[i]))
+	}
+	if err := cw.Write(choice); err != nil {
+		return err
+	}
+	if err := cw.Write(opt); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

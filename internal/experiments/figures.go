@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sbr/internal/core"
+	"sbr/internal/datagen"
+	"sbr/internal/metrics"
+)
+
+// Figure5Result holds the running-time sweep of Figure 5: average
+// per-transmission encode time on the Stock dataset as the bandwidth
+// budget and the batch size vary, with the base-signal buffer fixed.
+type Figure5Result struct {
+	NSizes  []int       // batch sizes n = N·M
+	Ratios  []float64   // compression ratios (TotalBand = ratio·n)
+	Seconds [][]float64 // Seconds[nIdx][ratioIdx]
+}
+
+// Figure5 reproduces Figure 5: the paper varies TotalBand from 5 % to 30 %
+// of n for n ∈ {5,120; 10,240; 20,480} (ten stocks, M varied) with
+// M_base = 1,024 and reports the average time per transmission. Absolute
+// times depend on the host; the reproduction target is the linear scaling
+// in TotalBand.
+func Figure5(c Config) (*Figure5Result, error) {
+	c = c.withDefaults()
+	sizes := []int{512, 1024, 2048} // M per stock; n = 10·M
+	files := 10
+	mbase := 1024
+	if c.Quick {
+		sizes = []int{128, 256}
+		files = 3
+		mbase = 256
+	}
+	res := &Figure5Result{Ratios: c.Ratios}
+	for _, m := range sizes {
+		ds := datagen.StocksSized(c.Seed, m, files)
+		n := ds.N() * ds.FileLen
+		res.NSizes = append(res.NSizes, n)
+		row := make([]float64, len(c.Ratios))
+		for j, ratio := range c.Ratios {
+			opts := DefaultSBROptions()
+			opts.MBase = mbase
+			r, err := RunSBR(ds, ratio, opts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: figure5 n=%d ratio=%.2f: %w", n, ratio, err)
+			}
+			row[j] = r.AvgEncode.Seconds()
+		}
+		res.Seconds = append(res.Seconds, row)
+	}
+	return res, nil
+}
+
+// Figure6Result holds the base-signal-size sweep of Figure 6: the error of
+// the initial transmission as the number of populated base intervals is
+// fixed manually, normalised by the one-interval error, plus the size SBR
+// selects on its own.
+type Figure6Result struct {
+	Datasets  []string
+	BaseSizes []int       // swept insert counts (1..cap)
+	NormErr   [][]float64 // NormErr[dataset][sweepIdx]
+	SBRChoice []int       // the insert count SBR's search picked
+	OptChoice []int       // the sweep minimum, for the near-optimality check
+}
+
+// Figure6 reproduces Figure 6. The paper fixes equal-size batches
+// (weather 5,120 / phone 2,048 / stock 3,072 values per signal, n = 30,720)
+// and TotalBand = 5,012 (≈16 %), then sweeps the base-signal size from 1
+// to 30 intervals on the first transmission. Insert counts whose base
+// intervals alone would overflow TotalBand are infeasible and end the
+// sweep (with W = √n = 175, the cap is 28 at paper scale).
+func Figure6(c Config) (*Figure6Result, error) {
+	c = c.withDefaults()
+	res := &Figure6Result{}
+	for _, ds := range c.figureDatasets() {
+		n := ds.N() * ds.FileLen
+		band := c.figureTotalBand(n)
+		w := int(math.Sqrt(float64(n)))
+		sweepCap := maxSweep(band, w, ds.N())
+
+		if res.BaseSizes == nil {
+			for k := 1; k <= sweepCap; k++ {
+				res.BaseSizes = append(res.BaseSizes, k)
+			}
+		} else if len(res.BaseSizes) > sweepCap {
+			res.BaseSizes = res.BaseSizes[:sweepCap]
+			for i := range res.NormErr {
+				res.NormErr[i] = res.NormErr[i][:sweepCap]
+			}
+		}
+
+		batch := ds.File(0)
+		mbase := (sweepCap + 2) * w // roomy enough for the whole sweep
+		errAt := func(forceIns int) (float64, error) {
+			cfg := core.Config{TotalBand: band, MBase: mbase, Metric: metrics.SSE}
+			comp, err := core.NewCompressorForceIns(cfg, forceIns)
+			if err != nil {
+				return 0, err
+			}
+			t, err := comp.Encode(batch)
+			if err != nil {
+				return 0, err
+			}
+			x := comp.BaseSignal() // post-commit == pre-eviction here (no overflow)
+			return core.ReconstructionError(metrics.SSE, x, t, batch), nil
+		}
+
+		row := make([]float64, 0, len(res.BaseSizes))
+		bestIdx, bestErr := 0, math.Inf(1)
+		var unit float64
+		for i, k := range res.BaseSizes {
+			e, err := errAt(k)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: figure6 %s ins=%d: %w", ds.Name, k, err)
+			}
+			if i == 0 {
+				unit = e
+				if unit == 0 {
+					unit = 1
+				}
+			}
+			row = append(row, e/unit)
+			if e < bestErr {
+				bestErr, bestIdx = e, i
+			}
+		}
+
+		// SBR's own choice on the same first transmission.
+		autoCfg := core.Config{TotalBand: band, MBase: mbase, Metric: metrics.SSE}
+		autoComp, err := core.NewCompressor(autoCfg)
+		if err != nil {
+			return nil, err
+		}
+		t, err := autoComp.Encode(batch)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure6 %s auto: %w", ds.Name, err)
+		}
+
+		res.Datasets = append(res.Datasets, ds.Name)
+		res.NormErr = append(res.NormErr, row)
+		res.SBRChoice = append(res.SBRChoice, t.Ins())
+		res.OptChoice = append(res.OptChoice, res.BaseSizes[bestIdx])
+	}
+	return res, nil
+}
+
+// maxSweep caps the Figure-6 sweep at what the bandwidth can carry:
+// inserting k intervals costs k·(W+1) values and at least one record per
+// row must remain affordable.
+func maxSweep(band, w, rows int) int {
+	k := (band - 4*rows) / (w + 1)
+	if k > 30 {
+		k = 30
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// TimingResult quantifies the throughput discussion of Section 4.4.
+type TimingResult struct {
+	N              int
+	FullValuesPerS float64 // full SBR, base-signal update included
+	ShortcutPerS   float64 // GetIntervals-only shortcut path
+}
+
+// Timing measures end-to-end encode throughput on the Stock dataset at a
+// 10 % compression ratio, with and without the base-signal update, echoing
+// the Section 4.4 running-time analysis.
+func Timing(c Config) (*TimingResult, error) {
+	c = c.withDefaults()
+	m := 2048
+	if c.Quick {
+		m = 256
+	}
+	ds := datagen.StocksSized(c.Seed, m, 3)
+	n := ds.N() * ds.FileLen
+
+	measure := func(skip bool) (float64, error) {
+		if skip {
+			// Warm the base signal with one full transmission, then time
+			// the shortcut path on the remaining files.
+			cfg := core.Config{TotalBand: totalBand(n, 0.10), MBase: 1024, Metric: metrics.SSE}
+			comp, err := core.NewCompressor(cfg)
+			if err != nil {
+				return 0, err
+			}
+			if _, err := comp.Encode(ds.File(0)); err != nil {
+				return 0, err
+			}
+			start := time.Now()
+			var values int
+			for f := 1; f < ds.Files; f++ {
+				if _, err := comp.EncodeShortcut(ds.File(f)); err != nil {
+					return 0, err
+				}
+				values += n
+			}
+			return float64(values) / time.Since(start).Seconds(), nil
+		}
+		start := time.Now()
+		var values int
+		cfg := core.Config{TotalBand: totalBand(n, 0.10), MBase: 1024, Metric: metrics.SSE}
+		comp, err := core.NewCompressor(cfg)
+		if err != nil {
+			return 0, err
+		}
+		for f := 0; f < ds.Files; f++ {
+			if _, err := comp.Encode(ds.File(f)); err != nil {
+				return 0, err
+			}
+			values += n
+		}
+		return float64(values) / time.Since(start).Seconds(), nil
+	}
+
+	full, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	short, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	return &TimingResult{N: n, FullValuesPerS: full, ShortcutPerS: short}, nil
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatRatioTable renders a RatioTable in the layout of the paper's
+// Tables 2–4: one row per compression ratio, one column per method.
+func FormatRatioTable(t *RatioTable) string {
+	var b strings.Builder
+	metric := "Average SSE Error (per value)"
+	if t.Metric == "total-rel" {
+		metric = "Total Sum Squared Relative Error"
+	}
+	fmt.Fprintf(&b, "%s — %s dataset\n", metric, t.Dataset)
+	fmt.Fprintf(&b, "%-12s", "Ratio")
+	for _, m := range t.Methods {
+		fmt.Fprintf(&b, "%16s", string(m))
+	}
+	b.WriteByte('\n')
+	for i, ratio := range t.Ratios {
+		fmt.Fprintf(&b, "%-12s", fmt.Sprintf("%.0f%%", ratio*100))
+		for j := range t.Methods {
+			fmt.Fprintf(&b, "%16s", formatCell(t.Cells[i][j]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatCell(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.5f", v)
+	}
+}
+
+// FormatTable5 renders the base-signal comparison in the paper's layout:
+// error of each alternative over GetBase.
+func FormatTable5(t *Table5Result) string {
+	var b strings.Builder
+	b.WriteString("Error over GetBase() (ratio > 1 means GetBase wins)\n")
+	fmt.Fprintf(&b, "%-10s", "Dataset")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%20s", c)
+	}
+	b.WriteByte('\n')
+	for i, ds := range t.Datasets {
+		fmt.Fprintf(&b, "%-10s", ds)
+		for j := range t.Columns {
+			fmt.Fprintf(&b, "%20.2f", t.Ratio[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatTable6 renders the inserted-base-intervals table.
+func FormatTable6(t *Table6Result) string {
+	var b strings.Builder
+	b.WriteString("Number of Inserted Base Intervals per Transmission\n")
+	fmt.Fprintf(&b, "%-10s", "Dataset")
+	if len(t.Inserts) > 0 {
+		for k := range t.Inserts[0] {
+			fmt.Fprintf(&b, "%5d", k+1)
+		}
+	}
+	b.WriteByte('\n')
+	for i, ds := range t.Datasets {
+		fmt.Fprintf(&b, "%-10s", ds)
+		for _, ins := range t.Inserts[i] {
+			fmt.Fprintf(&b, "%5d", ins)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatFigure5 renders the running-time sweep as a series table.
+func FormatFigure5(f *Figure5Result) string {
+	var b strings.Builder
+	b.WriteString("Average Running Time per Transmission (seconds), Stock dataset\n")
+	fmt.Fprintf(&b, "%-12s", "Ratio")
+	for _, n := range f.NSizes {
+		fmt.Fprintf(&b, "%14s", fmt.Sprintf("n=%d", n))
+	}
+	b.WriteByte('\n')
+	for j, ratio := range f.Ratios {
+		fmt.Fprintf(&b, "%-12s", fmt.Sprintf("%.0f%%", ratio*100))
+		for i := range f.NSizes {
+			fmt.Fprintf(&b, "%14.4f", f.Seconds[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatFigure6 renders the base-size sweep: normalised error per swept
+// size, per dataset, plus SBR's automatic selection and the sweep optimum.
+func FormatFigure6(f *Figure6Result) string {
+	var b strings.Builder
+	b.WriteString("SSE vs base-signal size (normalised by the 1-interval error)\n")
+	fmt.Fprintf(&b, "%-12s", "BaseSize")
+	for _, ds := range f.Datasets {
+		fmt.Fprintf(&b, "%12s", ds)
+	}
+	b.WriteByte('\n')
+	for k, size := range f.BaseSizes {
+		fmt.Fprintf(&b, "%-12d", size)
+		for i := range f.Datasets {
+			fmt.Fprintf(&b, "%12.4f", f.NormErr[i][k])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-12s", "SBR picks")
+	for i := range f.Datasets {
+		fmt.Fprintf(&b, "%12d", f.SBRChoice[i])
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-12s", "optimum")
+	for i := range f.Datasets {
+		fmt.Fprintf(&b, "%12d", f.OptChoice[i])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// FormatTiming renders the throughput summary.
+func FormatTiming(r *TimingResult) string {
+	return fmt.Sprintf(
+		"Throughput on n=%d (10%% ratio):\n  full SBR:            %.0f values/s\n  shortcut (no base):  %.0f values/s\n",
+		r.N, r.FullValuesPerS, r.ShortcutPerS)
+}

@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sbr/internal/core"
+	"sbr/internal/datagen"
+	"sbr/internal/metrics"
+)
+
+// Config scales the experiments. The zero value plus withDefaults runs the
+// paper-sized setup; Quick shrinks datasets and ratio sweeps so tests and
+// benchmarks finish in seconds while preserving every structural property.
+type Config struct {
+	Seed   int64
+	Ratios []float64
+	Quick  bool
+}
+
+// DefaultRatios is the paper's compression-ratio sweep, 5 % to 30 %.
+var DefaultRatios = []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30}
+
+// QuickRatios is the reduced sweep used by Quick runs.
+var QuickRatios = []float64{0.10, 0.20}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if len(c.Ratios) == 0 {
+		if c.Quick {
+			c.Ratios = QuickRatios
+		} else {
+			c.Ratios = DefaultRatios
+		}
+	}
+	return c
+}
+
+// datasets materialises the three paper datasets (and the mixed one) at
+// either paper or quick scale.
+func (c Config) weather() *datagen.Dataset {
+	if c.Quick {
+		return datagen.WeatherSized(c.Seed, 1024, 4)
+	}
+	return datagen.Weather(c.Seed)
+}
+
+func (c Config) phone() *datagen.Dataset {
+	if c.Quick {
+		return datagen.PhoneCallsSized(c.Seed, 640, 4)
+	}
+	return datagen.PhoneCalls(c.Seed)
+}
+
+func (c Config) stock() *datagen.Dataset {
+	if c.Quick {
+		return datagen.StocksSized(c.Seed, 512, 4)
+	}
+	return datagen.Stocks(c.Seed)
+}
+
+func (c Config) mixed() *datagen.Dataset {
+	if c.Quick {
+		return datagen.MixedSized(c.Seed, 512, 4)
+	}
+	return datagen.Mixed(c.Seed)
+}
+
+// ComparisonMethods is the method line-up of Tables 2–4.
+var ComparisonMethods = []Method{MethodSBR, MethodWavelet, MethodDCT, MethodHistogram}
+
+// RatioTable is one dataset's error-vs-compression-ratio table: rows are
+// ratios, columns are methods.
+type RatioTable struct {
+	Dataset string
+	Metric  string // "avg-mse" or "total-rel"
+	Methods []Method
+	Ratios  []float64
+	Cells   [][]float64 // Cells[ratioIdx][methodIdx]
+}
+
+// Cell returns the entry for a ratio index and method.
+func (t *RatioTable) Cell(ratioIdx int, m Method) float64 {
+	for j, method := range t.Methods {
+		if method == m {
+			return t.Cells[ratioIdx][j]
+		}
+	}
+	panic(fmt.Sprintf("experiments: method %q not in table", m))
+}
+
+// runComparison fills one RatioTable pair (avg MSE and total relative) for
+// a dataset: SBR is run per error metric (the paper's modified Regression
+// subroutine), the competitors once (their synopses are metric-agnostic).
+// When needRel is false the dedicated relative-metric SBR pass is skipped
+// and the relative table reports the SSE-optimised run's relative error.
+func runComparison(ds func() *datagen.Dataset, ratios []float64, needRel bool) (mse, rel *RatioTable, err error) {
+	name := ds().Name
+	mse = &RatioTable{Dataset: name, Metric: "avg-mse", Methods: ComparisonMethods, Ratios: ratios}
+	rel = &RatioTable{Dataset: name, Metric: "total-rel", Methods: ComparisonMethods, Ratios: ratios}
+	for _, ratio := range ratios {
+		mseRow := make([]float64, len(ComparisonMethods))
+		relRow := make([]float64, len(ComparisonMethods))
+		for j, method := range ComparisonMethods {
+			var mseRes, relRes *Result
+			if method == MethodSBR {
+				opts := DefaultSBROptions()
+				mseRes, err = RunSBR(ds(), ratio, opts)
+				if err != nil {
+					return nil, nil, err
+				}
+				relRes = mseRes
+				if needRel {
+					opts.Metric = metrics.RelativeSSE
+					relRes, err = RunSBR(ds(), ratio, opts)
+					if err != nil {
+						return nil, nil, err
+					}
+				}
+			} else {
+				mseRes, err = RunBaseline(ds(), ratio, method)
+				if err != nil {
+					return nil, nil, err
+				}
+				relRes = mseRes
+			}
+			mseRow[j] = mseRes.AvgMSE
+			relRow[j] = relRes.TotalRel
+		}
+		mse.Cells = append(mse.Cells, mseRow)
+		rel.Cells = append(rel.Cells, relRow)
+	}
+	return mse, rel, nil
+}
+
+// Table2 reproduces the paper's Table 2: average squared error (per value)
+// versus compression ratio for the Weather and Stock datasets, across SBR,
+// Wavelets, DCT and Histograms.
+func Table2(c Config) (weather, stock *RatioTable, err error) {
+	c = c.withDefaults()
+	weather, _, err = runComparison(c.weather, c.Ratios, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	stock, _, err = runComparison(c.stock, c.Ratios, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return weather, stock, nil
+}
+
+// Table3 reproduces Table 3: the Phone Call dataset under both the average
+// squared error and the total sum squared relative error.
+func Table3(c Config) (mse, rel *RatioTable, err error) {
+	c = c.withDefaults()
+	return runComparison(c.phone, c.Ratios, true)
+}
+
+// Table4 reproduces Table 4: the mixed dataset (reduced cross-signal
+// correlation) under both metrics.
+func Table4(c Config) (mse, rel *RatioTable, err error) {
+	c = c.withDefaults()
+	return runComparison(c.mixed, c.Ratios, true)
+}
+
+// Table5Result compares approximation error across base-signal
+// constructions at a fixed 10 % ratio, normalised to GetBase (a ratio of 2
+// means twice GetBase's error, as the paper presents it).
+type Table5Result struct {
+	Datasets []string
+	Columns  []string    // GetBaseSVD, LinearRegression, GetBaseDCT
+	Ratio    [][]float64 // Ratio[dataset][column] = err(column)/err(GetBase)
+}
+
+// Table5 reproduces Table 5: the GetBase construction against GetBaseSVD,
+// plain linear regression and GetBaseDCT, with BestMap's regression
+// fall-back disabled so the base signals are compared undiluted
+// (Section 5.2).
+func Table5(c Config) (*Table5Result, error) {
+	c = c.withDefaults()
+	const ratio = 0.10
+	res := &Table5Result{
+		Columns: []string{"GetBaseSVD", "LinearRegression", "GetBaseDCT"},
+	}
+	for _, mk := range []func() *datagen.Dataset{c.weather, c.phone, c.stock} {
+		name := mk().Name
+		run := func(builder core.BaseBuilder) (float64, error) {
+			opts := DefaultSBROptions()
+			opts.Builder = builder
+			opts.DisableFallback = builder != core.BuilderNone
+			r, err := RunSBR(mk(), ratio, opts)
+			if err != nil {
+				return 0, fmt.Errorf("experiments: table5 %s/%v: %w", name, builder, err)
+			}
+			return r.AvgMSE, nil
+		}
+		getBase, err := run(core.BuilderGetBase)
+		if err != nil {
+			return nil, err
+		}
+		svd, err := run(core.BuilderSVD)
+		if err != nil {
+			return nil, err
+		}
+		lin, err := run(core.BuilderNone)
+		if err != nil {
+			return nil, err
+		}
+		cos, err := run(core.BuilderDCT)
+		if err != nil {
+			return nil, err
+		}
+		res.Datasets = append(res.Datasets, name)
+		res.Ratio = append(res.Ratio, []float64{svd / getBase, lin / getBase, cos / getBase})
+	}
+	return res, nil
+}
+
+// Table6Result records the number of base intervals inserted at each of
+// the transmissions, per dataset.
+type Table6Result struct {
+	Datasets []string
+	Inserts  [][]int
+}
+
+// Table6 reproduces Table 6 on the Figure-6 setup: equal-sized batches
+// (weather 5,120 / phone 2,048 / stock 3,072 samples per signal at paper
+// scale) at TotalBand 5,012, tracking how many base intervals each
+// transmission inserts.
+func Table6(c Config) (*Table6Result, error) {
+	c = c.withDefaults()
+	res := &Table6Result{}
+	for _, ds := range c.figureDatasets() {
+		n := ds.N() * ds.FileLen
+		band := c.figureTotalBand(n)
+		opts := DefaultSBROptions()
+		opts.MBase = ds.MBase
+		r, err := runSBRWithBand(ds, band, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Datasets = append(res.Datasets, ds.Name)
+		res.Inserts = append(res.Inserts, r.Inserts)
+	}
+	return res, nil
+}
+
+// figureDatasets builds the equal-n dataset trio of Figures 5–6/Table 6.
+func (c Config) figureDatasets() []*datagen.Dataset {
+	if c.Quick {
+		return []*datagen.Dataset{
+			datagen.WeatherSized(c.Seed, 1280, 4),
+			datagen.PhoneCallsSized(c.Seed, 512, 4),
+			datagen.StocksSized(c.Seed, 768, 4),
+		}
+	}
+	return []*datagen.Dataset{
+		datagen.WeatherSized(c.Seed, 5120, 10),
+		datagen.PhoneCallsSized(c.Seed, 2048, 10),
+		datagen.StocksSized(c.Seed, 3072, 10),
+	}
+}
+
+// figureTotalBand scales the paper's TotalBand of 5,012 (≈16 % of
+// n = 30,720) to the configured dataset size.
+func (c Config) figureTotalBand(n int) int {
+	return totalBand(n, 5012.0/30720.0)
+}
+
+// runSBRWithBand is RunSBR with an explicit value budget instead of a
+// ratio.
+func runSBRWithBand(ds *datagen.Dataset, band int, opts SBROptions) (*Result, error) {
+	n := ds.N() * ds.FileLen
+	return RunSBR(ds, float64(band)/float64(n), opts)
+}

@@ -1,0 +1,197 @@
+// Package histogram implements the histogram competitor of the paper's
+// evaluation: piecewise-constant approximations of a time series with
+// buckets laid out along the time axis. Equi-depth buckets (equal share of
+// the cumulative absolute mass, after Poosala et al.) adapt bucket widths
+// to where the signal carries energy; equi-width buckets are the fixed
+// layout; MaxDiff places boundaries at the largest jumps.
+package histogram
+
+import (
+	"math"
+	"sort"
+
+	"sbr/internal/timeseries"
+)
+
+// ValuesPerBucket is the bandwidth cost of one variable-width bucket: its
+// right boundary and its average.
+const ValuesPerBucket = 2
+
+// Bucket approximates s[Start:End) by Avg.
+type Bucket struct {
+	Start, End int
+	Avg        float64
+}
+
+// Histogram is a piecewise-constant synopsis of a signal.
+type Histogram struct {
+	Length  int
+	Buckets []Bucket
+}
+
+// Cost returns the bandwidth cost in values.
+func (h Histogram) Cost() int { return ValuesPerBucket * len(h.Buckets) }
+
+// Reconstruct materialises the approximate signal.
+func (h Histogram) Reconstruct() timeseries.Series {
+	out := make(timeseries.Series, h.Length)
+	for _, b := range h.Buckets {
+		for i := b.Start; i < b.End; i++ {
+			out[i] = b.Avg
+		}
+	}
+	return out
+}
+
+// fromBoundaries builds buckets from sorted cut positions (exclusive ends);
+// the final boundary must equal len(s).
+func fromBoundaries(s timeseries.Series, ends []int) Histogram {
+	h := Histogram{Length: len(s)}
+	start := 0
+	for _, end := range ends {
+		if end <= start {
+			continue
+		}
+		h.Buckets = append(h.Buckets, Bucket{
+			Start: start,
+			End:   end,
+			Avg:   s[start:end].Mean(),
+		})
+		start = end
+	}
+	return h
+}
+
+// EquiWidth builds a histogram of buckets spanning (nearly) equal time
+// ranges.
+func EquiWidth(s timeseries.Series, buckets int) Histogram {
+	n := len(s)
+	if buckets <= 0 || n == 0 {
+		return Histogram{Length: n}
+	}
+	if buckets > n {
+		buckets = n
+	}
+	ends := make([]int, buckets)
+	for i := 0; i < buckets; i++ {
+		ends[i] = (i + 1) * n / buckets
+	}
+	return fromBoundaries(s, ends)
+}
+
+// EquiDepth builds a histogram whose buckets each hold an (approximately)
+// equal share of the cumulative absolute mass of the signal, so that
+// regions with large values receive narrower buckets.
+func EquiDepth(s timeseries.Series, buckets int) Histogram {
+	n := len(s)
+	if buckets <= 0 || n == 0 {
+		return Histogram{Length: n}
+	}
+	if buckets > n {
+		buckets = n
+	}
+	var total float64
+	for _, v := range s {
+		total += math.Abs(v)
+	}
+	if total == 0 {
+		return EquiWidth(s, buckets)
+	}
+	ends := make([]int, 0, buckets)
+	var acc float64
+	next := 1
+	for i, v := range s {
+		acc += math.Abs(v)
+		for next < buckets && acc >= float64(next)*total/float64(buckets) {
+			// Close the bucket at the first position reaching this share,
+			// but never emit an empty bucket.
+			if len(ends) == 0 || i+1 > ends[len(ends)-1] {
+				ends = append(ends, i+1)
+			}
+			next++
+		}
+	}
+	if len(ends) == 0 || ends[len(ends)-1] != n {
+		ends = append(ends, n)
+	}
+	return fromBoundaries(s, ends)
+}
+
+// MaxDiff places bucket boundaries at the buckets−1 largest absolute jumps
+// between consecutive samples — the MaxDiff heuristic from the histogram
+// literature, included as an ablation competitor.
+func MaxDiff(s timeseries.Series, buckets int) Histogram {
+	n := len(s)
+	if buckets <= 0 || n == 0 {
+		return Histogram{Length: n}
+	}
+	if buckets > n {
+		buckets = n
+	}
+	type jump struct {
+		pos  int
+		size float64
+	}
+	jumps := make([]jump, 0, n-1)
+	for i := 1; i < n; i++ {
+		jumps = append(jumps, jump{pos: i, size: math.Abs(s[i] - s[i-1])})
+	}
+	sort.Slice(jumps, func(i, j int) bool { return jumps[i].size > jumps[j].size })
+	cut := buckets - 1
+	if cut > len(jumps) {
+		cut = len(jumps)
+	}
+	ends := make([]int, 0, cut+1)
+	for _, j := range jumps[:cut] {
+		ends = append(ends, j.pos)
+	}
+	sort.Ints(ends)
+	ends = append(ends, n)
+	return fromBoundaries(s, ends)
+}
+
+// Approximate compresses s into at most budget values with equi-depth
+// buckets and returns the reconstruction.
+func Approximate(s timeseries.Series, budget int) timeseries.Series {
+	return EquiDepth(s, budget/ValuesPerBucket).Reconstruct()
+}
+
+// ApproximateRows compresses the batch under a shared budget, choosing the
+// better of a concatenated histogram and an equal per-row split.
+func ApproximateRows(rows []timeseries.Series, budget int) []timeseries.Series {
+	y := timeseries.Concat(rows...)
+	concat := splitLike(Approximate(y, budget), rows)
+
+	split := make([]timeseries.Series, len(rows))
+	if len(rows) > 0 {
+		per := budget / len(rows)
+		for i, r := range rows {
+			split[i] = Approximate(r, per)
+		}
+	}
+	if sse(rows, split) < sse(rows, concat) {
+		return split
+	}
+	return concat
+}
+
+func splitLike(y timeseries.Series, like []timeseries.Series) []timeseries.Series {
+	out := make([]timeseries.Series, len(like))
+	off := 0
+	for i, r := range like {
+		out[i] = y[off : off+len(r)]
+		off += len(r)
+	}
+	return out
+}
+
+func sse(y, approx []timeseries.Series) float64 {
+	var t float64
+	for i := range y {
+		for j := range y[i] {
+			d := y[i][j] - approx[i][j]
+			t += d * d
+		}
+	}
+	return t
+}

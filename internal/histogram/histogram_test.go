@@ -1,0 +1,326 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sbr/internal/timeseries"
+)
+
+func randSeries(rng *rand.Rand, n int) timeseries.Series {
+	s := make(timeseries.Series, n)
+	for i := range s {
+		s[i] = rng.NormFloat64() * 10
+	}
+	return s
+}
+
+// checkTiling verifies buckets exactly cover [0, n) in order.
+func checkTiling(t *testing.T, h Histogram, n int) {
+	t.Helper()
+	pos := 0
+	for _, b := range h.Buckets {
+		if b.Start != pos || b.End <= b.Start {
+			t.Fatalf("bucket %+v breaks the tiling at %d", b, pos)
+		}
+		pos = b.End
+	}
+	if pos != n {
+		t.Fatalf("buckets cover [0,%d), want [0,%d)", pos, n)
+	}
+}
+
+func TestEquiWidthTiling(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := randSeries(rng, 100)
+	h := EquiWidth(s, 7)
+	checkTiling(t, h, 100)
+	if len(h.Buckets) != 7 {
+		t.Errorf("%d buckets, want 7", len(h.Buckets))
+	}
+	// Bucket widths differ by at most one.
+	for _, b := range h.Buckets {
+		w := b.End - b.Start
+		if w < 100/7 || w > 100/7+1 {
+			t.Errorf("bucket width %d out of equi-width range", w)
+		}
+	}
+}
+
+func TestBucketAveragesAreMeans(t *testing.T) {
+	s := timeseries.Series{1, 3, 5, 7, 9, 11}
+	h := EquiWidth(s, 2)
+	if h.Buckets[0].Avg != 3 || h.Buckets[1].Avg != 9 {
+		t.Errorf("bucket averages = %v, %v", h.Buckets[0].Avg, h.Buckets[1].Avg)
+	}
+	rec := h.Reconstruct()
+	want := timeseries.Series{3, 3, 3, 9, 9, 9}
+	if !timeseries.Equal(rec, want, 1e-12) {
+		t.Errorf("Reconstruct = %v", rec)
+	}
+}
+
+func TestEquiDepthAdaptsToMass(t *testing.T) {
+	// A spike region: equi-depth must place narrow buckets there.
+	s := make(timeseries.Series, 100)
+	for i := 40; i < 60; i++ {
+		s[i] = 1000
+	}
+	for i := range s {
+		if s[i] == 0 {
+			s[i] = 1
+		}
+	}
+	h := EquiDepth(s, 10)
+	checkTiling(t, h, 100)
+	var spikeBuckets int
+	for _, b := range h.Buckets {
+		if b.Start >= 38 && b.End <= 62 {
+			spikeBuckets++
+		}
+	}
+	if spikeBuckets < 5 {
+		t.Errorf("only %d buckets inside the spike region, want most of them", spikeBuckets)
+	}
+}
+
+func TestEquiDepthZeroMassFallsBackToEquiWidth(t *testing.T) {
+	s := make(timeseries.Series, 20)
+	h := EquiDepth(s, 4)
+	checkTiling(t, h, 20)
+	if len(h.Buckets) != 4 {
+		t.Errorf("%d buckets, want 4", len(h.Buckets))
+	}
+}
+
+func TestMaxDiffCutsAtJumps(t *testing.T) {
+	s := timeseries.Series{1, 1, 1, 50, 50, 50, -20, -20, -20}
+	h := MaxDiff(s, 3)
+	checkTiling(t, h, len(s))
+	if len(h.Buckets) != 3 {
+		t.Fatalf("%d buckets, want 3", len(h.Buckets))
+	}
+	if h.Buckets[0].End != 3 || h.Buckets[1].End != 6 {
+		t.Errorf("boundaries at %d,%d, want 3,6", h.Buckets[0].End, h.Buckets[1].End)
+	}
+	// Perfect reconstruction for this piecewise-constant signal.
+	if !timeseries.Equal(h.Reconstruct(), s, 1e-12) {
+		t.Error("MaxDiff failed to reconstruct a 3-level signal with 3 buckets")
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	if h := EquiWidth(nil, 3); len(h.Buckets) != 0 || h.Length != 0 {
+		t.Error("empty input produced buckets")
+	}
+	if h := EquiWidth(timeseries.Series{1, 2}, 0); len(h.Buckets) != 0 {
+		t.Error("zero buckets produced buckets")
+	}
+	// More buckets than samples clamps.
+	h := EquiWidth(timeseries.Series{1, 2}, 10)
+	checkTiling(t, h, 2)
+	if len(h.Buckets) != 2 {
+		t.Errorf("%d buckets for 2 samples", len(h.Buckets))
+	}
+	h = EquiDepth(timeseries.Series{5}, 3)
+	checkTiling(t, h, 1)
+	h = MaxDiff(timeseries.Series{5}, 3)
+	checkTiling(t, h, 1)
+}
+
+func TestCost(t *testing.T) {
+	h := EquiWidth(timeseries.Series{1, 2, 3, 4}, 2)
+	if h.Cost() != 4 {
+		t.Errorf("Cost = %d, want 4", h.Cost())
+	}
+}
+
+// Property: every histogram variant tiles the series, and per-bucket means
+// minimise the SSE of a piecewise-constant approximation (perturbing any
+// bucket value only raises the error).
+func TestHistogramProperties(t *testing.T) {
+	f := func(seed int64, bRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 1
+		buckets := int(bRaw%10) + 1
+		s := randSeries(rng, n)
+		for _, h := range []Histogram{EquiWidth(s, buckets), EquiDepth(s, buckets), MaxDiff(s, buckets)} {
+			pos := 0
+			for _, b := range h.Buckets {
+				if b.Start != pos || b.End <= b.Start {
+					return false
+				}
+				pos = b.End
+			}
+			if pos != n {
+				return false
+			}
+			rec := h.Reconstruct()
+			var sse float64
+			for i := range s {
+				d := s[i] - rec[i]
+				sse += d * d
+			}
+			// Perturb each bucket's value: error must not decrease.
+			for _, b := range h.Buckets {
+				for _, delta := range []float64{0.1, -0.1} {
+					var perturbed float64
+					for i := range s {
+						v := rec[i]
+						if i >= b.Start && i < b.End {
+							v += delta
+						}
+						d := s[i] - v
+						perturbed += d * d
+					}
+					if perturbed < sse-1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproximateRowsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := []timeseries.Series{randSeries(rng, 30), randSeries(rng, 30)}
+	out := ApproximateRows(rows, 16)
+	if len(out) != 2 || len(out[0]) != 30 {
+		t.Fatal("ApproximateRows changed the shape")
+	}
+}
+
+func TestApproximateBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := randSeries(rng, 50)
+	h := EquiDepth(s, 10/ValuesPerBucket)
+	if h.Cost() > 10 {
+		t.Errorf("cost %d exceeds budget 10", h.Cost())
+	}
+	rec := Approximate(s, 10)
+	if len(rec) != 50 {
+		t.Errorf("reconstruction length %d", len(rec))
+	}
+	_ = math.Pi
+}
+
+func TestVOptimalExactOnStepSignal(t *testing.T) {
+	s := timeseries.Series{2, 2, 2, 9, 9, -4, -4, -4, -4}
+	h := VOptimal(s, 3)
+	checkTiling(t, h, len(s))
+	if len(h.Buckets) != 3 {
+		t.Fatalf("%d buckets, want 3", len(h.Buckets))
+	}
+	if !timeseries.Equal(h.Reconstruct(), s, 1e-12) {
+		t.Errorf("V-optimal failed to reconstruct a 3-level step signal: %v", h.Reconstruct())
+	}
+}
+
+// TestVOptimalBeatsHeuristics: by definition the DP minimises the SSE over
+// all bucket layouts, so it can never lose to equi-width, equi-depth or
+// MaxDiff at the same bucket count.
+func TestVOptimalBeatsHeuristics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(60) + 10
+		buckets := rng.Intn(8) + 1
+		s := randSeries(rng, n)
+		opt := sseOf(s, VOptimal(s, buckets))
+		for name, h := range map[string]Histogram{
+			"equi-width": EquiWidth(s, buckets),
+			"equi-depth": EquiDepth(s, buckets),
+			"max-diff":   MaxDiff(s, buckets),
+		} {
+			if got := sseOf(s, h); opt > got+1e-6*(1+got) {
+				t.Fatalf("V-optimal SSE %v worse than %s %v (n=%d b=%d)",
+					opt, name, got, n, buckets)
+			}
+		}
+	}
+}
+
+// TestVOptimalMatchesBruteForce checks the DP against exhaustive search on
+// tiny inputs.
+func TestVOptimalMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(8) + 2
+		buckets := rng.Intn(3) + 1
+		s := randSeries(rng, n)
+		got := sseOf(s, VOptimal(s, buckets))
+		want := bruteBestSSE(s, buckets)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("n=%d b=%d: DP %v, brute force %v", n, buckets, got, want)
+		}
+	}
+}
+
+func TestVOptimalEdgeCases(t *testing.T) {
+	if h := VOptimal(nil, 3); len(h.Buckets) != 0 {
+		t.Error("empty input produced buckets")
+	}
+	if h := VOptimal(timeseries.Series{1, 2}, 0); len(h.Buckets) != 0 {
+		t.Error("zero buckets produced buckets")
+	}
+	h := VOptimal(timeseries.Series{3, 1, 4}, 10)
+	checkTiling(t, h, 3)
+	if got := sseOf(timeseries.Series{3, 1, 4}, h); got > 1e-12 {
+		t.Errorf("bucket-per-sample SSE = %v", got)
+	}
+	h = VOptimal(timeseries.Series{5, 7}, 1)
+	checkTiling(t, h, 2)
+}
+
+func sseOf(s timeseries.Series, h Histogram) float64 {
+	rec := h.Reconstruct()
+	var t float64
+	for i := range s {
+		d := s[i] - rec[i]
+		t += d * d
+	}
+	return t
+}
+
+// bruteBestSSE enumerates every bucket layout for tiny inputs.
+func bruteBestSSE(s timeseries.Series, buckets int) float64 {
+	n := len(s)
+	best := math.Inf(1)
+	var rec func(start, left int, acc float64)
+	rec = func(start, left int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if left == 1 {
+			seg := timeseries.Series(s[start:])
+			total := acc + segSSE(seg)
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for end := start + 1; end <= n-(left-1); end++ {
+			rec(end, left-1, acc+segSSE(s[start:end]))
+		}
+	}
+	if buckets > n {
+		buckets = n
+	}
+	rec(0, buckets, 0)
+	return best
+}
+
+func segSSE(seg timeseries.Series) float64 {
+	mean := seg.Mean()
+	var t float64
+	for _, v := range seg {
+		t += (v - mean) * (v - mean)
+	}
+	return t
+}

@@ -1,0 +1,88 @@
+package histogram
+
+import (
+	"sbr/internal/timeseries"
+)
+
+// VOptimal builds the SSE-optimal piecewise-constant approximation of s
+// with at most the given number of buckets, via the classic dynamic
+// program (Jagadish et al.): err[i][b] = min over j of err[j][b−1] +
+// sse(j, i). Runtime is O(n²·B) with O(1) segment errors from prefix
+// sums — use it on batch-sized inputs, not whole histories. It exists as
+// the strongest histogram competitor: if SBR beats V-optimal, it beats
+// every bucket layout the simpler heuristics could find.
+func VOptimal(s timeseries.Series, buckets int) Histogram {
+	n := len(s)
+	if buckets <= 0 || n == 0 {
+		return Histogram{Length: n}
+	}
+	if buckets > n {
+		buckets = n
+	}
+	p := timeseries.NewPrefix(s)
+	// sse(a, b) of approximating s[a:b) by its mean.
+	sse := func(a, b int) float64 {
+		length := b - a
+		if length <= 1 {
+			return 0
+		}
+		sum := p.Sum(a, length)
+		return p.SumSq(a, length) - sum*sum/float64(length)
+	}
+
+	const inf = 1e308
+	// cost[i] is the best error of covering s[0:i) with the current number
+	// of buckets; cut[b][i] records the last boundary.
+	cost := make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		cost[i] = sse(0, i)
+	}
+	cut := make([][]int32, buckets+1)
+	for b := 2; b <= buckets; b++ {
+		next := make([]float64, n+1)
+		cut[b] = make([]int32, n+1)
+		for i := 0; i <= n; i++ {
+			next[i] = inf
+		}
+		next[0] = 0
+		for i := 1; i <= n; i++ {
+			best := inf
+			var bestJ int32
+			// At least one sample per bucket: j ranges over the end of the
+			// previous bucket.
+			for j := b - 1; j < i; j++ {
+				if cost[j] >= best {
+					continue
+				}
+				if c := cost[j] + sse(j, i); c < best {
+					best = c
+					bestJ = int32(j)
+				}
+			}
+			next[i] = best
+			cut[b][i] = bestJ
+		}
+		cost = next
+	}
+
+	// Recover the boundaries.
+	ends := make([]int, 0, buckets)
+	i := n
+	for b := buckets; b >= 2 && i > 0; b-- {
+		ends = append(ends, i)
+		i = int(cut[b][i])
+	}
+	ends = append(ends, i)
+	// ends currently holds boundaries right-to-left, with the leftmost
+	// cut last; reverse into ascending exclusive ends and drop the zero.
+	for l, r := 0, len(ends)-1; l < r; l, r = l+1, r-1 {
+		ends[l], ends[r] = ends[r], ends[l]
+	}
+	if len(ends) > 0 && ends[0] == 0 {
+		ends = ends[1:]
+	}
+	if len(ends) == 0 || ends[len(ends)-1] != n {
+		ends = append(ends, n)
+	}
+	return fromBoundaries(s, ends)
+}

@@ -1,0 +1,342 @@
+// Package interval implements the piece-wise approximation layer of the SBR
+// framework: the Interval record, the BestMap subroutine that maps a data
+// interval onto the best-matching segment of the base signal (Algorithm 2),
+// the recursive GetIntervals splitter driven by a max-error priority queue
+// (Algorithm 3), and the decoder that reconstructs the approximate signal
+// from transmitted interval records.
+package interval
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"sbr/internal/metrics"
+	"sbr/internal/regression"
+	"sbr/internal/timeseries"
+)
+
+// RampShift is the sentinel Shift value denoting that an interval is
+// approximated by standard linear regression against time instead of a
+// segment of the base signal. The paper stores "a negative value".
+const RampShift = -1
+
+// Interval is the six-field data structure of Section 4.2. The first four
+// fields (Start, Shift, A, B) form the record transmitted to the base
+// station; Length is recovered at the receiver from the sorted starts and
+// Err never leaves the sensor.
+type Interval struct {
+	Start  int     // first index of the approximated range in the virtual Y
+	Length int     // number of samples in the range
+	Shift  int     // base-signal offset, or RampShift for plain regression
+	A, B   float64 // regression parameters
+	Err    float64 // approximation error under the active metric
+
+	// C is the quadratic coefficient of the non-linear encoding extension
+	// (the paper's Section 6 future work): the model becomes
+	// Y' = C·X² + A·X + B. It stays zero under the paper's linear encoding,
+	// making the linear model a strict special case.
+	C float64
+}
+
+// ValuesPerInterval is the transmission cost of one interval record:
+// start, shift and the two regression parameters (Section 4.2).
+const ValuesPerInterval = 4
+
+// ValuesPerRampInterval is the cost when the framework runs without a base
+// signal at all (pure piecewise linear regression): the shift pointer is
+// unnecessary, so each record is 3 values (Section 5.2).
+const ValuesPerRampInterval = 3
+
+// ValuesPerQuadInterval is the record cost under the quadratic encoding
+// extension: start, shift and three coefficients.
+const ValuesPerQuadInterval = 5
+
+// String implements fmt.Stringer for debugging output.
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%d,%d) shift=%d a=%.4g b=%.4g err=%.4g",
+		iv.Start, iv.Start+iv.Length, iv.Shift, iv.A, iv.B, iv.Err)
+}
+
+// Approximate writes the interval's approximation of y into out, which must
+// have length iv.Length. For Shift >= 0 the model is a·X[Shift+i]+b over
+// the base signal x; for RampShift it is a·i+b over the local time index.
+func (iv Interval) Approximate(x timeseries.Series, out timeseries.Series) {
+	if len(out) != iv.Length {
+		panic("interval: output buffer size mismatch")
+	}
+	if iv.Shift == RampShift {
+		for i := range out {
+			t := float64(i)
+			out[i] = iv.C*t*t + iv.A*t + iv.B
+		}
+		return
+	}
+	for i := range out {
+		xv := x[iv.Shift+i]
+		out[i] = iv.C*xv*xv + iv.A*xv + iv.B
+	}
+}
+
+// Mapper holds the state shared by all BestMap invocations over one batch:
+// the current base signal, its prefix sums (for the O(1)-moment fast path of
+// the SSE metric), the base-interval width W and the active regression
+// fitter.
+type Mapper struct {
+	X      timeseries.Series
+	W      int
+	Fitter regression.Fitter
+
+	// DisableRamp disables the plain-linear-regression fall-back, as in the
+	// base-signal comparison of Section 5.2. Intervals longer than the base
+	// signal still use the ramp, since no shift can cover them.
+	DisableRamp bool
+
+	// Quadratic enables the non-linear encoding extension (Section 6
+	// future work): intervals are fitted as Y' = C·X² + A·X + B. Only
+	// supported under the SSE metric.
+	Quadratic bool
+
+	px *timeseries.Prefix
+}
+
+// NewMapper builds a Mapper over base signal x.
+func NewMapper(x timeseries.Series, w int, fitter regression.Fitter) *Mapper {
+	return &Mapper{X: x, W: w, Fitter: fitter, px: timeseries.NewPrefix(x)}
+}
+
+// BestMap fills in iv.Shift, iv.A, iv.B and iv.Err with the best available
+// approximation of y[iv.Start : iv.Start+iv.Length): the plain regression
+// fall-back and, for intervals no longer than 2W, every shift of the
+// interval over the base signal (Algorithm 2).
+func (m *Mapper) BestMap(y timeseries.Series, iv *Interval) {
+	if m.Quadratic {
+		m.bestMapQuad(y, iv)
+		return
+	}
+	fit := m.Fitter.FitRamp(y, iv.Start, iv.Length)
+	iv.Shift = RampShift
+	iv.A, iv.B, iv.C, iv.Err = fit.A, fit.B, 0, fit.Err
+	ramped := true
+
+	scan := iv.Length <= 2*m.W
+	if m.DisableRamp {
+		// Comparison mode: use the base signal whenever it is long enough,
+		// pretending the fall-back is unavailable (Section 5.2).
+		scan = iv.Length <= len(m.X)
+		ramped = false
+	}
+	if !scan || iv.Length > len(m.X) {
+		return
+	}
+
+	if m.Fitter.Kind == metrics.SSE {
+		m.bestShiftSSE(y, iv, ramped)
+		return
+	}
+	for shift := 0; shift+iv.Length <= len(m.X); shift++ {
+		fit := m.Fitter.Fit(m.X, y, shift, iv.Start, iv.Length)
+		if !ramped || fit.Err < iv.Err {
+			iv.Shift, iv.A, iv.B, iv.Err = shift, fit.A, fit.B, fit.Err
+			ramped = true
+		}
+	}
+}
+
+// bestMapQuad is BestMap under the quadratic encoding: the same ramp
+// fall-back and shift scan, with three-coefficient fits.
+func (m *Mapper) bestMapQuad(y timeseries.Series, iv *Interval) {
+	fit := regression.RampQuad(y, iv.Start, iv.Length)
+	iv.Shift = RampShift
+	iv.A, iv.B, iv.C, iv.Err = fit.A, fit.B, fit.C, fit.Err
+	ramped := true
+
+	scan := iv.Length <= 2*m.W
+	if m.DisableRamp {
+		scan = iv.Length <= len(m.X)
+		ramped = false
+	}
+	if !scan || iv.Length > len(m.X) {
+		return
+	}
+	for shift := 0; shift+iv.Length <= len(m.X); shift++ {
+		fit := regression.Quad(m.X, y, shift, iv.Start, iv.Length)
+		if !ramped || fit.Err < iv.Err {
+			iv.Shift, iv.A, iv.B, iv.C, iv.Err = shift, fit.A, fit.B, fit.C, fit.Err
+			ramped = true
+		}
+	}
+}
+
+// parallelScanThreshold is the amount of scan work (shift positions ×
+// interval length) above which the shift scan fans out across cores.
+// Below it, goroutine overhead outweighs the win.
+const parallelScanThreshold = 1 << 17
+
+// bestShiftSSE is the SSE fast path of the shift scan: the Y-segment
+// moments are accumulated once, the X-segment moments come from prefix
+// sums, so each shift costs one pass for the cross moment only. Large
+// scans fan out across cores with a deterministic reduction (smallest
+// error, ties to the smallest shift — exactly the sequential order).
+func (m *Mapper) bestShiftSSE(y timeseries.Series, iv *Interval, haveBest bool) {
+	var sumY, sumY2 float64
+	for i := 0; i < iv.Length; i++ {
+		v := y[iv.Start+i]
+		sumY += v
+		sumY2 += v * v
+	}
+	shifts := len(m.X) - iv.Length + 1
+	if shifts <= 0 {
+		return
+	}
+
+	scan := func(lo, hi int) (regression.Fit, int) {
+		best := regression.Fit{Err: math.Inf(1)}
+		bestShift := -1
+		for shift := lo; shift < hi; shift++ {
+			fit := regression.SSEWithPrefix(m.X, m.px, y, sumY, sumY2,
+				shift, iv.Start, iv.Length)
+			if fit.Err < best.Err {
+				best, bestShift = fit, shift
+			}
+		}
+		return best, bestShift
+	}
+
+	var best regression.Fit
+	bestShift := -1
+	if work := shifts * iv.Length; work < parallelScanThreshold {
+		best, bestShift = scan(0, shifts)
+	} else {
+		workers := runtime.NumCPU()
+		if workers > shifts {
+			workers = shifts
+		}
+		fits := make([]regression.Fit, workers)
+		at := make([]int, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lo := w * shifts / workers
+				hi := (w + 1) * shifts / workers
+				fits[w], at[w] = scan(lo, hi)
+			}(w)
+		}
+		wg.Wait()
+		best = regression.Fit{Err: math.Inf(1)}
+		for w := 0; w < workers; w++ {
+			// Strict < keeps the lowest-shift winner on ties, since worker
+			// ranges are ordered by shift.
+			if at[w] >= 0 && fits[w].Err < best.Err {
+				best, bestShift = fits[w], at[w]
+			}
+		}
+	}
+	if bestShift >= 0 && (!haveBest || best.Err < iv.Err) {
+		iv.Shift, iv.A, iv.B, iv.Err = bestShift, best.A, best.B, best.Err
+	}
+}
+
+// Options tunes GetIntervals beyond the paper's defaults.
+type Options struct {
+	// ErrorTarget, when positive, stops the recursive splitting as soon as
+	// the total error drops to the target even if budget remains — the
+	// combined error/space bound mode of Section 4.5.
+	ErrorTarget float64
+
+	// ValuesPerRecord is the bandwidth cost of one interval record. Zero
+	// means ValuesPerInterval (4). The no-base-signal mode uses
+	// ValuesPerRampInterval (3), since the shift pointer is elided.
+	ValuesPerRecord int
+}
+
+// GetIntervals approximates the concatenated signal y (N rows of M values
+// each) with at most budget/ValuesPerInterval intervals, following
+// Algorithm 3: one interval per row initially, then repeated splitting of
+// the worst-error interval. The returned intervals are sorted by Start.
+func GetIntervals(m *Mapper, y timeseries.Series, n, rowLen, budget int, opts Options) []Interval {
+	if n <= 0 || rowLen <= 0 {
+		return nil
+	}
+	perRecord := opts.ValuesPerRecord
+	if perRecord <= 0 {
+		perRecord = ValuesPerInterval
+	}
+	maxIntervals := budget / perRecord
+	if maxIntervals < n {
+		// The paper assumes B >= 4N; with less budget we still need one
+		// interval per row to cover the signal.
+		maxIntervals = n
+	}
+
+	q := newQueue(m.Fitter.Kind, maxIntervals)
+	for i := 0; i < n; i++ {
+		iv := Interval{Start: i * rowLen, Length: rowLen}
+		m.BestMap(y, &iv)
+		q.push(iv)
+	}
+
+	var done []Interval // unsplittable single-sample intervals
+	for q.countAll(len(done)) < maxIntervals {
+		if opts.ErrorTarget > 0 && q.totalErr() <= opts.ErrorTarget {
+			break
+		}
+		iv, ok := q.popSplittable(&done)
+		if !ok {
+			break
+		}
+		left := Interval{Start: iv.Start, Length: iv.Length / 2}
+		right := Interval{
+			Start:  iv.Start + iv.Length/2,
+			Length: iv.Length - iv.Length/2,
+		}
+		m.BestMap(y, &left)
+		m.BestMap(y, &right)
+		q.push(left)
+		q.push(right)
+	}
+
+	out := append(q.drain(), done...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// TotalError combines the per-interval errors under the given metric.
+func TotalError(kind metrics.Kind, list []Interval) float64 {
+	total := metrics.Zero(kind)
+	for _, iv := range list {
+		total = metrics.Combine(kind, total, iv.Err)
+	}
+	return total
+}
+
+// Reconstruct decodes a sorted interval list into the approximate signal of
+// the given total length, using base signal x for shifted intervals.
+func Reconstruct(x timeseries.Series, list []Interval, total int) timeseries.Series {
+	out := make(timeseries.Series, total)
+	for _, iv := range list {
+		iv.Approximate(x, out[iv.Start:iv.Start+iv.Length])
+	}
+	return out
+}
+
+// TransmissionCost returns the number of values needed to ship the interval
+// list: ValuesPerInterval per record, or ValuesPerRampInterval when the
+// whole list uses plain regression and the shift pointer can be elided.
+func TransmissionCost(list []Interval) int {
+	allRamp := true
+	for _, iv := range list {
+		if iv.Shift != RampShift {
+			allRamp = false
+			break
+		}
+	}
+	if allRamp {
+		return ValuesPerRampInterval * len(list)
+	}
+	return ValuesPerInterval * len(list)
+}

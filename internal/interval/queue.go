@@ -1,0 +1,75 @@
+package interval
+
+import (
+	"container/heap"
+
+	"sbr/internal/metrics"
+)
+
+// queue is the priority queue of Algorithm 3, ordered by decreasing
+// approximation error. It also tracks the combined error of its contents so
+// the error-target extension of Section 4.5 can test convergence in O(1).
+type queue struct {
+	kind  metrics.Kind
+	items []Interval
+	sum   float64 // running total for the sum-based metrics
+}
+
+func newQueue(kind metrics.Kind, capacity int) *queue {
+	return &queue{kind: kind, items: make([]Interval, 0, capacity)}
+}
+
+// heap.Interface — max-heap on Err.
+
+func (q *queue) Len() int           { return len(q.items) }
+func (q *queue) Less(i, j int) bool { return q.items[i].Err > q.items[j].Err }
+func (q *queue) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *queue) Push(x interface{}) { q.items = append(q.items, x.(Interval)) }
+func (q *queue) Pop() interface{} {
+	last := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	return last
+}
+
+func (q *queue) push(iv Interval) {
+	heap.Push(q, iv)
+	q.sum += iv.Err
+}
+
+// popSplittable removes and returns the worst-error interval that can still
+// be divided (length >= 2). Single-sample intervals encountered on the way
+// are moved to done; they remain part of the final approximation.
+func (q *queue) popSplittable(done *[]Interval) (Interval, bool) {
+	for q.Len() > 0 {
+		iv := heap.Pop(q).(Interval)
+		q.sum -= iv.Err
+		if iv.Length >= 2 {
+			return iv, true
+		}
+		*done = append(*done, iv)
+	}
+	return Interval{}, false
+}
+
+// countAll returns the current interval count including the finished list.
+func (q *queue) countAll(doneLen int) int { return q.Len() + doneLen }
+
+// totalErr returns the combined error of the queued intervals under the
+// active metric: the running sum, or the heap maximum for MaxAbs.
+func (q *queue) totalErr() float64 {
+	if q.kind == metrics.MaxAbs {
+		if q.Len() == 0 {
+			return 0
+		}
+		return q.items[0].Err
+	}
+	return q.sum
+}
+
+// drain removes and returns all remaining intervals in no particular order.
+func (q *queue) drain() []Interval {
+	out := q.items
+	q.items = nil
+	q.sum = 0
+	return out
+}

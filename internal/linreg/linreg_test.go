@@ -1,0 +1,128 @@
+package linreg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sbr/internal/metrics"
+	"sbr/internal/timeseries"
+)
+
+func randSeries(rng *rand.Rand, n int) timeseries.Series {
+	s := make(timeseries.Series, n)
+	for i := range s {
+		s[i] = rng.NormFloat64() * 10
+	}
+	return s
+}
+
+func sse(a, b []timeseries.Series) float64 {
+	var t float64
+	for i := range a {
+		for j := range a[i] {
+			d := a[i][j] - b[i][j]
+			t += d * d
+		}
+	}
+	return t
+}
+
+func TestAdaptiveExactOnPiecewiseLinear(t *testing.T) {
+	// Two linear ramps per row: a handful of intervals reconstructs exactly.
+	row := make(timeseries.Series, 64)
+	for i := 0; i < 32; i++ {
+		row[i] = 2*float64(i) + 1
+	}
+	for i := 32; i < 64; i++ {
+		row[i] = -3*float64(i-32) + 100
+	}
+	rows := []timeseries.Series{row}
+	out := Adaptive(rows, 30, metrics.SSE) // up to 10 intervals
+	if got := sse(rows, out); got > 1e-6 {
+		t.Errorf("piecewise-linear signal not reconstructed exactly: sse=%v", got)
+	}
+}
+
+func TestAdaptiveShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := []timeseries.Series{randSeries(rng, 40), randSeries(rng, 40)}
+	out := Adaptive(rows, 24, metrics.SSE)
+	if len(out) != 2 || len(out[0]) != 40 || len(out[1]) != 40 {
+		t.Fatal("Adaptive changed the shape")
+	}
+	if Adaptive(nil, 10, metrics.SSE) != nil {
+		t.Error("empty input should give nil")
+	}
+}
+
+func TestAdaptiveErrorDecreasesWithBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := []timeseries.Series{randSeries(rng, 128)}
+	prev := math.Inf(1)
+	for _, budget := range []int{6, 12, 24, 48, 96} {
+		out := Adaptive(rows, budget, metrics.SSE)
+		got := sse(rows, out)
+		if got > prev+1e-9 {
+			t.Errorf("budget %d: error %v above smaller-budget error %v", budget, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestUniformExactOnSingleLine(t *testing.T) {
+	row := make(timeseries.Series, 30)
+	for i := range row {
+		row[i] = 4*float64(i) - 7
+	}
+	out := Uniform([]timeseries.Series{row}, 2, metrics.SSE) // one segment
+	if got := sse([]timeseries.Series{row}, out); got > 1e-6 {
+		t.Errorf("single line not reconstructed exactly: sse=%v", got)
+	}
+}
+
+func TestUniformShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := []timeseries.Series{randSeries(rng, 25), randSeries(rng, 25), randSeries(rng, 25)}
+	out := Uniform(rows, 18, metrics.SSE)
+	if len(out) != 3 || len(out[0]) != 25 {
+		t.Fatal("Uniform changed the shape")
+	}
+	if Uniform(nil, 10, metrics.SSE) != nil {
+		t.Error("empty input should give nil")
+	}
+}
+
+func TestUniformMoreSegmentsThanSamples(t *testing.T) {
+	rows := []timeseries.Series{{1, 5, 2}}
+	out := Uniform(rows, 100, metrics.SSE)
+	if got := sse(rows, out); got > 1e-9 {
+		t.Errorf("segment-per-sample should be exact, sse=%v", got)
+	}
+}
+
+func TestAdaptiveBeatsUniformOnBurstySignal(t *testing.T) {
+	// A signal that is flat except for one violent burst: error-driven
+	// splitting concentrates intervals on the burst and must win.
+	rng := rand.New(rand.NewSource(4))
+	row := make(timeseries.Series, 256)
+	for i := 100; i < 120; i++ {
+		row[i] = rng.NormFloat64() * 100
+	}
+	rows := []timeseries.Series{row}
+	budget := 36
+	adaptive := sse(rows, Adaptive(rows, budget, metrics.SSE))
+	uniform := sse(rows, Uniform(rows, budget, metrics.SSE))
+	if adaptive > uniform {
+		t.Errorf("adaptive %v worse than uniform %v on bursty signal", adaptive, uniform)
+	}
+}
+
+func TestAdaptiveMaxAbsMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := []timeseries.Series{randSeries(rng, 64)}
+	out := Adaptive(rows, 30, metrics.MaxAbs)
+	if len(out) != 1 || len(out[0]) != 64 {
+		t.Fatal("MaxAbs Adaptive changed the shape")
+	}
+}

@@ -1,0 +1,120 @@
+// Package metrics defines the approximation-error metrics used throughout
+// the SBR framework and its evaluation: sum squared error, mean squared
+// error, sum squared relative error, and maximum absolute error. The SBR
+// algorithms are parameterised by a Kind so that switching the optimisation
+// target requires no structural changes (paper Sections 2 and 4.5).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind identifies an error metric.
+type Kind int
+
+const (
+	// SSE is the sum of squared residuals, the paper's default target.
+	SSE Kind = iota
+	// RelativeSSE is the sum of squared relative residuals
+	// Σ ((y−ŷ)/max(|y|, Sanity))², the second metric of Table 3.
+	RelativeSSE
+	// MaxAbs is the maximum absolute residual, the strict-error-bound
+	// metric of Section 4.5.
+	MaxAbs
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case SSE:
+		return "sse"
+	case RelativeSSE:
+		return "relative-sse"
+	case MaxAbs:
+		return "max-abs"
+	default:
+		return fmt.Sprintf("metrics.Kind(%d)", int(k))
+	}
+}
+
+// DefaultSanity is the default sanity bound used by relative-error metrics
+// to avoid division by values arbitrarily close to zero. Standard practice
+// in the approximate query processing literature.
+const DefaultSanity = 1.0
+
+// SumSquared returns Σ (y[i] − approx[i])².
+func SumSquared(y, approx []float64) float64 {
+	var err float64
+	for i := range y {
+		d := y[i] - approx[i]
+		err += d * d
+	}
+	return err
+}
+
+// MeanSquared returns SumSquared / len(y), or 0 for empty input.
+func MeanSquared(y, approx []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	return SumSquared(y, approx) / float64(len(y))
+}
+
+// SumSquaredRelative returns Σ ((y[i]−approx[i]) / max(|y[i]|, sanity))².
+// A non-positive sanity is replaced by DefaultSanity.
+func SumSquaredRelative(y, approx []float64, sanity float64) float64 {
+	if sanity <= 0 {
+		sanity = DefaultSanity
+	}
+	var err float64
+	for i := range y {
+		den := math.Abs(y[i])
+		if den < sanity {
+			den = sanity
+		}
+		d := (y[i] - approx[i]) / den
+		err += d * d
+	}
+	return err
+}
+
+// MaxAbsolute returns max_i |y[i] − approx[i]|, or 0 for empty input.
+func MaxAbsolute(y, approx []float64) float64 {
+	var m float64
+	for i := range y {
+		d := math.Abs(y[i] - approx[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Eval computes the metric identified by k. For RelativeSSE the
+// DefaultSanity bound is used.
+func Eval(k Kind, y, approx []float64) float64 {
+	switch k {
+	case SSE:
+		return SumSquared(y, approx)
+	case RelativeSSE:
+		return SumSquaredRelative(y, approx, DefaultSanity)
+	case MaxAbs:
+		return MaxAbsolute(y, approx)
+	default:
+		panic("metrics: unknown kind " + k.String())
+	}
+}
+
+// Combine merges the per-segment errors a and b into the error of the union
+// of the two segments: addition for the sum-based metrics, maximum for
+// MaxAbs.
+func Combine(k Kind, a, b float64) float64 {
+	if k == MaxAbs {
+		return math.Max(a, b)
+	}
+	return a + b
+}
+
+// Zero returns the identity element of Combine for the metric.
+func Zero(k Kind) float64 { return 0 }

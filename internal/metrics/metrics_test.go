@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumSquared(t *testing.T) {
+	y := []float64{1, 2, 3}
+	yh := []float64{1, 1, 5}
+	if got := SumSquared(y, yh); got != 0+1+4 {
+		t.Errorf("SumSquared = %v, want 5", got)
+	}
+	if got := SumSquared(nil, nil); got != 0 {
+		t.Errorf("SumSquared(empty) = %v, want 0", got)
+	}
+}
+
+func TestMeanSquared(t *testing.T) {
+	y := []float64{0, 0}
+	yh := []float64{2, 4}
+	if got := MeanSquared(y, yh); got != 10 {
+		t.Errorf("MeanSquared = %v, want 10", got)
+	}
+	if got := MeanSquared(nil, nil); got != 0 {
+		t.Errorf("MeanSquared(empty) = %v, want 0", got)
+	}
+}
+
+func TestSumSquaredRelative(t *testing.T) {
+	y := []float64{10, -10}
+	yh := []float64{9, -8}
+	// Residuals 1 and -2 over |y| = 10 each: 0.01 + 0.04.
+	if got := SumSquaredRelative(y, yh, 1); !close(got, 0.05) {
+		t.Errorf("SumSquaredRelative = %v, want 0.05", got)
+	}
+}
+
+func TestSumSquaredRelativeSanityBound(t *testing.T) {
+	// |y| below the sanity bound must be divided by the bound, not by |y|.
+	y := []float64{0.1}
+	yh := []float64{0.2}
+	got := SumSquaredRelative(y, yh, 1)
+	if !close(got, 0.01) {
+		t.Errorf("sanity-bounded relative error = %v, want 0.01", got)
+	}
+	// Non-positive sanity falls back to DefaultSanity.
+	if got := SumSquaredRelative(y, yh, -5); !close(got, 0.01) {
+		t.Errorf("negative sanity: got %v, want 0.01", got)
+	}
+}
+
+func TestMaxAbsolute(t *testing.T) {
+	y := []float64{1, 5, -3}
+	yh := []float64{2, 5, 1}
+	if got := MaxAbsolute(y, yh); got != 4 {
+		t.Errorf("MaxAbsolute = %v, want 4", got)
+	}
+	if got := MaxAbsolute(nil, nil); got != 0 {
+		t.Errorf("MaxAbsolute(empty) = %v, want 0", got)
+	}
+}
+
+func TestEvalDispatch(t *testing.T) {
+	y := []float64{2, 4}
+	yh := []float64{3, 2}
+	if got := Eval(SSE, y, yh); !close(got, 5) {
+		t.Errorf("Eval(SSE) = %v, want 5", got)
+	}
+	if got := Eval(MaxAbs, y, yh); got != 2 {
+		t.Errorf("Eval(MaxAbs) = %v, want 2", got)
+	}
+	want := 1.0/4 + 4.0/16 // residuals −1 over |2| and 2 over |4|
+	if got := Eval(RelativeSSE, y, yh); !close(got, want) {
+		t.Errorf("Eval(RelativeSSE) = %v, want %v", got, want)
+	}
+}
+
+func TestEvalUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Eval with unknown kind did not panic")
+		}
+	}()
+	Eval(Kind(99), []float64{1}, []float64{1})
+}
+
+func TestCombine(t *testing.T) {
+	if got := Combine(SSE, 2, 3); got != 5 {
+		t.Errorf("Combine(SSE) = %v, want 5", got)
+	}
+	if got := Combine(RelativeSSE, 2, 3); got != 5 {
+		t.Errorf("Combine(RelativeSSE) = %v, want 5", got)
+	}
+	if got := Combine(MaxAbs, 2, 3); got != 3 {
+		t.Errorf("Combine(MaxAbs) = %v, want 3", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{SSE: "sse", RelativeSSE: "relative-sse", MaxAbs: "max-abs"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := Kind(42).String(); got != "metrics.Kind(42)" {
+		t.Errorf("unknown kind String = %q", got)
+	}
+}
+
+// Property: SSE is zero iff the approximation is exact, and always
+// non-negative; MaxAbs bounds the per-element residual implied by SSE.
+func TestMetricProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%32) + 1
+		y := make([]float64, n)
+		yh := make([]float64, n)
+		for i := range y {
+			y[i] = rng.NormFloat64() * 5
+			yh[i] = y[i] + rng.NormFloat64()
+		}
+		sse := SumSquared(y, yh)
+		maxAbs := MaxAbsolute(y, yh)
+		if sse < 0 {
+			return false
+		}
+		// max|r| <= sqrt(SSE) and SSE <= n*max|r|^2
+		if maxAbs > math.Sqrt(sse)+1e-9 {
+			return false
+		}
+		if sse > float64(n)*maxAbs*maxAbs+1e-9 {
+			return false
+		}
+		if got := SumSquared(y, y); got != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the relative error with a huge sanity bound approaches
+// SSE/sanity².
+func TestRelativeSanityLimitProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16
+		y := make([]float64, n)
+		yh := make([]float64, n)
+		for i := range y {
+			y[i] = rng.NormFloat64()
+			yh[i] = y[i] + rng.NormFloat64()
+		}
+		const sanity = 1e6
+		rel := SumSquaredRelative(y, yh, sanity)
+		want := SumSquared(y, yh) / (sanity * sanity)
+		return close(rel, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func close(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}

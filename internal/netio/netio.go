@@ -1,0 +1,205 @@
+// Package netio carries SBR transmissions over TCP: a base-station server
+// that accepts many concurrent sensor connections and feeds every decoded
+// frame into a station.Station, and a sensor-side client that streams wire
+// frames with per-frame acknowledgements. The protocol is deliberately
+// minimal — a handshake naming the sensor, then a sequence of the same
+// framed transmissions internal/wire defines, each answered by one status
+// byte — because the interesting reliability machinery (checksums, replica
+// consistency) already lives in the frame format and the decoder.
+package netio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"sbr/internal/station"
+	"sbr/internal/wire"
+)
+
+// Protocol constants.
+var handshakeMagic = [4]byte{'S', 'B', 'R', 'S'}
+
+const (
+	ackOK    byte = 0x06 // frame decoded and logged
+	ackError byte = 0x15 // frame rejected; the connection closes after this
+	maxIDLen      = 256
+)
+
+// ErrRejected is returned by Client.Send when the station refused the
+// frame (decode failure, out-of-order sequence, shape change…).
+var ErrRejected = errors.New("netio: station rejected the frame")
+
+// Server accepts sensor connections and routes their transmissions into a
+// Station.
+type Server struct {
+	st *station.Station
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// Serve starts listening on addr (e.g. "127.0.0.1:0") and serving
+// connections in the background. Close shuts it down.
+func Serve(st *station.Station, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netio: listen: %w", err)
+	}
+	s := &Server{st: st, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes active connections, and waits for their
+// handlers to finish.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) track(conn net.Conn) {
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		s.track(conn)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one sensor: handshake, then frames until EOF or error.
+func (s *Server) serveConn(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	id, err := readHandshake(br)
+	if err != nil {
+		return
+	}
+	for {
+		t, err := wire.Decode(br)
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			conn.Write([]byte{ackError}) //nolint:errcheck — closing anyway
+			return
+		}
+		if err := s.st.Receive(id, t); err != nil {
+			conn.Write([]byte{ackError}) //nolint:errcheck
+			return
+		}
+		if _, err := conn.Write([]byte{ackOK}); err != nil {
+			return
+		}
+	}
+}
+
+// readHandshake validates the magic and reads the sensor ID.
+func readHandshake(r *bufio.Reader) (string, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return "", err
+	}
+	if magic != handshakeMagic {
+		return "", errors.New("netio: bad handshake magic")
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n == 0 || n > maxIDLen {
+		return "", fmt.Errorf("netio: sensor ID length %d out of range", n)
+	}
+	id := make([]byte, n)
+	if _, err := io.ReadFull(r, id); err != nil {
+		return "", err
+	}
+	return string(id), nil
+}
+
+// Client is the sensor side of the transport. Not safe for concurrent use:
+// a sensor has one radio.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+}
+
+// Dial connects to a station server and identifies as sensorID.
+func Dial(addr, sensorID string) (*Client, error) {
+	if sensorID == "" || len(sensorID) > maxIDLen {
+		return nil, fmt.Errorf("netio: sensor ID length %d out of range", len(sensorID))
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netio: dial: %w", err)
+	}
+	c := &Client{conn: conn, bw: bufio.NewWriter(conn), br: bufio.NewReader(conn)}
+	c.bw.Write(handshakeMagic[:]) //nolint:errcheck — surfaced by Flush
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(sensorID)))
+	c.bw.Write(buf[:n])        //nolint:errcheck
+	c.bw.WriteString(sensorID) //nolint:errcheck
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netio: handshake: %w", err)
+	}
+	return c, nil
+}
+
+// Send ships one wire frame and waits for the acknowledgement.
+func (c *Client) Send(frame []byte) error {
+	if _, err := c.bw.Write(frame); err != nil {
+		return fmt.Errorf("netio: send: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("netio: send: %w", err)
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(c.br, ack[:]); err != nil {
+		return fmt.Errorf("netio: reading ack: %w", err)
+	}
+	if ack[0] != ackOK {
+		return ErrRejected
+	}
+	return nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,241 @@
+package netio
+
+import (
+	"errors"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"sbr/internal/core"
+	"sbr/internal/metrics"
+	"sbr/internal/sensor"
+	"sbr/internal/station"
+	"sbr/internal/timeseries"
+	"sbr/internal/wire"
+)
+
+func coreConfig() core.Config {
+	return core.Config{TotalBand: 40, MBase: 16, Metric: metrics.SSE}
+}
+
+func startServer(t *testing.T) (*Server, *station.Station) {
+	t.Helper()
+	st, err := station.New(coreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(st, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, st
+}
+
+// streamSensor drives a streaming sensor whose sink ships frames over the
+// client, recording `ticks` samples.
+func streamSensor(t *testing.T, addr, id string, ticks int) {
+	t.Helper()
+	client, err := Dial(addr, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	s, err := sensor.New(sensor.Config{
+		Core: coreConfig(), Quantities: 2, BatchLen: 64,
+	}, func(_ *core.Transmission, frame []byte) error {
+		return client.Send(frame)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ticks; i++ {
+		tv := float64(i) / 7
+		if err := s.Record(5*math.Sin(tv), 2*math.Cos(tv)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	srv, st := startServer(t)
+	streamSensor(t, srv.Addr(), "tcp-node", 3*64)
+
+	stats, err := st.SensorStats("tcp-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Transmissions != 3 {
+		t.Fatalf("station received %d transmissions, want 3", stats.Transmissions)
+	}
+	hist, err := st.History("tcp-node", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 3*64 {
+		t.Errorf("history length %d", len(hist))
+	}
+	// The reconstruction must track the sine source.
+	var mse, energy float64
+	for i := range hist {
+		orig := 5 * math.Sin(float64(i)/7)
+		mse += (hist[i] - orig) * (hist[i] - orig)
+		energy += orig * orig
+	}
+	if mse > energy/2 {
+		t.Errorf("TCP-path reconstruction error %v vs energy %v", mse, energy)
+	}
+}
+
+func TestConcurrentSensors(t *testing.T) {
+	srv, st := startServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 5; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			streamSensor(t, srv.Addr(), string(rune('a'+g)), 2*64)
+		}(g)
+	}
+	wg.Wait()
+	if got := len(st.Sensors()); got != 5 {
+		t.Errorf("%d sensors registered, want 5", got)
+	}
+}
+
+func TestServerRejectsGarbageFrame(t *testing.T) {
+	srv, _ := startServer(t)
+	client, err := Dial(srv.Addr(), "bad-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	err = client.Send([]byte("this is not a frame, but long enough to parse"))
+	if !errors.Is(err, ErrRejected) && err == nil {
+		t.Errorf("garbage frame accepted: %v", err)
+	}
+}
+
+func TestServerRejectsBadHandshake(t *testing.T) {
+	srv, _ := startServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("NOPE")); err != nil {
+		t.Fatal(err)
+	}
+	// The server closes the connection without serving.
+	var buf [1]byte
+	if _, err := conn.Read(buf[:]); err == nil {
+		t.Error("server answered a bad handshake")
+	}
+}
+
+func TestDialValidation(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", ""); err == nil {
+		t.Error("empty sensor ID accepted")
+	}
+	if _, err := Dial("127.0.0.1:0", "x"); err == nil {
+		t.Error("dial to port 0 succeeded")
+	}
+}
+
+func TestOutOfOrderRejectedOverTCP(t *testing.T) {
+	srv, _ := startServer(t)
+	comp, err := core.NewCompressor(coreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []timeseries.Series{make(timeseries.Series, 64), make(timeseries.Series, 64)}
+	for i := 0; i < 64; i++ {
+		rows[0][i] = float64(i)
+		rows[1][i] = float64(i * i)
+	}
+	t0, err := comp.Encode(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := comp.Encode(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = t0
+	frame1, err := wire.Encode(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(srv.Addr(), "ooo-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Sending seq 1 before seq 0 must be rejected by the station.
+	if err := client.Send(frame1); !errors.Is(err, ErrRejected) {
+		t.Errorf("out-of-order frame gave %v, want ErrRejected", err)
+	}
+}
+
+func TestSensorRebootOverTCP(t *testing.T) {
+	// A sensor that reboots (fresh compressor, seq restarts at 0) must be
+	// re-accepted by the station and its history keeps growing.
+	srv, st := startServer(t)
+	streamSensor(t, srv.Addr(), "reboot-node", 2*64)
+	streamSensor(t, srv.Addr(), "reboot-node", 2*64) // second life
+
+	stats, err := st.SensorStats("reboot-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Transmissions != 4 {
+		t.Errorf("%d transmissions after reboot, want 4", stats.Transmissions)
+	}
+	if stats.Restarts != 1 {
+		t.Errorf("%d restarts recorded, want 1", stats.Restarts)
+	}
+	hist, err := st.History("reboot-node", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 4*64 {
+		t.Errorf("history length %d, want %d", len(hist), 4*64)
+	}
+}
+
+func TestServerCloseDuringActiveConnection(t *testing.T) {
+	st, err := station.New(coreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(st, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(srv.Addr(), "open-conn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Close with the connection still open: must not deadlock.
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server Close deadlocked with an open connection")
+	}
+	// Sending after shutdown fails cleanly.
+	comp, _ := core.NewCompressor(coreConfig())
+	rows := []timeseries.Series{make(timeseries.Series, 64), make(timeseries.Series, 64)}
+	tr, _ := comp.Encode(rows)
+	frame, _ := wire.Encode(tr)
+	if err := client.Send(frame); err == nil {
+		t.Error("send to a closed server succeeded")
+	}
+}

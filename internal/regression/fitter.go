@@ -1,0 +1,54 @@
+package regression
+
+import (
+	"sbr/internal/metrics"
+	"sbr/internal/timeseries"
+)
+
+// Fitter selects the Regression() variant matching an error metric, giving
+// the rest of the framework a single entry point: the paper's algorithms
+// adapt to a different metric by swapping the regression subroutine only
+// (Section 4.5).
+type Fitter struct {
+	// Kind is the error metric the fits minimise and report.
+	Kind metrics.Kind
+	// Sanity bounds the denominator of relative errors; zero means
+	// metrics.DefaultSanity. Ignored by the other metrics.
+	Sanity float64
+}
+
+// Fit maps Y[startY : startY+length) onto X[startX : startX+length).
+func (f Fitter) Fit(x, y timeseries.Series, startX, startY, length int) Fit {
+	switch f.Kind {
+	case metrics.SSE:
+		return SSE(x, y, startX, startY, length)
+	case metrics.RelativeSSE:
+		return Relative(x, y, startX, startY, length, f.Sanity)
+	case metrics.MaxAbs:
+		return Minimax(x, y, startX, startY, length)
+	default:
+		panic("regression: unknown metric " + f.Kind.String())
+	}
+}
+
+// FitRamp maps Y[startY : startY+length) onto the time ramp 0,…,length−1,
+// the plain-linear-regression fall-back of BestMap.
+func (f Fitter) FitRamp(y timeseries.Series, startY, length int) Fit {
+	switch f.Kind {
+	case metrics.SSE:
+		return Ramp(y, startY, length)
+	case metrics.RelativeSSE:
+		return RampRelative(y, startY, length, f.Sanity)
+	case metrics.MaxAbs:
+		return RampMinimax(y, startY, length)
+	default:
+		panic("regression: unknown metric " + f.Kind.String())
+	}
+}
+
+// Error evaluates an existing fit (a, b) over a segment under the fitter's
+// metric, without re-optimising the parameters.
+func (f Fitter) Error(x, y timeseries.Series, startX, startY, length int, a, b float64) float64 {
+	approx := Fit{A: a, B: b}.Evaluate(x, startX, length)
+	return metrics.Eval(f.Kind, y[startY:startY+length], approx)
+}

@@ -1,0 +1,111 @@
+package regression
+
+import (
+	"sort"
+
+	"sbr/internal/timeseries"
+)
+
+// Minimax computes the line Y' = a·X + b minimising the maximum absolute
+// residual max_i |Y[i] − (a·X[j] + b)| over the paired segment. This is the
+// Chebyshev (L∞) regression variant of Section 4.5 used when the
+// application requires strict error bounds.
+//
+// The implementation is exact: the maximum residual of any line with slope
+// a equals (max_i(y_i − a·x_i) − min_i(y_i − a·x_i)) / 2, a convex
+// piecewise-linear function of a whose minimum is attained at the slope of
+// an edge of the upper or lower convex hull of the points. We enumerate
+// those edge slopes and evaluate each against the hull vertices only, which
+// is exact because y − a·x is a linear functional.
+func Minimax(x, y timeseries.Series, startX, startY, length int) Fit {
+	pts := make([]point, length)
+	for i := 0; i < length; i++ {
+		pts[i] = point{x: x[startX+i], y: y[startY+i]}
+	}
+	return minimaxPoints(pts)
+}
+
+// RampMinimax is Minimax with the time ramp 0,1,…,length−1 as X.
+func RampMinimax(y timeseries.Series, startY, length int) Fit {
+	pts := make([]point, length)
+	for i := 0; i < length; i++ {
+		pts[i] = point{x: float64(i), y: y[startY+i]}
+	}
+	return minimaxPoints(pts)
+}
+
+type point struct{ x, y float64 }
+
+func minimaxPoints(pts []point) Fit {
+	switch len(pts) {
+	case 0:
+		return Fit{}
+	case 1:
+		return Fit{A: 0, B: pts[0].y, Err: 0}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].x != pts[j].x {
+			return pts[i].x < pts[j].x
+		}
+		return pts[i].y < pts[j].y
+	})
+	if pts[0].x == pts[len(pts)-1].x {
+		// All points share one x: any slope fits equally; pick horizontal.
+		lo, hi := pts[0].y, pts[len(pts)-1].y
+		return Fit{A: 0, B: (lo + hi) / 2, Err: (hi - lo) / 2}
+	}
+	lower := hullChain(pts, false)
+	upper := hullChain(pts, true)
+
+	best := Fit{Err: -1}
+	try := func(a float64) {
+		// Residual extremes of y − a·x are attained on the hulls.
+		maxR := upper[0].y - a*upper[0].x
+		for _, p := range upper[1:] {
+			if r := p.y - a*p.x; r > maxR {
+				maxR = r
+			}
+		}
+		minR := lower[0].y - a*lower[0].x
+		for _, p := range lower[1:] {
+			if r := p.y - a*p.x; r < minR {
+				minR = r
+			}
+		}
+		err := (maxR - minR) / 2
+		if best.Err < 0 || err < best.Err {
+			best = Fit{A: a, B: (maxR + minR) / 2, Err: err}
+		}
+	}
+	for _, h := range [][]point{lower, upper} {
+		for i := 1; i < len(h); i++ {
+			dx := h[i].x - h[i-1].x
+			if dx > 0 {
+				try((h[i].y - h[i-1].y) / dx)
+			}
+		}
+	}
+	if best.Err < 0 { // every hull edge vertical: degenerate, handled above
+		return Fit{A: 0, B: pts[0].y, Err: 0}
+	}
+	return best
+}
+
+// hullChain builds the lower (upper=false) or upper (upper=true) convex
+// hull of points already sorted by (x, y), using Andrew's monotone chain.
+func hullChain(pts []point, upper bool) []point {
+	h := make([]point, 0, len(pts))
+	for _, p := range pts {
+		for len(h) >= 2 {
+			o, a := h[len(h)-2], h[len(h)-1]
+			cross := (a.x-o.x)*(p.y-o.y) - (a.y-o.y)*(p.x-o.x)
+			if (!upper && cross <= 0) || (upper && cross >= 0) {
+				h = h[:len(h)-1]
+				continue
+			}
+			break
+		}
+		h = append(h, p)
+	}
+	return h
+}

@@ -1,0 +1,159 @@
+package regression
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sbr/internal/timeseries"
+)
+
+// bruteMaxAbs evaluates the maximum residual of a line over the points.
+func bruteMaxAbs(x, y timeseries.Series, length int, a, b float64) float64 {
+	var m float64
+	for i := 0; i < length; i++ {
+		if d := math.Abs(y[i] - (a*x[i] + b)); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// bruteMinimax grid-free exact reference: the optimal Chebyshev line is
+// determined by three points (two extremes on one side, one on the other),
+// so enumerating all point triples — and, for robustness, all pairs
+// defining a slope — yields the optimum on small inputs.
+func bruteMinimax(x, y timeseries.Series, length int) float64 {
+	best := math.Inf(1)
+	consider := func(a float64) {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < length; i++ {
+			r := y[i] - a*x[i]
+			lo = math.Min(lo, r)
+			hi = math.Max(hi, r)
+		}
+		if e := (hi - lo) / 2; e < best {
+			best = e
+		}
+	}
+	consider(0)
+	for i := 0; i < length; i++ {
+		for j := i + 1; j < length; j++ {
+			if x[i] != x[j] {
+				consider((y[i] - y[j]) / (x[i] - x[j]))
+			}
+		}
+	}
+	return best
+}
+
+func TestMinimaxExactLine(t *testing.T) {
+	x := timeseries.Series{0, 1, 2, 3}
+	y := timeseries.Series{5, 7, 9, 11}
+	fit := Minimax(x, y, 0, 0, 4)
+	if math.Abs(fit.A-2) > 1e-9 || math.Abs(fit.B-5) > 1e-9 || fit.Err > 1e-12 {
+		t.Errorf("exact-line minimax fit = %+v", fit)
+	}
+}
+
+func TestMinimaxKnownCase(t *testing.T) {
+	// Points: (0,0), (1,1), (2,0). Best horizontal-band line is y = x·0 +
+	// 0.5 with max error 0.5? The optimal is y = 0.5 (slope 0): residuals
+	// 0.5, 0.5, 0.5.
+	x := timeseries.Series{0, 1, 2}
+	y := timeseries.Series{0, 1, 0}
+	fit := Minimax(x, y, 0, 0, 3)
+	if math.Abs(fit.Err-0.5) > 1e-9 {
+		t.Errorf("minimax err = %v, want 0.5", fit.Err)
+	}
+	if got := bruteMaxAbs(x, y, 3, fit.A, fit.B); math.Abs(got-fit.Err) > 1e-9 {
+		t.Errorf("reported err %v but line achieves %v", fit.Err, got)
+	}
+}
+
+func TestMinimaxDegenerate(t *testing.T) {
+	// All points share one x.
+	x := timeseries.Series{2, 2, 2}
+	y := timeseries.Series{1, 5, 3}
+	fit := Minimax(x, y, 0, 0, 3)
+	if math.Abs(fit.Err-2) > 1e-9 {
+		t.Errorf("same-x minimax err = %v, want 2", fit.Err)
+	}
+	// Single point.
+	fit = Minimax(timeseries.Series{1}, timeseries.Series{7}, 0, 0, 1)
+	if fit.Err != 0 || fit.B != 7 {
+		t.Errorf("single-point fit = %+v", fit)
+	}
+	// Empty.
+	if fit := Minimax(nil, nil, 0, 0, 0); fit != (Fit{}) {
+		t.Errorf("empty fit = %+v", fit)
+	}
+	// Two points: always exactly interpolable.
+	fit = Minimax(timeseries.Series{0, 1}, timeseries.Series{3, 9}, 0, 0, 2)
+	if fit.Err > 1e-12 {
+		t.Errorf("two-point fit err = %v, want 0", fit.Err)
+	}
+}
+
+// Property: the hull-based minimax matches the brute-force optimum and the
+// reported error is achieved by the returned line.
+func TestMinimaxMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 2
+		x := randSeries(rng, n)
+		y := randSeries(rng, n)
+		fit := Minimax(x, y, 0, 0, n)
+		achieved := bruteMaxAbs(x, y, n, fit.A, fit.B)
+		if math.Abs(achieved-fit.Err) > 1e-6*(1+fit.Err) {
+			return false
+		}
+		want := bruteMinimax(x, y, n)
+		return fit.Err <= want+1e-6*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: minimax error never exceeds the max residual of the SSE fit.
+func TestMinimaxNoWorseThanLeastSquares(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 2
+		x := randSeries(rng, n)
+		y := randSeries(rng, n)
+		cheb := Minimax(x, y, 0, 0, n)
+		ls := SSE(x, y, 0, 0, n)
+		lsMax := bruteMaxAbs(x, y, n, ls.A, ls.B)
+		return cheb.Err <= lsMax+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRampMinimax(t *testing.T) {
+	y := timeseries.Series{0, 1, 0, 1, 0}
+	fit := RampMinimax(y, 0, 5)
+	if math.Abs(fit.Err-0.5) > 1e-9 {
+		t.Errorf("RampMinimax err = %v, want 0.5", fit.Err)
+	}
+	// Offset segments address the right samples.
+	y2 := timeseries.Series{9, 9, 0, 2, 4}
+	fit2 := RampMinimax(y2, 2, 3)
+	if fit2.Err > 1e-12 || math.Abs(fit2.A-2) > 1e-9 {
+		t.Errorf("offset RampMinimax = %+v, want slope 2 err 0", fit2)
+	}
+}
+
+func TestMinimaxWithOffsets(t *testing.T) {
+	x := timeseries.Series{9, 9, 0, 1, 2, 3}
+	y := timeseries.Series{8, 8, 8, 1, 3, 5}
+	// Map y[3:6) onto x[2:5): y = 2x + 1 exactly.
+	fit := Minimax(x, y, 2, 3, 3)
+	if fit.Err > 1e-12 || math.Abs(fit.A-2) > 1e-9 || math.Abs(fit.B-1) > 1e-9 {
+		t.Errorf("offset minimax = %+v", fit)
+	}
+}

@@ -1,0 +1,155 @@
+package regression
+
+import (
+	"math"
+
+	"sbr/internal/timeseries"
+)
+
+// This file implements the paper's stated future-work direction
+// (Section 6): non-linear encodings of the data values over the base
+// signal. The quadratic model Y' = c·X² + a·X + b is the smallest step up
+// from the linear projection; each interval record then carries three
+// coefficients instead of two (5 transmitted values instead of 4), and the
+// question the ablation benchmarks answer is whether the extra coefficient
+// pays for itself under a fixed bandwidth budget.
+
+// QuadFit holds the three coefficients of Y' = C·X² + A·X + B and the SSE
+// of the fit. A linear Fit embeds into a QuadFit with C = 0.
+type QuadFit struct {
+	A, B, C float64
+	Err     float64
+}
+
+// Quad computes the least-squares quadratic fit of
+// Y[startY : startY+length) against X[startX : startX+length). If the
+// normal equations are singular (e.g. X constant, or X taking only two
+// distinct values), it falls back to the best linear fit.
+func Quad(x, y timeseries.Series, startX, startY, length int) QuadFit {
+	if length <= 0 {
+		return QuadFit{}
+	}
+	var s1, s2, s3, s4, t0, t1, t2, sy2 float64
+	for i := 0; i < length; i++ {
+		xv := x[startX+i]
+		yv := y[startY+i]
+		x2 := xv * xv
+		s1 += xv
+		s2 += x2
+		s3 += x2 * xv
+		s4 += x2 * x2
+		t0 += yv
+		t1 += xv * yv
+		t2 += x2 * yv
+		sy2 += yv * yv
+	}
+	s0 := float64(length)
+	coef, ok := solve3(
+		[3][3]float64{
+			{s4, s3, s2},
+			{s3, s2, s1},
+			{s2, s1, s0},
+		},
+		[3]float64{t2, t1, t0},
+	)
+	if !ok {
+		lin := sseFromSums(s1, t0, t1, s2, sy2, length)
+		return QuadFit{A: lin.A, B: lin.B, Err: lin.Err}
+	}
+	fit := QuadFit{C: coef[0], A: coef[1], B: coef[2]}
+	for i := 0; i < length; i++ {
+		xv := x[startX+i]
+		d := y[startY+i] - (fit.C*xv*xv + fit.A*xv + fit.B)
+		fit.Err += d * d
+	}
+	// Guard against numerically ill-conditioned systems: the quadratic fit
+	// can never beat its own linear special case by less than round-off,
+	// so fall back when it is actually worse.
+	lin := sseFromSums(s1, t0, t1, s2, sy2, length)
+	if lin.Err < fit.Err {
+		return QuadFit{A: lin.A, B: lin.B, Err: lin.Err}
+	}
+	return fit
+}
+
+// RampQuad is Quad with the time ramp 0,1,…,length−1 as X.
+func RampQuad(y timeseries.Series, startY, length int) QuadFit {
+	if length <= 0 {
+		return QuadFit{}
+	}
+	ramp := make(timeseries.Series, length)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	return Quad(ramp, y, 0, startY, length)
+}
+
+// Evaluate returns the quadratic approximation over the segment.
+func (f QuadFit) Evaluate(x timeseries.Series, startX, length int) timeseries.Series {
+	out := make(timeseries.Series, length)
+	for i := 0; i < length; i++ {
+		xv := x[startX+i]
+		out[i] = f.C*xv*xv + f.A*xv + f.B
+	}
+	return out
+}
+
+// EvaluateRamp returns the quadratic approximation over the time ramp.
+func (f QuadFit) EvaluateRamp(length int) timeseries.Series {
+	out := make(timeseries.Series, length)
+	for i := 0; i < length; i++ {
+		xv := float64(i)
+		out[i] = f.C*xv*xv + f.A*xv + f.B
+	}
+	return out
+}
+
+// solve3 solves a 3×3 linear system by Gaussian elimination with partial
+// pivoting. ok is false when the matrix is (numerically) singular.
+func solve3(m [3][3]float64, rhs [3]float64) ([3]float64, bool) {
+	// Scale-aware singularity threshold.
+	var scale float64
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if a := math.Abs(m[i][j]); a > scale {
+				scale = a
+			}
+		}
+	}
+	if scale == 0 {
+		return [3]float64{}, false
+	}
+	eps := 1e-12 * scale
+
+	for col := 0; col < 3; col++ {
+		pivot := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) <= eps {
+			return [3]float64{}, false
+		}
+		if pivot != col {
+			m[pivot], m[col] = m[col], m[pivot]
+			rhs[pivot], rhs[col] = rhs[col], rhs[pivot]
+		}
+		for r := col + 1; r < 3; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c < 3; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	var out [3]float64
+	for i := 2; i >= 0; i-- {
+		sum := rhs[i]
+		for j := i + 1; j < 3; j++ {
+			sum -= m[i][j] * out[j]
+		}
+		out[i] = sum / m[i][i]
+	}
+	return out, true
+}

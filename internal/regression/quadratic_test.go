@@ -1,0 +1,158 @@
+package regression
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sbr/internal/timeseries"
+)
+
+func bruteQuadSSE(x, y timeseries.Series, length int, a, b, c float64) float64 {
+	var err float64
+	for i := 0; i < length; i++ {
+		d := y[i] - (c*x[i]*x[i] + a*x[i] + b)
+		err += d * d
+	}
+	return err
+}
+
+func TestQuadExactParabola(t *testing.T) {
+	x := timeseries.Series{-2, -1, 0, 1, 2, 3}
+	y := make(timeseries.Series, len(x))
+	for i, xv := range x {
+		y[i] = 2*xv*xv - 3*xv + 5
+	}
+	fit := Quad(x, y, 0, 0, len(x))
+	if math.Abs(fit.C-2) > 1e-8 || math.Abs(fit.A+3) > 1e-8 || math.Abs(fit.B-5) > 1e-8 {
+		t.Errorf("parabola fit = %+v", fit)
+	}
+	if fit.Err > 1e-9 {
+		t.Errorf("parabola fit err = %v", fit.Err)
+	}
+}
+
+func TestQuadReducesToLinearOnLine(t *testing.T) {
+	x := timeseries.Series{1, 2, 3, 4, 5}
+	y := make(timeseries.Series, len(x))
+	for i, xv := range x {
+		y[i] = 4*xv - 1
+	}
+	fit := Quad(x, y, 0, 0, len(x))
+	if fit.Err > 1e-9 {
+		t.Errorf("line fit err = %v", fit.Err)
+	}
+	approx := fit.Evaluate(x, 0, len(x))
+	if !timeseries.Equal(approx, y, 1e-6) {
+		t.Errorf("line evaluation = %v, want %v", approx, y)
+	}
+}
+
+func TestQuadDegenerateFallsBackToLinear(t *testing.T) {
+	// Constant X: singular system, fall back to the horizontal line.
+	x := timeseries.Series{3, 3, 3, 3}
+	y := timeseries.Series{1, 2, 3, 4}
+	fit := Quad(x, y, 0, 0, 4)
+	if fit.C != 0 {
+		t.Errorf("degenerate fit kept a quadratic term: %+v", fit)
+	}
+	if math.Abs(fit.B-2.5) > 1e-9 {
+		t.Errorf("degenerate fit intercept %v, want 2.5", fit.B)
+	}
+	// Two distinct X values: x² is linearly dependent on {x, 1}, again
+	// singular; the fit must still be as good as the best line (exact here).
+	x = timeseries.Series{1, 1, 2, 2}
+	y = timeseries.Series{5, 5, 9, 9}
+	fit = Quad(x, y, 0, 0, 4)
+	if fit.Err > 1e-9 {
+		t.Errorf("two-level fit err = %v", fit.Err)
+	}
+}
+
+func TestQuadZeroLength(t *testing.T) {
+	if fit := Quad(nil, nil, 0, 0, 0); fit != (QuadFit{}) {
+		t.Errorf("empty fit = %+v", fit)
+	}
+}
+
+// Property: the quadratic fit never loses to the linear fit, and no
+// perturbation of its coefficients lowers the SSE.
+func TestQuadOptimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 4
+		x := randSeries(rng, n)
+		y := randSeries(rng, n)
+		quad := Quad(x, y, 0, 0, n)
+		lin := SSE(x, y, 0, 0, n)
+		if quad.Err > lin.Err+1e-6*(1+lin.Err) {
+			return false
+		}
+		if math.Abs(bruteQuadSSE(x, y, n, quad.A, quad.B, quad.C)-quad.Err) > 1e-5*(1+quad.Err) {
+			return false
+		}
+		for trial := 0; trial < 8; trial++ {
+			da := rng.NormFloat64() * 0.01
+			db := rng.NormFloat64() * 0.01
+			dc := rng.NormFloat64() * 0.01
+			if bruteQuadSSE(x, y, n, quad.A+da, quad.B+db, quad.C+dc) < quad.Err-1e-6*(1+quad.Err) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRampQuadMatchesExplicitRamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	y := randSeries(rng, 32)
+	ramp := make(timeseries.Series, 32)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	want := Quad(ramp, y, 0, 0, 32)
+	got := RampQuad(y, 0, 32)
+	if math.Abs(got.Err-want.Err) > 1e-9*(1+want.Err) {
+		t.Errorf("RampQuad err %v, want %v", got.Err, want.Err)
+	}
+	approx := got.EvaluateRamp(32)
+	var sse float64
+	for i := range y {
+		d := y[i] - approx[i]
+		sse += d * d
+	}
+	if math.Abs(sse-got.Err) > 1e-6*(1+got.Err) {
+		t.Errorf("EvaluateRamp error %v differs from reported %v", sse, got.Err)
+	}
+}
+
+func TestSolve3KnownSystem(t *testing.T) {
+	// x + y + z = 6; 2y + 5z = -4; 2x + 5y - z = 27 → (5, 3, -2).
+	sol, ok := solve3(
+		[3][3]float64{{1, 1, 1}, {0, 2, 5}, {2, 5, -1}},
+		[3]float64{6, -4, 27},
+	)
+	if !ok {
+		t.Fatal("solvable system reported singular")
+	}
+	want := [3]float64{5, 3, -2}
+	for i := range want {
+		if math.Abs(sol[i]-want[i]) > 1e-9 {
+			t.Errorf("sol[%d] = %v, want %v", i, sol[i], want[i])
+		}
+	}
+	if _, ok := solve3([3][3]float64{}, [3]float64{1, 2, 3}); ok {
+		t.Error("zero matrix reported solvable")
+	}
+	// Rank-2 matrix.
+	if _, ok := solve3(
+		[3][3]float64{{1, 2, 3}, {2, 4, 6}, {1, 0, 1}},
+		[3]float64{1, 2, 3},
+	); ok {
+		t.Error("rank-deficient matrix reported solvable")
+	}
+}

@@ -1,0 +1,215 @@
+// Package regression implements the Regression() subroutine of the paper
+// (Algorithm 1) together with the error-metric variants described in the
+// companion technical report: the SSE-optimal least-squares fit, the
+// weighted least-squares fit that minimises the sum squared relative error,
+// and the exact minimax (Chebyshev) fit that minimises the maximum absolute
+// error. All fits map a segment of a base signal X onto a segment of the
+// data signal Y as Y' = a·X + b.
+package regression
+
+import (
+	"math"
+
+	"sbr/internal/metrics"
+	"sbr/internal/timeseries"
+)
+
+// Fit holds the two regression parameters and the error of the resulting
+// approximation under the metric that produced it.
+type Fit struct {
+	A, B float64
+	Err  float64
+}
+
+// epsVar is the threshold under which the X segment is treated as constant
+// and the fit degenerates to the horizontal line b = mean(Y).
+const epsVar = 1e-12
+
+// SSE computes the least-squares fit of Y[startY : startY+length) against
+// X[startX : startX+length), exactly as Algorithm 1 of the paper: the
+// returned parameters minimise Σ (Y[i] − (a·X[j] + b))² and Err is that
+// minimal sum of squares.
+func SSE(x, y timeseries.Series, startX, startY, length int) Fit {
+	if length <= 0 {
+		return Fit{}
+	}
+	var sumX, sumY, sumXY, sumX2, sumY2 float64
+	for i := 0; i < length; i++ {
+		xv := x[startX+i]
+		yv := y[startY+i]
+		sumX += xv
+		sumY += yv
+		sumXY += xv * yv
+		sumX2 += xv * xv
+		sumY2 += yv * yv
+	}
+	return sseFromSums(sumX, sumY, sumXY, sumX2, sumY2, length)
+}
+
+// sseFromSums finishes the least-squares computation from sufficient
+// statistics. It centres the moments to limit cancellation and clamps the
+// residual error at zero.
+func sseFromSums(sumX, sumY, sumXY, sumX2, sumY2 float64, length int) Fit {
+	n := float64(length)
+	mx := sumX / n
+	my := sumY / n
+	varX := sumX2/n - mx*mx
+	varY := sumY2/n - my*my
+	cov := sumXY/n - mx*my
+	if varX <= epsVar {
+		// Degenerate X: best line is horizontal through the Y mean.
+		err := n * varY
+		if err < 0 {
+			err = 0
+		}
+		return Fit{A: 0, B: my, Err: err}
+	}
+	a := cov / varX
+	b := my - a*mx
+	err := n * (varY - a*cov)
+	if err < 0 {
+		err = 0
+	}
+	return Fit{A: a, B: b, Err: err}
+}
+
+// SSEWithPrefix is SSE with the X-segment moments supplied by prefix sums,
+// so the loop only accumulates the cross moment Σ X·Y. The Y-segment
+// moments must describe y[startY : startY+length). It is the inner loop of
+// the BestMap shift scan.
+func SSEWithPrefix(x timeseries.Series, px *timeseries.Prefix,
+	y timeseries.Series, sumY, sumY2 float64, startX, startY, length int) Fit {
+	if length <= 0 {
+		return Fit{}
+	}
+	var sumXY float64
+	for i := 0; i < length; i++ {
+		sumXY += x[startX+i] * y[startY+i]
+	}
+	return sseFromSums(px.Sum(startX, length), sumY, sumXY,
+		px.SumSq(startX, length), sumY2, length)
+}
+
+// Ramp computes the least-squares fit of Y[startY : startY+length) against
+// the time ramp 0,1,…,length−1. This is the "standard linear regression"
+// fall-back of BestMap (shift = −1): the interval is modelled as a straight
+// line in time. The index moments have closed forms, so only the Y moments
+// are accumulated.
+func Ramp(y timeseries.Series, startY, length int) Fit {
+	if length <= 0 {
+		return Fit{}
+	}
+	n := float64(length)
+	// Σ i and Σ i² for i in [0, length).
+	sumX := n * (n - 1) / 2
+	sumX2 := n * (n - 1) * (2*n - 1) / 6
+	var sumY, sumXY, sumY2 float64
+	for i := 0; i < length; i++ {
+		yv := y[startY+i]
+		sumY += yv
+		sumY2 += yv * yv
+		sumXY += float64(i) * yv
+	}
+	return sseFromSums(sumX, sumY, sumXY, sumX2, sumY2, length)
+}
+
+// Relative computes the fit minimising the sum squared relative error
+// Σ ((Y[i] − (a·X[j]+b)) / max(|Y[i]|, sanity))². This is weighted least
+// squares with weights w_i = 1/max(|Y[i]|, sanity)²; the normal equations
+// in (a, b) remain 2×2 and the fit stays O(length) time, O(1) space, as the
+// technical report requires.
+func Relative(x, y timeseries.Series, startX, startY, length int, sanity float64) Fit {
+	if length <= 0 {
+		return Fit{}
+	}
+	if sanity <= 0 {
+		sanity = metrics.DefaultSanity
+	}
+	var sw, swx, swy, swxy, swx2, swy2 float64
+	for i := 0; i < length; i++ {
+		xv := x[startX+i]
+		yv := y[startY+i]
+		den := math.Abs(yv)
+		if den < sanity {
+			den = sanity
+		}
+		w := 1 / (den * den)
+		sw += w
+		swx += w * xv
+		swy += w * yv
+		swxy += w * xv * yv
+		swx2 += w * xv * xv
+		swy2 += w * yv * yv
+	}
+	return weightedFromSums(sw, swx, swy, swxy, swx2, swy2)
+}
+
+// RampRelative is Relative with the time ramp 0,1,…,length−1 as X.
+func RampRelative(y timeseries.Series, startY, length int, sanity float64) Fit {
+	if length <= 0 {
+		return Fit{}
+	}
+	if sanity <= 0 {
+		sanity = metrics.DefaultSanity
+	}
+	var sw, swx, swy, swxy, swx2, swy2 float64
+	for i := 0; i < length; i++ {
+		xv := float64(i)
+		yv := y[startY+i]
+		den := math.Abs(yv)
+		if den < sanity {
+			den = sanity
+		}
+		w := 1 / (den * den)
+		sw += w
+		swx += w * xv
+		swy += w * yv
+		swxy += w * xv * yv
+		swx2 += w * xv * xv
+		swy2 += w * yv * yv
+	}
+	return weightedFromSums(sw, swx, swy, swxy, swx2, swy2)
+}
+
+// weightedFromSums solves the weighted normal equations and reports the
+// weighted residual sum of squares.
+func weightedFromSums(sw, swx, swy, swxy, swx2, swy2 float64) Fit {
+	mx := swx / sw
+	my := swy / sw
+	varX := swx2/sw - mx*mx
+	varY := swy2/sw - my*my
+	cov := swxy/sw - mx*my
+	if varX <= epsVar {
+		err := sw * varY
+		if err < 0 {
+			err = 0
+		}
+		return Fit{A: 0, B: my, Err: err}
+	}
+	a := cov / varX
+	b := my - a*mx
+	err := sw * (varY - a*cov)
+	if err < 0 {
+		err = 0
+	}
+	return Fit{A: a, B: b, Err: err}
+}
+
+// Evaluate returns the approximation a·X[startX+i]+b of the fit over the
+// segment, as a new series of the given length.
+func (f Fit) Evaluate(x timeseries.Series, startX, length int) timeseries.Series {
+	out := make(timeseries.Series, length)
+	for i := 0; i < length; i++ {
+		out[i] = f.A*x[startX+i] + f.B
+	}
+	return out
+}
+
+// EvaluateRamp returns the approximation a·i+b for i in [0, length).
+func (f Fit) EvaluateRamp(length int) timeseries.Series {
+	out := make(timeseries.Series, length)
+	for i := 0; i < length; i++ {
+		out[i] = f.A*float64(i) + f.B
+	}
+	return out
+}

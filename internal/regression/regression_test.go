@@ -1,0 +1,262 @@
+package regression
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sbr/internal/metrics"
+	"sbr/internal/timeseries"
+)
+
+func randSeries(rng *rand.Rand, n int) timeseries.Series {
+	s := make(timeseries.Series, n)
+	for i := range s {
+		s[i] = rng.NormFloat64() * 10
+	}
+	return s
+}
+
+// bruteSSE evaluates the SSE of the line (a, b) over the paired segment.
+func bruteSSE(x, y timeseries.Series, startX, startY, length int, a, b float64) float64 {
+	var err float64
+	for i := 0; i < length; i++ {
+		d := y[startY+i] - (a*x[startX+i] + b)
+		err += d * d
+	}
+	return err
+}
+
+func TestSSEExactLine(t *testing.T) {
+	x := timeseries.Series{1, 2, 3, 4, 5}
+	y := make(timeseries.Series, 5)
+	for i := range y {
+		y[i] = 3*x[i] - 7
+	}
+	fit := SSE(x, y, 0, 0, 5)
+	if math.Abs(fit.A-3) > 1e-9 || math.Abs(fit.B+7) > 1e-9 || fit.Err > 1e-12 {
+		t.Errorf("exact line fit = %+v, want a=3 b=-7 err=0", fit)
+	}
+}
+
+func TestSSEMatchesReportedError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randSeries(rng, 50)
+	y := randSeries(rng, 50)
+	fit := SSE(x, y, 10, 5, 30)
+	brute := bruteSSE(x, y, 10, 5, 30, fit.A, fit.B)
+	if math.Abs(fit.Err-brute) > 1e-6*(1+brute) {
+		t.Errorf("reported err %v, recomputed %v", fit.Err, brute)
+	}
+}
+
+// Property: the closed-form fit is optimal — no perturbation of (a, b)
+// lowers the SSE.
+func TestSSEOptimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 3
+		x := randSeries(rng, n)
+		y := randSeries(rng, n)
+		fit := SSE(x, y, 0, 0, n)
+		for trial := 0; trial < 10; trial++ {
+			da := rng.NormFloat64() * 0.1
+			db := rng.NormFloat64() * 0.1
+			perturbed := bruteSSE(x, y, 0, 0, n, fit.A+da, fit.B+db)
+			if perturbed < fit.Err-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSSEDegenerateConstantX(t *testing.T) {
+	x := timeseries.Series{5, 5, 5, 5}
+	y := timeseries.Series{1, 2, 3, 4}
+	fit := SSE(x, y, 0, 0, 4)
+	if fit.A != 0 {
+		t.Errorf("constant-X fit slope = %v, want 0", fit.A)
+	}
+	if math.Abs(fit.B-2.5) > 1e-12 {
+		t.Errorf("constant-X fit intercept = %v, want mean 2.5", fit.B)
+	}
+	if math.Abs(fit.Err-5.0) > 1e-9 { // Σ(y−2.5)² = 2.25+0.25+0.25+2.25
+		t.Errorf("constant-X fit err = %v, want 5", fit.Err)
+	}
+}
+
+func TestSSEZeroAndOneLength(t *testing.T) {
+	x := timeseries.Series{1, 2}
+	y := timeseries.Series{3, 4}
+	if fit := SSE(x, y, 0, 0, 0); fit != (Fit{}) {
+		t.Errorf("zero-length fit = %+v, want zero value", fit)
+	}
+	fit := SSE(x, y, 0, 0, 1)
+	if fit.Err > 1e-12 {
+		t.Errorf("single-point fit err = %v, want 0", fit.Err)
+	}
+}
+
+func TestSSEWithPrefixMatchesSSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randSeries(rng, 100)
+	y := randSeries(rng, 100)
+	px := timeseries.NewPrefix(x)
+	for trial := 0; trial < 50; trial++ {
+		length := rng.Intn(30) + 1
+		sx := rng.Intn(100 - length)
+		sy := rng.Intn(100 - length)
+		var sumY, sumY2 float64
+		for i := 0; i < length; i++ {
+			v := y[sy+i]
+			sumY += v
+			sumY2 += v * v
+		}
+		want := SSE(x, y, sx, sy, length)
+		got := SSEWithPrefix(x, px, y, sumY, sumY2, sx, sy, length)
+		if math.Abs(got.A-want.A) > 1e-9 || math.Abs(got.B-want.B) > 1e-9 ||
+			math.Abs(got.Err-want.Err) > 1e-6*(1+want.Err) {
+			t.Fatalf("prefix fit %+v differs from direct fit %+v", got, want)
+		}
+	}
+}
+
+func TestRampMatchesExplicitIndexSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	y := randSeries(rng, 64)
+	ramp := make(timeseries.Series, 64)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	for _, seg := range [][2]int{{0, 64}, {5, 20}, {60, 3}, {10, 1}} {
+		start, length := seg[0], seg[1]
+		want := SSE(ramp, y, 0, start, length)
+		got := Ramp(y, start, length)
+		if math.Abs(got.A-want.A) > 1e-9 || math.Abs(got.B-want.B) > 1e-9 ||
+			math.Abs(got.Err-want.Err) > 1e-6*(1+want.Err) {
+			t.Errorf("Ramp(%d,%d) = %+v, want %+v", start, length, got, want)
+		}
+	}
+}
+
+// bruteRelative evaluates the weighted (relative) error of a line.
+func bruteRelative(x, y timeseries.Series, length int, a, b, sanity float64) float64 {
+	var err float64
+	for i := 0; i < length; i++ {
+		den := math.Abs(y[i])
+		if den < sanity {
+			den = sanity
+		}
+		d := (y[i] - (a*x[i] + b)) / den
+		err += d * d
+	}
+	return err
+}
+
+func TestRelativeOptimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 3
+		x := randSeries(rng, n)
+		y := randSeries(rng, n)
+		fit := Relative(x, y, 0, 0, n, 1)
+		base := bruteRelative(x, y, n, fit.A, fit.B, 1)
+		if math.Abs(base-fit.Err) > 1e-6*(1+base) {
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			da := rng.NormFloat64() * 0.05
+			db := rng.NormFloat64() * 0.05
+			if bruteRelative(x, y, n, fit.A+da, fit.B+db, 1) < fit.Err-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelativeExactLine(t *testing.T) {
+	x := timeseries.Series{1, 2, 3, 4}
+	y := timeseries.Series{11, 21, 31, 41}
+	fit := Relative(x, y, 0, 0, 4, 1)
+	if math.Abs(fit.A-10) > 1e-9 || math.Abs(fit.B-1) > 1e-9 || fit.Err > 1e-12 {
+		t.Errorf("relative exact-line fit = %+v", fit)
+	}
+}
+
+func TestRampRelativeMatchesRelativeOnRamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	y := randSeries(rng, 32)
+	ramp := make(timeseries.Series, 32)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	want := Relative(ramp, y, 0, 0, 32, 1)
+	got := RampRelative(y, 0, 32, 1)
+	if math.Abs(got.A-want.A) > 1e-9 || math.Abs(got.Err-want.Err) > 1e-9 {
+		t.Errorf("RampRelative = %+v, want %+v", got, want)
+	}
+}
+
+func TestEvaluateHelpers(t *testing.T) {
+	fit := Fit{A: 2, B: 1}
+	x := timeseries.Series{0, 1, 2}
+	got := fit.Evaluate(x, 0, 3)
+	if !timeseries.Equal(got, timeseries.Series{1, 3, 5}, 1e-12) {
+		t.Errorf("Evaluate = %v", got)
+	}
+	gotRamp := fit.EvaluateRamp(3)
+	if !timeseries.Equal(gotRamp, timeseries.Series{1, 3, 5}, 1e-12) {
+		t.Errorf("EvaluateRamp = %v", gotRamp)
+	}
+}
+
+func TestFitterDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := randSeries(rng, 20)
+	y := randSeries(rng, 20)
+	for _, kind := range []metrics.Kind{metrics.SSE, metrics.RelativeSSE, metrics.MaxAbs} {
+		fitter := Fitter{Kind: kind}
+		fit := fitter.Fit(x, y, 0, 0, 20)
+		approx := fit.Evaluate(x, 0, 20)
+		reported := metrics.Eval(kind, y[:20], approx)
+		if math.Abs(reported-fit.Err) > 1e-6*(1+fit.Err) {
+			t.Errorf("%v: reported err %v, recomputed %v", kind, fit.Err, reported)
+		}
+		rampFit := fitter.FitRamp(y, 0, 20)
+		rampApprox := rampFit.EvaluateRamp(20)
+		rampErr := metrics.Eval(kind, y[:20], rampApprox)
+		if math.Abs(rampErr-rampFit.Err) > 1e-6*(1+rampFit.Err) {
+			t.Errorf("%v ramp: reported err %v, recomputed %v", kind, rampFit.Err, rampErr)
+		}
+	}
+}
+
+func TestFitterErrorMethod(t *testing.T) {
+	x := timeseries.Series{1, 2, 3}
+	y := timeseries.Series{2, 4, 6}
+	fitter := Fitter{Kind: metrics.SSE}
+	if got := fitter.Error(x, y, 0, 0, 3, 2, 0); got > 1e-12 {
+		t.Errorf("exact-fit Error = %v, want 0", got)
+	}
+	if got := fitter.Error(x, y, 0, 0, 3, 0, 0); math.Abs(got-56) > 1e-9 {
+		t.Errorf("zero-line Error = %v, want 56", got)
+	}
+}
+
+func TestFitterUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown metric kind did not panic")
+		}
+	}()
+	Fitter{Kind: metrics.Kind(9)}.Fit(timeseries.Series{1}, timeseries.Series{1}, 0, 0, 1)
+}

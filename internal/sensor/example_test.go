@@ -1,0 +1,42 @@
+package sensor_test
+
+import (
+	"fmt"
+	"math"
+
+	"sbr/internal/core"
+	"sbr/internal/sensor"
+)
+
+// Example shows the streaming front end: samples arrive one tick at a
+// time; every 128 ticks a batch is compressed, framed, and handed to the
+// sink (here just counted — in a deployment this is the radio or a
+// netio.Client).
+func Example() {
+	flushed := 0
+	s, err := sensor.New(sensor.Config{
+		Core:       core.Config{TotalBand: 50, MBase: 32},
+		Quantities: 2,
+		BatchLen:   128,
+		Adaptive:   &core.AdaptivePolicy{MinFullRuns: 1},
+	}, func(t *core.Transmission, frame []byte) error {
+		flushed++
+		return nil
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i := 0; i < 300; i++ {
+		tv := float64(i) / 10
+		if err := s.Record(math.Sin(tv), 2*math.Cos(tv)); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	st := s.Stats()
+	fmt.Printf("flushed %d batches, %d ticks pending, %d full SBR runs\n",
+		flushed, s.Pending(), st.FullRuns)
+	// Output:
+	// flushed 2 batches, 44 ticks pending, 1 full SBR runs
+}

@@ -1,0 +1,211 @@
+// Package sensor provides the on-device streaming front end of the
+// framework: samples arrive one tick at a time, accumulate in the N×M
+// collection buffer of Section 3.2, and every full buffer is compressed
+// (optionally under the Section 4.4 adaptive schedule), framed for the
+// wire, and handed to a caller-supplied sink — a radio, a TCP connection,
+// or a log file.
+package sensor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sbr/internal/core"
+	"sbr/internal/timeseries"
+	"sbr/internal/wire"
+)
+
+// Sink consumes one finished transmission: the decoded form for in-process
+// receivers and the wire frame for real transports. Returning an error
+// aborts the Record call that triggered the flush; the batch is dropped
+// (sensors do not retransmit — Section 3.2's batch model).
+type Sink func(t *core.Transmission, frame []byte) error
+
+// Config assembles a streaming sensor.
+type Config struct {
+	// Core is the SBR configuration (bandwidth budget, base-signal buffer,
+	// metric, builder…).
+	Core core.Config
+
+	// Quantities is N: samples per tick.
+	Quantities int
+
+	// BatchLen is M: ticks per transmission.
+	BatchLen int
+
+	// Adaptive, when non-nil, enables the Section 4.4 scheduler with this
+	// policy; nil runs the full SBR algorithm on every batch.
+	Adaptive *core.AdaptivePolicy
+
+	// Rates optionally gives each quantity its own sampling schedule
+	// (footnote 2 of the paper): quantity q stores a reading every
+	// Rates[q] ticks and is linearly interpolated back to BatchLen points
+	// at flush time, so the compressed batch stays rectangular. Nil or a
+	// rate of 1 means every tick. Rates must divide into at least one
+	// stored sample per batch.
+	Rates []int
+}
+
+// validateRates checks the per-quantity schedules.
+func (c Config) validateRates() error {
+	if c.Rates == nil {
+		return nil
+	}
+	if len(c.Rates) != c.Quantities {
+		return fmt.Errorf("sensor: %d rates for %d quantities", len(c.Rates), c.Quantities)
+	}
+	for q, r := range c.Rates {
+		if r < 1 {
+			return fmt.Errorf("sensor: quantity %d has rate %d, want >= 1", q, r)
+		}
+		if r > c.BatchLen {
+			return fmt.Errorf("sensor: quantity %d rate %d exceeds batch length %d", q, r, c.BatchLen)
+		}
+	}
+	return nil
+}
+
+// Stats summarises a sensor's activity.
+type Stats struct {
+	Samples    int // ticks recorded
+	Batches    int // transmissions produced
+	FullRuns   int // batches that ran the full SBR algorithm
+	CostValues int // abstract bandwidth consumed, in values
+	FrameBytes int // concrete bytes handed to the sink
+}
+
+// Sensor is the streaming front end. It is safe for concurrent use, though
+// a physical sensor typically records from a single loop.
+type Sensor struct {
+	cfg  Config
+	sink Sink
+
+	mu       sync.Mutex
+	buf      []timeseries.Series
+	ticks    int // ticks in the current batch
+	adaptive *core.AdaptiveCompressor
+	plain    *core.Compressor
+	stats    Stats
+}
+
+// New validates the configuration and creates a sensor.
+func New(cfg Config, sink Sink) (*Sensor, error) {
+	if cfg.Quantities <= 0 {
+		return nil, errors.New("sensor: Quantities must be positive")
+	}
+	if cfg.BatchLen <= 0 {
+		return nil, errors.New("sensor: BatchLen must be positive")
+	}
+	if sink == nil {
+		return nil, errors.New("sensor: nil sink")
+	}
+	if err := cfg.validateRates(); err != nil {
+		return nil, err
+	}
+	s := &Sensor{cfg: cfg, sink: sink, buf: make([]timeseries.Series, cfg.Quantities)}
+	var err error
+	if cfg.Adaptive != nil {
+		s.adaptive, err = core.NewAdaptiveCompressor(cfg.Core, *cfg.Adaptive)
+	} else {
+		s.plain, err = core.NewCompressor(cfg.Core)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Record appends one tick: exactly one sample per quantity. When the
+// buffer reaches BatchLen ticks it is compressed and flushed to the sink
+// before Record returns.
+func (s *Sensor) Record(sample ...float64) error {
+	if len(sample) != s.cfg.Quantities {
+		return fmt.Errorf("sensor: %d samples for %d quantities", len(sample), s.cfg.Quantities)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for q, v := range sample {
+		if s.cfg.Rates != nil && s.ticks%s.cfg.Rates[q] != 0 {
+			continue // this quantity is not scheduled this tick
+		}
+		s.buf[q] = append(s.buf[q], v)
+	}
+	s.ticks++
+	s.stats.Samples++
+	if s.ticks < s.cfg.BatchLen {
+		return nil
+	}
+	return s.flushLocked()
+}
+
+// Pending returns how many ticks sit in the partial buffer.
+func (s *Sensor) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ticks
+}
+
+// Stats returns a snapshot of the activity counters.
+func (s *Sensor) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// BaseSignal returns a copy of the current base signal.
+func (s *Sensor) BaseSignal() timeseries.Series {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compressor().BaseSignal()
+}
+
+func (s *Sensor) compressor() *core.Compressor {
+	if s.adaptive != nil {
+		return s.adaptive.Compressor()
+	}
+	return s.plain
+}
+
+// flushLocked compresses the full buffer and delivers it. The buffer is
+// cleared whether or not the sink accepts the frame: the sensor's memory
+// is needed for the next batch either way (Section 3.2).
+func (s *Sensor) flushLocked() error {
+	batch := s.buf
+	s.buf = make([]timeseries.Series, s.cfg.Quantities)
+	s.ticks = 0
+	if s.cfg.Rates != nil {
+		// Align slower quantities back onto the common BatchLen grid
+		// (footnote 2): the decompressed series keeps one value per tick.
+		for q := range batch {
+			if len(batch[q]) != s.cfg.BatchLen {
+				batch[q] = timeseries.Lerp(batch[q], s.cfg.BatchLen)
+			}
+		}
+	}
+
+	var (
+		t    *core.Transmission
+		full = true
+		err  error
+	)
+	if s.adaptive != nil {
+		t, full, err = s.adaptive.Encode(batch)
+	} else {
+		t, err = s.plain.Encode(batch)
+	}
+	if err != nil {
+		return fmt.Errorf("sensor: compressing batch: %w", err)
+	}
+	frame, err := wire.Encode(t)
+	if err != nil {
+		return fmt.Errorf("sensor: framing batch: %w", err)
+	}
+	s.stats.Batches++
+	if full {
+		s.stats.FullRuns++
+	}
+	s.stats.CostValues += t.Cost
+	s.stats.FrameBytes += len(frame)
+	return s.sink(t, frame)
+}

@@ -1,0 +1,231 @@
+package sensor
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sbr/internal/core"
+	"sbr/internal/metrics"
+	"sbr/internal/timeseries"
+	"sbr/internal/wire"
+)
+
+func testConfig() Config {
+	return Config{
+		Core:       core.Config{TotalBand: 40, MBase: 16, Metric: metrics.SSE},
+		Quantities: 2,
+		BatchLen:   64,
+	}
+}
+
+// tick produces a deterministic 2-quantity sample.
+func tick(i int) []float64 {
+	t := float64(i) / 9
+	return []float64{10 * math.Sin(t), 3*math.Cos(t) + 1}
+}
+
+func TestSensorFlushesFullBatches(t *testing.T) {
+	var got []*core.Transmission
+	s, err := New(testConfig(), func(tr *core.Transmission, frame []byte) error {
+		if len(frame) == 0 {
+			t.Error("empty frame")
+		}
+		got = append(got, tr)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := s.Record(tick(i)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 3 { // 200/64
+		t.Fatalf("%d batches flushed, want 3", len(got))
+	}
+	if s.Pending() != 200-3*64 {
+		t.Errorf("pending %d ticks, want 8", s.Pending())
+	}
+	stats := s.Stats()
+	if stats.Samples != 200 || stats.Batches != 3 || stats.FullRuns != 3 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.CostValues == 0 || stats.FrameBytes == 0 {
+		t.Error("missing accounting")
+	}
+	for i, tr := range got {
+		if tr.Seq != i {
+			t.Errorf("batch %d has seq %d", i, tr.Seq)
+		}
+		if tr.Cost > 40 {
+			t.Errorf("batch %d cost %d exceeds budget", i, tr.Cost)
+		}
+	}
+}
+
+func TestSensorStreamIsDecodable(t *testing.T) {
+	cfg := testConfig()
+	dec, err := core.NewDecoder(cfg.Core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recon []timeseries.Series
+	s, err := New(cfg, func(_ *core.Transmission, frame []byte) error {
+		tr, err := wire.DecodeBytes(frame)
+		if err != nil {
+			return err
+		}
+		rows, err := dec.Decode(tr)
+		if err != nil {
+			return err
+		}
+		if recon == nil {
+			recon = make([]timeseries.Series, len(rows))
+		}
+		for q := range rows {
+			recon[q] = append(recon[q], rows[q]...)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orig [2]timeseries.Series
+	for i := 0; i < 256; i++ {
+		sm := tick(i)
+		orig[0] = append(orig[0], sm[0])
+		orig[1] = append(orig[1], sm[1])
+		if err := s.Record(sm...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(recon) != 2 || len(recon[0]) != 256 {
+		t.Fatalf("reconstructed shape wrong")
+	}
+	for q := range recon {
+		mse := metrics.MeanSquared(orig[q][:256], recon[q])
+		if mse > orig[q].Variance() {
+			t.Errorf("quantity %d reconstruction MSE %v too high", q, mse)
+		}
+	}
+	if !timeseries.Equal(s.BaseSignal(), dec.BaseSignal(), 0) {
+		t.Error("sensor/decoder base signals diverged")
+	}
+}
+
+func TestSensorAdaptiveScheduling(t *testing.T) {
+	cfg := testConfig()
+	cfg.Adaptive = &core.AdaptivePolicy{MinFullRuns: 1}
+	s, err := New(cfg, func(*core.Transmission, []byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5*64; i++ {
+		if err := s.Record(tick(i)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := s.Stats()
+	if stats.Batches != 5 {
+		t.Fatalf("%d batches", stats.Batches)
+	}
+	if stats.FullRuns >= stats.Batches {
+		t.Errorf("adaptive sensor ran the full algorithm on every batch (%d/%d)",
+			stats.FullRuns, stats.Batches)
+	}
+	if stats.FullRuns < 1 {
+		t.Error("no full runs at all")
+	}
+}
+
+func TestSensorValidation(t *testing.T) {
+	sink := func(*core.Transmission, []byte) error { return nil }
+	if _, err := New(Config{Core: core.Config{TotalBand: 10}, Quantities: 0, BatchLen: 4}, sink); err == nil {
+		t.Error("zero quantities accepted")
+	}
+	if _, err := New(Config{Core: core.Config{TotalBand: 10}, Quantities: 1, BatchLen: 0}, sink); err == nil {
+		t.Error("zero batch length accepted")
+	}
+	if _, err := New(testConfig(), nil); err == nil {
+		t.Error("nil sink accepted")
+	}
+	if _, err := New(Config{Core: core.Config{}, Quantities: 1, BatchLen: 4}, sink); err == nil {
+		t.Error("invalid core config accepted")
+	}
+	s, err := New(testConfig(), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(1.0); err == nil {
+		t.Error("wrong sample width accepted")
+	}
+}
+
+func TestSensorSinkErrorPropagates(t *testing.T) {
+	boom := errors.New("radio down")
+	s, err := New(testConfig(), func(*core.Transmission, []byte) error { return boom })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last error
+	for i := 0; i < 64; i++ {
+		last = s.Record(tick(i)...)
+	}
+	if !errors.Is(last, boom) {
+		t.Errorf("sink error not propagated: %v", last)
+	}
+	// The buffer was cleared: recording continues with the next batch.
+	if s.Pending() != 0 {
+		t.Errorf("pending = %d after failed flush, want 0", s.Pending())
+	}
+	if err := s.Record(tick(0)...); err != nil {
+		t.Errorf("recording after failed flush: %v", err)
+	}
+}
+
+func TestSensorMultiRate(t *testing.T) {
+	cfg := testConfig()
+	cfg.Rates = []int{1, 4} // quantity 1 sampled every 4th tick
+	var batches int
+	var lastN, lastM int
+	s, err := New(cfg, func(tr *core.Transmission, _ []byte) error {
+		batches++
+		lastN, lastM = tr.N, tr.M
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*64; i++ {
+		if err := s.Record(tick(i)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if batches != 2 {
+		t.Fatalf("%d batches", batches)
+	}
+	// The aligned batch stays rectangular at BatchLen despite the slower
+	// schedule.
+	if lastN != 2 || lastM != 64 {
+		t.Errorf("batch shape %dx%d, want 2x64", lastN, lastM)
+	}
+}
+
+func TestSensorMultiRateValidation(t *testing.T) {
+	sink := func(*core.Transmission, []byte) error { return nil }
+	cfg := testConfig()
+	cfg.Rates = []int{1}
+	if _, err := New(cfg, sink); err == nil {
+		t.Error("wrong rate count accepted")
+	}
+	cfg.Rates = []int{1, 0}
+	if _, err := New(cfg, sink); err == nil {
+		t.Error("zero rate accepted")
+	}
+	cfg.Rates = []int{1, 1000}
+	if _, err := New(cfg, sink); err == nil {
+		t.Error("rate above batch length accepted")
+	}
+}

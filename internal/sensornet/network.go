@@ -1,0 +1,366 @@
+package sensornet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sbr/internal/core"
+	"sbr/internal/station"
+	"sbr/internal/timeseries"
+	"sbr/internal/wire"
+)
+
+// SampleSource produces one sample per recorded quantity at each round.
+// Implementations must be deterministic for reproducible simulations.
+type SampleSource func(round int) []float64
+
+// Node is one sensor: a position in the plane, a bounded collection buffer
+// of N quantities × M samples, and an SBR compressor that flushes the
+// buffer into a transmission whenever it fills (Section 3.2).
+type Node struct {
+	ID     string
+	X, Y   float64
+	source SampleSource
+
+	buf        []timeseries.Series
+	compressor *core.Compressor
+	adaptive   *core.AdaptiveCompressor // non-nil when the network runs §4.4 scheduling
+	energy     NodeEnergy
+
+	parent string // next hop toward the base station; "" for direct link
+	depth  int    // hops to the base station
+}
+
+// Energy returns the node's accumulated energy spending.
+func (nd *Node) Energy() NodeEnergy { return nd.energy }
+
+// Depth returns the node's hop count to the base station.
+func (nd *Node) Depth() int { return nd.depth }
+
+// Parent returns the next-hop node ID ("" when linked directly to base).
+func (nd *Node) Parent() string { return nd.parent }
+
+// Network is a simulated sensor field rooted at a base station at the
+// origin. Nodes forward transmissions along a shortest-hop routing tree;
+// every transmission is overheard by all nodes in radio range of the
+// sender, as Section 3.1 describes for broadcast radio protocols.
+type Network struct {
+	cfg        core.Config
+	model      EnergyModel
+	radioRange float64
+	bufferM    int
+
+	nodes   map[string]*Node
+	order   []string
+	station *station.Station
+	built   bool
+
+	// Overhearing can be disabled to isolate the pure routing cost.
+	CountOverhearing bool
+
+	// Adaptive, when set before the first AddNode, gives every sensor the
+	// Section 4.4 scheduler: full SBR runs only while the base signal
+	// populates or after a quality degradation, all other batches take the
+	// cheap shortcut path — and are billed at the model's shortcut CPU
+	// rate.
+	Adaptive *core.AdaptivePolicy
+}
+
+// NewNetwork creates a network whose sensors all run cfg and flush their
+// buffers every bufferM samples. radioRange bounds single-hop links.
+func NewNetwork(cfg core.Config, model EnergyModel, radioRange float64, bufferM int) (*Network, error) {
+	if radioRange <= 0 {
+		return nil, fmt.Errorf("sensornet: radio range must be positive")
+	}
+	if bufferM <= 0 {
+		return nil, fmt.Errorf("sensornet: buffer size must be positive")
+	}
+	st, err := station.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{
+		cfg:              cfg,
+		model:            model,
+		radioRange:       radioRange,
+		bufferM:          bufferM,
+		nodes:            make(map[string]*Node),
+		station:          st,
+		CountOverhearing: true,
+	}, nil
+}
+
+// Station exposes the receiving base station.
+func (n *Network) Station() *station.Station { return n.station }
+
+// Node returns the named node, or nil.
+func (n *Network) Node(id string) *Node { return n.nodes[id] }
+
+// NodeIDs returns all node IDs in insertion order.
+func (n *Network) NodeIDs() []string { return append([]string(nil), n.order...) }
+
+// AddNode places a sensor at (x, y) fed by source.
+func (n *Network) AddNode(id string, x, y float64, source SampleSource) error {
+	if n.built {
+		return fmt.Errorf("sensornet: cannot add node %q after Build", id)
+	}
+	if _, dup := n.nodes[id]; dup {
+		return fmt.Errorf("sensornet: duplicate node %q", id)
+	}
+	node := &Node{ID: id, X: x, Y: y, source: source}
+	if n.Adaptive != nil {
+		a, err := core.NewAdaptiveCompressor(n.cfg, *n.Adaptive)
+		if err != nil {
+			return err
+		}
+		node.adaptive = a
+	} else {
+		comp, err := core.NewCompressor(n.cfg)
+		if err != nil {
+			return err
+		}
+		node.compressor = comp
+	}
+	n.nodes[id] = node
+	n.order = append(n.order, id)
+	return nil
+}
+
+// Build computes the shortest-hop routing tree toward the base station at
+// the origin using breadth-first search over the radio connectivity graph.
+// Every node must be reachable.
+func (n *Network) Build() error {
+	type queued struct {
+		id    string
+		depth int
+	}
+	visited := make(map[string]bool)
+	var frontier []queued
+	// Seed: nodes in direct radio range of the base station.
+	for _, id := range n.order {
+		nd := n.nodes[id]
+		if math.Hypot(nd.X, nd.Y) <= n.radioRange {
+			nd.parent = ""
+			nd.depth = 1
+			visited[id] = true
+			frontier = append(frontier, queued{id, 1})
+		}
+	}
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		curNode := n.nodes[cur.id]
+		for _, id := range n.order {
+			if visited[id] {
+				continue
+			}
+			nd := n.nodes[id]
+			if dist(curNode, nd) <= n.radioRange {
+				nd.parent = cur.id
+				nd.depth = cur.depth + 1
+				visited[id] = true
+				frontier = append(frontier, queued{id, nd.depth})
+			}
+		}
+	}
+	for _, id := range n.order {
+		if !visited[id] {
+			return fmt.Errorf("sensornet: node %q unreachable from base station", id)
+		}
+	}
+	n.built = true
+	return nil
+}
+
+func dist(a, b *Node) float64 {
+	return math.Hypot(a.X-b.X, a.Y-b.Y)
+}
+
+// Report summarises a simulation run.
+type Report struct {
+	Rounds        int
+	Transmissions int
+	BytesToBase   int // compressed bytes that reached the base station
+	RawBytes      int // bytes a full-resolution feed would have shipped end-to-end
+	TotalEnergy   float64
+	RawEnergy     float64 // energy of the uncompressed alternative
+	PerNode       map[string]NodeEnergy
+}
+
+// CompressionRatio returns compressed/raw traffic at the base station.
+func (r Report) CompressionRatio() float64 {
+	if r.RawBytes == 0 {
+		return 0
+	}
+	return float64(r.BytesToBase) / float64(r.RawBytes)
+}
+
+// EnergySavingFactor returns rawEnergy/totalEnergy.
+func (r Report) EnergySavingFactor() float64 {
+	if r.TotalEnergy == 0 {
+		return 0
+	}
+	return r.RawEnergy / r.TotalEnergy
+}
+
+// Run advances the simulation the given number of rounds: each round every
+// node samples each of its quantities once; full buffers are compressed,
+// framed and routed hop by hop to the base station with full energy
+// accounting, including broadcast overhearing by radio neighbours.
+func (n *Network) Run(rounds int) (Report, error) {
+	if !n.built {
+		return Report{}, fmt.Errorf("sensornet: Run before Build")
+	}
+	rep := Report{Rounds: rounds, PerNode: make(map[string]NodeEnergy)}
+	for round := 0; round < rounds; round++ {
+		for _, id := range n.order {
+			nd := n.nodes[id]
+			sample := nd.source(round)
+			if nd.buf == nil {
+				nd.buf = make([]timeseries.Series, len(sample))
+			}
+			if len(sample) != len(nd.buf) {
+				return rep, fmt.Errorf("sensornet: node %q sample width changed from %d to %d",
+					id, len(nd.buf), len(sample))
+			}
+			for q, v := range sample {
+				nd.buf[q] = append(nd.buf[q], v)
+			}
+			if len(nd.buf[0]) >= n.bufferM {
+				if err := n.flush(nd, &rep); err != nil {
+					return rep, err
+				}
+			}
+		}
+	}
+	for _, id := range n.order {
+		rep.PerNode[id] = n.nodes[id].energy
+		rep.TotalEnergy += n.nodes[id].energy.Total()
+	}
+	return rep, nil
+}
+
+// flush compresses and ships one full buffer from nd to the base station.
+func (n *Network) flush(nd *Node, rep *Report) error {
+	batch := nd.buf
+	nd.buf = nil
+	values := len(batch) * len(batch[0])
+
+	var (
+		t    *core.Transmission
+		full = true
+		err  error
+	)
+	if nd.adaptive != nil {
+		t, full, err = nd.adaptive.Encode(batch)
+	} else {
+		t, err = nd.compressor.Encode(batch)
+	}
+	if err != nil {
+		return fmt.Errorf("sensornet: node %q: %w", nd.ID, err)
+	}
+	frame, err := wire.Encode(t)
+	if err != nil {
+		return fmt.Errorf("sensornet: node %q: %w", nd.ID, err)
+	}
+	if full {
+		nd.energy.CPU += n.model.CompressionCost(values)
+	} else {
+		nd.energy.CPU += n.model.ShortcutCost(values)
+	}
+
+	// Route hop by hop to the base station.
+	rawFrameBytes := values * 8 // full-resolution alternative
+	cur := nd
+	for {
+		n.charge(cur, frame, rep)
+		rep.RawEnergy += n.rawHopEnergy(cur, rawFrameBytes)
+		if cur.parent == "" {
+			break
+		}
+		next := n.nodes[cur.parent]
+		next.energy.Rx += n.model.RxCost(len(frame))
+		cur = next
+	}
+	rep.Transmissions++
+	rep.BytesToBase += len(frame)
+	rep.RawBytes += rawFrameBytes
+	return n.station.ReceiveFrame(nd.ID, frame)
+}
+
+// charge bills sender cur for transmitting frame, plus overhearing by every
+// node in radio range of the sender.
+func (n *Network) charge(cur *Node, frame []byte, rep *Report) {
+	cur.energy.Tx += n.model.TxCost(len(frame))
+	if !n.CountOverhearing {
+		return
+	}
+	for _, id := range n.order {
+		other := n.nodes[id]
+		if other == cur || other.ID == cur.parent {
+			continue // the intended receiver is billed separately
+		}
+		if dist(cur, other) <= n.radioRange {
+			other.energy.Rx += n.model.RxCost(len(frame))
+		}
+	}
+}
+
+// rawHopEnergy prices what the same hop would have cost for the
+// uncompressed feed: transmit plus intended receive (when not the base).
+func (n *Network) rawHopEnergy(cur *Node, rawBytes int) float64 {
+	e := n.model.TxCost(rawBytes)
+	if cur.parent != "" {
+		e += n.model.RxCost(rawBytes)
+	}
+	if n.CountOverhearing {
+		for _, id := range n.order {
+			other := n.nodes[id]
+			if other == cur || other.ID == cur.parent {
+				continue
+			}
+			if dist(cur, other) <= n.radioRange {
+				e += n.model.RxCost(rawBytes)
+			}
+		}
+	}
+	return e
+}
+
+// PendingSamples reports, per node, how many samples sit in a partially
+// filled buffer awaiting the next flush. Mainly useful in tests.
+func (n *Network) PendingSamples() map[string]int {
+	out := make(map[string]int)
+	for _, id := range n.order {
+		nd := n.nodes[id]
+		if nd.buf != nil && len(nd.buf) > 0 {
+			out[id] = len(nd.buf[0])
+		}
+	}
+	return out
+}
+
+// Describe returns a human-readable summary of the routing tree, sorted by
+// depth then ID — handy for the simulator CLI.
+func (n *Network) Describe() []string {
+	ids := append([]string(nil), n.order...)
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := n.nodes[ids[i]], n.nodes[ids[j]]
+		if a.depth != b.depth {
+			return a.depth < b.depth
+		}
+		return a.ID < b.ID
+	})
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		nd := n.nodes[id]
+		parent := nd.parent
+		if parent == "" {
+			parent = "base"
+		}
+		out[i] = fmt.Sprintf("%-8s depth=%d parent=%s pos=(%.0f,%.0f)",
+			nd.ID, nd.depth, parent, nd.X, nd.Y)
+	}
+	return out
+}

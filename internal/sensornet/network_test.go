@@ -1,0 +1,342 @@
+package sensornet
+
+import (
+	"math"
+	"testing"
+
+	"sbr/internal/aggregate"
+	"sbr/internal/core"
+	"sbr/internal/metrics"
+)
+
+func testConfig() core.Config {
+	return core.Config{TotalBand: 60, MBase: 32, Metric: metrics.SSE}
+}
+
+// sineSource builds a deterministic 2-quantity sample source with a phase
+// offset per node.
+func sineSource(phase float64) SampleSource {
+	return func(round int) []float64 {
+		t := float64(round)/10 + phase
+		return []float64{10 * math.Sin(t), 5 * math.Cos(t)}
+	}
+}
+
+func buildChain(t *testing.T) *Network {
+	t.Helper()
+	net, err := NewNetwork(testConfig(), DefaultEnergyModel(), 12, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 3-hop chain away from the base station at the origin.
+	if err := net.AddNode("n1", 10, 0, sineSource(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddNode("n2", 20, 0, sineSource(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddNode("n3", 30, 0, sineSource(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestRoutingTreeDepths(t *testing.T) {
+	net := buildChain(t)
+	wantDepth := map[string]int{"n1": 1, "n2": 2, "n3": 3}
+	wantParent := map[string]string{"n1": "", "n2": "n1", "n3": "n2"}
+	for id, d := range wantDepth {
+		nd := net.Node(id)
+		if nd.Depth() != d {
+			t.Errorf("%s depth = %d, want %d", id, nd.Depth(), d)
+		}
+		if nd.Parent() != wantParent[id] {
+			t.Errorf("%s parent = %q, want %q", id, nd.Parent(), wantParent[id])
+		}
+	}
+	if desc := net.Describe(); len(desc) != 3 {
+		t.Errorf("Describe returned %d lines", len(desc))
+	}
+}
+
+func TestUnreachableNodeRejected(t *testing.T) {
+	net, _ := NewNetwork(testConfig(), DefaultEnergyModel(), 5, 64)
+	if err := net.AddNode("far", 100, 100, sineSource(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Build(); err == nil {
+		t.Error("unreachable node accepted")
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(testConfig(), DefaultEnergyModel(), 0, 64); err == nil {
+		t.Error("zero radio range accepted")
+	}
+	if _, err := NewNetwork(testConfig(), DefaultEnergyModel(), 10, 0); err == nil {
+		t.Error("zero buffer accepted")
+	}
+	net, _ := NewNetwork(testConfig(), DefaultEnergyModel(), 10, 64)
+	_ = net.AddNode("a", 1, 1, sineSource(0))
+	if err := net.AddNode("a", 2, 2, sineSource(0)); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if _, err := net.Run(1); err == nil {
+		t.Error("Run before Build accepted")
+	}
+	_ = net.Build()
+	if err := net.AddNode("late", 1, 2, sineSource(0)); err == nil {
+		t.Error("AddNode after Build accepted")
+	}
+}
+
+func TestSimulationDeliversTransmissions(t *testing.T) {
+	net := buildChain(t)
+	rep, err := net.Run(130) // two full 64-sample buffers per node + remainder
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Transmissions != 6 {
+		t.Errorf("%d transmissions, want 6 (3 nodes × 2 flushes)", rep.Transmissions)
+	}
+	for _, id := range net.NodeIDs() {
+		stats, err := net.Station().SensorStats(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Transmissions != 2 {
+			t.Errorf("%s delivered %d transmissions", id, stats.Transmissions)
+		}
+		hist, err := net.Station().History(id, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hist) != 128 {
+			t.Errorf("%s history length %d, want 128", id, len(hist))
+		}
+	}
+	// 130 rounds leave 2 samples pending per node.
+	for id, pend := range net.PendingSamples() {
+		if pend != 2 {
+			t.Errorf("%s pending %d samples, want 2", id, pend)
+		}
+	}
+}
+
+func TestHistoryApproximatesSource(t *testing.T) {
+	net := buildChain(t)
+	if _, err := net.Run(128); err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the original feed of n1 and compare.
+	src := sineSource(0)
+	var mse, varsum float64
+	hist, _ := net.Station().History("n1", 0)
+	for i := 0; i < 128; i++ {
+		orig := src(i)[0]
+		d := hist[i] - orig
+		mse += d * d
+		varsum += orig * orig
+	}
+	if mse > varsum/4 {
+		t.Errorf("reconstruction error %v too large vs energy %v", mse, varsum)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	net := buildChain(t)
+	rep, err := net.Run(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalEnergy <= 0 || rep.RawEnergy <= 0 {
+		t.Fatal("energy accounting produced non-positive totals")
+	}
+	// Compression must save energy and bandwidth by a sizeable factor.
+	if rep.EnergySavingFactor() < 2 {
+		t.Errorf("energy saving factor %v, want > 2", rep.EnergySavingFactor())
+	}
+	if r := rep.CompressionRatio(); r <= 0 || r >= 1 {
+		t.Errorf("compression ratio %v outside (0,1)", r)
+	}
+	// Deeper nodes' frames transit n1, so n1 pays relay costs: its total
+	// energy must exceed n3's transmit-only cost.
+	e1 := rep.PerNode["n1"]
+	e3 := rep.PerNode["n3"]
+	if e1.Rx == 0 {
+		t.Error("relay node received nothing")
+	}
+	if e1.Total() <= e3.Total() {
+		t.Errorf("relay node energy %v not above leaf energy %v", e1.Total(), e3.Total())
+	}
+	if e1.CPU == 0 || e3.CPU == 0 {
+		t.Error("compression CPU cost missing")
+	}
+}
+
+func TestOverhearingCosts(t *testing.T) {
+	run := func(overhear bool) float64 {
+		net, _ := NewNetwork(testConfig(), DefaultEnergyModel(), 12, 64)
+		_ = net.AddNode("n1", 10, 0, sineSource(0))
+		_ = net.AddNode("n2", 20, 0, sineSource(1))
+		_ = net.AddNode("n3", 30, 0, sineSource(2))
+		_ = net.Build()
+		net.CountOverhearing = overhear
+		rep, err := net.Run(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.TotalEnergy
+	}
+	with := run(true)
+	without := run(false)
+	if with <= without {
+		t.Errorf("overhearing energy %v not above non-overhearing %v", with, without)
+	}
+}
+
+func TestEnergyModelArithmetic(t *testing.T) {
+	m := DefaultEnergyModel()
+	if m.TxCost(1) != m.TxPerBit*8 {
+		t.Error("TxCost wrong")
+	}
+	if m.RxCost(2) != m.RxPerBit*16 {
+		t.Error("RxCost wrong")
+	}
+	if m.CompressionCost(10) != m.PerInstruction*m.CompressionInstrPerValue*10 {
+		t.Error("CompressionCost wrong")
+	}
+	// The paper's headline ratio: one transmitted bit ≈ 1000 instructions.
+	if got := m.TxPerBit / m.PerInstruction; got != 1000 {
+		t.Errorf("tx-bit/instruction ratio = %v, want 1000", got)
+	}
+	var e NodeEnergy
+	e.add(NodeEnergy{Tx: 1, Rx: 2, CPU: 3})
+	if e.Total() != 6 {
+		t.Errorf("Total = %v, want 6", e.Total())
+	}
+}
+
+func TestSampleWidthChangeRejected(t *testing.T) {
+	net, _ := NewNetwork(testConfig(), DefaultEnergyModel(), 12, 8)
+	calls := 0
+	_ = net.AddNode("n1", 5, 0, func(round int) []float64 {
+		calls++
+		if calls > 4 {
+			return []float64{1, 2, 3}
+		}
+		return []float64{1, 2}
+	})
+	_ = net.Build()
+	if _, err := net.Run(10); err == nil {
+		t.Error("sample width change accepted")
+	}
+}
+
+func TestRunAggregation(t *testing.T) {
+	net := buildChain(t)
+	rep, err := net.RunAggregation(32, 0, aggregate.Avg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 32 {
+		t.Fatalf("%d results", len(rep.Results))
+	}
+	if rep.Messages != 32*3 {
+		t.Errorf("%d messages, want one per node per round", rep.Messages)
+	}
+	// Check one round against a direct computation.
+	want := (sineSource(0)(5)[0] + sineSource(1)(5)[0] + sineSource(2)(5)[0]) / 3
+	if math.Abs(rep.Results[5]-want) > 1e-12 {
+		t.Errorf("round-5 avg %v, want %v", rep.Results[5], want)
+	}
+	if rep.TotalEnergy <= 0 || rep.Bytes != rep.Messages*aggregate.PartialBytes {
+		t.Errorf("accounting: energy %v bytes %d", rep.TotalEnergy, rep.Bytes)
+	}
+}
+
+func TestAggregationVsApproximationBandwidth(t *testing.T) {
+	// The paper's Section 1 contrast: aggregation ships far fewer bytes
+	// than the compressed full-detail feed, which in turn ships far fewer
+	// than raw.
+	buildNet := func() *Network {
+		net, _ := NewNetwork(testConfig(), DefaultEnergyModel(), 12, 64)
+		_ = net.AddNode("n1", 10, 0, sineSource(0))
+		_ = net.AddNode("n2", 20, 0, sineSource(1))
+		_ = net.AddNode("n3", 30, 0, sineSource(2))
+		_ = net.Build()
+		return net
+	}
+	rounds := 128
+	net := buildNet()
+	agg, err := net.RunAggregation(rounds, 0, aggregate.Avg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := buildNet().Run(rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TAG's saving is in messages: one per node per epoch, versus one per
+	// hop for raw per-round forwarding (Σ depth messages per round).
+	rawMessages := 0
+	for _, id := range net.NodeIDs() {
+		rawMessages += net.Node(id).Depth() * rounds
+	}
+	if agg.Messages >= rawMessages {
+		t.Errorf("aggregation messages %d not below raw forwarding %d", agg.Messages, rawMessages)
+	}
+	// The approximation path keeps the full (approximate) history at a
+	// fraction of the raw bytes — aggregation keeps only the statistic.
+	if run.BytesToBase >= run.RawBytes {
+		t.Errorf("approximation bytes %d not below raw bytes %d", run.BytesToBase, run.RawBytes)
+	}
+}
+
+func TestRunAggregationErrors(t *testing.T) {
+	net, _ := NewNetwork(testConfig(), DefaultEnergyModel(), 12, 64)
+	_ = net.AddNode("n1", 5, 0, sineSource(0))
+	if _, err := net.RunAggregation(4, 0, aggregate.Avg); err == nil {
+		t.Error("RunAggregation before Build accepted")
+	}
+	_ = net.Build()
+	if _, err := net.RunAggregation(4, 9, aggregate.Avg); err == nil {
+		t.Error("out-of-range quantity accepted")
+	}
+}
+
+func TestAdaptiveNetworkSavesCPUEnergy(t *testing.T) {
+	run := func(adaptive bool) *Report {
+		net, _ := NewNetwork(testConfig(), DefaultEnergyModel(), 12, 64)
+		if adaptive {
+			net.Adaptive = &core.AdaptivePolicy{MinFullRuns: 1}
+		}
+		_ = net.AddNode("n1", 10, 0, sineSource(0))
+		_ = net.AddNode("n2", 20, 0, sineSource(1))
+		_ = net.Build()
+		rep, err := net.Run(4 * 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &rep
+	}
+	plain := run(false)
+	adaptive := run(true)
+	if plain.Transmissions != adaptive.Transmissions {
+		t.Fatalf("transmission counts differ: %d vs %d",
+			plain.Transmissions, adaptive.Transmissions)
+	}
+	var plainCPU, adaptiveCPU float64
+	for _, e := range plain.PerNode {
+		plainCPU += e.CPU
+	}
+	for _, e := range adaptive.PerNode {
+		adaptiveCPU += e.CPU
+	}
+	if adaptiveCPU >= plainCPU {
+		t.Errorf("adaptive CPU energy %v not below always-full %v", adaptiveCPU, plainCPU)
+	}
+}

@@ -1,0 +1,39 @@
+package station_test
+
+import (
+	"fmt"
+	"math"
+
+	"sbr/internal/core"
+	"sbr/internal/station"
+	"sbr/internal/timeseries"
+)
+
+// Example shows the base-station side: receive a few transmissions, then
+// answer historical queries against the approximate log.
+func Example() {
+	const m = 256
+	cfg := core.Config{TotalBand: 60, MBase: 32}
+	st, _ := station.New(cfg)
+	comp, _ := core.NewCompressor(cfg)
+
+	// Two batches from one sensor: a smooth daily cycle.
+	for batch := 0; batch < 2; batch++ {
+		rows := []timeseries.Series{make(timeseries.Series, m)}
+		for i := range rows[0] {
+			rows[0][i] = 20 + 5*math.Sin(2*math.Pi*float64(batch*m+i)/m)
+		}
+		t, _ := comp.Encode(rows)
+		if err := st.Receive("field-7", t); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+
+	avg, _ := st.Aggregate("field-7", 0, 0, 2*m, station.AggAvg)
+	maxv, _ := st.Aggregate("field-7", 0, 0, 2*m, station.AggMax)
+	runs, _ := st.Exceedances("field-7", 0, 0, 0, 24)
+	fmt.Printf("avg %.1f, max %.1f, %d runs above 24\n", avg, maxv, len(runs))
+	// Output:
+	// avg 20.0, max 25.1, 2 runs above 24
+}

@@ -1,0 +1,106 @@
+package station
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"sbr/internal/core"
+	"sbr/internal/wire"
+)
+
+// LogStore persists the raw frames of each sensor to an append-only log
+// file, one file per sensor, mirroring the paper's "separate file exists
+// for each sensor that is in contact with the base station" (Section 3.2).
+// A station can later be rebuilt by replaying the logs.
+type LogStore struct {
+	dir string
+
+	mu    sync.Mutex
+	files map[string]*os.File
+}
+
+// NewLogStore opens (creating if needed) a log directory.
+func NewLogStore(dir string) (*LogStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("station: creating log dir: %w", err)
+	}
+	return &LogStore{dir: dir, files: make(map[string]*os.File)}, nil
+}
+
+// Append appends one frame to the named sensor's log.
+func (ls *LogStore) Append(id string, frame []byte) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	f, ok := ls.files[id]
+	if !ok {
+		var err error
+		f, err = os.OpenFile(ls.path(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("station: opening sensor log: %w", err)
+		}
+		ls.files[id] = f
+	}
+	if _, err := f.Write(frame); err != nil {
+		return fmt.Errorf("station: appending to sensor log: %w", err)
+	}
+	return nil
+}
+
+// Close closes all open log files.
+func (ls *LogStore) Close() error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	var first error
+	for id, f := range ls.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(ls.files, id)
+	}
+	return first
+}
+
+// path maps a sensor ID to its log file, sanitising path separators.
+func (ls *LogStore) path(id string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':':
+			return '_'
+		}
+		return r
+	}, id)
+	return filepath.Join(ls.dir, safe+".sbrlog")
+}
+
+// Replay reads every frame from one sensor log and feeds it to fn in order.
+func Replay(r io.Reader, fn func(*core.Transmission) error) error {
+	for {
+		t, err := wire.Decode(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+}
+
+// LoadSensorLog rebuilds the named sensor's state in st by replaying its
+// log file from the store's directory.
+func (ls *LogStore) LoadSensorLog(st *Station, id string) error {
+	f, err := os.Open(ls.path(id))
+	if err != nil {
+		return fmt.Errorf("station: opening sensor log for replay: %w", err)
+	}
+	defer f.Close()
+	return Replay(f, func(t *core.Transmission) error {
+		return st.Receive(id, t)
+	})
+}

@@ -1,0 +1,151 @@
+package station
+
+import (
+	"fmt"
+
+	"sbr/internal/timeseries"
+)
+
+// This file implements the historical-query layer over the approximate
+// per-sensor logs: windowed (downsampled) aggregates for plotting and
+// analysis, and threshold scans — the "detailed historical information"
+// workloads (military surveillance, environmental forensics) the paper's
+// introduction contrasts with plain aggregation.
+
+// Query describes a windowed aggregate over one quantity's history.
+type Query struct {
+	Sensor string
+	Row    int
+	// From and To bound the sample range [From, To); To == 0 means the end
+	// of the recorded history.
+	From, To int
+	// Step partitions the range into windows of this many samples, each
+	// reduced by Agg. Step == 0 means a single window over the whole range.
+	Step int
+	Agg  AggregateKind
+}
+
+// QueryPoint is one window of a query result.
+type QueryPoint struct {
+	Start, End int // sample range of the window
+	Value      float64
+}
+
+// Run executes a windowed-aggregate query against the reconstructed
+// history.
+func (s *Station) Run(q Query) ([]QueryPoint, error) {
+	hist, err := s.History(q.Sensor, q.Row)
+	if err != nil {
+		return nil, err
+	}
+	from, to := q.From, q.To
+	if to == 0 {
+		to = len(hist)
+	}
+	if from < 0 || to > len(hist) || from >= to {
+		return nil, fmt.Errorf("station: query range [%d,%d) outside history [0,%d)",
+			from, to, len(hist))
+	}
+	step := q.Step
+	if step <= 0 {
+		step = to - from
+	}
+	var out []QueryPoint
+	for start := from; start < to; start += step {
+		end := start + step
+		if end > to {
+			end = to
+		}
+		v, err := aggregateSeries(hist[start:end], q.Agg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, QueryPoint{Start: start, End: end, Value: v})
+	}
+	return out, nil
+}
+
+// Downsample returns the history of one quantity reduced to at most points
+// samples by window-averaging — the typical plotting export.
+func (s *Station) Downsample(id string, row, points int) (timeseries.Series, error) {
+	hist, err := s.History(id, row)
+	if err != nil {
+		return nil, err
+	}
+	if points <= 0 {
+		return nil, fmt.Errorf("station: non-positive point count %d", points)
+	}
+	if points >= len(hist) {
+		return hist, nil
+	}
+	factor := (len(hist) + points - 1) / points
+	return timeseries.Downsample(hist, factor), nil
+}
+
+// Exceedance is one maximal run of samples at or above a threshold.
+type Exceedance struct {
+	Start, End int     // sample range [Start, End)
+	Peak       float64 // largest value inside the run
+}
+
+// Exceedances scans [from, to) of a quantity's history for maximal runs of
+// samples >= threshold — "when was the temperature above 30 °C, and how
+// hot did it get" over the approximate record. A zero `to` means the end
+// of the history.
+func (s *Station) Exceedances(id string, row int, from, to int, threshold float64) ([]Exceedance, error) {
+	hist, err := s.History(id, row)
+	if err != nil {
+		return nil, err
+	}
+	if to == 0 {
+		to = len(hist)
+	}
+	if from < 0 || to > len(hist) || from > to {
+		return nil, fmt.Errorf("station: scan range [%d,%d) outside history [0,%d)",
+			from, to, len(hist))
+	}
+	var out []Exceedance
+	inRun := false
+	var cur Exceedance
+	for i := from; i < to; i++ {
+		v := hist[i]
+		if v >= threshold {
+			if !inRun {
+				inRun = true
+				cur = Exceedance{Start: i, Peak: v}
+			} else if v > cur.Peak {
+				cur.Peak = v
+			}
+			continue
+		}
+		if inRun {
+			cur.End = i
+			out = append(out, cur)
+			inRun = false
+		}
+	}
+	if inRun {
+		cur.End = to
+		out = append(out, cur)
+	}
+	return out, nil
+}
+
+// aggregateSeries reduces one window.
+func aggregateSeries(seg timeseries.Series, kind AggregateKind) (float64, error) {
+	if len(seg) == 0 {
+		return 0, fmt.Errorf("station: aggregate over empty window")
+	}
+	switch kind {
+	case AggAvg:
+		return seg.Mean(), nil
+	case AggSum:
+		return seg.Sum(), nil
+	case AggMin:
+		return seg.Min(), nil
+	case AggMax:
+		return seg.Max(), nil
+	default:
+		return 0, fmt.Errorf("station: unknown aggregate kind %d", kind)
+	}
+}

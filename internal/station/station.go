@@ -1,0 +1,299 @@
+// Package station implements the base-station side of the paper's data
+// model (Section 3.2, Figure 1): it receives the compressed transmissions
+// of many sensors, appends each sensor's chunks to a per-sensor log,
+// maintains the per-sensor base-signal replica via the core decoder, and
+// answers historical point, range and aggregate queries over the
+// approximate reconstruction of any quantity at any time in the past.
+package station
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"sbr/internal/core"
+	"sbr/internal/timeseries"
+	"sbr/internal/wire"
+)
+
+// Station is a base station serving many sensors. It is safe for
+// concurrent use: sensor networks deliver frames from many radios at once.
+type Station struct {
+	cfg core.Config
+
+	// AllowRestart accepts a transmission with sequence 0 from a known
+	// sensor as a sensor reboot: the base-signal replica is reset (the
+	// restarted sensor's base signal starts empty too) and the history
+	// keeps growing. Enabled by default by New; without it a rebooted
+	// sensor would be rejected forever as out-of-order.
+	AllowRestart bool
+
+	mu      sync.RWMutex
+	sensors map[string]*sensorLog
+}
+
+// sensorLog is the per-sensor state: the decoder replica and the decoded
+// history, the in-memory equivalent of the paper's per-sensor log file.
+type sensorLog struct {
+	decoder  *core.Decoder
+	n, m     int
+	chunks   [][]timeseries.Series // chunks[seq][row] has m samples
+	bounds   []float64             // per-chunk max-abs error bound (0: none)
+	frames   int                   // frames received
+	bytes    int                   // raw bytes received
+	values   int                   // abstract bandwidth values received
+	inserts  []int                 // base intervals inserted per transmission
+	restarts int                   // sensor reboots observed (sequence reset to zero)
+}
+
+// New creates a station whose sensors all run the given configuration.
+func New(cfg core.Config) (*Station, error) {
+	if _, err := core.NewDecoder(cfg); err != nil {
+		return nil, err
+	}
+	return &Station{cfg: cfg, AllowRestart: true, sensors: make(map[string]*sensorLog)}, nil
+}
+
+// sensor returns (creating if needed) the log of the named sensor.
+// The caller must hold s.mu.
+func (s *Station) sensor(id string) (*sensorLog, error) {
+	log, ok := s.sensors[id]
+	if !ok {
+		dec, err := core.NewDecoder(s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		log = &sensorLog{decoder: dec}
+		s.sensors[id] = log
+	}
+	return log, nil
+}
+
+// ReceiveFrame ingests one wire-encoded frame from the named sensor.
+func (s *Station) ReceiveFrame(id string, frame []byte) error {
+	t, err := wire.DecodeBytes(frame)
+	if err != nil {
+		return fmt.Errorf("station: sensor %q: %w", id, err)
+	}
+	return s.receive(id, t, len(frame))
+}
+
+// Receive ingests one decoded transmission from the named sensor (used
+// when sender and receiver share an address space, e.g. in tests and the
+// simulator's loss-free fast path).
+func (s *Station) Receive(id string, t *core.Transmission) error {
+	return s.receive(id, t, 0)
+}
+
+func (s *Station) receive(id string, t *core.Transmission, rawBytes int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	log, err := s.sensor(id)
+	if err != nil {
+		return err
+	}
+	if s.AllowRestart && t.Seq == 0 && log.frames > 0 {
+		// Sensor reboot: a fresh compressor numbers from zero and starts
+		// with an empty base signal, so the replica must reset too.
+		dec, err := core.NewDecoder(s.cfg)
+		if err != nil {
+			return err
+		}
+		log.decoder = dec
+		log.restarts++
+	}
+	rows, err := log.decoder.Decode(t)
+	if err != nil {
+		return fmt.Errorf("station: sensor %q: %w", id, err)
+	}
+	if log.n == 0 {
+		log.n, log.m = t.N, t.M
+	} else if log.n != t.N || log.m != t.M {
+		return fmt.Errorf("station: sensor %q: batch shape %dx%d, want %dx%d",
+			id, t.N, t.M, log.n, log.m)
+	}
+	log.chunks = append(log.chunks, rows)
+	log.bounds = append(log.bounds, t.ErrBound)
+	log.frames++
+	log.bytes += rawBytes
+	log.values += t.Cost
+	log.inserts = append(log.inserts, t.Ins())
+	return nil
+}
+
+// Sensors returns the known sensor IDs, sorted.
+func (s *Station) Sensors() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.sensors))
+	for id := range s.sensors {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats summarises what the station has received from one sensor.
+type Stats struct {
+	Transmissions int
+	Quantities    int
+	SamplesPerRow int
+	RawBytes      int
+	Values        int   // abstract bandwidth consumed
+	BaseInserts   []int // inserted base intervals per transmission (Table 6)
+	Restarts      int   // sensor reboots observed
+}
+
+// SensorStats reports reception statistics for the named sensor.
+func (s *Station) SensorStats(id string) (Stats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	log, ok := s.sensors[id]
+	if !ok {
+		return Stats{}, fmt.Errorf("station: unknown sensor %q", id)
+	}
+	return Stats{
+		Transmissions: log.frames,
+		Quantities:    log.n,
+		SamplesPerRow: log.m,
+		RawBytes:      log.bytes,
+		Values:        log.values,
+		BaseInserts:   append([]int(nil), log.inserts...),
+		Restarts:      log.restarts,
+	}, nil
+}
+
+// History returns the full reconstructed history of quantity row of the
+// named sensor: the concatenation of that row across every received chunk.
+func (s *Station) History(id string, row int) (timeseries.Series, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	log, ok := s.sensors[id]
+	if !ok {
+		return nil, fmt.Errorf("station: unknown sensor %q", id)
+	}
+	if row < 0 || row >= log.n {
+		return nil, fmt.Errorf("station: sensor %q has %d quantities, row %d requested",
+			id, log.n, row)
+	}
+	out := make(timeseries.Series, 0, len(log.chunks)*log.m)
+	for _, chunk := range log.chunks {
+		out = append(out, chunk[row]...)
+	}
+	return out, nil
+}
+
+// At answers a historical point query: the reconstructed value of quantity
+// row at global sample index idx (counted from the first transmission).
+func (s *Station) At(id string, row, idx int) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	log, ok := s.sensors[id]
+	if !ok {
+		return 0, fmt.Errorf("station: unknown sensor %q", id)
+	}
+	if row < 0 || row >= log.n {
+		return 0, fmt.Errorf("station: sensor %q has %d quantities, row %d requested",
+			id, log.n, row)
+	}
+	if idx < 0 || idx >= len(log.chunks)*log.m {
+		return 0, fmt.Errorf("station: sample %d outside recorded history [0,%d)",
+			idx, len(log.chunks)*log.m)
+	}
+	return log.chunks[idx/log.m][row][idx%log.m], nil
+}
+
+// Range answers a historical range query over [from, to) of quantity row.
+func (s *Station) Range(id string, row, from, to int) (timeseries.Series, error) {
+	hist, err := s.History(id, row)
+	if err != nil {
+		return nil, err
+	}
+	if from < 0 || to > len(hist) || from > to {
+		return nil, fmt.Errorf("station: range [%d,%d) outside history [0,%d)",
+			from, to, len(hist))
+	}
+	return hist[from:to].Clone(), nil
+}
+
+// AggregateKind selects a range-aggregate function.
+type AggregateKind int
+
+const (
+	AggAvg AggregateKind = iota
+	AggSum
+	AggMin
+	AggMax
+)
+
+// Aggregate answers a historical aggregate query over [from, to) of
+// quantity row.
+func (s *Station) Aggregate(id string, row, from, to int, kind AggregateKind) (float64, error) {
+	seg, err := s.Range(id, row, from, to)
+	if err != nil {
+		return 0, err
+	}
+	if len(seg) == 0 {
+		return 0, fmt.Errorf("station: aggregate over empty range [%d,%d)", from, to)
+	}
+	switch kind {
+	case AggAvg:
+		return seg.Mean(), nil
+	case AggSum:
+		return seg.Sum(), nil
+	case AggMin:
+		return seg.Min(), nil
+	case AggMax:
+		return seg.Max(), nil
+	default:
+		return math.NaN(), fmt.Errorf("station: unknown aggregate kind %d", kind)
+	}
+}
+
+// AtWithBound answers a point query together with the guaranteed maximum
+// absolute error of the chunk the sample came from (Section 4.5). The
+// bound is zero when the sensor did not run under the MaxAbs metric.
+func (s *Station) AtWithBound(id string, row, idx int) (value, bound float64, err error) {
+	value, err = s.At(id, row, idx)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	log := s.sensors[id]
+	return value, log.bounds[idx/log.m], nil
+}
+
+// RangeBound returns the worst guaranteed maximum absolute error across
+// the chunks overlapping [from, to) of the named sensor's history.
+func (s *Station) RangeBound(id string, from, to int) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	log, ok := s.sensors[id]
+	if !ok {
+		return 0, fmt.Errorf("station: unknown sensor %q", id)
+	}
+	total := len(log.chunks) * log.m
+	if from < 0 || to > total || from >= to {
+		return 0, fmt.Errorf("station: range [%d,%d) outside history [0,%d)", from, to, total)
+	}
+	var worst float64
+	for c := from / log.m; c <= (to-1)/log.m; c++ {
+		if log.bounds[c] > worst {
+			worst = log.bounds[c]
+		}
+	}
+	return worst, nil
+}
+
+// BaseSignal returns the current base-signal replica of the named sensor.
+func (s *Station) BaseSignal(id string) (timeseries.Series, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	log, ok := s.sensors[id]
+	if !ok {
+		return nil, fmt.Errorf("station: unknown sensor %q", id)
+	}
+	return log.decoder.BaseSignal(), nil
+}

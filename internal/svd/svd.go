@@ -1,0 +1,168 @@
+// Package svd provides the small dense linear-algebra kernel needed by the
+// GetBaseSVD alternative base-signal construction of the paper's Appendix:
+// a cyclic Jacobi eigensolver for symmetric matrices, and the Gram-matrix
+// route to the right singular vectors of a rectangular matrix
+// (the eigenvectors of RᵀR ordered by decreasing eigenvalue).
+package svd
+
+import "math"
+
+// SymEigen computes the eigenvalues and eigenvectors of the symmetric n×n
+// matrix a using the cyclic Jacobi method. The input is not modified.
+// Eigenpairs are returned in order of decreasing eigenvalue; vectors[i] is
+// the unit eigenvector for values[i].
+func SymEigen(a [][]float64) (values []float64, vectors [][]float64) {
+	n := len(a)
+	if n == 0 {
+		return nil, nil
+	}
+	// Working copy of the matrix and accumulated rotation matrix V.
+	m := make([][]float64, n)
+	v := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]float64, n)
+		copy(m[i], a[i])
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+
+	const (
+		maxSweeps = 100
+		tol       = 1e-12
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagonalNorm(m)
+		if off < tol*frobeniusNorm(m) || off == 0 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				rotate(m, v, p, q)
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = m[i][i]
+	}
+	// Column i of V is the eigenvector of eigenvalue m[i][i]; extract and
+	// sort by decreasing eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < n; i++ { // selection sort: n is small (W ≈ √n of data)
+		best := i
+		for j := i + 1; j < n; j++ {
+			if values[idx[j]] > values[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	sortedVals := make([]float64, n)
+	vectors = make([][]float64, n)
+	for i, j := range idx {
+		sortedVals[i] = values[j]
+		vec := make([]float64, n)
+		for r := 0; r < n; r++ {
+			vec[r] = v[r][j]
+		}
+		vectors[i] = vec
+	}
+	return sortedVals, vectors
+}
+
+// rotate applies one Jacobi rotation zeroing m[p][q], accumulating into v.
+func rotate(m, v [][]float64, p, q int) {
+	apq := m[p][q]
+	if apq == 0 {
+		return
+	}
+	app, aqq := m[p][p], m[q][q]
+	theta := (aqq - app) / (2 * apq)
+	var t float64
+	if theta >= 0 {
+		t = 1 / (theta + math.Sqrt(1+theta*theta))
+	} else {
+		t = -1 / (-theta + math.Sqrt(1+theta*theta))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	s := t * c
+	n := len(m)
+	for i := 0; i < n; i++ {
+		mip, miq := m[i][p], m[i][q]
+		m[i][p] = c*mip - s*miq
+		m[i][q] = s*mip + c*miq
+	}
+	for i := 0; i < n; i++ {
+		mpi, mqi := m[p][i], m[q][i]
+		m[p][i] = c*mpi - s*mqi
+		m[q][i] = s*mpi + c*mqi
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v[i][p], v[i][q]
+		v[i][p] = c*vip - s*viq
+		v[i][q] = s*vip + c*viq
+	}
+}
+
+func offDiagonalNorm(m [][]float64) float64 {
+	var t float64
+	for i := range m {
+		for j := range m[i] {
+			if i != j {
+				t += m[i][j] * m[i][j]
+			}
+		}
+	}
+	return math.Sqrt(t)
+}
+
+func frobeniusNorm(m [][]float64) float64 {
+	var t float64
+	for i := range m {
+		for j := range m[i] {
+			t += m[i][j] * m[i][j]
+		}
+	}
+	return math.Sqrt(t)
+}
+
+// RightSingularVectors returns the top-k right singular vectors of the
+// rows×cols matrix r, computed as the leading eigenvectors of the Gram
+// matrix RᵀR. This is exactly the construction GetBaseSVD needs: each
+// vector has length cols and captures a dominant linear trend across the
+// rows.
+func RightSingularVectors(r [][]float64, k int) [][]float64 {
+	if len(r) == 0 {
+		return nil
+	}
+	cols := len(r[0])
+	gram := make([][]float64, cols)
+	for i := range gram {
+		gram[i] = make([]float64, cols)
+	}
+	for _, row := range r {
+		for i := 0; i < cols; i++ {
+			ri := row[i]
+			if ri == 0 {
+				continue
+			}
+			for j := i; j < cols; j++ {
+				gram[i][j] += ri * row[j]
+			}
+		}
+	}
+	for i := 0; i < cols; i++ {
+		for j := 0; j < i; j++ {
+			gram[i][j] = gram[j][i]
+		}
+	}
+	_, vecs := SymEigen(gram)
+	if k > len(vecs) {
+		k = len(vecs)
+	}
+	return vecs[:k]
+}

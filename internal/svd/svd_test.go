@@ -1,0 +1,179 @@
+package svd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := [][]float64{
+		{3, 0, 0},
+		{0, 7, 0},
+		{0, 0, 1},
+	}
+	vals, vecs := SymEigen(a)
+	want := []float64{7, 3, 1}
+	for i, w := range want {
+		if math.Abs(vals[i]-w) > 1e-9 {
+			t.Errorf("eigenvalue %d = %v, want %v", i, vals[i], w)
+		}
+	}
+	// The top eigenvector must be ±e2.
+	if math.Abs(math.Abs(vecs[0][1])-1) > 1e-9 {
+		t.Errorf("top eigenvector = %v, want ±e2", vecs[0])
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := [][]float64{{2, 1}, {1, 2}}
+	vals, vecs := SymEigen(a)
+	if math.Abs(vals[0]-3) > 1e-9 || math.Abs(vals[1]-1) > 1e-9 {
+		t.Fatalf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// Top eigenvector ∝ (1,1)/√2.
+	if math.Abs(math.Abs(vecs[0][0])-1/math.Sqrt2) > 1e-9 ||
+		math.Abs(vecs[0][0]-vecs[0][1]) > 1e-9 {
+		t.Errorf("top eigenvector = %v", vecs[0])
+	}
+}
+
+func TestSymEigenEmpty(t *testing.T) {
+	vals, vecs := SymEigen(nil)
+	if vals != nil || vecs != nil {
+		t.Error("empty input must give nil results")
+	}
+}
+
+// Property: for random symmetric matrices, A·v = λ·v holds for every
+// returned pair, eigenvalues are descending, and vectors are orthonormal.
+func TestSymEigenProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 2
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64() * 5
+				a[i][j], a[j][i] = v, v
+			}
+		}
+		vals, vecs := SymEigen(a)
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-9 {
+				return false
+			}
+		}
+		for k := 0; k < n; k++ {
+			// residual ||A v − λ v||
+			var res float64
+			for i := 0; i < n; i++ {
+				var av float64
+				for j := 0; j < n; j++ {
+					av += a[i][j] * vecs[k][j]
+				}
+				d := av - vals[k]*vecs[k][i]
+				res += d * d
+			}
+			if math.Sqrt(res) > 1e-6 {
+				return false
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				var dot float64
+				for r := 0; r < n; r++ {
+					dot += vecs[i][r] * vecs[j][r]
+				}
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRightSingularVectors(t *testing.T) {
+	// Rank-1 matrix: rows are multiples of (3,4)/5.
+	r := [][]float64{
+		{3, 4},
+		{6, 8},
+		{-3, -4},
+	}
+	vecs := RightSingularVectors(r, 2)
+	if len(vecs) != 2 {
+		t.Fatalf("%d vectors, want 2", len(vecs))
+	}
+	v := vecs[0]
+	if math.Abs(math.Abs(v[0])-0.6) > 1e-9 || math.Abs(math.Abs(v[1])-0.8) > 1e-9 {
+		t.Errorf("top right singular vector = %v, want ±(0.6,0.8)", v)
+	}
+	if RightSingularVectors(nil, 3) != nil {
+		t.Error("empty input must give nil")
+	}
+	// k larger than dimensionality clamps.
+	if got := RightSingularVectors(r, 10); len(got) != 2 {
+		t.Errorf("k clamp failed: %d vectors", len(got))
+	}
+}
+
+// Property: the top right singular vector maximises ||R·v|| over unit
+// vectors — checked against random probes.
+func TestTopSingularVectorMaximisesEnergy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := rng.Intn(6)+2, rng.Intn(4)+2
+		r := make([][]float64, rows)
+		for i := range r {
+			r[i] = make([]float64, cols)
+			for j := range r[i] {
+				r[i][j] = rng.NormFloat64()
+			}
+		}
+		vecs := RightSingularVectors(r, 1)
+		energy := func(v []float64) float64 {
+			var e float64
+			for _, row := range r {
+				var dot float64
+				for j := range row {
+					dot += row[j] * v[j]
+				}
+				e += dot * dot
+			}
+			return e
+		}
+		top := energy(vecs[0])
+		for probe := 0; probe < 20; probe++ {
+			v := make([]float64, cols)
+			var norm float64
+			for j := range v {
+				v[j] = rng.NormFloat64()
+				norm += v[j] * v[j]
+			}
+			norm = math.Sqrt(norm)
+			for j := range v {
+				v[j] /= norm
+			}
+			if energy(v) > top+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,56 @@
+package timeseries
+
+// Prefix holds prefix sums of a series and of its squares, enabling O(1)
+// computation of segment sums, segment sums of squares, means and the
+// constant terms of the least-squares error formula. It is the workhorse
+// behind the O(1)-per-shift cost of BestMap's scan over the base signal.
+type Prefix struct {
+	sum   []float64 // sum[i]   = Σ s[0..i)
+	sumSq []float64 // sumSq[i] = Σ s[0..i)^2
+	n     int
+}
+
+// NewPrefix builds prefix sums over s in O(len(s)).
+func NewPrefix(s Series) *Prefix {
+	p := &Prefix{
+		sum:   make([]float64, len(s)+1),
+		sumSq: make([]float64, len(s)+1),
+		n:     len(s),
+	}
+	for i, v := range s {
+		p.sum[i+1] = p.sum[i] + v
+		p.sumSq[i+1] = p.sumSq[i] + v*v
+	}
+	return p
+}
+
+// Len returns the length of the underlying series.
+func (p *Prefix) Len() int { return p.n }
+
+// Sum returns Σ s[start : start+length).
+func (p *Prefix) Sum(start, length int) float64 {
+	return p.sum[start+length] - p.sum[start]
+}
+
+// SumSq returns Σ s[i]^2 over [start, start+length).
+func (p *Prefix) SumSq(start, length int) float64 {
+	return p.sumSq[start+length] - p.sumSq[start]
+}
+
+// Mean returns the mean of s over [start, start+length).
+func (p *Prefix) Mean(start, length int) float64 {
+	if length == 0 {
+		return 0
+	}
+	return p.Sum(start, length) / float64(length)
+}
+
+// Variance returns the population variance of s over [start, start+length).
+func (p *Prefix) Variance(start, length int) float64 {
+	if length == 0 {
+		return 0
+	}
+	n := float64(length)
+	mean := p.Sum(start, length) / n
+	return p.SumSq(start, length)/n - mean*mean
+}

@@ -1,0 +1,105 @@
+package timeseries
+
+// Resampling utilities supporting quantities recorded on different
+// schedules (the paper's footnote 2: the framework applies when each
+// quantity has its own sampling rate, after alignment to a common grid).
+
+// Lerp linearly interpolates s onto a grid of m points spanning the same
+// time range: output point j sits at fraction j/(m−1) of the input span.
+// Endpoints are preserved. A single-sample or empty input extends as a
+// constant.
+func Lerp(s Series, m int) Series {
+	if m <= 0 {
+		return nil
+	}
+	out := make(Series, m)
+	switch len(s) {
+	case 0:
+		return out
+	case 1:
+		for j := range out {
+			out[j] = s[0]
+		}
+		return out
+	}
+	if m == 1 {
+		out[0] = s[0]
+		return out
+	}
+	scale := float64(len(s)-1) / float64(m-1)
+	for j := 0; j < m; j++ {
+		pos := float64(j) * scale
+		i := int(pos)
+		if i >= len(s)-1 {
+			out[j] = s[len(s)-1]
+			continue
+		}
+		frac := pos - float64(i)
+		out[j] = s[i]*(1-frac) + s[i+1]*frac
+	}
+	return out
+}
+
+// Downsample reduces s by averaging non-overlapping windows of the given
+// factor; a final partial window is averaged over its actual length.
+func Downsample(s Series, factor int) Series {
+	if factor <= 1 {
+		return s.Clone()
+	}
+	out := make(Series, 0, (len(s)+factor-1)/factor)
+	for start := 0; start < len(s); start += factor {
+		end := start + factor
+		if end > len(s) {
+			end = len(s)
+		}
+		out = append(out, s[start:end].Mean())
+	}
+	return out
+}
+
+// AlignToGrid interpolates irregularly timed samples (times must be
+// strictly increasing) onto a regular grid of m points spanning
+// [times[0], times[len−1]]. Values outside the observed range clamp to the
+// nearest endpoint.
+func AlignToGrid(times []float64, values Series, m int) Series {
+	if len(times) != len(values) {
+		panic("timeseries: times and values length mismatch")
+	}
+	if m <= 0 || len(values) == 0 {
+		return make(Series, maxInt(m, 0))
+	}
+	out := make(Series, m)
+	if len(values) == 1 || m == 1 {
+		for j := range out {
+			out[j] = values[0]
+		}
+		return out
+	}
+	t0, t1 := times[0], times[len(times)-1]
+	span := t1 - t0
+	i := 0
+	for j := 0; j < m; j++ {
+		t := t0 + span*float64(j)/float64(m-1)
+		for i < len(times)-2 && times[i+1] < t {
+			i++
+		}
+		lo, hi := times[i], times[i+1]
+		switch {
+		case t <= lo:
+			out[j] = values[i]
+		case t >= hi:
+			out[j] = values[i+1]
+		default:
+			frac := (t - lo) / (hi - lo)
+			out[j] = values[i]*(1-frac) + values[i+1]*frac
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

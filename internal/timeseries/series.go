@@ -1,0 +1,230 @@
+// Package timeseries provides the basic data containers used throughout the
+// SBR framework: one-dimensional sample series, the N×M in-sensor collection
+// buffer described in Section 3.2 of the paper, and prefix-sum statistics
+// that let segment aggregates be computed in constant time.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Series is a sequence of samples of a single recorded quantity.
+type Series []float64
+
+// Clone returns an independent copy of s.
+func (s Series) Clone() Series {
+	out := make(Series, len(s))
+	copy(out, s)
+	return out
+}
+
+// Sum returns the sum of all samples.
+func (s Series) Sum() float64 {
+	var t float64
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// Mean returns the arithmetic mean of the samples, or 0 for an empty series.
+func (s Series) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s))
+}
+
+// Min returns the smallest sample. It panics on an empty series.
+func (s Series) Min() float64 {
+	if len(s) == 0 {
+		panic("timeseries: Min of empty series")
+	}
+	m := s[0]
+	for _, v := range s[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample. It panics on an empty series.
+func (s Series) Max() float64 {
+	if len(s) == 0 {
+		panic("timeseries: Max of empty series")
+	}
+	m := s[0]
+	for _, v := range s[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Variance returns the population variance of the samples.
+func (s Series) Variance() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	var t float64
+	for _, v := range s {
+		d := v - mean
+		t += d * d
+	}
+	return t / float64(len(s))
+}
+
+// Scale multiplies every sample by f in place and returns s.
+func (s Series) Scale(f float64) Series {
+	for i := range s {
+		s[i] *= f
+	}
+	return s
+}
+
+// Shift adds d to every sample in place and returns s.
+func (s Series) Shift(d float64) Series {
+	for i := range s {
+		s[i] += d
+	}
+	return s
+}
+
+// Concat returns the concatenation of the given series as a new Series.
+// This realises the paper's "virtual assignment" Y = concat(Y_1 … Y_N).
+func Concat(parts ...Series) Series {
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make(Series, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Window returns the sub-series s[start : start+length] without copying.
+// It panics if the window falls outside the series.
+func (s Series) Window(start, length int) Series {
+	if start < 0 || length < 0 || start+length > len(s) {
+		panic(fmt.Sprintf("timeseries: window [%d,%d) outside series of length %d",
+			start, start+length, len(s)))
+	}
+	return s[start : start+length]
+}
+
+// Split breaks s into consecutive non-overlapping chunks of the given size.
+// A final shorter remainder, if any, is dropped: the SBR framework only
+// operates on whole base intervals.
+func (s Series) Split(size int) []Series {
+	if size <= 0 {
+		panic("timeseries: non-positive split size")
+	}
+	out := make([]Series, 0, len(s)/size)
+	for start := 0; start+size <= len(s); start += size {
+		out = append(out, s[start:start+size])
+	}
+	return out
+}
+
+// Equal reports whether a and b have the same length and samples within tol.
+func Equal(a, b Series, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrShape is returned when rows of a collection have inconsistent lengths.
+var ErrShape = errors.New("timeseries: rows have different lengths")
+
+// Collection is the N×M in-memory array of Section 3.2: row i holds the M
+// most recent samples of quantity i. All rows must have equal length.
+type Collection struct {
+	rows []Series
+}
+
+// NewCollection builds a collection from the given rows, validating that all
+// rows have the same length.
+func NewCollection(rows ...Series) (*Collection, error) {
+	if len(rows) == 0 {
+		return &Collection{}, nil
+	}
+	m := len(rows[0])
+	for _, r := range rows[1:] {
+		if len(r) != m {
+			return nil, ErrShape
+		}
+	}
+	cp := make([]Series, len(rows))
+	for i, r := range rows {
+		cp[i] = r.Clone()
+	}
+	return &Collection{rows: cp}, nil
+}
+
+// MustCollection is NewCollection that panics on shape errors; intended for
+// tests and generators whose shapes are known statically.
+func MustCollection(rows ...Series) *Collection {
+	c, err := NewCollection(rows...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// N returns the number of recorded quantities (rows).
+func (c *Collection) N() int { return len(c.rows) }
+
+// M returns the number of samples per quantity (columns).
+func (c *Collection) M() int {
+	if len(c.rows) == 0 {
+		return 0
+	}
+	return len(c.rows[0])
+}
+
+// Len returns the total number of stored samples, n = N×M.
+func (c *Collection) Len() int { return c.N() * c.M() }
+
+// Row returns row i without copying.
+func (c *Collection) Row(i int) Series { return c.rows[i] }
+
+// Rows returns the underlying rows without copying.
+func (c *Collection) Rows() []Series { return c.rows }
+
+// Flatten concatenates the rows into a single series, the virtual Y of
+// Algorithm 3.
+func (c *Collection) Flatten() Series { return Concat(c.rows...) }
+
+// Clone returns a deep copy of the collection.
+func (c *Collection) Clone() *Collection {
+	rows := make([]Series, len(c.rows))
+	for i, r := range c.rows {
+		rows[i] = r.Clone()
+	}
+	return &Collection{rows: rows}
+}
+
+// At returns the sample of quantity row at position col.
+func (c *Collection) At(row, col int) float64 { return c.rows[row][col] }
+
+// ColumnSlice returns, for every row, the sub-series [start, start+length).
+func (c *Collection) ColumnSlice(start, length int) *Collection {
+	rows := make([]Series, len(c.rows))
+	for i, r := range c.rows {
+		rows[i] = r.Window(start, length)
+	}
+	return &Collection{rows: rows}
+}

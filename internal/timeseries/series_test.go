@@ -1,0 +1,377 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestSeriesBasicStats(t *testing.T) {
+	s := Series{1, 2, 3, 4}
+	if got := s.Sum(); got != 10 {
+		t.Errorf("Sum = %v, want 10", got)
+	}
+	if got := s.Mean(); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+	if got := s.Max(); got != 4 {
+		t.Errorf("Max = %v, want 4", got)
+	}
+	if got := s.Variance(); !almostEqual(got, 1.25, 1e-12) {
+		t.Errorf("Variance = %v, want 1.25", got)
+	}
+}
+
+func TestEmptySeriesStats(t *testing.T) {
+	var s Series
+	if got := s.Mean(); got != 0 {
+		t.Errorf("Mean of empty = %v, want 0", got)
+	}
+	if got := s.Variance(); got != 0 {
+		t.Errorf("Variance of empty = %v, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Min of empty series did not panic")
+		}
+	}()
+	s.Min()
+}
+
+func TestMaxOfEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Max of empty series did not panic")
+		}
+	}()
+	Series{}.Max()
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := Series{1, 2, 3}
+	c := s.Clone()
+	c[0] = 99
+	if s[0] != 1 {
+		t.Error("Clone shares backing storage with original")
+	}
+}
+
+func TestScaleShift(t *testing.T) {
+	s := Series{1, 2, 3}
+	s.Scale(2).Shift(1)
+	want := Series{3, 5, 7}
+	if !Equal(s, want, 0) {
+		t.Errorf("Scale/Shift = %v, want %v", s, want)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	got := Concat(Series{1, 2}, Series{3}, nil, Series{4, 5})
+	want := Series{1, 2, 3, 4, 5}
+	if !Equal(got, want, 0) {
+		t.Errorf("Concat = %v, want %v", got, want)
+	}
+	if len(Concat()) != 0 {
+		t.Error("Concat of nothing is not empty")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	s := Series{0, 1, 2, 3, 4}
+	w := s.Window(1, 3)
+	if !Equal(w, Series{1, 2, 3}, 0) {
+		t.Errorf("Window = %v", w)
+	}
+	// Windows share storage by design.
+	w[0] = 42
+	if s[1] != 42 {
+		t.Error("Window does not alias the original series")
+	}
+}
+
+func TestWindowOutOfRangePanics(t *testing.T) {
+	cases := [][2]int{{-1, 2}, {0, 6}, {4, 2}, {0, -1}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Window(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			Series{0, 1, 2, 3, 4}.Window(c[0], c[1])
+		}()
+	}
+}
+
+func TestSplit(t *testing.T) {
+	s := Series{1, 2, 3, 4, 5, 6, 7}
+	parts := s.Split(3)
+	if len(parts) != 2 {
+		t.Fatalf("Split into %d parts, want 2 (remainder dropped)", len(parts))
+	}
+	if !Equal(parts[0], Series{1, 2, 3}, 0) || !Equal(parts[1], Series{4, 5, 6}, 0) {
+		t.Errorf("Split = %v", parts)
+	}
+}
+
+func TestSplitNonPositivePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Split(0) did not panic")
+		}
+	}()
+	Series{1}.Split(0)
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Series{1, 2}, Series{1, 2.0000001}, 1e-3) {
+		t.Error("Equal should accept values within tolerance")
+	}
+	if Equal(Series{1, 2}, Series{1, 3}, 1e-3) {
+		t.Error("Equal should reject values outside tolerance")
+	}
+	if Equal(Series{1}, Series{1, 2}, 1) {
+		t.Error("Equal should reject different lengths")
+	}
+}
+
+func TestCollectionShape(t *testing.T) {
+	c, err := NewCollection(Series{1, 2, 3}, Series{4, 5, 6})
+	if err != nil {
+		t.Fatalf("NewCollection: %v", err)
+	}
+	if c.N() != 2 || c.M() != 3 || c.Len() != 6 {
+		t.Errorf("shape = (%d,%d,%d), want (2,3,6)", c.N(), c.M(), c.Len())
+	}
+	if _, err := NewCollection(Series{1}, Series{1, 2}); err != ErrShape {
+		t.Errorf("ragged rows gave %v, want ErrShape", err)
+	}
+}
+
+func TestCollectionIsDeepCopy(t *testing.T) {
+	row := Series{1, 2}
+	c := MustCollection(row)
+	row[0] = 99
+	if c.At(0, 0) != 1 {
+		t.Error("NewCollection did not copy its input rows")
+	}
+	clone := c.Clone()
+	clone.Row(0)[0] = 7
+	if c.At(0, 0) != 1 {
+		t.Error("Clone shares rows with the original")
+	}
+}
+
+func TestCollectionFlattenAndSlice(t *testing.T) {
+	c := MustCollection(Series{1, 2, 3, 4}, Series{5, 6, 7, 8})
+	if !Equal(c.Flatten(), Series{1, 2, 3, 4, 5, 6, 7, 8}, 0) {
+		t.Errorf("Flatten = %v", c.Flatten())
+	}
+	sl := c.ColumnSlice(1, 2)
+	if !Equal(sl.Row(0), Series{2, 3}, 0) || !Equal(sl.Row(1), Series{6, 7}, 0) {
+		t.Errorf("ColumnSlice rows = %v, %v", sl.Row(0), sl.Row(1))
+	}
+}
+
+func TestEmptyCollection(t *testing.T) {
+	c, err := NewCollection()
+	if err != nil {
+		t.Fatalf("empty NewCollection: %v", err)
+	}
+	if c.N() != 0 || c.M() != 0 || c.Len() != 0 {
+		t.Error("empty collection has non-zero shape")
+	}
+}
+
+func TestPrefixMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := make(Series, 200)
+	for i := range s {
+		s[i] = rng.NormFloat64() * 10
+	}
+	p := NewPrefix(s)
+	if p.Len() != len(s) {
+		t.Fatalf("Prefix.Len = %d, want %d", p.Len(), len(s))
+	}
+	for trial := 0; trial < 100; trial++ {
+		start := rng.Intn(len(s))
+		length := rng.Intn(len(s) - start)
+		seg := s[start : start+length]
+		var sum, sumSq float64
+		for _, v := range seg {
+			sum += v
+			sumSq += v * v
+		}
+		if got := p.Sum(start, length); !almostEqual(got, sum, 1e-9) {
+			t.Fatalf("Sum(%d,%d) = %v, want %v", start, length, got, sum)
+		}
+		if got := p.SumSq(start, length); !almostEqual(got, sumSq, 1e-9) {
+			t.Fatalf("SumSq(%d,%d) = %v, want %v", start, length, got, sumSq)
+		}
+		if length > 0 {
+			if got := p.Mean(start, length); !almostEqual(got, sum/float64(length), 1e-9) {
+				t.Fatalf("Mean(%d,%d) = %v", start, length, got)
+			}
+			if got, want := p.Variance(start, length), Series(seg).Variance(); math.Abs(got-want) > 1e-6 {
+				t.Fatalf("Variance(%d,%d) = %v, want %v", start, length, got, want)
+			}
+		}
+	}
+}
+
+func TestPrefixZeroLengthSegments(t *testing.T) {
+	p := NewPrefix(Series{1, 2, 3})
+	if p.Sum(1, 0) != 0 || p.SumSq(2, 0) != 0 || p.Mean(0, 0) != 0 || p.Variance(0, 0) != 0 {
+		t.Error("zero-length segment statistics are not all zero")
+	}
+}
+
+// Property: concatenating a Split reproduces the prefix of the series that
+// the chunks cover.
+func TestSplitConcatProperty(t *testing.T) {
+	f := func(vals []float64, sizeRaw uint8) bool {
+		size := int(sizeRaw%16) + 1
+		s := Series(vals)
+		parts := s.Split(size)
+		joined := Concat(parts...)
+		covered := (len(s) / size) * size
+		return Equal(joined, s[:covered], 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: prefix sums are consistent under segment concatenation:
+// Sum(a, l1+l2) = Sum(a, l1) + Sum(a+l1, l2).
+func TestPrefixAdditivityProperty(t *testing.T) {
+	f := func(vals []float64, aRaw, l1Raw, l2Raw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				vals[i] = 1
+			}
+			// Bound magnitudes so segment sums cannot overflow or lose all
+			// precision to cancellation; the property under test is about
+			// index bookkeeping, not extreme-float arithmetic.
+			vals[i] = math.Mod(vals[i], 1e6)
+		}
+		p := NewPrefix(vals)
+		a := int(aRaw) % len(vals)
+		l1 := int(l1Raw) % (len(vals) - a + 1)
+		l2 := int(l2Raw) % (len(vals) - a - l1 + 1)
+		total := p.Sum(a, l1+l2)
+		split := p.Sum(a, l1) + p.Sum(a+l1, l2)
+		return almostEqual(total, split, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerpIdentityAndEndpoints(t *testing.T) {
+	s := Series{1, 3, 5, 7}
+	if !Equal(Lerp(s, 4), s, 1e-12) {
+		t.Error("Lerp to the same length is not the identity")
+	}
+	up := Lerp(s, 7)
+	if up[0] != 1 || up[6] != 7 {
+		t.Errorf("Lerp endpoints = %v, %v", up[0], up[6])
+	}
+	// Midpoints of a linear series stay linear.
+	if math.Abs(up[3]-4) > 1e-12 {
+		t.Errorf("Lerp midpoint = %v, want 4", up[3])
+	}
+}
+
+func TestLerpDegenerate(t *testing.T) {
+	if Lerp(Series{5}, 3)[1] != 5 {
+		t.Error("single-sample Lerp is not constant")
+	}
+	if got := Lerp(nil, 2); len(got) != 2 || got[0] != 0 {
+		t.Errorf("empty Lerp = %v", got)
+	}
+	if Lerp(Series{1, 2}, 0) != nil {
+		t.Error("Lerp to zero points not nil")
+	}
+	if got := Lerp(Series{1, 9}, 1); got[0] != 1 {
+		t.Errorf("Lerp to one point = %v", got)
+	}
+}
+
+// Property: Lerp preserves the range of the input (linear interpolation
+// cannot overshoot).
+func TestLerpRangeProperty(t *testing.T) {
+	f := func(vals []float64, mRaw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				vals[i] = 0
+			}
+		}
+		s := Series(vals)
+		m := int(mRaw%64) + 1
+		out := Lerp(s, m)
+		lo, hi := s.Min(), s.Max()
+		for _, v := range out {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := Series{1, 3, 5, 7, 9}
+	got := Downsample(s, 2)
+	want := Series{2, 6, 9}
+	if !Equal(got, want, 1e-12) {
+		t.Errorf("Downsample = %v, want %v", got, want)
+	}
+	if !Equal(Downsample(s, 1), s, 0) {
+		t.Error("factor-1 Downsample is not the identity")
+	}
+}
+
+func TestAlignToGrid(t *testing.T) {
+	times := []float64{0, 10, 20}
+	values := Series{0, 100, 0}
+	got := AlignToGrid(times, values, 5)
+	want := Series{0, 50, 100, 50, 0}
+	if !Equal(got, want, 1e-9) {
+		t.Errorf("AlignToGrid = %v, want %v", got, want)
+	}
+	// Irregular times.
+	got = AlignToGrid([]float64{0, 1, 10}, Series{0, 9, 18}, 3)
+	if math.Abs(got[1]-13) > 1e-9 { // t=5 lies between (1,9) and (10,18)
+		t.Errorf("irregular AlignToGrid[1] = %v, want 13", got[1])
+	}
+	if got := AlignToGrid([]float64{3}, Series{7}, 4); got[2] != 7 {
+		t.Error("single-point AlignToGrid not constant")
+	}
+}
+
+func TestAlignToGridMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched align input did not panic")
+		}
+	}()
+	AlignToGrid([]float64{1, 2}, Series{1}, 3)
+}

@@ -1,0 +1,137 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sbr/internal/metrics"
+	"sbr/internal/timeseries"
+)
+
+func TestApplyBasisMatchesInverse(t *testing.T) {
+	// Adding v·ψ_i via applyBasis must equal inverting a one-hot
+	// coefficient vector.
+	rng := rand.New(rand.NewSource(1))
+	n := 16
+	for i := 0; i < n; i++ {
+		v := rng.NormFloat64() * 5
+		dense := make(timeseries.Series, n)
+		dense[i] = v
+		want := Inverse(dense)
+
+		got := make(timeseries.Series, n)
+		applyBasis(got, i, v, n)
+		if !timeseries.Equal(got, want, 1e-9) {
+			t.Fatalf("coefficient %d: applyBasis diverges from Inverse", i)
+		}
+	}
+}
+
+func TestSupportOf(t *testing.T) {
+	n := 8
+	cases := map[int][2]int{
+		0: {0, 8}, // smooth
+		1: {0, 8}, // coarsest detail
+		2: {0, 4}, 3: {4, 8},
+		4: {0, 2}, 5: {2, 4}, 6: {4, 6}, 7: {6, 8},
+	}
+	for i, want := range cases {
+		s, e := supportOf(i, n)
+		if s != want[0] || e != want[1] {
+			t.Errorf("supportOf(%d) = [%d,%d), want [%d,%d)", i, s, e, want[0], want[1])
+		}
+	}
+}
+
+func TestGreedyMatchesTopBUnderSSE(t *testing.T) {
+	// Under SSE the greedy choice and the largest-coefficient choice give
+	// the same error (orthonormal basis: gain of coefficient c is c²).
+	rng := rand.New(rand.NewSource(2))
+	s := randSeries(rng, 64)
+	for _, b := range []int{1, 4, 16, 64} {
+		gotErr := metrics.SumSquared(s, GreedyTopB(s, b, metrics.SSE).Reconstruct())
+		wantErr := metrics.SumSquared(s, TopB(s, b).Reconstruct())
+		if math.Abs(gotErr-wantErr) > 1e-6*(1+wantErr) {
+			t.Errorf("b=%d: greedy SSE %v, top-B SSE %v", b, gotErr, wantErr)
+		}
+	}
+}
+
+func TestGreedyFullBudgetIsExact(t *testing.T) {
+	// Under SSE every non-zero coefficient has positive gain (c²), so the
+	// full budget reconstructs exactly. (Under other metrics the greedy
+	// may legitimately stop early once no single coefficient improves.)
+	rng := rand.New(rand.NewSource(3))
+	s := randSeries(rng, 32)
+	rec := GreedyTopB(s, 32, metrics.SSE).Reconstruct()
+	if !timeseries.Equal(rec, s, 1e-8) {
+		t.Error("full-budget greedy synopsis is not lossless")
+	}
+}
+
+func TestGreedyImprovesRelativeError(t *testing.T) {
+	// A signal with a large-amplitude region and a small-amplitude region:
+	// L2-optimal selection spends everything on the large region, while the
+	// relative metric cares about proportional error everywhere.
+	rng := rand.New(rand.NewSource(4))
+	s := make(timeseries.Series, 128)
+	for i := 0; i < 64; i++ {
+		s[i] = 1000 + 100*rng.NormFloat64()
+	}
+	for i := 64; i < 128; i++ {
+		s[i] = 2 + rng.NormFloat64()
+	}
+	budget := 16 // coefficients
+	std := TopB(s, budget).Reconstruct()
+	greedy := GreedyTopB(s, budget, metrics.RelativeSSE).Reconstruct()
+	stdRel := metrics.SumSquaredRelative(s, std, 1)
+	greedyRel := metrics.SumSquaredRelative(s, greedy, 1)
+	if greedyRel > stdRel {
+		t.Errorf("greedy relative error %v worse than standard %v", greedyRel, stdRel)
+	}
+}
+
+// Property: the greedy synopsis never loses to standard TopB on the metric
+// it optimises (both get the same coefficient budget).
+func TestGreedyNeverWorseProperty(t *testing.T) {
+	f := func(seed int64, bRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randSeries(rng, 32)
+		// Mix in scale diversity so the metrics disagree.
+		for i := 16; i < 32; i++ {
+			s[i] *= 100
+		}
+		b := int(bRaw%16) + 1
+		std := TopB(s, b).Reconstruct()
+		greedy := GreedyTopB(s, b, metrics.RelativeSSE).Reconstruct()
+		stdRel := metrics.SumSquaredRelative(s, std, 1)
+		greedyRel := metrics.SumSquaredRelative(s, greedy, 1)
+		return greedyRel <= stdRel+1e-9*(1+stdRel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproximateRowsRelativeShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := []timeseries.Series{randSeries(rng, 40), randSeries(rng, 40)}
+	out := ApproximateRowsRelative(rows, 24)
+	if len(out) != 2 || len(out[0]) != 40 {
+		t.Fatal("ApproximateRowsRelative changed the shape")
+	}
+}
+
+func TestGreedyZeroBudget(t *testing.T) {
+	s := timeseries.Series{1, 2, 3, 4}
+	syn := GreedyTopB(s, 0, metrics.SSE)
+	if len(syn.Coeffs) != 0 {
+		t.Error("zero budget kept coefficients")
+	}
+	syn = GreedyTopB(s, -1, metrics.SSE)
+	if len(syn.Coeffs) != 0 {
+		t.Error("negative budget kept coefficients")
+	}
+}

@@ -1,0 +1,230 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sbr/internal/timeseries"
+)
+
+func randSeries(rng *rand.Rand, n int) timeseries.Series {
+	s := make(timeseries.Series, n)
+	for i := range s {
+		s[i] = rng.NormFloat64() * 10
+	}
+	return s
+}
+
+func TestForwardInverseIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		s := randSeries(rng, n)
+		got := Inverse(Forward(s))
+		if !timeseries.Equal(got, s, 1e-9) {
+			t.Errorf("n=%d: round trip diverged", n)
+		}
+	}
+}
+
+func TestForwardKnownValues(t *testing.T) {
+	// Orthonormal Haar of (1,1): smooth = 2/√2 = √2, detail = 0.
+	got := Forward(timeseries.Series{1, 1})
+	if math.Abs(got[0]-math.Sqrt2) > 1e-12 || math.Abs(got[1]) > 1e-12 {
+		t.Errorf("Forward(1,1) = %v", got)
+	}
+	// Constant series has a single non-zero coefficient.
+	got = Forward(timeseries.Series{3, 3, 3, 3})
+	if math.Abs(got[0]-6) > 1e-12 { // 3·√4
+		t.Errorf("Forward const[0] = %v, want 6", got[0])
+	}
+	for _, v := range got[1:] {
+		if math.Abs(v) > 1e-12 {
+			t.Errorf("constant series has non-zero detail: %v", got)
+			break
+		}
+	}
+}
+
+func TestNonPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Forward on non-power-of-two did not panic")
+		}
+	}()
+	Forward(make(timeseries.Series, 6))
+}
+
+// Property: the orthonormal transform preserves energy (Parseval).
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (uint(rng.Intn(7)) + 1)
+		s := randSeries(rng, n)
+		c := Forward(s)
+		var es, ec float64
+		for i := range s {
+			es += s[i] * s[i]
+			ec += c[i] * c[i]
+		}
+		return math.Abs(es-ec) < 1e-6*(1+es)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPad(t *testing.T) {
+	s := timeseries.Series{1, 2, 3}
+	padded, n := Pad(s)
+	if n != 3 || len(padded) != 4 {
+		t.Fatalf("Pad gave len %d, orig %d", len(padded), n)
+	}
+	if padded[3] != 3 {
+		t.Errorf("Pad fill = %v, want last sample 3", padded[3])
+	}
+	// Power-of-two input is returned as a copy.
+	p2, _ := Pad(timeseries.Series{1, 2})
+	p2[0] = 9
+	if s[0] != 1 {
+		t.Error("Pad aliases its input")
+	}
+}
+
+func TestTopBFullBudgetIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := randSeries(rng, 64)
+	syn := TopB(s, 64)
+	if !timeseries.Equal(syn.Reconstruct(), s, 1e-9) {
+		t.Error("keeping all coefficients is not lossless")
+	}
+	if syn.Cost() != 128 {
+		t.Errorf("Cost = %d, want 128", syn.Cost())
+	}
+}
+
+func TestTopBZeroBudget(t *testing.T) {
+	s := timeseries.Series{1, 2, 3, 4}
+	syn := TopB(s, 0)
+	if len(syn.Coeffs) != 0 {
+		t.Errorf("zero budget kept %d coefficients", len(syn.Coeffs))
+	}
+	recon := syn.Reconstruct()
+	if len(recon) != 4 {
+		t.Errorf("reconstruction length %d", len(recon))
+	}
+	syn = TopB(s, -3)
+	if len(syn.Coeffs) != 0 {
+		t.Error("negative budget kept coefficients")
+	}
+}
+
+// Property: error decreases (weakly) as more coefficients are kept, and
+// top-B keeps the largest coefficients (L2 optimality for an orthonormal
+// basis: error equals the energy of the dropped coefficients).
+func TestTopBMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randSeries(rng, 32)
+		prev := math.Inf(1)
+		for b := 0; b <= 32; b += 4 {
+			rec := TopB(s, b).Reconstruct()
+			var sse float64
+			for i := range s {
+				d := s[i] - rec[i]
+				sse += d * d
+			}
+			if sse > prev+1e-9 {
+				return false
+			}
+			prev = sse
+		}
+		return prev < 1e-9 // full budget is exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproximateRowsKeepsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := []timeseries.Series{randSeries(rng, 50), randSeries(rng, 50), randSeries(rng, 50)}
+	out := ApproximateRows(rows, 60)
+	if len(out) != 3 {
+		t.Fatalf("%d rows out", len(out))
+	}
+	for i := range out {
+		if len(out[i]) != 50 {
+			t.Errorf("row %d has length %d", i, len(out[i]))
+		}
+	}
+}
+
+func TestApproximateRowsPicksBetterLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// One very noisy row and two smooth rows: the concatenated layout can
+	// allocate almost all coefficients to the noisy row, so it must win (or
+	// at least not lose) against the equal split.
+	smooth := make(timeseries.Series, 64)
+	for i := range smooth {
+		smooth[i] = math.Sin(float64(i) / 5)
+	}
+	rows := []timeseries.Series{smooth, smooth.Clone(), randSeries(rng, 64)}
+	best := ApproximateRows(rows, 48)
+	concat := approximateConcat(rows, 48)
+	split := approximateSplit(rows, 48)
+	bestErr := sseRows(rows, best)
+	if bestErr > sseRows(rows, concat)+1e-9 || bestErr > sseRows(rows, split)+1e-9 {
+		t.Error("ApproximateRows did not return the better layout")
+	}
+}
+
+func TestForward2DInverse2DIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := []timeseries.Series{randSeries(rng, 16), randSeries(rng, 16), randSeries(rng, 16), randSeries(rng, 16)}
+	coeffs, pr, pc := Forward2D(rows)
+	if pr != 4 || pc != 16 {
+		t.Fatalf("padded shape %dx%d", pr, pc)
+	}
+	back := Inverse2D(coeffs)
+	for i := range rows {
+		if !timeseries.Equal(back[i][:16], rows[i], 1e-9) {
+			t.Errorf("2D round trip diverged at row %d", i)
+		}
+	}
+}
+
+func TestTopB2DFullBudgetExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	rows := []timeseries.Series{randSeries(rng, 8), randSeries(rng, 8)}
+	syn := TopB2D(rows, 16)
+	rec := syn.Reconstruct()
+	for i := range rows {
+		if !timeseries.Equal(rec[i], rows[i], 1e-9) {
+			t.Errorf("2D full-budget reconstruction diverged at row %d", i)
+		}
+	}
+	if syn.Cost() != 48 {
+		t.Errorf("2D Cost = %d, want 48", syn.Cost())
+	}
+}
+
+func TestApproximateRows2DShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rows := []timeseries.Series{randSeries(rng, 20), randSeries(rng, 20), randSeries(rng, 20)}
+	out := ApproximateRows2D(rows, 30)
+	if len(out) != 3 || len(out[0]) != 20 {
+		t.Fatalf("2D approximate shape wrong")
+	}
+}
+
+func TestForward2DEmpty(t *testing.T) {
+	coeffs, pr, pc := Forward2D(nil)
+	if coeffs != nil || pr != 0 || pc != 0 {
+		t.Error("empty 2D transform not empty")
+	}
+	if Inverse2D(nil) != nil {
+		t.Error("empty 2D inverse not nil")
+	}
+}

@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"sbr/internal/base"
+	"sbr/internal/core"
+	"sbr/internal/interval"
+	"sbr/internal/timeseries"
+)
+
+// goldenTransmission is a fixed frame whose byte-for-byte encoding is
+// pinned below. If this test fails, the wire format changed: bump
+// wire.Version and update the golden bytes deliberately — base-station
+// logs on disk depend on the format being stable within a version.
+func goldenTransmission() *core.Transmission {
+	return &core.Transmission{
+		Seq: 5, N: 2, M: 8, W: 2,
+		BaseIntervals: []timeseries.Series{{1, 2}},
+		Placements:    []base.Placement{{Slot: 3}},
+		Intervals: []interval.Interval{
+			{Start: 0, Shift: -1, A: 0.5, B: 1},
+			{Start: 8, Shift: 2, A: -1, B: 0.25},
+		},
+	}
+}
+
+const goldenHex = "53425254023c00050208020103000000000000f03f" +
+	"0000000000000040020001000000000000e03f000000000000f03f" +
+	"0804000000000000f0bf000000000000d03f8041cf32"
+
+func TestGoldenFrameBytes(t *testing.T) {
+	frame, err := Encode(goldenTransmission())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := hex.DecodeString(goldenHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame, want) {
+		t.Errorf("frame bytes changed:\n got %s\nwant %s",
+			hex.EncodeToString(frame), goldenHex)
+	}
+}
+
+func TestGoldenFrameDecodes(t *testing.T) {
+	want, err := hex.DecodeString(goldenHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBytes(want)
+	if err != nil {
+		t.Fatalf("golden frame no longer decodes: %v", err)
+	}
+	orig := goldenTransmission()
+	if got.Seq != orig.Seq || got.N != orig.N || got.M != orig.M || got.W != orig.W {
+		t.Errorf("golden header decoded to %+v", got)
+	}
+	if len(got.Intervals) != 2 || got.Intervals[1].B != 0.25 {
+		t.Errorf("golden intervals decoded to %+v", got.Intervals)
+	}
+	if len(got.BaseIntervals) != 1 || got.Placements[0].Slot != 3 {
+		t.Errorf("golden base intervals decoded to %+v / %+v",
+			got.BaseIntervals, got.Placements)
+	}
+}

@@ -1,0 +1,309 @@
+// Package wire serialises transmissions into the byte stream a sensor
+// radio actually ships: a compact binary layout with varint-coded header
+// fields, IEEE-754 payload values and a trailing CRC-32. The abstract
+// bandwidth accounting of the algorithms (Cost, in "values") is preserved
+// independently; wire gives the concrete framing used by the network
+// simulator and the base-station log files.
+//
+// Interval lengths are deliberately not encoded: the base station recovers
+// them from the sorted start offsets (Section 4.2), exactly as the paper's
+// four-value records require.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"sbr/internal/base"
+	"sbr/internal/core"
+	"sbr/internal/interval"
+	"sbr/internal/timeseries"
+)
+
+// magic identifies an SBR transmission frame.
+var magic = [4]byte{'S', 'B', 'R', 'T'}
+
+// Version is the current frame format version. Version 2 added the flags
+// byte (quadratic records, shipped error bounds) at the head of the body.
+const Version = 2
+
+// ErrChecksum is returned when a frame fails CRC validation.
+var ErrChecksum = errors.New("wire: frame checksum mismatch")
+
+// ErrMagic is returned when a frame does not start with the SBRT magic.
+var ErrMagic = errors.New("wire: bad frame magic")
+
+// maxReasonable bounds decoded counts to keep a corrupted or adversarial
+// frame from driving huge allocations.
+const maxReasonable = 1 << 28
+
+// Encode serialises t into a framed byte slice.
+func Encode(t *core.Transmission) ([]byte, error) {
+	var body bytes.Buffer
+	// Flags: bit 0 set when interval records carry the quadratic
+	// coefficient of the non-linear encoding extension.
+	var flags byte
+	for _, iv := range t.Intervals {
+		if iv.C != 0 {
+			flags |= flagQuadratic
+			break
+		}
+	}
+	if t.ErrBound != 0 {
+		flags |= flagBounded
+	}
+	body.WriteByte(flags)
+	if flags&flagBounded != 0 {
+		putFloat(&body, t.ErrBound)
+	}
+	putUvarint(&body, uint64(t.Seq))
+	putUvarint(&body, uint64(t.N))
+	putUvarint(&body, uint64(t.M))
+	putUvarint(&body, uint64(t.W))
+
+	if len(t.BaseIntervals) != len(t.Placements) {
+		return nil, fmt.Errorf("wire: %d base intervals but %d placements",
+			len(t.BaseIntervals), len(t.Placements))
+	}
+	putUvarint(&body, uint64(len(t.BaseIntervals)))
+	for i, iv := range t.BaseIntervals {
+		if len(iv) != t.W {
+			return nil, fmt.Errorf("wire: base interval %d has %d values, want W=%d",
+				i, len(iv), t.W)
+		}
+		putUvarint(&body, uint64(t.Placements[i].Slot))
+		for _, v := range iv {
+			putFloat(&body, v)
+		}
+	}
+
+	putUvarint(&body, uint64(len(t.Intervals)))
+	for _, iv := range t.Intervals {
+		putUvarint(&body, uint64(iv.Start))
+		putVarint(&body, int64(iv.Shift))
+		putFloat(&body, iv.A)
+		putFloat(&body, iv.B)
+		if flags&flagQuadratic != 0 {
+			putFloat(&body, iv.C)
+		}
+	}
+
+	var frame bytes.Buffer
+	frame.Write(magic[:])
+	frame.WriteByte(Version)
+	putUvarint(&frame, uint64(body.Len()))
+	frame.Write(body.Bytes())
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body.Bytes()))
+	frame.Write(crc[:])
+	return frame.Bytes(), nil
+}
+
+// DecodeBytes parses one framed transmission from a byte slice.
+func DecodeBytes(frame []byte) (*core.Transmission, error) {
+	return Decode(bytes.NewReader(frame))
+}
+
+// Decode parses one framed transmission from r. Interval lengths are
+// recovered from the sorted starts of the decoded records; Cost is
+// recomputed from the frame contents.
+func Decode(r io.Reader) (*core.Transmission, error) {
+	var head [5]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		if err == io.EOF {
+			// Clean end of stream at a frame boundary.
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	if !bytes.Equal(head[:4], magic[:]) {
+		return nil, ErrMagic
+	}
+	if head[4] != Version {
+		return nil, fmt.Errorf("wire: unsupported frame version %d", head[4])
+	}
+	br := &byteCounter{r: r}
+	bodyLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("wire: reading frame length: %w", err)
+	}
+	if bodyLen > maxReasonable {
+		return nil, fmt.Errorf("wire: frame length %d too large", bodyLen)
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: reading frame body: %w", err)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("wire: reading frame checksum: %w", err)
+	}
+	if binary.LittleEndian.Uint32(crcBuf[:]) != crc32.ChecksumIEEE(body) {
+		return nil, ErrChecksum
+	}
+	return decodeBody(bytes.NewReader(body))
+}
+
+// flagQuadratic marks frames whose interval records carry three
+// coefficients (the quadratic encoding extension).
+const flagQuadratic byte = 1 << 0
+
+// flagBounded marks frames carrying the guaranteed maximum-error bound of
+// Section 4.5 alongside the approximate signal.
+const flagBounded byte = 1 << 1
+
+func decodeBody(r *bytes.Reader) (*core.Transmission, error) {
+	flags, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("wire: reading flags: %w", err)
+	}
+	if flags&^(flagQuadratic|flagBounded) != 0 {
+		return nil, fmt.Errorf("wire: unknown flags 0x%02x", flags)
+	}
+	var errBound float64
+	if flags&flagBounded != 0 {
+		errBound, err = getFloat(r)
+		if err != nil {
+			return nil, err
+		}
+	}
+	seq, err := getUvarint(r, "seq")
+	if err != nil {
+		return nil, err
+	}
+	n, err := getUvarint(r, "N")
+	if err != nil {
+		return nil, err
+	}
+	m, err := getUvarint(r, "M")
+	if err != nil {
+		return nil, err
+	}
+	w, err := getUvarint(r, "W")
+	if err != nil {
+		return nil, err
+	}
+	t := &core.Transmission{Seq: int(seq), N: int(n), M: int(m), W: int(w), ErrBound: errBound}
+
+	ins, err := getUvarint(r, "insert count")
+	if err != nil {
+		return nil, err
+	}
+	if ins > maxReasonable/(uint64(w)+1) {
+		return nil, fmt.Errorf("wire: implausible insert count %d", ins)
+	}
+	t.BaseIntervals = make([]timeseries.Series, ins)
+	t.Placements = make([]base.Placement, ins)
+	for i := range t.BaseIntervals {
+		slot, err := getUvarint(r, "placement slot")
+		if err != nil {
+			return nil, err
+		}
+		t.Placements[i] = base.Placement{Slot: int(slot)}
+		iv := make(timeseries.Series, w)
+		for j := range iv {
+			v, err := getFloat(r)
+			if err != nil {
+				return nil, err
+			}
+			iv[j] = v
+		}
+		t.BaseIntervals[i] = iv
+	}
+
+	count, err := getUvarint(r, "interval count")
+	if err != nil {
+		return nil, err
+	}
+	if count > maxReasonable {
+		return nil, fmt.Errorf("wire: implausible interval count %d", count)
+	}
+	t.Intervals = make([]interval.Interval, count)
+	for i := range t.Intervals {
+		start, err := getUvarint(r, "interval start")
+		if err != nil {
+			return nil, err
+		}
+		shift, err := binary.ReadVarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("wire: reading interval shift: %w", err)
+		}
+		a, err := getFloat(r)
+		if err != nil {
+			return nil, err
+		}
+		b, err := getFloat(r)
+		if err != nil {
+			return nil, err
+		}
+		var cq float64
+		if flags&flagQuadratic != 0 {
+			cq, err = getFloat(r)
+			if err != nil {
+				return nil, err
+			}
+		}
+		t.Intervals[i] = interval.Interval{
+			Start: int(start), Shift: int(shift), A: a, B: b, C: cq,
+		}
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes in frame body", r.Len())
+	}
+	perRecord := interval.ValuesPerInterval
+	if flags&flagQuadratic != 0 {
+		perRecord = interval.ValuesPerQuadInterval
+	}
+	t.Cost = int(ins)*(t.W+1) + len(t.Intervals)*perRecord
+	return t, nil
+}
+
+// byteCounter adapts an io.Reader to io.ByteReader for varint decoding.
+type byteCounter struct {
+	r io.Reader
+}
+
+func (b *byteCounter) ReadByte() (byte, error) {
+	var buf [1]byte
+	_, err := io.ReadFull(b.r, buf[:])
+	return buf[0], err
+}
+
+func putUvarint(w *bytes.Buffer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func putVarint(w *bytes.Buffer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func putFloat(w *bytes.Buffer, v float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	w.Write(buf[:])
+}
+
+func getUvarint(r *bytes.Reader, what string) (uint64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("wire: reading %s: %w", what, err)
+	}
+	return v, nil
+}
+
+func getFloat(r *bytes.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("wire: reading value: %w", err)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
