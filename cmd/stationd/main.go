@@ -1,20 +1,34 @@
 // Command stationd runs a standalone base station: it listens for sensor
 // connections over TCP, decodes and logs every transmission (per-sensor
-// append-only logs on disk, as in Section 3.2), and periodically prints
-// reception statistics. Pair it with sensors built on internal/sensor and
-// internal/netio, or try it against cmd/sensorsim's source model.
+// append-only logs on disk, as in Section 3.2), answers historical queries
+// over HTTP/JSON, and periodically prints reception statistics. Pair it
+// with sensors built on internal/sensor and internal/netio, or try it
+// against cmd/sensorsim's source model.
 //
-//	stationd -addr 127.0.0.1:7070 -logdir /tmp/sbr-logs -band 150 -mbase 64
+//	stationd -addr 127.0.0.1:7070 -http 127.0.0.1:8080 -logdir /tmp/sbr-logs -band 150 -mbase 64
+//
+// With -http set, the approximate-query engine is exposed while frames
+// keep arriving: point, range, aggregate (answered from the hierarchical
+// aggregate index with a deterministic error bound), downsample and
+// exceedance queries — see internal/httpapi for the endpoints. On SIGINT
+// or SIGTERM the daemon stops accepting sensors, drains the HTTP server,
+// syncs the on-disk logs and exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"sbr/internal/core"
+	"sbr/internal/httpapi"
 	"sbr/internal/metrics"
 	"sbr/internal/netio"
 	"sbr/internal/station"
@@ -22,11 +36,13 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:7070", "TCP listen address")
-		logDir = flag.String("logdir", "", "directory for per-sensor logs (empty: memory only)")
-		band   = flag.Int("band", 150, "TotalBand the sensors were configured with")
-		mbase  = flag.Int("mbase", 64, "MBase the sensors were configured with")
-		every  = flag.Duration("report", 10*time.Second, "statistics reporting interval")
+		addr     = flag.String("addr", "127.0.0.1:7070", "TCP listen address for sensor connections")
+		httpAddr = flag.String("http", "", "HTTP query-API listen address (empty: disabled)")
+		logDir   = flag.String("logdir", "", "directory for per-sensor logs (empty: memory only)")
+		band     = flag.Int("band", 150, "TotalBand the sensors were configured with")
+		mbase    = flag.Int("mbase", 64, "MBase the sensors were configured with")
+		every    = flag.Duration("report", 10*time.Second, "statistics reporting interval (0: disabled)")
+		cacheSz  = flag.Int("cache", httpapi.DefaultCacheEntries, "query-API history cache entries")
 	)
 	flag.Parse()
 
@@ -35,39 +51,87 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
 	var store *station.LogStore
+	var observer netio.FrameObserver
 	if *logDir != "" {
 		store, err = station.NewLogStore(*logDir)
 		if err != nil {
 			fatal(err)
 		}
-		defer store.Close()
+		observer = func(id string, frame []byte) {
+			if err := store.Append(id, frame); err != nil {
+				fmt.Fprintln(os.Stderr, "stationd: log append:", err)
+			}
+		}
 	}
 
-	srv, err := netio.Serve(st, *addr)
+	srv, err := netio.ServeObserved(st, *addr, observer)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("stationd: listening on %s (TotalBand=%d MBase=%d)\n", srv.Addr(), *band, *mbase)
 
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			srv.Close() //nolint:errcheck — exiting anyway
+			fatal(err)
+		}
+		httpSrv = &http.Server{Handler: httpapi.New(st, *cacheSz)}
+		go func() {
+			if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "stationd: http:", err)
+			}
+		}()
+		fmt.Printf("stationd: query API on http://%s/v1/\n", ln.Addr())
+	}
+
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
-	ticker := time.NewTicker(*every)
-	defer ticker.Stop()
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var tick <-chan time.Time
+	if *every > 0 {
+		ticker := time.NewTicker(*every)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
 
 	for {
 		select {
-		case <-ticker.C:
+		case <-tick:
 			report(st)
 		case <-stop:
-			fmt.Println("\nstationd: shutting down")
-			if err := srv.Close(); err != nil {
-				fatal(err)
-			}
-			report(st)
+			shutdown(st, srv, httpSrv, store)
 			return
 		}
 	}
+}
+
+// shutdown tears the daemon down in dependency order: stop ingesting (and
+// with it the log appends), drain in-flight HTTP queries, then sync and
+// close the on-disk logs so an interrupt cannot lose buffered frames.
+func shutdown(st *station.Station, srv *netio.Server, httpSrv *http.Server, store *station.LogStore) {
+	fmt.Println("\nstationd: shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "stationd: closing sensor server:", err)
+	}
+	if httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "stationd: draining http server:", err)
+		}
+		cancel()
+	}
+	if store != nil {
+		if err := store.Sync(); err != nil {
+			fmt.Fprintln(os.Stderr, "stationd: syncing logs:", err)
+		}
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "stationd: closing logs:", err)
+		}
+	}
+	report(st)
 }
 
 func report(st *station.Station) {

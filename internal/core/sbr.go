@@ -42,6 +42,11 @@ type Transmission struct {
 // Ins returns the number of inserted base intervals.
 func (t *Transmission) Ins() int { return len(t.BaseIntervals) }
 
+// Bounded reports whether the transmission ships a §4.5 guaranteed
+// maximum-absolute error bound — the signal the wire format flags and the
+// base station's aggregate index folds into query answers.
+func (t *Transmission) Bounded() bool { return t.ErrBound != 0 }
+
 // Compressor runs the SBR algorithm over successive batches of sensor
 // measurements, maintaining the base-signal pool between transmissions.
 // It is not safe for concurrent use.

@@ -1,0 +1,74 @@
+package httpapi
+
+import (
+	"container/list"
+	"sync"
+
+	"sbr/internal/timeseries"
+)
+
+// histKey identifies one reconstructed history: the transmission count is
+// part of the key, so a sensor's next frame makes readers miss and the
+// stale entry simply ages out of the LRU.
+type histKey struct {
+	sensor string
+	row    int
+	frames int
+}
+
+type histEntry struct {
+	key  histKey
+	hist timeseries.Series
+}
+
+// historyCache is a bounded LRU of reconstructed per-quantity histories.
+// It is safe for concurrent use: the HTTP front end serves many readers
+// while frames keep arriving.
+type historyCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[histKey]*list.Element
+}
+
+func newHistoryCache(capacity int) *historyCache {
+	return &historyCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[histKey]*list.Element, capacity),
+	}
+}
+
+func (c *historyCache) get(k histKey) (timeseries.Series, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*histEntry).hist, true
+}
+
+func (c *historyCache) put(k histKey, hist timeseries.Series) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*histEntry).hist = hist
+		return
+	}
+	c.entries[k] = c.order.PushFront(&histEntry{key: k, hist: hist})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*histEntry).key)
+	}
+}
+
+// len reports the current entry count (for tests).
+func (c *historyCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

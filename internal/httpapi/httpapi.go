@@ -1,0 +1,350 @@
+// Package httpapi exposes the base station's approximate-query engine over
+// HTTP/JSON, so readers can interrogate the compressed history while
+// sensor frames keep arriving. Five query kinds are served:
+//
+//	GET /v1/sensors                                                  — sensor inventory + reception stats
+//	GET /v1/point?sensor=&row=&idx=                                  — one reconstructed sample + §4.5 bound
+//	GET /v1/range?sensor=&row=&from=&to=                             — reconstructed samples of [from, to)
+//	GET /v1/aggregate?sensor=&row=&from=&to=&kind=avg|sum|min|max    — indexed O(log n) aggregate + error bound
+//	GET /v1/downsample?sensor=&row=&points=                          — window-averaged plotting export
+//	GET /v1/exceedances?sensor=&row=&from=&to=&threshold=            — maximal runs ≥ threshold
+//
+// Range, downsample and exceedance queries need the reconstructed samples
+// themselves; those are served through a bounded LRU cache of materialised
+// histories so repeated reads of a quiet sensor cost one reconstruction.
+// Aggregates never materialise anything: they hit the station's
+// hierarchical aggregate index. A `to` of 0 (or omitted) means the end of
+// the recorded history, matching the station's query sentinel.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"sbr/internal/station"
+	"sbr/internal/timeseries"
+)
+
+// DefaultCacheEntries bounds the history LRU when New is given a
+// non-positive capacity: enough for a handful of hot sensor/quantity
+// pairs without letting a scan over thousands of sensors pin every
+// reconstruction in memory.
+const DefaultCacheEntries = 64
+
+// API is the HTTP front end over one station. It implements http.Handler.
+type API struct {
+	st    *station.Station
+	cache *historyCache
+	mux   *http.ServeMux
+}
+
+// New builds the front end. cacheEntries bounds the LRU of reconstructed
+// histories; non-positive means DefaultCacheEntries.
+func New(st *station.Station, cacheEntries int) *API {
+	if cacheEntries <= 0 {
+		cacheEntries = DefaultCacheEntries
+	}
+	a := &API{st: st, cache: newHistoryCache(cacheEntries), mux: http.NewServeMux()}
+	a.mux.HandleFunc("/v1/sensors", a.handleSensors)
+	a.mux.HandleFunc("/v1/point", a.handlePoint)
+	a.mux.HandleFunc("/v1/range", a.handleRange)
+	a.mux.HandleFunc("/v1/aggregate", a.handleAggregate)
+	a.mux.HandleFunc("/v1/downsample", a.handleDownsample)
+	a.mux.HandleFunc("/v1/exceedances", a.handleExceedances)
+	return a
+}
+
+// ServeHTTP dispatches to the query handlers.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("httpapi: method %s not allowed", r.Method))
+		return
+	}
+	a.mux.ServeHTTP(w, r)
+}
+
+// history returns the reconstructed history of one quantity through the
+// LRU. The sensor's transmission count keys the entry, so a newly received
+// frame misses and triggers one fresh reconstruction.
+func (a *API) history(id string, row int) (timeseries.Series, error) {
+	stats, err := a.st.SensorStats(id)
+	if err != nil {
+		return nil, err
+	}
+	k := histKey{sensor: id, row: row, frames: stats.Transmissions}
+	if hist, ok := a.cache.get(k); ok {
+		return hist, nil
+	}
+	hist, err := a.st.History(id, row)
+	if err != nil {
+		return nil, err
+	}
+	a.cache.put(k, hist)
+	return hist, nil
+}
+
+// sensorInfo is one row of the /v1/sensors inventory.
+type sensorInfo struct {
+	ID            string `json:"id"`
+	Transmissions int    `json:"transmissions"`
+	Quantities    int    `json:"quantities"`
+	SamplesPerRow int    `json:"samples_per_row"`
+	HistoryLen    int    `json:"history_len"`
+	Restarts      int    `json:"restarts"`
+}
+
+func (a *API) handleSensors(w http.ResponseWriter, r *http.Request) {
+	ids := a.st.Sensors()
+	out := make([]sensorInfo, 0, len(ids))
+	for _, id := range ids {
+		stats, err := a.st.SensorStats(id)
+		if err != nil {
+			continue // sensor raced away; inventory stays best-effort
+		}
+		out = append(out, sensorInfo{
+			ID:            id,
+			Transmissions: stats.Transmissions,
+			Quantities:    stats.Quantities,
+			SamplesPerRow: stats.SamplesPerRow,
+			HistoryLen:    stats.Transmissions * stats.SamplesPerRow,
+			Restarts:      stats.Restarts,
+		})
+	}
+	writeJSON(w, map[string]any{"sensors": out})
+}
+
+func (a *API) handlePoint(w http.ResponseWriter, r *http.Request) {
+	id, row, ok := a.target(w, r)
+	if !ok {
+		return
+	}
+	idx, err := intParam(r, "idx", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	value, bound, err := a.st.AtWithBound(id, row, idx)
+	if err != nil {
+		writeStationError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"sensor": id, "row": row, "idx": idx, "value": value, "bound": bound})
+}
+
+func (a *API) handleRange(w http.ResponseWriter, r *http.Request) {
+	id, row, ok := a.target(w, r)
+	if !ok {
+		return
+	}
+	from, to, err := rangeParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	hist, err := a.history(id, row)
+	if err != nil {
+		writeStationError(w, err)
+		return
+	}
+	if to == 0 {
+		to = len(hist)
+	}
+	if from < 0 || to > len(hist) || from > to {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("httpapi: range [%d,%d) outside history [0,%d)", from, to, len(hist)))
+		return
+	}
+	var bound float64
+	if to > from {
+		if bound, err = a.st.RangeBound(id, from, to); err != nil {
+			writeStationError(w, err)
+			return
+		}
+	}
+	writeJSON(w, map[string]any{
+		"sensor": id, "row": row, "from": from, "to": to,
+		"values": hist[from:to], "bound": bound,
+	})
+}
+
+func (a *API) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	id, row, ok := a.target(w, r)
+	if !ok {
+		return
+	}
+	from, to, err := rangeParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	kind, err := parseKind(r.URL.Query().Get("kind"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if to == 0 {
+		if to, err = a.st.HistoryLen(id); err != nil {
+			writeStationError(w, err)
+			return
+		}
+	}
+	value, bound, err := a.st.AggregateWithBound(id, row, from, to, kind)
+	if err != nil {
+		writeStationError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"sensor": id, "row": row, "from": from, "to": to,
+		"kind": r.URL.Query().Get("kind"), "value": value, "bound": bound,
+	})
+}
+
+func (a *API) handleDownsample(w http.ResponseWriter, r *http.Request) {
+	id, row, ok := a.target(w, r)
+	if !ok {
+		return
+	}
+	points, err := intParam(r, "points", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	hist, err := a.history(id, row)
+	if err != nil {
+		writeStationError(w, err)
+		return
+	}
+	out, err := station.DownsampleSeries(hist, points)
+	if err != nil {
+		writeStationError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"sensor": id, "row": row, "values": out})
+}
+
+func (a *API) handleExceedances(w http.ResponseWriter, r *http.Request) {
+	id, row, ok := a.target(w, r)
+	if !ok {
+		return
+	}
+	from, to, err := rangeParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	threshold, err := floatParam(r, "threshold")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	hist, err := a.history(id, row)
+	if err != nil {
+		writeStationError(w, err)
+		return
+	}
+	runs, err := station.ScanExceedances(hist, from, to, threshold)
+	if err != nil {
+		writeStationError(w, err)
+		return
+	}
+	type runJSON struct {
+		Start int     `json:"start"`
+		End   int     `json:"end"`
+		Peak  float64 `json:"peak"`
+	}
+	out := make([]runJSON, len(runs))
+	for i, e := range runs {
+		out[i] = runJSON{Start: e.Start, End: e.End, Peak: e.Peak}
+	}
+	writeJSON(w, map[string]any{
+		"sensor": id, "row": row, "threshold": threshold, "runs": out,
+	})
+}
+
+// target parses the sensor/row pair every per-quantity endpoint needs.
+func (a *API) target(w http.ResponseWriter, r *http.Request) (string, int, bool) {
+	id := r.URL.Query().Get("sensor")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("httpapi: missing sensor parameter"))
+		return "", 0, false
+	}
+	row, err := intParam(r, "row", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return "", 0, false
+	}
+	return id, row, true
+}
+
+func parseKind(s string) (station.AggregateKind, error) {
+	switch strings.ToLower(s) {
+	case "", "avg", "mean":
+		return station.AggAvg, nil
+	case "sum":
+		return station.AggSum, nil
+	case "min":
+		return station.AggMin, nil
+	case "max":
+		return station.AggMax, nil
+	}
+	return 0, fmt.Errorf("httpapi: unknown aggregate kind %q", s)
+}
+
+func rangeParams(r *http.Request) (from, to int, err error) {
+	if from, err = intParam(r, "from", 0); err != nil {
+		return 0, 0, err
+	}
+	if to, err = intParam(r, "to", 0); err != nil {
+		return 0, 0, err
+	}
+	return from, to, nil
+}
+
+func intParam(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("httpapi: bad %s parameter %q", name, s)
+	}
+	return v, nil
+}
+
+func floatParam(r *http.Request, name string) (float64, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return 0, fmt.Errorf("httpapi: missing %s parameter", name)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("httpapi: bad %s parameter %q", name, s)
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck — client gone mid-write, nothing to do
+}
+
+// writeStationError maps station errors onto HTTP statuses: unknown
+// sensors are 404, everything else a client-side 400.
+func writeStationError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if strings.Contains(err.Error(), "unknown sensor") {
+		status = http.StatusNotFound
+	}
+	writeError(w, status, err)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+}

@@ -34,12 +34,18 @@ const (
 // frame (decode failure, out-of-order sequence, shape change…).
 var ErrRejected = errors.New("netio: station rejected the frame")
 
+// FrameObserver sees the raw bytes of every frame a station accepted, in
+// arrival order per sensor. Observers must be safe for concurrent calls
+// (one per connection); the station log persister is the typical use.
+type FrameObserver func(id string, frame []byte)
+
 // Server accepts sensor connections and routes their transmissions into a
 // Station.
 type Server struct {
-	st *station.Station
-	ln net.Listener
-	wg sync.WaitGroup
+	st  *station.Station
+	ln  net.Listener
+	obs FrameObserver
+	wg  sync.WaitGroup
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -48,11 +54,18 @@ type Server struct {
 // Serve starts listening on addr (e.g. "127.0.0.1:0") and serving
 // connections in the background. Close shuts it down.
 func Serve(st *station.Station, addr string) (*Server, error) {
+	return ServeObserved(st, addr, nil)
+}
+
+// ServeObserved is Serve with a frame observer: every frame the station
+// accepts is also handed, raw, to obs — the hook cmd/stationd uses to
+// persist per-sensor append-only logs.
+func ServeObserved(st *station.Station, addr string, obs FrameObserver) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netio: listen: %w", err)
 	}
-	s := &Server{st: st, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{st: st, ln: ln, obs: obs, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -112,7 +125,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 	for {
-		t, err := wire.Decode(br)
+		frame, err := wire.ReadFrame(br)
 		if err == io.EOF {
 			return
 		}
@@ -120,9 +133,12 @@ func (s *Server) serveConn(conn net.Conn) {
 			conn.Write([]byte{ackError}) //nolint:errcheck — closing anyway
 			return
 		}
-		if err := s.st.Receive(id, t); err != nil {
+		if err := s.st.ReceiveFrame(id, frame); err != nil {
 			conn.Write([]byte{ackError}) //nolint:errcheck
 			return
+		}
+		if s.obs != nil {
+			s.obs(id, frame)
 		}
 		if _, err := conn.Write([]byte{ackOK}); err != nil {
 			return

@@ -239,3 +239,52 @@ func TestServerCloseDuringActiveConnection(t *testing.T) {
 		t.Error("send to a closed server succeeded")
 	}
 }
+
+// TestFrameObserver checks that every accepted frame is handed to the
+// observer raw, in order, and re-decodable — the persistence hook.
+func TestFrameObserver(t *testing.T) {
+	st, err := station.New(coreConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got [][]byte
+	srv, err := ServeObserved(st, "127.0.0.1:0", func(id string, frame []byte) {
+		if id != "obs-1" {
+			t.Errorf("observer saw sensor %q, want obs-1", id)
+		}
+		mu.Lock()
+		got = append(got, append([]byte(nil), frame...))
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	streamSensor(t, srv.Addr(), "obs-1", 200)
+
+	stats, err := st.SensorStats("obs-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != stats.Transmissions || len(got) == 0 {
+		t.Fatalf("observer saw %d frames, station received %d", len(got), stats.Transmissions)
+	}
+	var raw int
+	for i, frame := range got {
+		tr, err := wire.DecodeBytes(frame)
+		if err != nil {
+			t.Fatalf("frame %d does not re-decode: %v", i, err)
+		}
+		if tr.Seq != i {
+			t.Fatalf("frame %d carries seq %d", i, tr.Seq)
+		}
+		raw += len(frame)
+	}
+	if stats.RawBytes != raw {
+		t.Fatalf("station counted %d raw bytes, frames total %d", stats.RawBytes, raw)
+	}
+}

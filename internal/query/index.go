@@ -1,0 +1,218 @@
+// Package query implements the base station's approximate-query engine:
+// a hierarchical aggregate index over the per-chunk summaries of a
+// sensor's compressed history. Each received chunk (one transmission,
+// Section 3.2) contributes a per-quantity Summary — sum, count, min, max,
+// and the chunk's guaranteed maximum-absolute error bound (Section 4.5) —
+// and the summaries are rolled up into an append-only segment tree so any
+// chunk-aligned range aggregate merges O(log n) nodes instead of scanning
+// the reconstructed history. The station handles ragged (sub-chunk) edges
+// by exact reconstruction; everything in between comes from the tree.
+//
+// The design follows the PlatoDB observation (Brito et al., see PAPERS.md)
+// that compressed segment summaries with per-node error bounds answer
+// aggregates in sublinear time while keeping deterministic error
+// guarantees.
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"sbr/internal/timeseries"
+)
+
+// Summary aggregates a span of samples of one quantity. The zero value is
+// the identity element of Merge.
+type Summary struct {
+	Count int     // samples covered
+	Sum   float64 // sum of the reconstructed samples
+	Min   float64 // smallest reconstructed sample
+	Max   float64 // largest reconstructed sample
+
+	// BoundMax is the worst per-sample maximum-absolute error bound across
+	// the chunks contributing to the span (zero when the sensor did not run
+	// under the MaxAbs metric). BoundSum is the sum of the per-sample
+	// bounds, i.e. Σ count_i × bound_i over contributing chunks: the
+	// guaranteed error envelope of Sum.
+	BoundMax float64
+	BoundSum float64
+}
+
+// Empty reports whether the summary covers no samples.
+func (a Summary) Empty() bool { return a.Count == 0 }
+
+// Merge combines two span summaries into the summary of their union.
+func Merge(a, b Summary) Summary {
+	if a.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return a
+	}
+	out := Summary{
+		Count:    a.Count + b.Count,
+		Sum:      a.Sum + b.Sum,
+		Min:      math.Min(a.Min, b.Min),
+		Max:      math.Max(a.Max, b.Max),
+		BoundMax: math.Max(a.BoundMax, b.BoundMax),
+		BoundSum: a.BoundSum + b.BoundSum,
+	}
+	return out
+}
+
+// Summarize builds the summary of one span of reconstructed samples whose
+// chunk shipped with the given maximum-absolute error bound.
+func Summarize(s timeseries.Series, bound float64) Summary {
+	if len(s) == 0 {
+		return Summary{}
+	}
+	out := Summary{
+		Count:    len(s),
+		Sum:      s[0],
+		Min:      s[0],
+		Max:      s[0],
+		BoundMax: bound,
+		BoundSum: bound * float64(len(s)),
+	}
+	for _, v := range s[1:] {
+		out.Sum += v
+		if v < out.Min {
+			out.Min = v
+		}
+		if v > out.Max {
+			out.Max = v
+		}
+	}
+	return out
+}
+
+// Index is the per-sensor hierarchical aggregate index: one append-only
+// segment tree per recorded quantity, with chunks as the leaves. It is not
+// safe for concurrent use; the station guards it with its own lock.
+type Index struct {
+	m    int     // samples per chunk (columns of each transmission)
+	rows []*tree // one tree per quantity
+}
+
+// NewIndex creates an index for n quantities of m samples per chunk.
+func NewIndex(n, m int) (*Index, error) {
+	if n <= 0 || m <= 0 {
+		return nil, fmt.Errorf("query: invalid index shape %d×%d", n, m)
+	}
+	rows := make([]*tree, n)
+	for i := range rows {
+		rows[i] = &tree{}
+	}
+	return &Index{m: m, rows: rows}, nil
+}
+
+// M returns the samples-per-chunk the index was built for.
+func (ix *Index) M() int { return ix.m }
+
+// Rows returns the number of indexed quantities.
+func (ix *Index) Rows() int { return len(ix.rows) }
+
+// Chunks returns the number of chunks appended so far.
+func (ix *Index) Chunks() int {
+	if len(ix.rows) == 0 {
+		return 0
+	}
+	return ix.rows[0].count
+}
+
+// AppendChunk indexes one decoded transmission: rows[i] is quantity i's
+// reconstructed chunk, bound the chunk's shipped maximum-absolute error
+// bound (zero when absent).
+func (ix *Index) AppendChunk(rows []timeseries.Series, bound float64) error {
+	if len(rows) != len(ix.rows) {
+		return fmt.Errorf("query: chunk has %d rows, index has %d", len(rows), len(ix.rows))
+	}
+	for i, r := range rows {
+		if len(r) != ix.m {
+			return fmt.Errorf("query: chunk row %d has %d samples, want %d", i, len(r), ix.m)
+		}
+		ix.rows[i].append(Summarize(r, bound))
+	}
+	return nil
+}
+
+// QueryChunks merges the summaries of chunks [c0, c1) of one quantity in
+// O(log n) node merges. An empty or inverted range yields the zero Summary.
+func (ix *Index) QueryChunks(row, c0, c1 int) (Summary, error) {
+	if row < 0 || row >= len(ix.rows) {
+		return Summary{}, fmt.Errorf("query: row %d outside [0,%d)", row, len(ix.rows))
+	}
+	t := ix.rows[row]
+	if c0 < 0 || c1 > t.count {
+		return Summary{}, fmt.Errorf("query: chunk range [%d,%d) outside [0,%d)", c0, c1, t.count)
+	}
+	return t.query(c0, c1), nil
+}
+
+// tree is an append-only segment tree stored as levels of merged pairs:
+// levels[0] holds one Summary per chunk and levels[k][i] summarises chunks
+// [i<<k, min((i+1)<<k, count)). Appending a chunk touches one node per
+// level; querying merges at most two nodes per level.
+type tree struct {
+	count  int
+	levels [][]Summary
+}
+
+func (t *tree) append(s Summary) {
+	if len(t.levels) == 0 {
+		t.levels = append(t.levels, nil)
+	}
+	t.levels[0] = append(t.levels[0], s)
+	t.count++
+	// Rebuild the new leaf's one ancestor per level until a level holds a
+	// single node covering everything. The right-edge node of each level
+	// may summarise a lone child until its sibling arrives.
+	lv, idx := 0, t.count-1
+	for len(t.levels[lv]) > 1 {
+		lv++
+		idx >>= 1
+		t.ensureLevel(lv)
+		t.setNode(lv, idx)
+	}
+}
+
+func (t *tree) ensureLevel(lv int) {
+	for len(t.levels) <= lv {
+		t.levels = append(t.levels, nil)
+	}
+}
+
+// setNode recomputes node idx of level lv from its children on level lv-1.
+func (t *tree) setNode(lv, idx int) {
+	child := t.levels[lv-1]
+	left := child[2*idx]
+	s := left
+	if 2*idx+1 < len(child) {
+		s = Merge(left, child[2*idx+1])
+	}
+	if idx < len(t.levels[lv]) {
+		t.levels[lv][idx] = s
+		return
+	}
+	t.levels[lv] = append(t.levels[lv], s)
+}
+
+// query merges chunks [lo, hi) bottom-up: consume an odd edge node on the
+// current level, halve, repeat — the classic iterative segment-tree walk.
+func (t *tree) query(lo, hi int) Summary {
+	var out Summary
+	for lv := 0; lo < hi; lv++ {
+		level := t.levels[lv]
+		if lo&1 == 1 {
+			out = Merge(out, level[lo])
+			lo++
+		}
+		if hi&1 == 1 {
+			hi--
+			out = Merge(out, level[hi])
+		}
+		lo >>= 1
+		hi >>= 1
+	}
+	return out
+}

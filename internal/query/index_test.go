@@ -1,0 +1,146 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sbr/internal/timeseries"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(timeseries.Series{3, -1, 4, 1, 5}, 0.25)
+	if s.Count != 5 || !almostEq(s.Sum, 12) || s.Min != -1 || s.Max != 5 {
+		t.Fatalf("summary %+v wrong", s)
+	}
+	if !almostEq(s.BoundMax, 0.25) || !almostEq(s.BoundSum, 1.25) {
+		t.Fatalf("bounds %+v wrong", s)
+	}
+	if !Summarize(nil, 1).Empty() {
+		t.Fatal("empty series must give empty summary")
+	}
+}
+
+func TestMergeIdentity(t *testing.T) {
+	s := Summarize(timeseries.Series{2, 7}, 0.5)
+	if Merge(Summary{}, s) != s || Merge(s, Summary{}) != s {
+		t.Fatal("zero Summary must be the identity of Merge")
+	}
+}
+
+// buildIndex appends `chunks` random chunks of m samples per row and returns
+// the index plus, per row, the flattened samples and per-chunk bounds.
+func buildIndex(t *testing.T, rng *rand.Rand, n, m, chunks int) (*Index, [][]float64, []float64) {
+	t.Helper()
+	ix, err := NewIndex(n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := make([][]float64, n)
+	var bounds []float64
+	for c := 0; c < chunks; c++ {
+		bound := rng.Float64()
+		rows := make([]timeseries.Series, n)
+		for r := range rows {
+			rows[r] = make(timeseries.Series, m)
+			for j := range rows[r] {
+				rows[r][j] = rng.NormFloat64() * 10
+			}
+			flat[r] = append(flat[r], rows[r]...)
+		}
+		if err := ix.AppendChunk(rows, bound); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, bound)
+	}
+	return ix, flat, bounds
+}
+
+// TestQueryChunksMatchesBruteForce checks every chunk range of every size
+// against a direct scan, across chunk counts that are not powers of two.
+func TestQueryChunksMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, chunks := range []int{1, 2, 3, 5, 8, 13, 16, 17} {
+		const n, m = 2, 8
+		ix, flat, bounds := buildIndex(t, rng, n, m, chunks)
+		if ix.Chunks() != chunks {
+			t.Fatalf("Chunks() = %d, want %d", ix.Chunks(), chunks)
+		}
+		for row := 0; row < n; row++ {
+			for c0 := 0; c0 <= chunks; c0++ {
+				for c1 := c0; c1 <= chunks; c1++ {
+					got, err := ix.QueryChunks(row, c0, c1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := bruteForce(flat[row], bounds, m, c0, c1)
+					if !summariesEq(got, want) {
+						t.Fatalf("chunks=%d row=%d [%d,%d): got %+v want %+v",
+							chunks, row, c0, c1, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func bruteForce(flat []float64, bounds []float64, m, c0, c1 int) Summary {
+	var out Summary
+	for c := c0; c < c1; c++ {
+		out = Merge(out, Summarize(flat[c*m:(c+1)*m], bounds[c]))
+	}
+	return out
+}
+
+func summariesEq(a, b Summary) bool {
+	if a.Count != b.Count {
+		return false
+	}
+	if a.Empty() {
+		return b.Empty()
+	}
+	return almostEq(a.Sum, b.Sum) && a.Min == b.Min && a.Max == b.Max &&
+		a.BoundMax == b.BoundMax && almostEq(a.BoundSum, b.BoundSum)
+}
+
+func TestIndexShapeErrors(t *testing.T) {
+	if _, err := NewIndex(0, 4); err == nil {
+		t.Fatal("NewIndex(0,4) must fail")
+	}
+	ix, _ := NewIndex(2, 4)
+	if err := ix.AppendChunk([]timeseries.Series{{1, 2, 3, 4}}, 0); err == nil {
+		t.Fatal("row-count mismatch must fail")
+	}
+	if err := ix.AppendChunk([]timeseries.Series{{1, 2}, {3, 4}}, 0); err == nil {
+		t.Fatal("chunk-length mismatch must fail")
+	}
+	if _, err := ix.QueryChunks(5, 0, 0); err == nil {
+		t.Fatal("out-of-range row must fail")
+	}
+	if _, err := ix.QueryChunks(0, 0, 1); err == nil {
+		t.Fatal("chunk range beyond count must fail")
+	}
+}
+
+// TestAppendCost confirms the tree stays logarithmic: node updates per
+// append must be bounded by log2(count)+1.
+func TestAppendCost(t *testing.T) {
+	ix, _ := NewIndex(1, 2)
+	for c := 0; c < 1024; c++ {
+		if err := ix.AppendChunk([]timeseries.Series{{1, 2}}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	levels := ix.rows[0].levels
+	if len(levels) != 11 { // 1024 leaves → levels 0..10
+		t.Fatalf("%d levels for 1024 chunks, want 11", len(levels))
+	}
+	for lv := 1; lv < len(levels); lv++ {
+		want := (len(levels[lv-1]) + 1) / 2
+		if len(levels[lv]) != want {
+			t.Fatalf("level %d has %d nodes, want %d", lv, len(levels[lv]), want)
+		}
+	}
+}

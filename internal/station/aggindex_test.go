@@ -1,0 +1,311 @@
+package station
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sbr/internal/core"
+	"sbr/internal/datagen"
+	"sbr/internal/metrics"
+	"sbr/internal/timeseries"
+)
+
+// aggregateNaive is the pre-index implementation — clone the range, reduce
+// the clone — kept as the benchmark and correctness baseline.
+func aggregateNaive(st *Station, id string, row, from, to int, kind AggregateKind) (float64, error) {
+	seg, err := st.Range(id, row, from, to)
+	if err != nil {
+		return 0, err
+	}
+	if len(seg) == 0 {
+		return 0, fmt.Errorf("station: aggregate over empty range [%d,%d)", from, to)
+	}
+	switch kind {
+	case AggAvg:
+		return seg.Mean(), nil
+	case AggSum:
+		return seg.Sum(), nil
+	case AggMin:
+		return seg.Min(), nil
+	case AggMax:
+		return seg.Max(), nil
+	default:
+		return math.NaN(), fmt.Errorf("station: unknown aggregate kind %d", kind)
+	}
+}
+
+// TestAggregateMatchesNaive cross-checks the indexed path against the
+// naive scan over many random ranges, including chunk-aligned and ragged
+// ones, for every aggregate kind.
+func TestAggregateMatchesNaive(t *testing.T) {
+	st, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := datagen.StocksSized(1, 64, 7)
+	feed(t, st, "s", ds, 7, false)
+	total := 7 * ds.FileLen
+	rng := rand.New(rand.NewSource(11))
+
+	check := func(from, to int) {
+		t.Helper()
+		for _, kind := range []AggregateKind{AggAvg, AggSum, AggMin, AggMax} {
+			want, err := aggregateNaive(st, "s", 0, from, to, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := st.Aggregate("s", 0, from, to, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("kind %d [%d,%d): indexed %v, naive %v", kind, from, to, got, want)
+			}
+		}
+	}
+	check(0, total)                   // whole history, chunk aligned
+	check(ds.FileLen, 3*ds.FileLen)   // aligned interior
+	check(1, total-1)                 // both edges ragged
+	check(3, ds.FileLen-3)            // inside one chunk
+	check(ds.FileLen-1, ds.FileLen+1) // straddling one boundary
+	for i := 0; i < 200; i++ {
+		from := rng.Intn(total)
+		to := from + 1 + rng.Intn(total-from)
+		check(from, to)
+	}
+}
+
+// TestAggregateWithBoundGuarantee feeds a MaxAbs-metric sensor and checks
+// the deterministic error interval: answer ± bound must contain the true
+// aggregate of the original samples, for every kind.
+func TestAggregateWithBoundGuarantee(t *testing.T) {
+	cfg := core.Config{TotalBand: 160, MBase: 64, Metric: metrics.MaxAbs}
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := datagen.StocksSized(5, 64, 6)
+	comp, err := core.NewCompressor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var original timeseries.Series
+	for f := 0; f < 6; f++ {
+		rows := ds.File(f)
+		tr, err := comp.Encode(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.Bounded() {
+			t.Fatalf("transmission %d under MaxAbs has no bound", f)
+		}
+		if err := st.Receive("mx", tr); err != nil {
+			t.Fatal(err)
+		}
+		original = append(original, rows[0]...)
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		from := rng.Intn(len(original))
+		to := from + 1 + rng.Intn(len(original)-from)
+		seg := original[from:to]
+		truth := map[AggregateKind]float64{
+			AggAvg: seg.Mean(), AggSum: seg.Sum(), AggMin: seg.Min(), AggMax: seg.Max(),
+		}
+		for kind, want := range truth {
+			got, bound, err := st.AggregateWithBound("mx", 0, from, to, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bound <= 0 {
+				t.Fatalf("kind %d [%d,%d): non-positive bound %v", kind, from, to, bound)
+			}
+			if math.Abs(got-want) > bound+1e-9 {
+				t.Fatalf("kind %d [%d,%d): |%v - %v| exceeds guaranteed bound %v",
+					kind, from, to, got, want, bound)
+			}
+		}
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	st, _ := stationWithHistory(t)
+	if _, err := st.Aggregate("nope", 0, 0, 1, AggAvg); err == nil {
+		t.Error("unknown sensor accepted")
+	}
+	if _, err := st.Aggregate("s", 0, 5, 5, AggAvg); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := st.Aggregate("s", 0, 5, 2, AggAvg); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := st.Aggregate("s", 0, 0, 1<<30, AggAvg); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if _, err := st.Aggregate("s", 0, 0, 1, AggregateKind(42)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// TestHistoryLen covers the new length accessor.
+func TestHistoryLen(t *testing.T) {
+	st, hist := stationWithHistory(t)
+	n, err := st.HistoryLen("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(hist) {
+		t.Fatalf("HistoryLen %d, want %d", n, len(hist))
+	}
+	if _, err := st.HistoryLen("nope"); err == nil {
+		t.Error("unknown sensor accepted")
+	}
+}
+
+// TestConcurrentReceiveAndQuery stresses simultaneous ingest and queries;
+// run it under `go test -race` (the race target) to verify the locking.
+func TestConcurrentReceiveAndQuery(t *testing.T) {
+	st, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const files = 16
+	ds := datagen.StocksSized(1, 64, files)
+	feed(t, st, "s", ds, 1, false) // seed so queries never see an empty log
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		comp, err := core.NewCompressor(testConfig())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for f := 0; f < files; f++ {
+			tr, err := comp.Encode(ds.File(f))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if f >= 1 {
+				if err := st.Receive("s", tr); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n, err := st.HistoryLen("s")
+				if err != nil || n == 0 {
+					t.Errorf("HistoryLen: %d, %v", n, err)
+					return
+				}
+				if _, err := st.Aggregate("s", 0, 0, n, AggAvg); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := st.Run(Query{Sensor: "s", Row: 0, Step: 16, Agg: AggMax}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := st.Exceedances("s", 0, 0, 0, 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The index must have stayed in lock-step with the chunks.
+	n, _ := st.HistoryLen("s")
+	if n != files*ds.FileLen {
+		t.Fatalf("final history %d, want %d", n, files*ds.FileLen)
+	}
+	got, err := st.Aggregate("s", 0, 0, n, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := aggregateNaive(st, "s", 0, 0, n, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+		t.Fatalf("post-stress sum %v, naive %v", got, want)
+	}
+}
+
+// benchStation builds a 10-transmission, 20,480-samples-per-row history —
+// the acceptance scale for the indexed-vs-naive comparison.
+func benchStation(b *testing.B) *Station {
+	b.Helper()
+	cfg := core.Config{TotalBand: 600, MBase: 1024, Metric: metrics.SSE}
+	st, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := datagen.StocksSized(1, 2048, 10)
+	comp, err := core.NewCompressor(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for f := 0; f < 10; f++ {
+		tr, err := comp.Encode(ds.File(f))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Receive("bench", tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return st
+}
+
+func BenchmarkAggregateIndexed(b *testing.B) {
+	st := benchStation(b)
+	n, _ := st.HistoryLen("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Aggregate("bench", 0, 0, n, AggAvg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregateNaive(b *testing.B) {
+	st := benchStation(b)
+	n, _ := st.HistoryLen("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := aggregateNaive(st, "bench", 0, 0, n, AggAvg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAggregateIndexedRagged measures the worst case for the index:
+// both edges mid-chunk, so two partial scans ride along with the O(log n)
+// merge.
+func BenchmarkAggregateIndexedRagged(b *testing.B) {
+	st := benchStation(b)
+	n, _ := st.HistoryLen("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Aggregate("bench", 0, 7, n-7, AggAvg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

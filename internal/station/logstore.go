@@ -50,6 +50,20 @@ func (ls *LogStore) Append(id string, frame []byte) error {
 	return nil
 }
 
+// Sync flushes every open log file to stable storage — the shutdown path
+// calls it before Close so an interrupt cannot lose buffered frames.
+func (ls *LogStore) Sync() error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	var first error
+	for _, f := range ls.files {
+		if err := f.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // Close closes all open log files.
 func (ls *LogStore) Close() error {
 	ls.mu.Lock()

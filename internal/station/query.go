@@ -31,20 +31,24 @@ type QueryPoint struct {
 	Value      float64
 }
 
-// Run executes a windowed-aggregate query against the reconstructed
-// history.
+// Run executes a windowed-aggregate query. Each window is answered from
+// the hierarchical aggregate index (plus exact ragged edges), so a query
+// over w windows costs O(w log n) instead of materialising the history.
 func (s *Station) Run(q Query) ([]QueryPoint, error) {
-	hist, err := s.History(q.Sensor, q.Row)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	log, err := s.lookup(q.Sensor, q.Row)
 	if err != nil {
 		return nil, err
 	}
+	total := len(log.chunks) * log.m
 	from, to := q.From, q.To
 	if to == 0 {
-		to = len(hist)
+		to = total
 	}
-	if from < 0 || to > len(hist) || from >= to {
+	if from < 0 || to > total || from >= to {
 		return nil, fmt.Errorf("station: query range [%d,%d) outside history [0,%d)",
-			from, to, len(hist))
+			from, to, total)
 	}
 	step := q.Step
 	if step <= 0 {
@@ -56,7 +60,7 @@ func (s *Station) Run(q Query) ([]QueryPoint, error) {
 		if end > to {
 			end = to
 		}
-		v, err := aggregateSeries(hist[start:end], q.Agg)
+		v, _, err := answerSummary(log.summarize(q.Row, start, end), q.Agg)
 		if err != nil {
 			return nil, err
 		}
@@ -72,6 +76,13 @@ func (s *Station) Downsample(id string, row, points int) (timeseries.Series, err
 	if err != nil {
 		return nil, err
 	}
+	return DownsampleSeries(hist, points)
+}
+
+// DownsampleSeries reduces an already-reconstructed history to at most
+// points samples by window-averaging. Callers holding a cached history
+// (e.g. the HTTP front end) use it to skip re-materialisation.
+func DownsampleSeries(hist timeseries.Series, points int) (timeseries.Series, error) {
 	if points <= 0 {
 		return nil, fmt.Errorf("station: non-positive point count %d", points)
 	}
@@ -97,6 +108,13 @@ func (s *Station) Exceedances(id string, row int, from, to int, threshold float6
 	if err != nil {
 		return nil, err
 	}
+	return ScanExceedances(hist, from, to, threshold)
+}
+
+// ScanExceedances runs the threshold scan over an already-reconstructed
+// history, with the same [from, to) semantics as Exceedances (zero `to`
+// means the end of the series).
+func ScanExceedances(hist timeseries.Series, from, to int, threshold float64) ([]Exceedance, error) {
 	if to == 0 {
 		to = len(hist)
 	}
@@ -129,23 +147,4 @@ func (s *Station) Exceedances(id string, row int, from, to int, threshold float6
 		out = append(out, cur)
 	}
 	return out, nil
-}
-
-// aggregateSeries reduces one window.
-func aggregateSeries(seg timeseries.Series, kind AggregateKind) (float64, error) {
-	if len(seg) == 0 {
-		return 0, fmt.Errorf("station: aggregate over empty window")
-	}
-	switch kind {
-	case AggAvg:
-		return seg.Mean(), nil
-	case AggSum:
-		return seg.Sum(), nil
-	case AggMin:
-		return seg.Min(), nil
-	case AggMax:
-		return seg.Max(), nil
-	default:
-		return 0, fmt.Errorf("station: unknown aggregate kind %d", kind)
-	}
 }

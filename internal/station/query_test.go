@@ -162,3 +162,68 @@ func TestExceedancesErrors(t *testing.T) {
 		t.Errorf("impossible threshold gave %v, %v", runs, err)
 	}
 }
+
+// TestExceedancesToSentinel checks that to == 0 means "end of history" and
+// is equivalent to passing the length explicitly.
+func TestExceedancesToSentinel(t *testing.T) {
+	st, hist := stationWithHistory(t)
+	threshold := hist.Mean()
+	implicit, err := st.Exceedances("s", 0, 0, 0, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := st.Exceedances("s", 0, 0, len(hist), threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(implicit) != len(explicit) {
+		t.Fatalf("sentinel gave %d runs, explicit %d", len(implicit), len(explicit))
+	}
+	for i := range implicit {
+		if implicit[i] != explicit[i] {
+			t.Fatalf("run %d: sentinel %+v, explicit %+v", i, implicit[i], explicit[i])
+		}
+	}
+}
+
+// TestExceedancesRunTouchingEnd forces a run still open at the end of the
+// scan window: it must be closed at `to`, with the right peak.
+func TestExceedancesRunTouchingEnd(t *testing.T) {
+	hist := timeseries.Series{1, 5, 2, 6, 7, 8}
+	runs, err := ScanExceedances(hist, 0, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("%d runs, want 1", len(runs))
+	}
+	if runs[0].Start != 3 || runs[0].End != len(hist) || runs[0].Peak != 8 {
+		t.Fatalf("end-touching run %+v, want {3 6 8}", runs[0])
+	}
+	// Same but with an explicit sub-range ending mid-run.
+	runs, err = ScanExceedances(hist, 0, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].End != 5 || runs[0].Peak != 7 {
+		t.Fatalf("clipped run %+v, want end 5 peak 7", runs)
+	}
+}
+
+// TestExceedancesEmptyHistory: an empty series with the to == 0 sentinel
+// yields no runs and no error; any explicit range beyond it fails.
+func TestExceedancesEmptyHistory(t *testing.T) {
+	runs, err := ScanExceedances(nil, 0, 0, 1)
+	if err != nil {
+		t.Fatalf("empty history errored: %v", err)
+	}
+	if len(runs) != 0 {
+		t.Fatalf("empty history gave %d runs", len(runs))
+	}
+	if _, err := ScanExceedances(nil, 0, 1, 1); err == nil {
+		t.Fatal("range beyond empty history accepted")
+	}
+	if _, err := ScanExceedances(nil, -1, 0, 1); err == nil {
+		t.Fatal("negative from accepted")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"sbr/internal/core"
+	"sbr/internal/query"
 	"sbr/internal/timeseries"
 	"sbr/internal/wire"
 )
@@ -40,6 +41,7 @@ type sensorLog struct {
 	n, m     int
 	chunks   [][]timeseries.Series // chunks[seq][row] has m samples
 	bounds   []float64             // per-chunk max-abs error bound (0: none)
+	index    *query.Index          // hierarchical aggregate index over the chunks
 	frames   int                   // frames received
 	bytes    int                   // raw bytes received
 	values   int                   // abstract bandwidth values received
@@ -113,6 +115,16 @@ func (s *Station) receive(id string, t *core.Transmission, rawBytes int) error {
 		return fmt.Errorf("station: sensor %q: batch shape %dx%d, want %dx%d",
 			id, t.N, t.M, log.n, log.m)
 	}
+	if log.index == nil {
+		ix, err := query.NewIndex(log.n, log.m)
+		if err != nil {
+			return fmt.Errorf("station: sensor %q: %w", id, err)
+		}
+		log.index = ix
+	}
+	if err := log.index.AppendChunk(rows, t.ErrBound); err != nil {
+		return fmt.Errorf("station: sensor %q: %w", id, err)
+	}
 	log.chunks = append(log.chunks, rows)
 	log.bounds = append(log.bounds, t.ErrBound)
 	log.frames++
@@ -164,11 +176,9 @@ func (s *Station) SensorStats(id string) (Stats, error) {
 	}, nil
 }
 
-// History returns the full reconstructed history of quantity row of the
-// named sensor: the concatenation of that row across every received chunk.
-func (s *Station) History(id string, row int) (timeseries.Series, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+// lookup returns the named sensor's log after validating the quantity row.
+// The caller must hold s.mu (read or write).
+func (s *Station) lookup(id string, row int) (*sensorLog, error) {
 	log, ok := s.sensors[id]
 	if !ok {
 		return nil, fmt.Errorf("station: unknown sensor %q", id)
@@ -177,6 +187,18 @@ func (s *Station) History(id string, row int) (timeseries.Series, error) {
 		return nil, fmt.Errorf("station: sensor %q has %d quantities, row %d requested",
 			id, log.n, row)
 	}
+	return log, nil
+}
+
+// History returns the full reconstructed history of quantity row of the
+// named sensor: the concatenation of that row across every received chunk.
+func (s *Station) History(id string, row int) (timeseries.Series, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	log, err := s.lookup(id, row)
+	if err != nil {
+		return nil, err
+	}
 	out := make(timeseries.Series, 0, len(log.chunks)*log.m)
 	for _, chunk := range log.chunks {
 		out = append(out, chunk[row]...)
@@ -184,18 +206,26 @@ func (s *Station) History(id string, row int) (timeseries.Series, error) {
 	return out, nil
 }
 
-// At answers a historical point query: the reconstructed value of quantity
-// row at global sample index idx (counted from the first transmission).
-func (s *Station) At(id string, row, idx int) (float64, error) {
+// HistoryLen returns the number of recorded samples per quantity of the
+// named sensor.
+func (s *Station) HistoryLen(id string) (int, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	log, ok := s.sensors[id]
 	if !ok {
 		return 0, fmt.Errorf("station: unknown sensor %q", id)
 	}
-	if row < 0 || row >= log.n {
-		return 0, fmt.Errorf("station: sensor %q has %d quantities, row %d requested",
-			id, log.n, row)
+	return len(log.chunks) * log.m, nil
+}
+
+// At answers a historical point query: the reconstructed value of quantity
+// row at global sample index idx (counted from the first transmission).
+func (s *Station) At(id string, row, idx int) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	log, err := s.lookup(id, row)
+	if err != nil {
+		return 0, err
 	}
 	if idx < 0 || idx >= len(log.chunks)*log.m {
 		return 0, fmt.Errorf("station: sample %d outside recorded history [0,%d)",
@@ -228,27 +258,96 @@ const (
 )
 
 // Aggregate answers a historical aggregate query over [from, to) of
-// quantity row.
+// quantity row. It is answered from the hierarchical aggregate index in
+// O(log n) chunk-summary merges; only the ragged sub-chunk edges of the
+// range touch the reconstructed samples.
 func (s *Station) Aggregate(id string, row, from, to int, kind AggregateKind) (float64, error) {
-	seg, err := s.Range(id, row, from, to)
+	v, _, err := s.AggregateWithBound(id, row, from, to, kind)
+	return v, err
+}
+
+// AggregateWithBound answers an aggregate query together with the
+// guaranteed maximum absolute error of the answer, derived from the §4.5
+// per-chunk bounds the sensors shipped: for Sum the bounds of the covered
+// samples accumulate, for Avg they average, and for Min/Max the worst
+// per-sample bound applies. The bound is zero when the sensor did not run
+// under the MaxAbs metric.
+func (s *Station) AggregateWithBound(id string, row, from, to int, kind AggregateKind) (value, bound float64, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	log, err := s.lookup(id, row)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	if len(seg) == 0 {
-		return 0, fmt.Errorf("station: aggregate over empty range [%d,%d)", from, to)
+	total := len(log.chunks) * log.m
+	if from < 0 || to > total || from > to {
+		return 0, 0, fmt.Errorf("station: range [%d,%d) outside history [0,%d)", from, to, total)
 	}
+	if from == to {
+		return 0, 0, fmt.Errorf("station: aggregate over empty range [%d,%d)", from, to)
+	}
+	return answerSummary(log.summarize(row, from, to), kind)
+}
+
+// answerSummary turns a merged span summary into the aggregate answer and
+// its guaranteed maximum absolute error.
+func answerSummary(sum query.Summary, kind AggregateKind) (value, bound float64, err error) {
 	switch kind {
 	case AggAvg:
-		return seg.Mean(), nil
+		return sum.Sum / float64(sum.Count), sum.BoundSum / float64(sum.Count), nil
 	case AggSum:
-		return seg.Sum(), nil
+		return sum.Sum, sum.BoundSum, nil
 	case AggMin:
-		return seg.Min(), nil
+		return sum.Min, sum.BoundMax, nil
 	case AggMax:
-		return seg.Max(), nil
+		return sum.Max, sum.BoundMax, nil
 	default:
-		return math.NaN(), fmt.Errorf("station: unknown aggregate kind %d", kind)
+		return math.NaN(), 0, fmt.Errorf("station: unknown aggregate kind %d", kind)
 	}
+}
+
+// summarize reduces [from, to) of one quantity: whole chunks come from the
+// aggregate index in O(log n) merges, the ragged edges from an exact
+// in-place scan of the decoded chunk windows. The caller must hold the
+// station lock and have validated the range.
+func (l *sensorLog) summarize(row, from, to int) query.Summary {
+	m := l.m
+	c0 := (from + m - 1) / m // first fully covered chunk
+	c1 := to / m             // one past the last fully covered chunk
+	if c0 >= c1 {
+		// The range lives inside one chunk or straddles one boundary with
+		// no whole chunk in between: the exact scan is already minimal.
+		return l.scan(row, from, to)
+	}
+	sum, err := l.index.QueryChunks(row, c0, c1)
+	if err != nil {
+		// Unreachable: receive() keeps the index in lock-step with chunks.
+		panic(err)
+	}
+	if lead := c0 * m; from < lead {
+		sum = query.Merge(l.scan(row, from, lead), sum)
+	}
+	if tail := c1 * m; tail < to {
+		sum = query.Merge(sum, l.scan(row, tail, to))
+	}
+	return sum
+}
+
+// scan summarises [from, to) exactly by reducing each overlapped chunk
+// window in place — no history materialisation, no cloning.
+func (l *sensorLog) scan(row, from, to int) query.Summary {
+	var out query.Summary
+	for from < to {
+		c := from / l.m
+		lo := from - c*l.m
+		hi := l.m
+		if limit := to - c*l.m; limit < hi {
+			hi = limit
+		}
+		out = query.Merge(out, query.Summarize(l.chunks[c][row][lo:hi], l.bounds[c]))
+		from = c*l.m + hi
+	}
+	return out
 }
 
 // AtWithBound answers a point query together with the guaranteed maximum

@@ -54,7 +54,7 @@ func Encode(t *core.Transmission) ([]byte, error) {
 			break
 		}
 	}
-	if t.ErrBound != 0 {
+	if t.Bounded() {
 		flags |= flagBounded
 	}
 	body.WriteByte(flags)
@@ -107,6 +107,41 @@ func Encode(t *core.Transmission) ([]byte, error) {
 // DecodeBytes parses one framed transmission from a byte slice.
 func DecodeBytes(frame []byte) (*core.Transmission, error) {
 	return Decode(bytes.NewReader(frame))
+}
+
+// ReadFrame reads one complete framed transmission from r and returns its
+// raw bytes — header, body and checksum — without decoding the payload.
+// The magic, version and length are validated so a corrupted stream cannot
+// drive an unbounded allocation. A clean end of stream at a frame boundary
+// returns io.EOF; the raw frame can be re-parsed with DecodeBytes or
+// appended verbatim to a station log.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var head [5]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	if !bytes.Equal(head[:4], magic[:]) {
+		return nil, ErrMagic
+	}
+	if head[4] != Version {
+		return nil, fmt.Errorf("wire: unsupported frame version %d", head[4])
+	}
+	var raw bytes.Buffer
+	raw.Write(head[:])
+	bodyLen, err := binary.ReadUvarint(&byteCounter{r: io.TeeReader(r, &raw)})
+	if err != nil {
+		return nil, fmt.Errorf("wire: reading frame length: %w", err)
+	}
+	if bodyLen > maxReasonable {
+		return nil, fmt.Errorf("wire: frame length %d too large", bodyLen)
+	}
+	if _, err := io.CopyN(&raw, r, int64(bodyLen)+4); err != nil {
+		return nil, fmt.Errorf("wire: reading frame body: %w", err)
+	}
+	return raw.Bytes(), nil
 }
 
 // Decode parses one framed transmission from r. Interval lengths are

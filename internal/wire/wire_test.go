@@ -411,3 +411,54 @@ func TestUnknownFlagsRejected(t *testing.T) {
 		t.Error("unknown flag bit accepted")
 	}
 }
+
+func TestReadFrameRoundTrip(t *testing.T) {
+	// A stream of three frames read back raw must byte-equal the encodings
+	// and re-decode to the same transmissions.
+	var stream bytes.Buffer
+	var frames [][]byte
+	for seed := int64(1); seed <= 3; seed++ {
+		frame, err := Encode(sampleTransmission(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, frame)
+		stream.Write(frame)
+	}
+	for i := 0; ; i++ {
+		raw, err := ReadFrame(&stream)
+		if err == io.EOF {
+			if i != len(frames) {
+				t.Fatalf("EOF after %d frames, want %d", i, len(frames))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, frames[i]) {
+			t.Fatalf("frame %d: raw bytes differ from encoding", i)
+		}
+		if _, err := DecodeBytes(raw); err != nil {
+			t.Fatalf("frame %d: re-decoding raw frame: %v", i, err)
+		}
+	}
+}
+
+func TestReadFrameRejectsGarbage(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader([]byte("XXXXXXXXXX"))); !errors.Is(err, ErrMagic) {
+		t.Fatalf("garbage magic: err = %v, want ErrMagic", err)
+	}
+	frame, err := Encode(sampleTransmission(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(frame[:len(frame)-3])); err == nil {
+		t.Fatal("truncated frame must fail")
+	}
+	bad := append([]byte(nil), frame...)
+	bad[4] = 99 // version
+	if _, err := ReadFrame(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version must fail")
+	}
+}
