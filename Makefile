@@ -3,12 +3,16 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz examples experiments experiments-quick clean
+.PHONY: all build fmt-check vet test race cover bench bench-smoke fuzz examples experiments experiments-quick clean
 
-all: build vet test
+all: build fmt-check vet test
 
 build:
 	$(GO) build ./...
+
+# Fails (and lists the offenders) when any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +28,11 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches bit-rotted benchmark code
+# without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/wire

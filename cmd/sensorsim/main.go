@@ -10,14 +10,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"os"
 	"sort"
+	"time"
 
 	"sbr/internal/aggregate"
 	"sbr/internal/core"
 	"sbr/internal/metrics"
+	"sbr/internal/obs"
 	"sbr/internal/sensornet"
 )
 
@@ -32,6 +35,10 @@ func main() {
 		adaptive = flag.Bool("adaptive", false, "use the Section 4.4 adaptive schedule (full SBR only when needed)")
 	)
 	flag.Parse()
+
+	logger := obs.Component(obs.NewLogger(os.Stderr, slog.LevelInfo), "sensorsim")
+	reg := obs.NewRegistry()
+	start := time.Now()
 
 	const quantities = 3 // temperature, humidity, light per node
 	n := quantities * *buffer
@@ -61,6 +68,10 @@ func main() {
 	if err := net.Build(); err != nil {
 		fatal(err)
 	}
+	// The simulation's base station feeds the same obs registry a live
+	// stationd would, so the final summary and any rejection counts come
+	// from one telemetry source.
+	net.Station().Instrument(reg)
 
 	fmt.Println("Routing tree (hop-count shortest paths to the base station):")
 	for _, line := range net.Describe() {
@@ -110,6 +121,21 @@ func main() {
 	fmt.Printf("  bytes: %d, energy: %.3g nJ\n", agg.Bytes, agg.TotalEnergy)
 	fmt.Printf("  network-wide avg over the run: %.3f — but no historical detail survives;\n", agg.Results.Mean())
 	fmt.Println("  the SBR feed above answers arbitrary historical queries instead.")
+
+	// Final structured summary, from the same registry the station fed.
+	v := reg.Values()
+	reg.Gauge("sbr_sensorsim_wall_seconds", "Wall-clock time of the whole simulation.").
+		Set(time.Since(start).Seconds())
+	logger.Info("simulation complete",
+		"frames_sent", rep.Transmissions,
+		"frames_accepted", int(v["sbr_station_transmissions_total"]),
+		"frames_rejected", int(v["sbr_station_rejects_total"]),
+		"bytes_to_base", rep.BytesToBase,
+		"raw_bytes", rep.RawBytes,
+		"values", int(v["sbr_station_values_total"]),
+		"base_inserts", int(v["sbr_core_base_inserts_total"]),
+		"wall", time.Since(start).Round(time.Millisecond).String(),
+	)
 }
 
 // weatherSource generates a 3-quantity sample stream: diurnal temperature,

@@ -1,27 +1,39 @@
 // Command stationd runs a standalone base station: it listens for sensor
 // connections over TCP, decodes and logs every transmission (per-sensor
 // append-only logs on disk, as in Section 3.2), answers historical queries
-// over HTTP/JSON, and periodically prints reception statistics. Pair it
-// with sensors built on internal/sensor and internal/netio, or try it
-// against cmd/sensorsim's source model.
+// over HTTP/JSON, and periodically logs a structured reception report.
+// Pair it with sensors built on internal/sensor and internal/netio, or try
+// it against cmd/sensorsim's source model.
 //
-//	stationd -addr 127.0.0.1:7070 -http 127.0.0.1:8080 -logdir /tmp/sbr-logs -band 150 -mbase 64
+//	stationd -addr 127.0.0.1:7070 -http 127.0.0.1:8080 -debug 127.0.0.1:9090 \
+//	         -logdir /tmp/sbr-logs -band 150 -mbase 64
 //
 // With -http set, the approximate-query engine is exposed while frames
 // keep arriving: point, range, aggregate (answered from the hierarchical
-// aggregate index with a deterministic error bound), downsample and
-// exceedance queries — see internal/httpapi for the endpoints. On SIGINT
-// or SIGTERM the daemon stops accepting sensors, drains the HTTP server,
-// syncs the on-disk logs and exits.
+// aggregate index with a deterministic error bound), downsample,
+// exceedance and stats queries — see internal/httpapi for the endpoints.
+//
+// With -debug set, the admin plane is exposed on a separate listener so
+// operational traffic never competes with queries:
+//
+//	GET /debug/metrics   — Prometheus text exposition of the obs registry
+//	GET /debug/vars      — the same registry as an expvar-style JSON dump
+//	GET /debug/pprof/…   — the standard net/http/pprof profiles
+//
+// Every daemon event and the periodic report go through the structured
+// logger (internal/obs conventions); -v raises it to debug level. On
+// SIGINT or SIGTERM the daemon stops accepting sensors, drains the HTTP
+// servers, syncs the on-disk logs and exits.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,62 +43,66 @@ import (
 	"sbr/internal/httpapi"
 	"sbr/internal/metrics"
 	"sbr/internal/netio"
+	"sbr/internal/obs"
 	"sbr/internal/station"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7070", "TCP listen address for sensor connections")
-		httpAddr = flag.String("http", "", "HTTP query-API listen address (empty: disabled)")
-		logDir   = flag.String("logdir", "", "directory for per-sensor logs (empty: memory only)")
-		band     = flag.Int("band", 150, "TotalBand the sensors were configured with")
-		mbase    = flag.Int("mbase", 64, "MBase the sensors were configured with")
-		every    = flag.Duration("report", 10*time.Second, "statistics reporting interval (0: disabled)")
-		cacheSz  = flag.Int("cache", httpapi.DefaultCacheEntries, "query-API history cache entries")
+		addr      = flag.String("addr", "127.0.0.1:7070", "TCP listen address for sensor connections")
+		httpAddr  = flag.String("http", "", "HTTP query-API listen address (empty: disabled)")
+		debugAddr = flag.String("debug", "", "admin-plane listen address for /debug/metrics, /debug/vars, /debug/pprof (empty: disabled)")
+		logDir    = flag.String("logdir", "", "directory for per-sensor logs (empty: memory only)")
+		band      = flag.Int("band", 150, "TotalBand the sensors were configured with")
+		mbase     = flag.Int("mbase", 64, "MBase the sensors were configured with")
+		every     = flag.Duration("report", 10*time.Second, "statistics reporting interval (0: disabled)")
+		cacheSz   = flag.Int("cache", httpapi.DefaultCacheEntries, "query-API history cache entries")
+		verbose   = flag.Bool("v", false, "log at debug level (per-connection events)")
 	)
 	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	dlog := obs.Component(logger, "stationd")
+	reg := obs.NewRegistry()
 
 	cfg := core.Config{TotalBand: *band, MBase: *mbase, Metric: metrics.SSE}
 	st, err := station.New(cfg)
 	if err != nil {
-		fatal(err)
+		fatal(dlog, err)
 	}
+	st.Instrument(reg)
 
 	var store *station.LogStore
 	var observer netio.FrameObserver
 	if *logDir != "" {
 		store, err = station.NewLogStore(*logDir)
 		if err != nil {
-			fatal(err)
+			fatal(dlog, err)
 		}
+		storeLog := obs.Component(logger, "logstore")
 		observer = func(id string, frame []byte) {
 			if err := store.Append(id, frame); err != nil {
-				fmt.Fprintln(os.Stderr, "stationd: log append:", err)
+				storeLog.Error("log append failed", "sensor", id, "err", err)
 			}
 		}
 	}
 
-	srv, err := netio.ServeObserved(st, *addr, observer)
+	srv, err := netio.ServeWith(st, *addr, netio.Options{
+		Observer: observer,
+		Metrics:  netio.NewMetrics(reg),
+		Logger:   logger,
+	})
 	if err != nil {
-		fatal(err)
+		fatal(dlog, err)
 	}
-	fmt.Printf("stationd: listening on %s (TotalBand=%d MBase=%d)\n", srv.Addr(), *band, *mbase)
+	dlog.Info("listening for sensors", "addr", srv.Addr(), "band", *band, "mbase", *mbase)
 
-	var httpSrv *http.Server
-	if *httpAddr != "" {
-		ln, err := net.Listen("tcp", *httpAddr)
-		if err != nil {
-			srv.Close() //nolint:errcheck — exiting anyway
-			fatal(err)
-		}
-		httpSrv = &http.Server{Handler: httpapi.New(st, *cacheSz)}
-		go func() {
-			if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintln(os.Stderr, "stationd: http:", err)
-			}
-		}()
-		fmt.Printf("stationd: query API on http://%s/v1/\n", ln.Addr())
-	}
+	httpSrv := serveHTTP(dlog, srv, *httpAddr, "query API", httpapi.NewObserved(st, *cacheSz, reg))
+	debugSrv := serveHTTP(dlog, srv, *debugAddr, "debug plane", debugMux(reg))
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -100,58 +116,114 @@ func main() {
 	for {
 		select {
 		case <-tick:
-			report(st)
+			report(dlog, reg, st)
 		case <-stop:
-			shutdown(st, srv, httpSrv, store)
+			shutdown(dlog, reg, st, srv, httpSrv, debugSrv, store)
 			return
 		}
 	}
 }
 
+// serveHTTP starts one HTTP listener in the background, or returns nil
+// when addr is empty. Listen failures are fatal: a daemon that silently
+// runs without its query API is worse than one that does not start.
+func serveHTTP(log *slog.Logger, srv *netio.Server, addr, name string, h http.Handler) *http.Server {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		srv.Close() //nolint:errcheck — exiting anyway
+		fatal(log, err)
+	}
+	s := &http.Server{Handler: h}
+	go func() {
+		if err := s.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Error("http server failed", "server", name, "err", err)
+		}
+	}()
+	log.Info("serving http", "server", name, "addr", ln.Addr().String())
+	return s
+}
+
+// debugMux assembles the admin plane: metrics exposition in both formats
+// plus the standard pprof handlers, on a mux of its own so nothing ever
+// mounts them on a public listener by accident.
+func debugMux(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", reg.MetricsHandler())
+	mux.Handle("/debug/vars", reg.VarsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // shutdown tears the daemon down in dependency order: stop ingesting (and
 // with it the log appends), drain in-flight HTTP queries, then sync and
 // close the on-disk logs so an interrupt cannot lose buffered frames.
-func shutdown(st *station.Station, srv *netio.Server, httpSrv *http.Server, store *station.LogStore) {
-	fmt.Println("\nstationd: shutting down")
+func shutdown(log *slog.Logger, reg *obs.Registry, st *station.Station,
+	srv *netio.Server, httpSrv, debugSrv *http.Server, store *station.LogStore) {
+
+	log.Info("shutting down")
 	if err := srv.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "stationd: closing sensor server:", err)
+		log.Error("closing sensor server", "err", err)
 	}
-	if httpSrv != nil {
+	for _, s := range []*http.Server{httpSrv, debugSrv} {
+		if s == nil {
+			continue
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		if err := httpSrv.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "stationd: draining http server:", err)
+		if err := s.Shutdown(ctx); err != nil {
+			log.Error("draining http server", "err", err)
 		}
 		cancel()
 	}
 	if store != nil {
 		if err := store.Sync(); err != nil {
-			fmt.Fprintln(os.Stderr, "stationd: syncing logs:", err)
+			log.Error("syncing logs", "err", err)
 		}
 		if err := store.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "stationd: closing logs:", err)
+			log.Error("closing logs", "err", err)
 		}
 	}
-	report(st)
+	report(log, reg, st)
 }
 
-func report(st *station.Station) {
-	ids := st.Sensors()
-	if len(ids) == 0 {
-		fmt.Println("stationd: no sensors yet")
-		return
-	}
-	fmt.Printf("stationd: %d sensors\n", len(ids))
-	for _, id := range ids {
+// report logs a structured snapshot of the telemetry registry — the same
+// numbers /debug/metrics exposes — plus a per-sensor debug line each.
+func report(log *slog.Logger, reg *obs.Registry, st *station.Station) {
+	v := reg.Values()
+	log.Info("station report",
+		"sensors", int(v["sbr_station_sensors"]),
+		"transmissions", int(v["sbr_station_transmissions_total"]),
+		"values", int(v["sbr_station_values_total"]),
+		"frames_accepted", int(v["sbr_netio_frames_accepted_total"]),
+		"bytes_in", int(v["sbr_netio_bytes_in_total"]),
+		"conns_open", int(v["sbr_netio_connections_open"]),
+		"rejects_decode", int(v[`sbr_netio_frames_rejected_total{reason="decode"}`]),
+		"rejects_receive", int(v[`sbr_netio_frames_rejected_total{reason="receive"}`]),
+		"index_depth", int(v["sbr_station_index_depth"]),
+		"base_inserts", int(v["sbr_core_base_inserts_total"]),
+	)
+	for _, id := range st.Sensors() {
 		stats, err := st.SensorStats(id)
 		if err != nil {
 			continue
 		}
-		fmt.Printf("  %-16s %4d transmissions, %d quantities × %d samples each, %d values\n",
-			id, stats.Transmissions, stats.Quantities, stats.SamplesPerRow, stats.Values)
+		log.Debug("sensor report", "sensor", id,
+			"transmissions", stats.Transmissions,
+			"quantities", stats.Quantities,
+			"samples_per_row", stats.SamplesPerRow,
+			"values", stats.Values,
+			"restarts", stats.Restarts,
+		)
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "stationd:", err)
+func fatal(log *slog.Logger, err error) {
+	log.Error("fatal", "err", err)
 	os.Exit(1)
 }

@@ -59,6 +59,9 @@ type Compressor struct {
 	pool *base.Pool
 	dctX timeseries.Series // fixed cosine base, BuilderDCT only
 	seq  int
+
+	searchEvals int               // CalculateError evaluations of the last Encode
+	lastReport  CompressionReport // telemetry record of the last Encode
 }
 
 // NewCompressor validates the configuration and creates a compressor.
@@ -175,6 +178,7 @@ func (c *Compressor) Encode(rows []timeseries.Series) (*Transmission, error) {
 	y := timeseries.Concat(rows...)
 	t := &Transmission{Seq: c.seq, N: n, M: m, W: c.w}
 	c.seq++
+	c.searchEvals = 0
 
 	switch c.cfg.Builder {
 	case BuilderDCT:
@@ -198,6 +202,8 @@ func (c *Compressor) Encode(rows []timeseries.Series) (*Transmission, error) {
 		return nil, fmt.Errorf("core: internal error: cost %d exceeds TotalBand %d",
 			t.Cost, c.cfg.TotalBand)
 	}
+	c.lastReport = ReportTransmission(t)
+	c.lastReport.SearchEvals = c.searchEvals
 	return t, nil
 }
 
@@ -282,6 +288,7 @@ func (c *Compressor) chooseIns(candidates []timeseries.Series, y timeseries.Seri
 	known := make([]bool, maxIns+1)
 	calc := func(pos int) float64 { // CalculateError, memoised
 		if !known[pos] {
+			c.searchEvals++
 			x := c.pool.SignalWith(candidates[:pos])
 			budget := c.cfg.TotalBand - pos*(c.w+1)
 			list := c.getIntervals(x, y, n, m, budget)

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"sbr/internal/obs"
 	"sbr/internal/timeseries"
 )
 
@@ -29,13 +30,23 @@ type historyCache struct {
 	cap     int
 	order   *list.List // front = most recently used
 	entries map[histKey]*list.Element
+
+	// Always-on counters (standalone obs metrics): /v1/stats reports them
+	// even when the API runs without a registry; NewObserved swaps in
+	// registered instances so /debug/metrics sees the same numbers.
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
 }
 
 func newHistoryCache(capacity int) *historyCache {
 	return &historyCache{
-		cap:     capacity,
-		order:   list.New(),
-		entries: make(map[histKey]*list.Element, capacity),
+		cap:       capacity,
+		order:     list.New(),
+		entries:   make(map[histKey]*list.Element, capacity),
+		hits:      &obs.Counter{},
+		misses:    &obs.Counter{},
+		evictions: &obs.Counter{},
 	}
 }
 
@@ -44,8 +55,10 @@ func (c *historyCache) get(k histKey) (timeseries.Series, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.entries[k]
 	if !ok {
+		c.misses.Inc()
 		return nil, false
 	}
+	c.hits.Inc()
 	c.order.MoveToFront(el)
 	return el.Value.(*histEntry).hist, true
 }
@@ -63,6 +76,7 @@ func (c *historyCache) put(k histKey, hist timeseries.Series) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*histEntry).key)
+		c.evictions.Inc()
 	}
 }
 

@@ -8,6 +8,7 @@
 //	GET /v1/aggregate?sensor=&row=&from=&to=&kind=avg|sum|min|max    — indexed O(log n) aggregate + error bound
 //	GET /v1/downsample?sensor=&row=&points=                          — window-averaged plotting export
 //	GET /v1/exceedances?sensor=&row=&from=&to=&threshold=            — maximal runs ≥ threshold
+//	GET /v1/stats                                                    — full per-sensor reception stats + cache counters
 //
 // Range, downsample and exceedance queries need the reconstructed samples
 // themselves; those are served through a bounded LRU cache of materialised
@@ -23,7 +24,9 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
+	"sbr/internal/obs"
 	"sbr/internal/station"
 	"sbr/internal/timeseries"
 )
@@ -39,22 +42,56 @@ type API struct {
 	st    *station.Station
 	cache *historyCache
 	mux   *http.ServeMux
+	reg   *obs.Registry // nil when uninstrumented
 }
 
 // New builds the front end. cacheEntries bounds the LRU of reconstructed
 // histories; non-positive means DefaultCacheEntries.
 func New(st *station.Station, cacheEntries int) *API {
+	return NewObserved(st, cacheEntries, nil)
+}
+
+// NewObserved is New with telemetry: per-endpoint request counters and
+// latency histograms plus the history-cache counters are registered on
+// reg (nil: uninstrumented, identical to New).
+func NewObserved(st *station.Station, cacheEntries int, reg *obs.Registry) *API {
 	if cacheEntries <= 0 {
 		cacheEntries = DefaultCacheEntries
 	}
-	a := &API{st: st, cache: newHistoryCache(cacheEntries), mux: http.NewServeMux()}
-	a.mux.HandleFunc("/v1/sensors", a.handleSensors)
-	a.mux.HandleFunc("/v1/point", a.handlePoint)
-	a.mux.HandleFunc("/v1/range", a.handleRange)
-	a.mux.HandleFunc("/v1/aggregate", a.handleAggregate)
-	a.mux.HandleFunc("/v1/downsample", a.handleDownsample)
-	a.mux.HandleFunc("/v1/exceedances", a.handleExceedances)
+	a := &API{st: st, cache: newHistoryCache(cacheEntries), mux: http.NewServeMux(), reg: reg}
+	if reg != nil {
+		const help = "History-cache events, by kind."
+		a.cache.hits = reg.Counter("sbr_httpapi_cache_events_total", help, obs.L("kind", "hit"))
+		a.cache.misses = reg.Counter("sbr_httpapi_cache_events_total", help, obs.L("kind", "miss"))
+		a.cache.evictions = reg.Counter("sbr_httpapi_cache_events_total", help, obs.L("kind", "eviction"))
+	}
+	a.handle("/v1/sensors", a.handleSensors)
+	a.handle("/v1/point", a.handlePoint)
+	a.handle("/v1/range", a.handleRange)
+	a.handle("/v1/aggregate", a.handleAggregate)
+	a.handle("/v1/downsample", a.handleDownsample)
+	a.handle("/v1/exceedances", a.handleExceedances)
+	a.handle("/v1/stats", a.handleStats)
 	return a
+}
+
+// handle registers one endpoint, wrapped with its request counter and
+// latency histogram when the API is instrumented.
+func (a *API) handle(path string, h http.HandlerFunc) {
+	if a.reg == nil {
+		a.mux.HandleFunc(path, h)
+		return
+	}
+	reqs := a.reg.Counter("sbr_httpapi_requests_total",
+		"Query-API requests served, by endpoint.", obs.L("endpoint", path))
+	secs := a.reg.Histogram("sbr_httpapi_request_seconds",
+		"Query-API request latency, by endpoint.", obs.LatencyBuckets, obs.L("endpoint", path))
+	a.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		reqs.Inc()
+		secs.Observe(time.Since(start).Seconds())
+	})
 }
 
 // ServeHTTP dispatches to the query handlers.
@@ -114,6 +151,47 @@ func (a *API) handleSensors(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, map[string]any{"sensors": out})
+}
+
+// sensorStatsJSON mirrors station.Stats for the /v1/stats export.
+type sensorStatsJSON struct {
+	Transmissions int   `json:"transmissions"`
+	Quantities    int   `json:"quantities"`
+	SamplesPerRow int   `json:"samples_per_row"`
+	RawBytes      int   `json:"raw_bytes"`
+	Values        int   `json:"values"`
+	BaseInserts   []int `json:"base_inserts"`
+	Restarts      int   `json:"restarts"`
+}
+
+// handleStats serves the full per-sensor reception statistics plus the
+// history-cache counters — the JSON twin of stationd's periodic report.
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	sensors := make(map[string]sensorStatsJSON)
+	for _, id := range a.st.Sensors() {
+		stats, err := a.st.SensorStats(id)
+		if err != nil {
+			continue // sensor raced away; stats stay best-effort
+		}
+		sensors[id] = sensorStatsJSON{
+			Transmissions: stats.Transmissions,
+			Quantities:    stats.Quantities,
+			SamplesPerRow: stats.SamplesPerRow,
+			RawBytes:      stats.RawBytes,
+			Values:        stats.Values,
+			BaseInserts:   stats.BaseInserts,
+			Restarts:      stats.Restarts,
+		}
+	}
+	writeJSON(w, map[string]any{
+		"sensors": sensors,
+		"cache": map[string]any{
+			"hits":      a.cache.hits.Value(),
+			"misses":    a.cache.misses.Value(),
+			"evictions": a.cache.evictions.Value(),
+			"entries":   a.cache.len(),
+		},
+	})
 }
 
 func (a *API) handlePoint(w http.ResponseWriter, r *http.Request) {

@@ -14,9 +14,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
+	"time"
 
+	"sbr/internal/obs"
 	"sbr/internal/station"
 	"sbr/internal/wire"
 )
@@ -39,12 +42,51 @@ var ErrRejected = errors.New("netio: station rejected the frame")
 // (one per connection); the station log persister is the typical use.
 type FrameObserver func(id string, frame []byte)
 
+// Metrics is the transport-layer telemetry. Build one with NewMetrics;
+// every field is a nil-safe obs metric, so the zero value (or a Metrics
+// built against a nil registry) instruments nothing at almost no cost.
+type Metrics struct {
+	ConnsOpen       *obs.Gauge     // sensor connections currently open
+	ConnsTotal      *obs.Counter   // connections accepted since start
+	FramesAccepted  *obs.Counter   // frames decoded, logged and acked OK
+	BytesIn         *obs.Counter   // raw bytes of accepted frames
+	FrameSeconds    *obs.Histogram // per-frame station handle latency
+	RejectHandshake *obs.Counter   // connections dropped at the handshake
+	RejectDecode    *obs.Counter   // frames dropped by wire decoding
+	RejectReceive   *obs.Counter   // frames the station refused
+	AckErrors       *obs.Counter   // acknowledgement writes that failed
+}
+
+// NewMetrics registers the transport metrics on reg (nil: no-op metrics).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		ConnsOpen:       reg.Gauge("sbr_netio_connections_open", "Sensor connections currently open."),
+		ConnsTotal:      reg.Counter("sbr_netio_connections_total", "Sensor connections accepted since start."),
+		FramesAccepted:  reg.Counter("sbr_netio_frames_accepted_total", "Frames decoded, logged and acknowledged."),
+		BytesIn:         reg.Counter("sbr_netio_bytes_in_total", "Raw bytes of accepted frames."),
+		FrameSeconds:    reg.Histogram("sbr_netio_frame_seconds", "Station handle latency per frame.", obs.LatencyBuckets),
+		RejectHandshake: reg.Counter("sbr_netio_frames_rejected_total", "Frames or connections rejected, by reason.", obs.L("reason", "handshake")),
+		RejectDecode:    reg.Counter("sbr_netio_frames_rejected_total", "Frames or connections rejected, by reason.", obs.L("reason", "decode")),
+		RejectReceive:   reg.Counter("sbr_netio_frames_rejected_total", "Frames or connections rejected, by reason.", obs.L("reason", "receive")),
+		AckErrors:       reg.Counter("sbr_netio_ack_errors_total", "Acknowledgement writes that failed."),
+	}
+}
+
+// Options configures ServeWith beyond the required station and address.
+type Options struct {
+	Observer FrameObserver // raw accepted frames, e.g. the log persister
+	Metrics  *Metrics      // transport telemetry (nil: uninstrumented)
+	Logger   *slog.Logger  // structured events (nil: discard)
+}
+
 // Server accepts sensor connections and routes their transmissions into a
 // Station.
 type Server struct {
 	st  *station.Station
 	ln  net.Listener
 	obs FrameObserver
+	met *Metrics
+	log *slog.Logger
 	wg  sync.WaitGroup
 
 	mu    sync.Mutex
@@ -54,18 +96,35 @@ type Server struct {
 // Serve starts listening on addr (e.g. "127.0.0.1:0") and serving
 // connections in the background. Close shuts it down.
 func Serve(st *station.Station, addr string) (*Server, error) {
-	return ServeObserved(st, addr, nil)
+	return ServeWith(st, addr, Options{})
 }
 
 // ServeObserved is Serve with a frame observer: every frame the station
 // accepts is also handed, raw, to obs — the hook cmd/stationd uses to
 // persist per-sensor append-only logs.
 func ServeObserved(st *station.Station, addr string, obs FrameObserver) (*Server, error) {
+	return ServeWith(st, addr, Options{Observer: obs})
+}
+
+// ServeWith is the fully configured constructor: observer, transport
+// metrics and structured logging in one Options bundle.
+func ServeWith(st *station.Station, addr string, opt Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netio: listen: %w", err)
 	}
-	s := &Server{st: st, ln: ln, obs: obs, conns: make(map[net.Conn]struct{})}
+	met := opt.Metrics
+	if met == nil {
+		met = &Metrics{}
+	}
+	s := &Server{
+		st:    st,
+		ln:    ln,
+		obs:   opt.Observer,
+		met:   met,
+		log:   obs.Component(opt.Logger, "netio"),
+		conns: make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -117,33 +176,67 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// serveConn handles one sensor: handshake, then frames until EOF or error.
+// serveConn handles one sensor: handshake, then frames until EOF or
+// error. Every failure is counted under its rejection reason and logged
+// with the sensor and remote address — a misbehaving sensor in a large
+// deployment must be findable from telemetry, not from a silent return.
 func (s *Server) serveConn(conn net.Conn) {
+	remote := conn.RemoteAddr().String()
+	s.met.ConnsTotal.Inc()
+	s.met.ConnsOpen.Add(1)
+	defer s.met.ConnsOpen.Add(-1)
+
 	br := bufio.NewReader(conn)
 	id, err := readHandshake(br)
 	if err != nil {
+		if err != io.EOF { // bare connect-and-close (port probe) is not a protocol error
+			s.met.RejectHandshake.Inc()
+			s.log.Warn("handshake failed", "remote", remote, "err", err)
+		}
 		return
 	}
+	s.log.Debug("sensor connected", "sensor", id, "remote", remote)
 	for {
 		frame, err := wire.ReadFrame(br)
 		if err == io.EOF {
+			s.log.Debug("sensor disconnected", "sensor", id, "remote", remote)
 			return
 		}
 		if err != nil {
-			conn.Write([]byte{ackError}) //nolint:errcheck — closing anyway
+			s.met.RejectDecode.Inc()
+			s.log.Warn("frame decode failed", "sensor", id, "remote", remote, "err", err)
+			s.writeAck(conn, ackError, id, remote)
 			return
 		}
+		start := time.Now()
 		if err := s.st.ReceiveFrame(id, frame); err != nil {
-			conn.Write([]byte{ackError}) //nolint:errcheck
+			s.met.RejectReceive.Inc()
+			s.log.Warn("station rejected frame", "sensor", id, "remote", remote, "err", err)
+			s.writeAck(conn, ackError, id, remote)
 			return
 		}
+		s.met.FramesAccepted.Inc()
+		s.met.BytesIn.Add(uint64(len(frame)))
+		s.met.FrameSeconds.Observe(time.Since(start).Seconds())
 		if s.obs != nil {
 			s.obs(id, frame)
 		}
-		if _, err := conn.Write([]byte{ackOK}); err != nil {
+		if !s.writeAck(conn, ackOK, id, remote) {
 			return
 		}
 	}
+}
+
+// writeAck ships one status byte; a failed write is counted and logged
+// (the sensor will retransmit after its own timeout) instead of being
+// dropped on the floor.
+func (s *Server) writeAck(conn net.Conn, status byte, id, remote string) bool {
+	if _, err := conn.Write([]byte{status}); err != nil {
+		s.met.AckErrors.Inc()
+		s.log.Warn("ack write failed", "sensor", id, "remote", remote, "err", err)
+		return false
+	}
+	return true
 }
 
 // readHandshake validates the magic and reads the sensor ID.

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// The logging convention: every package logs through a *slog.Logger
+// tagged with a "component" attribute (netio, station, httpapi, …), event
+// messages are short lowercase phrases, and the interesting state rides
+// in attributes — sensor IDs under "sensor", remote addresses under
+// "remote", errors under "err". Daemons build one root logger with
+// NewLogger and hand components out with Component; library packages
+// never construct loggers themselves and treat nil as "discard".
+
+// NewLogger returns the convention root logger: a text handler on w at
+// the given level.
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Component tags l with the component name, or returns the discard
+// logger when l is nil — the one nil check instrumented packages need.
+func Component(l *slog.Logger, name string) *slog.Logger {
+	if l == nil {
+		return Discard()
+	}
+	return l.With("component", name)
+}
+
+// Discard returns a logger that drops every record. (slog gained a
+// built-in discard handler only in Go 1.24; the module targets 1.22.)
+func Discard() *slog.Logger { return slog.New(discardHandler{}) }
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

@@ -1,0 +1,209 @@
+// Package obs is the repository's observability substrate: a small,
+// dependency-free metrics registry — atomic counters, gauges and
+// fixed-bucket histograms with Prometheus text exposition and an
+// expvar-style JSON dump — plus the structured-logging convention the
+// daemons share (log/slog with a "component" attribute per package).
+//
+// The design optimises for the ingest hot path. Every metric type is a
+// lock-free atomic, and every method is safe on a nil receiver: a package
+// instrumented against a nil *Registry receives nil metrics and each
+// event costs exactly one nil check. That makes "observability off" a
+// true no-op without a single `if enabled` branch in instrumented code,
+// and it is what the ReceiveFrame overhead benchmark compares against.
+//
+// Metric names follow the Prometheus conventions the paper-adjacent
+// streaming systems use: `sbr_<component>_<quantity>_<unit>` with
+// `_total` for counters, and label pairs for low-cardinality dimensions
+// (rejection reason, HTTP endpoint). Per-sensor series are deliberately
+// not labelled by sensor ID — the station's SensorStats API serves that
+// unbounded dimension — so a million-sensor deployment cannot blow up
+// the registry.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Label is one metric dimension, e.g. {Key: "reason", Value: "decode"}.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; all methods are no-ops on a nil receiver.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d to the counter.
+func (c *Counter) Add(d uint64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(d)
+}
+
+// Value returns the current count (zero for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is a float64 that can go up and down. The zero value is ready to
+// use; all methods are no-ops on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits of the current value
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d (may be negative) to the gauge.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// high-water mark (used for, e.g., the deepest aggregate index seen).
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (zero for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram with Prometheus `le` semantics:
+// bucket i counts observations v <= Bounds[i], with an implicit +Inf
+// bucket at the end. Construct via Registry.Histogram or NewHistogram;
+// Observe is safe on a nil receiver.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, exclusive of +Inf
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram builds a standalone histogram over the given sorted upper
+// bounds. Most callers use Registry.Histogram instead.
+func NewHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, buckets: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket counts stay small (≤ ~16) and the hot ingest
+	// path calls this per frame, where a plain loop beats the
+	// closure-based binary search of sort.SearchFloat64s.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, the last
+// entry being the +Inf bucket. A scrape racing Observe may see count/sum
+// slightly ahead of the buckets; monitoring tolerates that.
+func (h *Histogram) BucketCounts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// LatencyBuckets spans 1µs to 10s in decades — wide enough for both the
+// sub-millisecond frame-handle path and slow cold HTTP queries.
+var LatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
+
+// ExpBuckets returns n bucket bounds start, start·factor, start·factor²…
+// for quantities (like approximation error) whose scale is workload
+// dependent.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "events")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if same := r.Counter("test_events_total", "events"); same != c {
+		t.Fatal("re-registering the same counter returned a new instance")
+	}
+
+	g := r.Gauge("test_depth", "depth")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+	g.SetMax(1.0)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("SetMax lowered the gauge to %g", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("SetMax = %g, want 9", got)
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_seconds", "", LatencyBuckets)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(1)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 100} {
+		h.Observe(v)
+	}
+	counts := h.BucketCounts()
+	want := []uint64{2, 2, 1, 1} // le=1: {0.5,1}, le=2: {1.5,2}, le=5: {3}, +Inf: {100}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, counts[i], w, counts)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-108) > 1e-9 {
+		t.Fatalf("sum = %g, want 108", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.5, 2, 4)
+	want := []float64{0.5, 1, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sbr_frames_total", "Frames accepted.").Add(7)
+	r.Counter("sbr_rejects_total", "Rejected frames.", L("reason", "decode")).Inc()
+	r.Counter("sbr_rejects_total", "Rejected frames.", L("reason", "receive")).Add(2)
+	r.Gauge("sbr_conns_open", "Open connections.").Set(3)
+	h := r.Histogram("sbr_latency_seconds", "Handle latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# HELP sbr_frames_total Frames accepted.\n",
+		"# TYPE sbr_frames_total counter\n",
+		"sbr_frames_total 7\n",
+		`sbr_rejects_total{reason="decode"} 1` + "\n",
+		`sbr_rejects_total{reason="receive"} 2` + "\n",
+		"# TYPE sbr_conns_open gauge\n",
+		"sbr_conns_open 3\n",
+		"# TYPE sbr_latency_seconds histogram\n",
+		`sbr_latency_seconds_bucket{le="0.1"} 1` + "\n",
+		`sbr_latency_seconds_bucket{le="1"} 2` + "\n",
+		`sbr_latency_seconds_bucket{le="+Inf"} 3` + "\n",
+		"sbr_latency_seconds_sum 10.55\n",
+		"sbr_latency_seconds_count 3\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+
+	// Every non-comment line must be "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestJSONDumpAndValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(4)
+	r.Gauge("b", "").Set(2.5)
+	r.Histogram("c_seconds", "", []float64{1}).Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("JSON dump does not parse: %v\n%s", err, buf.String())
+	}
+	if out["a_total"].(float64) != 4 || out["b"].(float64) != 2.5 {
+		t.Fatalf("unexpected dump: %v", out)
+	}
+	hist := out["c_seconds"].(map[string]any)
+	if hist["count"].(float64) != 1 {
+		t.Fatalf("histogram dump: %v", hist)
+	}
+
+	vals := r.Values()
+	if vals["a_total"] != 4 || vals["b"] != 2.5 || vals["c_seconds_count"] != 1 || vals["c_seconds_sum"] != 0.5 {
+		t.Fatalf("Values() = %v", vals)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", L("path", `a"b\c`+"\n")).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{path="a\"b\\c\n"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaped series %q missing in %q", want, buf.String())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering dup as gauge should panic")
+		}
+	}()
+	r.Gauge("dup", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name should panic")
+		}
+	}()
+	r.Counter("9starts-with-digit", "")
+}
+
+// TestConcurrentUpdatesAndScrapes hammers one registry from writer
+// goroutines while scrapers run concurrently; under -race this is the
+// data-race proof for the whole exposition path.
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers = 8
+		perG    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("cc_total", "shared")
+			g := r.Gauge("gg", "shared")
+			gmax := r.Gauge("gg_max", "shared high-water mark")
+			h := r.Histogram("hh_seconds", "shared", LatencyBuckets)
+			lab := r.Counter("ll_total", "per-writer", L("w", string(rune('a'+w))))
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Add(1)
+				gmax.SetMax(float64(i))
+				h.Observe(float64(i%10) / 1000)
+				lab.Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for scraping := true; scraping; {
+		select {
+		case <-done:
+			scraping = false
+		default:
+		}
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		r.Values()
+	}
+
+	if got := r.Counter("cc_total", "shared").Value(); got != writers*perG {
+		t.Fatalf("cc_total = %d, want %d", got, writers*perG)
+	}
+	if got := r.Histogram("hh_seconds", "shared", nil).Count(); got != writers*perG {
+		t.Fatalf("hh_seconds count = %d, want %d", got, writers*perG)
+	}
+	if got := r.Gauge("gg", "shared").Value(); got != writers*perG {
+		t.Fatalf("gg = %g, want %d", got, writers*perG)
+	}
+	if got := r.Gauge("gg_max", "shared high-water mark").Value(); got != perG-1 {
+		t.Fatalf("gg_max = %g, want %d", got, perG-1)
+	}
+	var total uint64
+	for w := 0; w < writers; w++ {
+		total += r.Counter("ll_total", "per-writer", L("w", string(rune('a'+w)))).Value()
+	}
+	if total != writers*perG {
+		t.Fatalf("labelled counters sum to %d, want %d", total, writers*perG)
+	}
+}
+
+func TestComponentLogger(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, nil)
+	Component(l, "netio").Info("sensor connected", "sensor", "s-1")
+	if !strings.Contains(buf.String(), "component=netio") || !strings.Contains(buf.String(), "sensor=s-1") {
+		t.Fatalf("log line missing convention attrs: %q", buf.String())
+	}
+	// nil parent must be usable and silent.
+	Component(nil, "x").Error("dropped", "err", "boom")
+}

@@ -1,0 +1,374 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// kind discriminates the three metric families.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one (labels → metric) instance of a family.
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name  string
+	help  string
+	kind  kind
+	order []*series
+	byKey map[string]*series
+}
+
+// Registry is a named collection of metrics. Constructors are
+// get-or-create: asking twice for the same name and labels returns the
+// same instance, so independent packages can share a counter. All
+// methods are safe for concurrent use, and safe on a nil receiver —
+// a nil registry hands out nil (no-op) metrics, which is how the
+// "observability off" configuration works.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the named counter, creating and registering it on
+// first use. It panics if the name is invalid or already registered with
+// a different type — a programmer error, like expvar's.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(kindCounter, name, help, labels, nil)
+	return s.c
+}
+
+// Gauge returns the named gauge, creating and registering it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(kindGauge, name, help, labels, nil)
+	return s.g
+}
+
+// Histogram returns the named histogram, creating and registering it on
+// first use. The bucket bounds only matter at creation; later calls with
+// the same name and labels return the existing instance.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(kindHistogram, name, help, labels, bounds)
+	return s.h
+}
+
+func (r *Registry) lookup(k kind, name, help string, labels []Label, bounds []float64) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label key %q on metric %q", l.Key, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, byKey: make(map[string]*series)}
+		r.families[name] = f
+		r.order = append(r.order, f)
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, k))
+	}
+	key := labelKey(labels)
+	s, ok := f.byKey[key]
+	if !ok {
+		s = &series{labels: append([]Label(nil), labels...)}
+		switch k {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = NewHistogram(bounds)
+		}
+		f.byKey[key] = s
+		f.order = append(f.order, s)
+	}
+	return s
+}
+
+func labelKey(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte(0xff)
+		b.WriteString(l.Value)
+		b.WriteByte(0xfe)
+	}
+	return b.String()
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		letter := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshot copies the family list under the lock; the metric values
+// themselves are read atomically afterwards, so a scrape never blocks a
+// hot-path update for longer than the list copy.
+func (r *Registry) snapshot() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers, one line per series, and
+// cumulative le-labelled buckets plus _sum/_count for histograms.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, f := range r.snapshot() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.order {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(s.labels, ""), s.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(s.labels, ""), formatFloat(s.g.Value()))
+		return err
+	}
+	bounds := s.h.Bounds()
+	counts := s.h.BucketCounts()
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(bounds) {
+			le = formatFloat(bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, labelString(s.labels, le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		f.name, labelString(s.labels, ""), formatFloat(s.h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(s.labels, ""), s.h.Count())
+	return err
+}
+
+// labelString renders {k="v",…}, appending the le label when non-empty.
+func labelString(labels []Label, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON writes an expvar-style dump: a flat object keyed by the
+// exposition name (labels included), counters and gauges as numbers and
+// histograms as {count, sum, buckets} objects.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}")
+		return err
+	}
+	out := make(map[string]any)
+	for _, f := range r.snapshot() {
+		for _, s := range f.order {
+			key := f.name + labelString(s.labels, "")
+			switch f.kind {
+			case kindCounter:
+				out[key] = s.c.Value()
+			case kindGauge:
+				out[key] = s.g.Value()
+			case kindHistogram:
+				bounds := s.h.Bounds()
+				counts := s.h.BucketCounts()
+				buckets := make(map[string]uint64, len(counts))
+				var cum uint64
+				for i, c := range counts {
+					cum += c
+					le := "+Inf"
+					if i < len(bounds) {
+						le = formatFloat(bounds[i])
+					}
+					buckets[le] = cum
+				}
+				out[key] = map[string]any{
+					"count":   s.h.Count(),
+					"sum":     s.h.Sum(),
+					"buckets": buckets,
+				}
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Values flattens every series to a float64 keyed by exposition name;
+// histograms contribute name_count and name_sum. It is the snapshot the
+// daemons log from on their reporting tick.
+func (r *Registry) Values() map[string]float64 {
+	out := make(map[string]float64)
+	if r == nil {
+		return out
+	}
+	for _, f := range r.snapshot() {
+		for _, s := range f.order {
+			key := f.name + labelString(s.labels, "")
+			switch f.kind {
+			case kindCounter:
+				out[key] = float64(s.c.Value())
+			case kindGauge:
+				out[key] = s.g.Value()
+			case kindHistogram:
+				out[key+"_count"] = float64(s.h.Count())
+				out[key+"_sum"] = s.h.Sum()
+			}
+		}
+	}
+	return out
+}
+
+// Names returns the registered family names in registration order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	fams := r.snapshot()
+	out := make([]string, len(fams))
+	for i, f := range fams {
+		out[i] = f.name
+	}
+	return out
+}
+
+// SortedNames returns the registered family names sorted, for stable
+// test assertions and docs.
+func (r *Registry) SortedNames() []string {
+	out := r.Names()
+	sort.Strings(out)
+	return out
+}
+
+// MetricsHandler serves the Prometheus text exposition (GET /debug/metrics).
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck — client gone mid-scrape, nothing to do
+	})
+}
+
+// VarsHandler serves the JSON dump (GET /debug/vars).
+func (r *Registry) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.WriteJSON(w) //nolint:errcheck
+	})
+}

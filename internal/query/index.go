@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"sbr/internal/obs"
 	"sbr/internal/timeseries"
 )
 
@@ -92,6 +93,12 @@ func Summarize(s timeseries.Series, bound float64) Summary {
 type Index struct {
 	m    int     // samples per chunk (columns of each transmission)
 	rows []*tree // one tree per quantity
+
+	// Telemetry hooks (nil-safe; see internal/obs): queries counts
+	// QueryChunks calls, nodes the tree nodes merged answering them —
+	// together they expose the index's merge fan-out on a live station.
+	queries *obs.Counter
+	nodes   *obs.Counter
 }
 
 // NewIndex creates an index for n quantities of m samples per chunk.
@@ -104,6 +111,25 @@ func NewIndex(n, m int) (*Index, error) {
 		rows[i] = &tree{}
 	}
 	return &Index{m: m, rows: rows}, nil
+}
+
+// Instrument attaches the telemetry counters the station shares across
+// its per-sensor indexes. Counters are atomic, so instrumented queries
+// stay safe under the station's read lock.
+func (ix *Index) Instrument(queries, nodes *obs.Counter) {
+	ix.queries, ix.nodes = queries, nodes
+}
+
+// Depth returns the height of the deepest segment tree — the worst-case
+// per-row node count a chunk-aligned query can touch per edge.
+func (ix *Index) Depth() int {
+	depth := 0
+	for _, t := range ix.rows {
+		if len(t.levels) > depth {
+			depth = len(t.levels)
+		}
+	}
+	return depth
 }
 
 // M returns the samples-per-chunk the index was built for.
@@ -146,7 +172,10 @@ func (ix *Index) QueryChunks(row, c0, c1 int) (Summary, error) {
 	if c0 < 0 || c1 > t.count {
 		return Summary{}, fmt.Errorf("query: chunk range [%d,%d) outside [0,%d)", c0, c1, t.count)
 	}
-	return t.query(c0, c1), nil
+	sum, visited := t.query(c0, c1)
+	ix.queries.Inc()
+	ix.nodes.Add(uint64(visited))
+	return sum, nil
 }
 
 // tree is an append-only segment tree stored as levels of merged pairs:
@@ -199,20 +228,24 @@ func (t *tree) setNode(lv, idx int) {
 
 // query merges chunks [lo, hi) bottom-up: consume an odd edge node on the
 // current level, halve, repeat — the classic iterative segment-tree walk.
-func (t *tree) query(lo, hi int) Summary {
+// It also reports how many tree nodes the walk merged, for telemetry.
+func (t *tree) query(lo, hi int) (Summary, int) {
 	var out Summary
+	visited := 0
 	for lv := 0; lo < hi; lv++ {
 		level := t.levels[lv]
 		if lo&1 == 1 {
 			out = Merge(out, level[lo])
 			lo++
+			visited++
 		}
 		if hi&1 == 1 {
 			hi--
 			out = Merge(out, level[hi])
+			visited++
 		}
 		lo >>= 1
 		hi >>= 1
 	}
-	return out
+	return out, visited
 }

@@ -1,0 +1,83 @@
+package station
+
+import (
+	"math"
+	"testing"
+
+	"sbr/internal/core"
+	"sbr/internal/metrics"
+	"sbr/internal/obs"
+	"sbr/internal/timeseries"
+	"sbr/internal/wire"
+)
+
+// benchFrames encodes one sensor's stream of wire frames once, so the
+// benchmark loop measures only the station's receive path.
+func benchFrames(b *testing.B, cfg core.Config, n, m, count int) [][]byte {
+	b.Helper()
+	comp, err := core.NewCompressor(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := make([][]byte, count)
+	for f := range frames {
+		rows := make([]timeseries.Series, n)
+		for q := range rows {
+			rows[q] = make(timeseries.Series, m)
+			for i := range rows[q] {
+				x := float64(f*m+i) / 25
+				rows[q][i] = math.Sin(x + float64(q))
+			}
+		}
+		t, err := comp.Encode(rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame, err := wire.Encode(t)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames[f] = frame
+	}
+	return frames
+}
+
+// BenchmarkReceiveFrame measures the ingest hot path with observability
+// off (no-op metrics) and on (live registry): the acceptance bar for the
+// instrumentation layer is under ~5% overhead between the two. The batch
+// shape is the paper's deployment setting (three weather quantities,
+// 256-sample buffers — sensorsim's defaults).
+func BenchmarkReceiveFrame(b *testing.B) {
+	const (
+		n, m   = 3, 256
+		stream = 8
+	)
+	cfg := core.Config{TotalBand: n * m / 8, MBase: n * m / 8, Metric: metrics.SSE}
+	frames := benchFrames(b, cfg, n, m, stream)
+
+	for _, mode := range []struct {
+		name string
+		reg  *obs.Registry
+	}{
+		{"noop", nil},
+		{"obs", obs.NewRegistry()},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var st *Station
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if i%stream == 0 {
+					var err error
+					st, err = New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					st.Instrument(mode.reg)
+				}
+				if err := st.ReceiveFrame("bench", frames[i%stream]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -11,8 +11,10 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"sbr/internal/core"
+	"sbr/internal/obs"
 	"sbr/internal/query"
 	"sbr/internal/timeseries"
 	"sbr/internal/wire"
@@ -32,6 +34,67 @@ type Station struct {
 
 	mu      sync.RWMutex
 	sensors map[string]*sensorLog
+	met     stationMetrics
+}
+
+// stationMetrics is the station's telemetry: reception totals, the
+// receive-path latency, and the per-transmission SBR compression record
+// (core.CompressionReport) aggregated across every sensor — the paper's
+// §6 evaluation quantities read off a live station. All fields are
+// nil-safe obs metrics; an uninstrumented station pays one nil check
+// per event.
+type stationMetrics struct {
+	sensors        *obs.Gauge
+	transmissions  *obs.Counter
+	values         *obs.Counter
+	rawBytes       *obs.Counter
+	restarts       *obs.Counter
+	rejects        *obs.Counter
+	receiveSeconds *obs.Histogram
+	indexDepth     *obs.Gauge
+
+	intervals     *obs.Counter
+	baseInserts   *obs.Counter
+	baseHits      *obs.Counter
+	rampIntervals *obs.Counter
+	achievedError *obs.Histogram
+	errBound      *obs.Histogram
+
+	queryQueries *obs.Counter
+	queryNodes   *obs.Counter
+}
+
+// Instrument registers the station's metrics on reg and starts feeding
+// them. Call it before traffic arrives; a nil registry attaches no-op
+// metrics (the baseline the overhead benchmark measures against).
+func (s *Station) Instrument(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met = stationMetrics{
+		sensors:        reg.Gauge("sbr_station_sensors", "Distinct sensors the station has heard from."),
+		transmissions:  reg.Counter("sbr_station_transmissions_total", "Transmissions accepted across all sensors."),
+		values:         reg.Counter("sbr_station_values_total", "Abstract bandwidth values received (paper's cost unit)."),
+		rawBytes:       reg.Counter("sbr_station_bytes_total", "Raw frame bytes ingested."),
+		restarts:       reg.Counter("sbr_station_restarts_total", "Sensor reboots observed (sequence reset to zero)."),
+		rejects:        reg.Counter("sbr_station_rejects_total", "Transmissions the station refused (decode, shape, order)."),
+		receiveSeconds: reg.Histogram("sbr_station_receive_seconds", "Receive-path latency per transmission (decode + index append).", obs.LatencyBuckets),
+		indexDepth:     reg.Gauge("sbr_station_index_depth", "Deepest per-sensor aggregate index (segment-tree levels)."),
+
+		intervals:     reg.Counter("sbr_core_intervals_total", "Piece-wise regression records received."),
+		baseInserts:   reg.Counter("sbr_core_base_inserts_total", "Base intervals inserted into the pool (Table 6)."),
+		baseHits:      reg.Counter("sbr_core_base_hits_total", "Intervals mapped onto a base-signal segment."),
+		rampIntervals: reg.Counter("sbr_core_ramp_intervals_total", "Intervals that fell back to plain linear regression."),
+		achievedError: reg.Histogram("sbr_core_achieved_error", "Sender-side approximation error per transmission (§6).", obs.ExpBuckets(1e-3, 10, 8)),
+		errBound:      reg.Histogram("sbr_core_error_bound", "Guaranteed §4.5 max-abs error bound per transmission.", obs.ExpBuckets(1e-3, 10, 8)),
+
+		queryQueries: reg.Counter("sbr_query_index_queries_total", "Aggregate-index lookups answered."),
+		queryNodes:   reg.Counter("sbr_query_index_nodes_total", "Segment-tree nodes merged answering index lookups."),
+	}
+	for _, log := range s.sensors {
+		if log.index != nil {
+			log.index.Instrument(s.met.queryQueries, s.met.queryNodes)
+		}
+	}
 }
 
 // sensorLog is the per-sensor state: the decoder replica and the decoded
@@ -88,7 +151,15 @@ func (s *Station) Receive(id string, t *core.Transmission) error {
 	return s.receive(id, t, 0)
 }
 
-func (s *Station) receive(id string, t *core.Transmission, rawBytes int) error {
+func (s *Station) receive(id string, t *core.Transmission, rawBytes int) (err error) {
+	start := time.Now()
+	defer func() {
+		if err != nil {
+			s.met.rejects.Inc()
+			return
+		}
+		s.met.receiveSeconds.Observe(time.Since(start).Seconds())
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	log, err := s.sensor(id)
@@ -104,6 +175,7 @@ func (s *Station) receive(id string, t *core.Transmission, rawBytes int) error {
 		}
 		log.decoder = dec
 		log.restarts++
+		s.met.restarts.Inc()
 	}
 	rows, err := log.decoder.Decode(t)
 	if err != nil {
@@ -120,6 +192,7 @@ func (s *Station) receive(id string, t *core.Transmission, rawBytes int) error {
 		if err != nil {
 			return fmt.Errorf("station: sensor %q: %w", id, err)
 		}
+		ix.Instrument(s.met.queryQueries, s.met.queryNodes)
 		log.index = ix
 	}
 	if err := log.index.AppendChunk(rows, t.ErrBound); err != nil {
@@ -131,7 +204,31 @@ func (s *Station) receive(id string, t *core.Transmission, rawBytes int) error {
 	log.bytes += rawBytes
 	log.values += t.Cost
 	log.inserts = append(log.inserts, t.Ins())
+	s.observeTransmission(log, t, rawBytes)
 	return nil
+}
+
+// observeTransmission feeds the accepted transmission into the telemetry:
+// reception totals plus the aggregated core.CompressionReport quantities.
+// The caller holds s.mu.
+func (s *Station) observeTransmission(log *sensorLog, t *core.Transmission, rawBytes int) {
+	if s.met.transmissions == nil {
+		return // uninstrumented: skip even the report derivation
+	}
+	rep := core.ReportTransmission(t)
+	s.met.sensors.Set(float64(len(s.sensors)))
+	s.met.transmissions.Inc()
+	s.met.values.Add(uint64(t.Cost))
+	s.met.rawBytes.Add(uint64(rawBytes))
+	s.met.indexDepth.SetMax(float64(log.index.Depth()))
+	s.met.intervals.Add(uint64(rep.Intervals))
+	s.met.baseInserts.Add(uint64(rep.BaseInserts))
+	s.met.baseHits.Add(uint64(rep.BaseHits))
+	s.met.rampIntervals.Add(uint64(rep.RampIntervals))
+	s.met.achievedError.Observe(rep.AchievedError)
+	if t.Bounded() {
+		s.met.errBound.Observe(rep.ErrBound)
+	}
 }
 
 // Sensors returns the known sensor IDs, sorted.
