@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race cover bench bench-smoke fuzz examples experiments experiments-quick clean
+.PHONY: all build fmt-check vet test race chaos cover bench bench-smoke fuzz examples experiments experiments-quick clean
 
 all: build fmt-check vet test
 
@@ -22,6 +22,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The fault-injection end-to-end proof under the race detector: thousands
+# of frames through a link that drops, corrupts, duplicates, truncates
+# and cuts — the station history must match the fault-free run exactly.
+chaos:
+	$(GO) test -race -run Chaos -count=1 ./...
 
 cover:
 	$(GO) test -cover ./internal/...

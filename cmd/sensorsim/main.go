@@ -5,6 +5,14 @@
 // the paper's radio/CPU cost model (one transmitted bit ≈ 1000 CPU
 // instructions). It reports the routing tree, per-node energy, and the
 // bandwidth/energy savings over a full-resolution feed.
+//
+// With -station set, every frame the simulated base station accepts is
+// also streamed to a running stationd over the fault-tolerant transport
+// (per-node reliable clients: connect timeouts, backoff, reconnect,
+// retransmission), so the simulation doubles as a live traffic generator:
+//
+//	stationd  -addr 127.0.0.1:7070 -band 76 -mbase 96 &
+//	sensorsim -station 127.0.0.1:7070
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"sbr/internal/aggregate"
 	"sbr/internal/core"
 	"sbr/internal/metrics"
+	"sbr/internal/netio"
 	"sbr/internal/obs"
 	"sbr/internal/sensornet"
 )
@@ -33,6 +42,7 @@ func main() {
 		rrange   = flag.Float64("range", 30.0, "radio range")
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		adaptive = flag.Bool("adaptive", false, "use the Section 4.4 adaptive schedule (full SBR only when needed)")
+		uplink   = flag.String("station", "", "stationd address to stream every frame to over the reliable transport (empty: simulate only)")
 	)
 	flag.Parse()
 
@@ -73,6 +83,31 @@ func main() {
 	// from one telemetry source.
 	net.Station().Instrument(reg)
 
+	// With an uplink, every accepted frame is mirrored to a real stationd
+	// through one reliable client per node: the transport retries, backs
+	// off and reconnects on its own, and its telemetry lands in the same
+	// registry as the simulation's.
+	var netMet *netio.Metrics
+	clients := make(map[string]*netio.ReliableClient)
+	if *uplink != "" {
+		netMet = netio.NewMetrics(reg)
+		net.Deliver = func(id string, frame []byte) error {
+			rc, ok := clients[id]
+			if !ok {
+				var err error
+				rc, err = netio.NewReliable(*uplink, id, netio.ReliableOptions{
+					Metrics: netMet,
+					Logger:  logger,
+				})
+				if err != nil {
+					return err
+				}
+				clients[id] = rc
+			}
+			return rc.Send(frame)
+		}
+	}
+
 	fmt.Println("Routing tree (hop-count shortest paths to the base station):")
 	for _, line := range net.Describe() {
 		fmt.Println(" ", line)
@@ -81,6 +116,16 @@ func main() {
 	rep, err := net.Run(*rounds)
 	if err != nil {
 		fatal(err)
+	}
+	if *uplink != "" {
+		// Drain the uplink: every frame acknowledged before reporting.
+		for id, rc := range clients {
+			if err := rc.Close(); err != nil {
+				fatal(fmt.Errorf("uplink %s: %w", id, err))
+			}
+		}
+		fmt.Printf("\nUplink to %s: %d frames delivered, %d retries, %d reconnects\n",
+			*uplink, rep.Transmissions, netMet.Retries.Value(), netMet.Reconnects.Value())
 	}
 
 	fmt.Printf("\nSimulated %d rounds, %d transmissions delivered\n", rep.Rounds, rep.Transmissions)

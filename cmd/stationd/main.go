@@ -58,6 +58,10 @@ func main() {
 		every     = flag.Duration("report", 10*time.Second, "statistics reporting interval (0: disabled)")
 		cacheSz   = flag.Int("cache", httpapi.DefaultCacheEntries, "query-API history cache entries")
 		verbose   = flag.Bool("v", false, "log at debug level (per-connection events)")
+		maxConns  = flag.Int("max-conns", 0, "cap on concurrent sensor connections; extras are shed with a busy ack (0: unlimited)")
+		idleTO    = flag.Duration("idle-timeout", 0, "close sensor connections silent this long (0: 2m default, negative: never)")
+		hsTO      = flag.Duration("handshake-timeout", 0, "drop connections that stall in the handshake (0: 10s default, negative: never)")
+		drainTO   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget before force-closing connections")
 	)
 	flag.Parse()
 
@@ -79,6 +83,20 @@ func main() {
 	var store *station.LogStore
 	var observer netio.FrameObserver
 	if *logDir != "" {
+		// Crash recovery before anything else touches the directory: replay
+		// the per-sensor frame logs into the station (truncating any torn
+		// tail a previous crash left behind), so sequence state, history
+		// and the aggregate index resume where the last process stopped.
+		rs, err := station.Restore(st, *logDir)
+		if err != nil {
+			fatal(dlog, err)
+		}
+		if rs.Sensors > 0 || rs.TornTails > 0 {
+			dlog.Info("restored station from frame logs", "dir", *logDir,
+				"sensors", rs.Sensors, "frames", rs.Frames,
+				"duplicates_skipped", rs.Duplicates,
+				"torn_tails", rs.TornTails, "truncated_bytes", rs.TruncatedBytes)
+		}
 		store, err = station.NewLogStore(*logDir)
 		if err != nil {
 			fatal(dlog, err)
@@ -92,9 +110,12 @@ func main() {
 	}
 
 	srv, err := netio.ServeWith(st, *addr, netio.Options{
-		Observer: observer,
-		Metrics:  netio.NewMetrics(reg),
-		Logger:   logger,
+		Observer:         observer,
+		Metrics:          netio.NewMetrics(reg),
+		Logger:           logger,
+		MaxConns:         *maxConns,
+		IdleTimeout:      *idleTO,
+		HandshakeTimeout: *hsTO,
 	})
 	if err != nil {
 		fatal(dlog, err)
@@ -118,7 +139,7 @@ func main() {
 		case <-tick:
 			report(dlog, reg, st)
 		case <-stop:
-			shutdown(dlog, reg, st, srv, httpSrv, debugSrv, store)
+			shutdown(dlog, reg, st, srv, httpSrv, debugSrv, store, *drainTO)
 			return
 		}
 	}
@@ -161,16 +182,21 @@ func debugMux(reg *obs.Registry) http.Handler {
 	return mux
 }
 
-// shutdown tears the daemon down in dependency order: stop ingesting (and
-// with it the log appends), drain in-flight HTTP queries, then sync and
-// close the on-disk logs so an interrupt cannot lose buffered frames.
+// shutdown tears the daemon down in dependency order: drain the sensor
+// transport gracefully (in-flight frames finish and are acknowledged, so
+// sensors do not retransmit work the station already logged), drain
+// in-flight HTTP queries, then sync and close the on-disk logs so an
+// interrupt cannot lose buffered frames.
 func shutdown(log *slog.Logger, reg *obs.Registry, st *station.Station,
-	srv *netio.Server, httpSrv, debugSrv *http.Server, store *station.LogStore) {
+	srv *netio.Server, httpSrv, debugSrv *http.Server, store *station.LogStore,
+	drain time.Duration) {
 
-	log.Info("shutting down")
-	if err := srv.Close(); err != nil {
-		log.Error("closing sensor server", "err", err)
+	log.Info("shutting down", "drain", drain.String())
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Error("draining sensor server", "err", err)
 	}
+	cancel()
 	for _, s := range []*http.Server{httpSrv, debugSrv} {
 		if s == nil {
 			continue

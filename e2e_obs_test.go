@@ -65,13 +65,18 @@ func TestEndToEndObservability(t *testing.T) {
 	api := httptest.NewServer(httpapi.NewObserved(st, 8, reg))
 	defer api.Close()
 
-	// Stream real frames over TCP.
+	// Stream real frames over TCP, keeping the last frame so the
+	// retransmission path can be exercised afterwards.
 	client, err := netio.Dial(srv.Addr(), "obs-sensor")
 	if err != nil {
 		t.Fatal(err)
 	}
+	var lastFrame []byte
 	sn, err := sensor.New(sensor.Config{Core: cfg, Quantities: quantities, BatchLen: batchLen},
-		func(_ *core.Transmission, frame []byte) error { return client.Send(frame) })
+		func(_ *core.Transmission, frame []byte) error {
+			lastFrame = append(lastFrame[:0], frame...)
+			return client.Send(frame)
+		})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,6 +86,12 @@ func TestEndToEndObservability(t *testing.T) {
 		if err := sn.Record(math.Sin(x)+0.05*rng.NormFloat64(), math.Cos(x)+0.05*rng.NormFloat64()); err != nil {
 			t.Fatal(err)
 		}
+	}
+
+	// A retransmitted, already-accepted frame (the lost-ack scenario) must
+	// be re-acknowledged OK and counted as a duplicate, not double-logged.
+	if err := client.Send(lastFrame); err != nil {
+		t.Fatalf("retransmitted frame not re-acked: %v", err)
 	}
 
 	// A frame with a corrupted magic must be counted as a decode reject.
@@ -136,10 +147,27 @@ func TestEndToEndObservability(t *testing.T) {
 		`sbr_httpapi_request_seconds_count{endpoint="/v1/range"}`: 2,
 		`sbr_httpapi_cache_events_total{kind="miss"}`:             1,
 		`sbr_httpapi_cache_events_total{kind="hit"}`:              1,
+		"sbr_netio_frames_duplicate_total":                        1,
 	}
 	for name, want := range wantAtLeast {
 		if got := vals[name]; got < want {
 			t.Errorf("metric %s = %g, want >= %g", name, got, want)
+		}
+	}
+
+	// The fault-tolerance counters are part of the scrape surface even
+	// when nothing has gone wrong: dashboards and alerts bind to them at
+	// deploy time, not at first failure.
+	for _, name := range []string{
+		"sbr_netio_retries_total",
+		"sbr_netio_reconnects_total",
+		"sbr_netio_connections_shed_total",
+		"sbr_station_replayed_frames_total",
+		"sbr_station_duplicates_total",
+		"sbr_station_torn_tails_total",
+	} {
+		if _, ok := vals[name]; !ok {
+			t.Errorf("metric %s missing from the exposition", name)
 		}
 	}
 

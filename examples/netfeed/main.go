@@ -1,8 +1,11 @@
 // Netfeed runs the whole stack over a real TCP connection: a base station
-// served by internal/netio, three streaming sensors (internal/sensor) with
-// the Section 4.4 adaptive schedule, per-frame acknowledgements, and
-// historical queries against the station at the end. This is the
-// deployment shape of Figure 1 with the radio replaced by loopback TCP.
+// served by internal/netio, three streaming sensors (internal/sensor) on
+// the fault-tolerant ReliableClient transport with the Section 4.4
+// adaptive schedule, per-frame acknowledgements, and historical queries
+// against the station at the end. This is the deployment shape of
+// Figure 1 with the radio replaced by loopback TCP — the reliable client
+// would retry, back off and reconnect exactly the same way over a link
+// that actually loses frames (see internal/faultnet for the proof).
 package main
 
 import (
@@ -71,11 +74,16 @@ func main() {
 // runSensor streams `batches` full buffers of correlated samples to the
 // station over TCP and reports its bandwidth accounting.
 func runSensor(addr, id string, cfg core.Config, seed int64) {
-	client, err := netio.Dial(addr, id)
+	client, err := netio.NewReliable(addr, id, netio.ReliableOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer client.Close()
+	defer func() {
+		// Close flushes: every frame is acknowledged before the sensor exits.
+		if err := client.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	s, err := sensor.New(sensor.Config{
 		Core:       cfg,

@@ -1,0 +1,242 @@
+// Package faultnet wraps net.Conn and net.Listener with deterministic,
+// seeded fault injection: writes can be silently dropped, corrupted,
+// duplicated, truncated, delayed, half-closed or turned into a hard
+// connection cut. It exists to prove the transport's fault-tolerance
+// claims — the chaos tests stream thousands of frames through an
+// adversarial link and assert the station history is byte-identical to
+// the fault-free run.
+//
+// Faults are injected on the write path only: a corrupted or lost byte on
+// the sensor→station direction is indistinguishable from radio loss and
+// the retransmission protocol must absorb it, whereas corrupting the
+// single-byte acknowledgement stream could forge an OK for a frame the
+// station rejected — a failure mode the current ack format cannot detect
+// (it would take an ack checksum) and which DESIGN.md documents as out of
+// scope. Connection-level faults (cuts, half-closes) still break both
+// directions.
+//
+// Determinism: every wrapped connection draws its own math/rand stream
+// seeded from Config.Seed and a per-injector connection counter, so a
+// fixed seed yields a reproducible fault schedule regardless of
+// scheduling noise between connections.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets per-write fault probabilities, each in [0, 1]. At most one
+// fault fires per Write call (a single roll walks the cumulative
+// distribution), so the probabilities should sum to at most 1.
+type Config struct {
+	Seed int64 // base seed for the per-connection fault streams
+
+	Drop      float64 // swallow the write: bytes vanish, no error (silent loss)
+	Corrupt   float64 // flip one random byte of the write
+	Duplicate float64 // transmit the bytes twice
+	Truncate  float64 // send a strict prefix, then sever the connection
+	Cut       float64 // hard-close instead of writing (connection loss)
+	HalfClose float64 // complete the write, then close the write side
+	Delay     float64 // sleep up to MaxDelay before the write
+
+	MaxDelay time.Duration // upper bound for injected delays (default 10ms)
+}
+
+// Injector wraps connections with the configured fault plan and counts
+// what it injected, per fault kind, for test assertions.
+type Injector struct {
+	cfg   Config
+	conns atomic.Int64
+
+	mu     sync.Mutex
+	counts map[string]uint64
+}
+
+// New builds an injector from cfg.
+func New(cfg Config) *Injector {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 10 * time.Millisecond
+	}
+	return &Injector{cfg: cfg, counts: make(map[string]uint64)}
+}
+
+// Wrap returns c with the injector's fault plan applied to its writes.
+func (in *Injector) Wrap(c net.Conn) net.Conn {
+	n := in.conns.Add(1)
+	return &conn{
+		Conn: c,
+		in:   in,
+		rng:  rand.New(rand.NewSource(in.cfg.Seed + n)),
+	}
+}
+
+// Dialer returns a dial function (the ReliableOptions.Dial shape) that
+// dials TCP with the given timeout and wraps the result.
+func (in *Injector) Dialer(timeout time.Duration) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		c, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return in.Wrap(c), nil
+	}
+}
+
+// Listener wraps ln so every accepted connection carries the fault plan
+// (server-side injection).
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, in: in}
+}
+
+// Injected returns the total number of injected faults so far.
+func (in *Injector) Injected() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var total uint64
+	for _, n := range in.counts {
+		total += n
+	}
+	return total
+}
+
+// Counts returns the per-kind injection counts.
+func (in *Injector) Counts() map[string]uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]uint64, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the injection counts sorted by kind, for test logs.
+func (in *Injector) String() string {
+	counts := in.Counts()
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	s := "faultnet:"
+	for _, k := range kinds {
+		s += fmt.Sprintf(" %s=%d", k, counts[k])
+	}
+	return s
+}
+
+func (in *Injector) note(kind string) {
+	in.mu.Lock()
+	in.counts[kind]++
+	in.mu.Unlock()
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Wrap(c), nil
+}
+
+// conn applies the fault plan to every Write. Reads pass through.
+type conn struct {
+	net.Conn
+	in *Injector
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// roll draws the fault (or "") for one write under the connection lock,
+// along with the random parameters the fault needs, so the rng stream
+// stays deterministic even if the connection is used from multiple
+// goroutines.
+func (c *conn) roll(n int) (kind string, at int, delay time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.rng.Float64()
+	cfg := c.in.cfg
+	for _, f := range []struct {
+		kind string
+		p    float64
+	}{
+		{"drop", cfg.Drop},
+		{"corrupt", cfg.Corrupt},
+		{"duplicate", cfg.Duplicate},
+		{"truncate", cfg.Truncate},
+		{"cut", cfg.Cut},
+		{"halfclose", cfg.HalfClose},
+		{"delay", cfg.Delay},
+	} {
+		if r < f.p {
+			kind = f.kind
+			break
+		}
+		r -= f.p
+	}
+	if n > 0 {
+		at = c.rng.Intn(n)
+	}
+	delay = time.Duration(c.rng.Int63n(int64(cfg.MaxDelay) + 1))
+	return kind, at, delay
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	kind, at, delay := c.roll(len(p))
+	if kind != "" {
+		c.in.note(kind)
+	}
+	switch kind {
+	case "drop":
+		// The caller believes the write succeeded; the peer never sees the
+		// bytes. The stream desyncs and only a timeout notices.
+		return len(p), nil
+	case "corrupt":
+		q := append([]byte(nil), p...)
+		q[at] ^= byte(1 + c.rng.Intn(255)&0xff)
+		n, err := c.Conn.Write(q)
+		if n > len(p) {
+			n = len(p)
+		}
+		return n, err
+	case "duplicate":
+		if _, err := c.Conn.Write(p); err != nil {
+			return 0, err
+		}
+		c.Conn.Write(p) //nolint:errcheck — the duplicate is best-effort
+		return len(p), nil
+	case "truncate":
+		c.Conn.Write(p[:at]) //nolint:errcheck — severing anyway
+		c.Conn.Close()
+		return len(p), nil // silent: the caller discovers the cut on read
+	case "cut":
+		c.Conn.Close()
+		return 0, fmt.Errorf("faultnet: injected connection cut")
+	case "halfclose":
+		n, err := c.Conn.Write(p)
+		if err != nil {
+			return n, err
+		}
+		if hc, ok := c.Conn.(interface{ CloseWrite() error }); ok {
+			hc.CloseWrite() //nolint:errcheck
+		} else {
+			c.Conn.Close()
+		}
+		return n, nil
+	case "delay":
+		time.Sleep(delay)
+	}
+	return c.Conn.Write(p)
+}

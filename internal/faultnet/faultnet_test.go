@@ -1,0 +1,211 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a wrapped client end and the raw server end of an
+// in-memory connection.
+func pipePair(in *Injector) (net.Conn, net.Conn) {
+	c, s := net.Pipe()
+	return in.Wrap(c), s
+}
+
+// TestDeterministicSchedule: the same seed must produce the same fault
+// schedule, write for write — reproducibility is the whole point.
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 99, Drop: 0.2, Corrupt: 0.2, Duplicate: 0.2}
+	run := func() map[string]uint64 {
+		in := New(cfg)
+		cl, sv := pipePair(in)
+		go io.Copy(io.Discard, sv) //nolint:errcheck — drain
+		for i := 0; i < 200; i++ {
+			cl.Write([]byte{byte(i), 1, 2, 3}) //nolint:errcheck — faults expected
+		}
+		cl.Close()
+		sv.Close()
+		return in.Counts()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no faults injected at 60% total probability")
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("fault %q: run 1 injected %d, run 2 injected %d", k, v, b[k])
+		}
+	}
+}
+
+// TestDropSwallowsBytes: a dropped write reports success while the peer
+// sees nothing — the silent-loss model.
+func TestDropSwallowsBytes(t *testing.T) {
+	in := New(Config{Seed: 1, Drop: 1})
+	cl, sv := pipePair(in)
+	defer sv.Close()
+	n, err := cl.Write([]byte("vanishes"))
+	if err != nil || n != 8 {
+		t.Fatalf("dropped write returned (%d, %v), want (8, nil)", n, err)
+	}
+	sv.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //nolint:errcheck
+	buf := make([]byte, 8)
+	if n, _ := sv.Read(buf); n != 0 {
+		t.Errorf("peer received %d bytes of a dropped write", n)
+	}
+	if got := in.Counts()["drop"]; got != 1 {
+		t.Errorf("drop count = %d, want 1", got)
+	}
+}
+
+// TestCorruptFlipsOneByte: exactly one byte differs, length preserved,
+// and the caller's buffer is untouched.
+func TestCorruptFlipsOneByte(t *testing.T) {
+	in := New(Config{Seed: 2, Corrupt: 1})
+	cl, sv := pipePair(in)
+	defer sv.Close()
+	orig := []byte("sixteen immutable bytes!")
+	sent := append([]byte(nil), orig...)
+	got := make([]byte, len(orig))
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(sv, got)
+		done <- err
+	}()
+	if _, err := cl.Write(sent); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sent, orig) {
+		t.Error("corrupt fault scribbled on the caller's buffer")
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bytes differ after corrupt fault, want exactly 1", diff)
+	}
+}
+
+// TestDuplicateWritesTwice: the peer reads the payload back to back.
+func TestDuplicateWritesTwice(t *testing.T) {
+	in := New(Config{Seed: 3, Duplicate: 1})
+	cl, sv := pipePair(in)
+	defer sv.Close()
+	payload := []byte("echo")
+	got := make([]byte, 2*len(payload))
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(sv, got)
+		done <- err
+	}()
+	if _, err := cl.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("echoecho")) {
+		t.Errorf("peer read %q, want the payload twice", got)
+	}
+}
+
+// TestCutClosesConnection: the write errors and the peer sees EOF.
+func TestCutClosesConnection(t *testing.T) {
+	in := New(Config{Seed: 4, Cut: 1})
+	cl, sv := pipePair(in)
+	defer sv.Close()
+	if _, err := cl.Write([]byte("never arrives")); err == nil {
+		t.Error("cut write reported success")
+	}
+	sv.SetReadDeadline(time.Now().Add(time.Second)) //nolint:errcheck
+	if _, err := sv.Read(make([]byte, 1)); err != io.EOF {
+		t.Errorf("peer read error %v after cut, want EOF", err)
+	}
+}
+
+// TestTruncateSendsPrefix: the peer receives a strict prefix, then EOF.
+func TestTruncateSendsPrefix(t *testing.T) {
+	in := New(Config{Seed: 5, Truncate: 1})
+	cl, sv := pipePair(in)
+	defer sv.Close()
+	payload := []byte("whole frame body here")
+	go cl.Write(payload)                            //nolint:errcheck — conn severed mid-write
+	sv.SetReadDeadline(time.Now().Add(time.Second)) //nolint:errcheck
+	got, err := io.ReadAll(sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) >= len(payload) {
+		t.Errorf("peer received %d bytes, want a strict prefix of %d", len(got), len(payload))
+	}
+	if !bytes.Equal(got, payload[:len(got)]) {
+		t.Error("received bytes are not a prefix of the payload")
+	}
+}
+
+// TestListenerWrapsAccepted: server-side injection via the wrapped
+// listener fires on accepted connections too.
+func TestListenerWrapsAccepted(t *testing.T) {
+	in := New(Config{Seed: 6, Drop: 1})
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := in.Listener(base)
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		conn.Write([]byte("shed into the void")) //nolint:errcheck
+		conn.Close()
+	}()
+	cl, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	<-done
+	if got := in.Counts()["drop"]; got != 1 {
+		t.Errorf("accepted-side drop count = %d, want 1", got)
+	}
+}
+
+// TestNoFaultsPassthrough: a zero config is a transparent pipe.
+func TestNoFaultsPassthrough(t *testing.T) {
+	in := New(Config{Seed: 7})
+	cl, sv := pipePair(in)
+	defer sv.Close()
+	payload := []byte("clean")
+	got := make([]byte, len(payload))
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(sv, got)
+		done <- err
+	}()
+	if _, err := cl.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("passthrough mangled %q into %q", payload, got)
+	}
+	if n := in.Injected(); n != 0 {
+		t.Errorf("%d faults injected by a zero config", n)
+	}
+}

@@ -1,22 +1,35 @@
 // Package netio carries SBR transmissions over TCP: a base-station server
 // that accepts many concurrent sensor connections and feeds every decoded
-// frame into a station.Station, and a sensor-side client that streams wire
-// frames with per-frame acknowledgements. The protocol is deliberately
-// minimal — a handshake naming the sensor, then a sequence of the same
-// framed transmissions internal/wire defines, each answered by one status
-// byte — because the interesting reliability machinery (checksums, replica
-// consistency) already lives in the frame format and the decoder.
+// frame into a station.Station, and two sensor-side clients — a minimal
+// Client for clean links, and a ReliableClient that retries, reconnects
+// and retransmits over lossy ones. The protocol is deliberately small:
+//
+//	handshake:  "SBRS" magic, uvarint ID length, sensor ID,
+//	            8-byte little-endian incarnation nonce
+//	frames:     the framed transmissions internal/wire defines
+//	acks:       1 status byte (OK / error / busy) + uvarint sequence
+//
+// The acknowledgement carries the sequence number it refers to so a
+// pipelined sender can match acks to outstanding frames even after
+// duplication or loss, and the handshake nonce identifies one transport
+// incarnation of a sensor: a reconnecting client reuses its nonce, so the
+// station can re-acknowledge a retransmitted already-accepted frame
+// (idempotent delivery) while still treating a fresh nonce with sequence
+// zero as a sensor reboot.
 package netio
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sbr/internal/obs"
@@ -28,33 +41,62 @@ import (
 var handshakeMagic = [4]byte{'S', 'B', 'R', 'S'}
 
 const (
-	ackOK    byte = 0x06 // frame decoded and logged
+	ackOK    byte = 0x06 // frame decoded and logged (or re-acked duplicate)
 	ackError byte = 0x15 // frame rejected; the connection closes after this
+	ackBusy  byte = 0x07 // server at capacity; reconnect after a backoff
 	maxIDLen      = 256
 )
 
+// Default timeouts; Options and ReliableOptions override them.
+const (
+	defaultDialTimeout      = 10 * time.Second
+	defaultHandshakeTimeout = 10 * time.Second
+	defaultIdleTimeout      = 2 * time.Minute
+	defaultAckTimeout       = 10 * time.Second
+	keepalivePeriod         = 30 * time.Second
+)
+
 // ErrRejected is returned by Client.Send when the station refused the
-// frame (decode failure, out-of-order sequence, shape change…).
+// frame (decode failure, out-of-order sequence, shape change…). The
+// server closes the connection after an error acknowledgement, so the
+// client is terminal afterwards.
 var ErrRejected = errors.New("netio: station rejected the frame")
+
+// ErrBusy is returned when the server shed the connection at its
+// max-connections cap; the sensor should back off and reconnect.
+var ErrBusy = errors.New("netio: server at capacity")
+
+// ErrClientClosed is returned by sends on a client that reached a
+// terminal state: explicitly closed, rejected by the station, or out of
+// retransmission attempts.
+var ErrClientClosed = errors.New("netio: client closed")
 
 // FrameObserver sees the raw bytes of every frame a station accepted, in
 // arrival order per sensor. Observers must be safe for concurrent calls
 // (one per connection); the station log persister is the typical use.
+// Re-acknowledged duplicates are not observed — the log stays
+// exactly-once too.
 type FrameObserver func(id string, frame []byte)
 
 // Metrics is the transport-layer telemetry. Build one with NewMetrics;
 // every field is a nil-safe obs metric, so the zero value (or a Metrics
 // built against a nil registry) instruments nothing at almost no cost.
+// Server and client sides share the struct: a process embedding both
+// (tests, simulators) feeds one registry.
 type Metrics struct {
 	ConnsOpen       *obs.Gauge     // sensor connections currently open
 	ConnsTotal      *obs.Counter   // connections accepted since start
+	ConnsShed       *obs.Counter   // connections shed at the max-connections cap
 	FramesAccepted  *obs.Counter   // frames decoded, logged and acked OK
+	DupFrames       *obs.Counter   // retransmitted duplicates re-acked OK
 	BytesIn         *obs.Counter   // raw bytes of accepted frames
 	FrameSeconds    *obs.Histogram // per-frame station handle latency
 	RejectHandshake *obs.Counter   // connections dropped at the handshake
 	RejectDecode    *obs.Counter   // frames dropped by wire decoding
 	RejectReceive   *obs.Counter   // frames the station refused
 	AckErrors       *obs.Counter   // acknowledgement writes that failed
+	Retries         *obs.Counter   // client frame retransmissions
+	Reconnects      *obs.Counter   // client reconnections after a lost link
 }
 
 // NewMetrics registers the transport metrics on reg (nil: no-op metrics).
@@ -62,13 +104,17 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	return &Metrics{
 		ConnsOpen:       reg.Gauge("sbr_netio_connections_open", "Sensor connections currently open."),
 		ConnsTotal:      reg.Counter("sbr_netio_connections_total", "Sensor connections accepted since start."),
+		ConnsShed:       reg.Counter("sbr_netio_connections_shed_total", "Connections shed at the max-connections cap."),
 		FramesAccepted:  reg.Counter("sbr_netio_frames_accepted_total", "Frames decoded, logged and acknowledged."),
+		DupFrames:       reg.Counter("sbr_netio_frames_duplicate_total", "Retransmitted already-accepted frames re-acknowledged."),
 		BytesIn:         reg.Counter("sbr_netio_bytes_in_total", "Raw bytes of accepted frames."),
 		FrameSeconds:    reg.Histogram("sbr_netio_frame_seconds", "Station handle latency per frame.", obs.LatencyBuckets),
 		RejectHandshake: reg.Counter("sbr_netio_frames_rejected_total", "Frames or connections rejected, by reason.", obs.L("reason", "handshake")),
 		RejectDecode:    reg.Counter("sbr_netio_frames_rejected_total", "Frames or connections rejected, by reason.", obs.L("reason", "decode")),
 		RejectReceive:   reg.Counter("sbr_netio_frames_rejected_total", "Frames or connections rejected, by reason.", obs.L("reason", "receive")),
 		AckErrors:       reg.Counter("sbr_netio_ack_errors_total", "Acknowledgement writes that failed."),
+		Retries:         reg.Counter("sbr_netio_retries_total", "Frame retransmissions by reliable clients."),
+		Reconnects:      reg.Counter("sbr_netio_reconnects_total", "Reconnections by reliable clients after a lost link."),
 	}
 }
 
@@ -77,17 +123,55 @@ type Options struct {
 	Observer FrameObserver // raw accepted frames, e.g. the log persister
 	Metrics  *Metrics      // transport telemetry (nil: uninstrumented)
 	Logger   *slog.Logger  // structured events (nil: discard)
+
+	// MaxConns caps concurrent sensor connections. Arrivals beyond the
+	// cap are shed gracefully: one busy acknowledgement, then close, so
+	// the sensor backs off instead of hanging. 0 means unlimited.
+	MaxConns int
+
+	// HandshakeTimeout bounds how long a fresh connection may take to
+	// complete its handshake (0: 10s default, negative: no limit) — a
+	// stalled or port-scanning peer cannot pin a goroutine.
+	HandshakeTimeout time.Duration
+
+	// IdleTimeout bounds the silence between frames on an established
+	// connection (0: 2m default, negative: no limit).
+	IdleTimeout time.Duration
+
+	// AckTimeout bounds acknowledgement writes (0: 10s default,
+	// negative: no limit).
+	AckTimeout time.Duration
+}
+
+// timeout resolves an Options duration: zero takes the default, negative
+// disables the deadline.
+func timeout(d, def time.Duration) time.Duration {
+	if d == 0 {
+		return def
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // Server accepts sensor connections and routes their transmissions into a
 // Station.
 type Server struct {
-	st  *station.Station
-	ln  net.Listener
-	obs FrameObserver
-	met *Metrics
-	log *slog.Logger
-	wg  sync.WaitGroup
+	st        *station.Station
+	ln        net.Listener
+	obs       FrameObserver
+	met       *Metrics
+	log       *slog.Logger
+	maxConns  int
+	hsTimeout time.Duration
+	idle      time.Duration
+	ackWait   time.Duration
+
+	wg       sync.WaitGroup
+	draining atomic.Bool
+	lnOnce   sync.Once
+	lnErr    error
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -107,7 +191,8 @@ func ServeObserved(st *station.Station, addr string, obs FrameObserver) (*Server
 }
 
 // ServeWith is the fully configured constructor: observer, transport
-// metrics and structured logging in one Options bundle.
+// metrics, structured logging, connection caps and deadlines in one
+// Options bundle.
 func ServeWith(st *station.Station, addr string, opt Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -118,12 +203,16 @@ func ServeWith(st *station.Station, addr string, opt Options) (*Server, error) {
 		met = &Metrics{}
 	}
 	s := &Server{
-		st:    st,
-		ln:    ln,
-		obs:   opt.Observer,
-		met:   met,
-		log:   obs.Component(opt.Logger, "netio"),
-		conns: make(map[net.Conn]struct{}),
+		st:        st,
+		ln:        ln,
+		obs:       opt.Observer,
+		met:       met,
+		log:       obs.Component(opt.Logger, "netio"),
+		maxConns:  opt.MaxConns,
+		hsTimeout: timeout(opt.HandshakeTimeout, defaultHandshakeTimeout),
+		idle:      timeout(opt.IdleTimeout, defaultIdleTimeout),
+		ackWait:   timeout(opt.AckTimeout, defaultAckTimeout),
+		conns:     make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -133,10 +222,17 @@ func ServeWith(st *station.Station, addr string, opt Options) (*Server, error) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting, closes active connections, and waits for their
-// handlers to finish.
+// closeListener stops accepting exactly once.
+func (s *Server) closeListener() error {
+	s.lnOnce.Do(func() { s.lnErr = s.ln.Close() })
+	return s.lnErr
+}
+
+// Close stops accepting, force-closes active connections, and waits for
+// their handlers to finish. Shutdown is the graceful alternative.
 func (s *Server) Close() error {
-	err := s.ln.Close()
+	s.draining.Store(true)
+	err := s.closeListener()
 	s.mu.Lock()
 	for conn := range s.conns {
 		conn.Close()
@@ -144,6 +240,38 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	s.wg.Wait()
 	return err
+}
+
+// Shutdown stops accepting and drains gracefully: every connection
+// finishes the frame it is handling — including its acknowledgement —
+// before closing, so no sensor loses an ack for work the station already
+// did. Connections idle in a read are woken immediately. When ctx expires
+// first, the stragglers are force-closed and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.closeListener()
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now()) //nolint:errcheck — best-effort wake
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return err
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+		return ctx.Err()
+	}
 }
 
 func (s *Server) track(conn net.Conn) {
@@ -158,12 +286,22 @@ func (s *Server) untrack(conn net.Conn) {
 	s.mu.Unlock()
 }
 
+func (s *Server) numConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return // listener closed
+		}
+		if s.maxConns > 0 && s.numConns() >= s.maxConns {
+			s.shed(conn)
+			continue
 		}
 		s.wg.Add(1)
 		s.track(conn)
@@ -176,6 +314,42 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// shed turns an over-capacity arrival away gracefully: one busy
+// acknowledgement so the sensor backs off knowingly. The farewell runs
+// in its own bounded goroutine so a dead peer cannot stall the accept
+// loop, and it half-closes then drains instead of closing outright — an
+// immediate close could reset the connection and destroy the unread busy
+// ack in the peer's receive buffer. Shed connections are tracked, so
+// they count against the cap until gone and Close/Shutdown reach them.
+func (s *Server) shed(conn net.Conn) {
+	s.met.ConnsShed.Inc()
+	s.log.Warn("connection shed at capacity",
+		"remote", conn.RemoteAddr().String(), "max_conns", s.maxConns)
+	s.wg.Add(1)
+	s.track(conn)
+	go func() {
+		defer s.wg.Done()
+		defer s.untrack(conn)
+		defer conn.Close()
+		if s.ackWait > 0 {
+			conn.SetDeadline(time.Now().Add(s.ackWait)) //nolint:errcheck
+		}
+		if _, err := conn.Write([]byte{ackBusy, 0}); err != nil {
+			return
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.CloseWrite() //nolint:errcheck
+		}
+		io.Copy(io.Discard, conn) //nolint:errcheck — drain until the peer closes
+	}()
+}
+
+// isTimeout reports whether err is a network deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // serveConn handles one sensor: handshake, then frames until EOF or
 // error. Every failure is counted under its rejection reason and logged
 // with the sensor and remote address — a misbehaving sensor in a large
@@ -186,8 +360,14 @@ func (s *Server) serveConn(conn net.Conn) {
 	s.met.ConnsOpen.Add(1)
 	defer s.met.ConnsOpen.Add(-1)
 
+	if s.draining.Load() {
+		return
+	}
+	if s.hsTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.hsTimeout)) //nolint:errcheck
+	}
 	br := bufio.NewReader(conn)
-	id, err := readHandshake(br)
+	id, src, err := readHandshake(br)
 	if err != nil {
 		if err != io.EOF { // bare connect-and-close (port probe) is not a protocol error
 			s.met.RejectHandshake.Inc()
@@ -197,22 +377,62 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	s.log.Debug("sensor connected", "sensor", id, "remote", remote)
 	for {
+		if s.draining.Load() {
+			s.log.Debug("connection drained", "sensor", id, "remote", remote)
+			return
+		}
+		if s.idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.idle)) //nolint:errcheck
+		} else {
+			conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+		}
+		if s.draining.Load() { // re-check: Shutdown may have raced the deadline reset
+			s.log.Debug("connection drained", "sensor", id, "remote", remote)
+			return
+		}
 		frame, err := wire.ReadFrame(br)
 		if err == io.EOF {
 			s.log.Debug("sensor disconnected", "sensor", id, "remote", remote)
 			return
 		}
 		if err != nil {
+			if s.draining.Load() {
+				s.log.Debug("connection drained", "sensor", id, "remote", remote)
+				return
+			}
+			if isTimeout(err) {
+				s.log.Warn("idle connection closed", "sensor", id, "remote", remote)
+				return
+			}
 			s.met.RejectDecode.Inc()
 			s.log.Warn("frame decode failed", "sensor", id, "remote", remote, "err", err)
-			s.writeAck(conn, ackError, id, remote)
+			s.writeAck(conn, ackError, 0, id, remote)
+			return
+		}
+		seq, err := wire.FrameSeq(frame)
+		if err != nil {
+			s.met.RejectDecode.Inc()
+			s.log.Warn("frame header invalid", "sensor", id, "remote", remote, "err", err)
+			s.writeAck(conn, ackError, 0, id, remote)
 			return
 		}
 		start := time.Now()
-		if err := s.st.ReceiveFrame(id, frame); err != nil {
+		switch err := s.st.ReceiveFrameFrom(id, src, frame); {
+		case err == nil:
+		case errors.Is(err, station.ErrDuplicate):
+			// Retransmission of a frame the station already holds: the ack
+			// was lost, not the frame. Re-ack OK so delivery is idempotent;
+			// skip the observer so the on-disk log stays exactly-once.
+			s.met.DupFrames.Inc()
+			s.log.Debug("duplicate frame re-acked", "sensor", id, "remote", remote, "seq", seq)
+			if !s.writeAck(conn, ackOK, seq, id, remote) {
+				return
+			}
+			continue
+		default:
 			s.met.RejectReceive.Inc()
 			s.log.Warn("station rejected frame", "sensor", id, "remote", remote, "err", err)
-			s.writeAck(conn, ackError, id, remote)
+			s.writeAck(conn, ackError, seq, id, remote)
 			return
 		}
 		s.met.FramesAccepted.Inc()
@@ -221,17 +441,26 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.obs != nil {
 			s.obs(id, frame)
 		}
-		if !s.writeAck(conn, ackOK, id, remote) {
+		if !s.writeAck(conn, ackOK, seq, id, remote) {
 			return
 		}
 	}
 }
 
-// writeAck ships one status byte; a failed write is counted and logged
-// (the sensor will retransmit after its own timeout) instead of being
-// dropped on the floor.
-func (s *Server) writeAck(conn net.Conn, status byte, id, remote string) bool {
-	if _, err := conn.Write([]byte{status}); err != nil {
+// writeAck ships one acknowledgement record — status byte plus the
+// uvarint sequence it refers to — under the ack write deadline. A failed
+// write is counted and logged, and the connection closes: the reliable
+// client treats the missing ack as a lost link, reconnects, and
+// retransmits; the station then recognises the duplicate and this ack is
+// retried, so the contract survives an ack loss in either direction.
+func (s *Server) writeAck(conn net.Conn, status byte, seq int, id, remote string) bool {
+	var buf [1 + binary.MaxVarintLen64]byte
+	buf[0] = status
+	n := binary.PutUvarint(buf[1:], uint64(seq))
+	if s.ackWait > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.ackWait)) //nolint:errcheck
+	}
+	if _, err := conn.Write(buf[:1+n]); err != nil {
 		s.met.AckErrors.Inc()
 		s.log.Warn("ack write failed", "sensor", id, "remote", remote, "err", err)
 		return false
@@ -239,76 +468,164 @@ func (s *Server) writeAck(conn net.Conn, status byte, id, remote string) bool {
 	return true
 }
 
-// readHandshake validates the magic and reads the sensor ID.
-func readHandshake(r *bufio.Reader) (string, error) {
+// readHandshake validates the magic and reads the sensor ID and the
+// transport incarnation nonce.
+func readHandshake(r *bufio.Reader) (string, uint64, error) {
 	var magic [4]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return "", err
+		return "", 0, err
 	}
 	if magic != handshakeMagic {
-		return "", errors.New("netio: bad handshake magic")
+		return "", 0, errors.New("netio: bad handshake magic")
 	}
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	if n == 0 || n > maxIDLen {
-		return "", fmt.Errorf("netio: sensor ID length %d out of range", n)
+		return "", 0, fmt.Errorf("netio: sensor ID length %d out of range", n)
 	}
 	id := make([]byte, n)
 	if _, err := io.ReadFull(r, id); err != nil {
-		return "", err
+		return "", 0, err
 	}
-	return string(id), nil
+	var nonce [8]byte
+	if _, err := io.ReadFull(r, nonce[:]); err != nil {
+		return "", 0, fmt.Errorf("netio: reading incarnation nonce: %w", err)
+	}
+	return string(id), binary.LittleEndian.Uint64(nonce[:]), nil
 }
 
-// Client is the sensor side of the transport. Not safe for concurrent use:
-// a sensor has one radio.
+// writeHandshake ships the magic, ID and incarnation nonce; errors
+// surface at Flush.
+func writeHandshake(bw *bufio.Writer, sensorID string, nonce uint64) {
+	bw.Write(handshakeMagic[:]) //nolint:errcheck — surfaced by Flush
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(sensorID)))
+	bw.Write(buf[:n])        //nolint:errcheck
+	bw.WriteString(sensorID) //nolint:errcheck
+	var nb [8]byte
+	binary.LittleEndian.PutUint64(nb[:], nonce)
+	bw.Write(nb[:]) //nolint:errcheck
+}
+
+// newNonce draws a non-zero incarnation nonce (zero means "unknown" on
+// the wire).
+func newNonce() uint64 {
+	for {
+		if n := rand.Uint64(); n != 0 {
+			return n
+		}
+	}
+}
+
+// readAck reads one acknowledgement record from the stream.
+func readAck(br *bufio.Reader) (status byte, seq int, err error) {
+	status, err = br.ReadByte()
+	if err != nil {
+		return 0, 0, fmt.Errorf("netio: reading ack: %w", err)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, 0, fmt.Errorf("netio: reading ack sequence: %w", err)
+	}
+	return status, int(n), nil
+}
+
+// dialAndShake opens one TCP connection with a connect timeout and
+// keepalives and performs the handshake.
+func dialAndShake(dial func(addr string) (net.Conn, error), addr, sensorID string, nonce uint64) (net.Conn, error) {
+	conn, err := dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("netio: dial: %w", err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetKeepAlive(true)                  //nolint:errcheck — advisory
+		tc.SetKeepAlivePeriod(keepalivePeriod) //nolint:errcheck
+	}
+	bw := bufio.NewWriter(conn)
+	writeHandshake(bw, sensorID, nonce)
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netio: handshake: %w", err)
+	}
+	return conn, nil
+}
+
+// Client is the minimal sensor-side transport: synchronous sends, no
+// retries, terminal on the first failure. Use ReliableClient over links
+// that actually lose packets. Not safe for concurrent use: a sensor has
+// one radio.
 type Client struct {
 	conn net.Conn
 	bw   *bufio.Writer
 	br   *bufio.Reader
+	err  error // sticky terminal state
 }
 
-// Dial connects to a station server and identifies as sensorID.
+// Dial connects to a station server and identifies as sensorID, with the
+// default connect timeout and TCP keepalives enabled.
 func Dial(addr, sensorID string) (*Client, error) {
+	return DialTimeout(addr, sensorID, defaultDialTimeout)
+}
+
+// DialTimeout is Dial with an explicit connect timeout.
+func DialTimeout(addr, sensorID string, d time.Duration) (*Client, error) {
 	if sensorID == "" || len(sensorID) > maxIDLen {
 		return nil, fmt.Errorf("netio: sensor ID length %d out of range", len(sensorID))
 	}
-	conn, err := net.Dial("tcp", addr)
+	conn, err := dialAndShake(func(addr string) (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, d)
+	}, addr, sensorID, newNonce())
 	if err != nil {
-		return nil, fmt.Errorf("netio: dial: %w", err)
+		return nil, err
 	}
-	c := &Client{conn: conn, bw: bufio.NewWriter(conn), br: bufio.NewReader(conn)}
-	c.bw.Write(handshakeMagic[:]) //nolint:errcheck — surfaced by Flush
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], uint64(len(sensorID)))
-	c.bw.Write(buf[:n])        //nolint:errcheck
-	c.bw.WriteString(sensorID) //nolint:errcheck
-	if err := c.bw.Flush(); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("netio: handshake: %w", err)
-	}
-	return c, nil
+	return &Client{conn: conn, bw: bufio.NewWriter(conn), br: bufio.NewReader(conn)}, nil
 }
 
-// Send ships one wire frame and waits for the acknowledgement.
+// Send ships one wire frame and waits for the acknowledgement. Any
+// failure — including a station rejection, after which the server closes
+// the connection — is terminal: the client closes its side and every
+// later Send reports ErrClientClosed joined with the original cause,
+// instead of scribbling on a dead connection.
 func (c *Client) Send(frame []byte) error {
+	if c.err != nil {
+		return c.err
+	}
 	if _, err := c.bw.Write(frame); err != nil {
-		return fmt.Errorf("netio: send: %w", err)
+		return c.fail(fmt.Errorf("netio: send: %w", err))
 	}
 	if err := c.bw.Flush(); err != nil {
-		return fmt.Errorf("netio: send: %w", err)
+		return c.fail(fmt.Errorf("netio: send: %w", err))
 	}
-	var ack [1]byte
-	if _, err := io.ReadFull(c.br, ack[:]); err != nil {
-		return fmt.Errorf("netio: reading ack: %w", err)
+	status, _, err := readAck(c.br)
+	if err != nil {
+		return c.fail(err)
 	}
-	if ack[0] != ackOK {
-		return ErrRejected
+	switch status {
+	case ackOK:
+		return nil
+	case ackBusy:
+		return c.fail(ErrBusy)
+	case ackError:
+		return c.fail(ErrRejected)
+	default:
+		return c.fail(fmt.Errorf("netio: unknown ack status 0x%02x", status))
 	}
-	return nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// fail closes the connection and records the terminal state, returning
+// the original error for this call.
+func (c *Client) fail(err error) error {
+	c.err = errors.Join(ErrClientClosed, err)
+	c.conn.Close()
+	return err
+}
+
+// Close closes the connection; later sends report ErrClientClosed.
+func (c *Client) Close() error {
+	if c.err == nil {
+		c.err = ErrClientClosed
+	}
+	return c.conn.Close()
+}

@@ -1,0 +1,362 @@
+package netio
+
+import (
+	"bufio"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net"
+	"time"
+
+	"sbr/internal/obs"
+	"sbr/internal/wire"
+)
+
+// ReliableOptions tunes a ReliableClient. The zero value is usable:
+// every field has a sensible default.
+type ReliableOptions struct {
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+
+	// AckTimeout bounds each frame write and each acknowledgement wait
+	// (default 10s). A silent link — bytes swallowed without an error —
+	// is detected here and answered with a reconnect.
+	AckTimeout time.Duration
+
+	// BackoffBase and BackoffMax shape the capped exponential backoff
+	// between reconnection attempts (defaults 50ms and 5s). Each sleep is
+	// jittered to half–full of the nominal delay so a fleet of sensors
+	// does not reconnect in lockstep.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// MaxAttempts bounds both the transmissions of a single frame and the
+	// consecutive failed connects before the client turns terminal
+	// (default 16).
+	MaxAttempts int
+
+	// Window bounds the outbox: how many unacknowledged frames may be in
+	// flight before Send blocks waiting for acks (default 32).
+	Window int
+
+	// Dial overrides the connection factory — the fault-injection and
+	// testing hook. The default dials TCP with DialTimeout.
+	Dial func(addr string) (net.Conn, error)
+
+	// Rand supplies backoff jitter; tests pass a seeded source for
+	// determinism. Defaults to the global source.
+	Rand *rand.Rand
+
+	// Metrics receives retry/reconnect telemetry (nil: uninstrumented).
+	Metrics *Metrics
+
+	// Logger receives structured transport events (nil: discard).
+	Logger *slog.Logger
+}
+
+// pending is one enqueued frame awaiting acknowledgement.
+type pending struct {
+	frame    []byte
+	seq      int
+	attempts int // transmissions so far, counting the first
+}
+
+// ReliableClient is the fault-tolerant sensor transport: connect
+// timeouts, per-send deadlines, capped exponential backoff with jitter,
+// automatic reconnection, and a bounded outbox of unacknowledged frames
+// retransmitted in order after every reconnect. Combined with the
+// station's duplicate detection (a re-delivered accepted frame is
+// re-acked OK), it delivers every frame exactly once over a link that
+// drops, delays, duplicates, truncates or corrupts traffic.
+//
+// The client keeps one incarnation nonce for its whole life, so the
+// station can tell its retransmissions from a sensor reboot (a fresh
+// client, fresh nonce, sequence restarting at zero).
+//
+// Not safe for concurrent use: a sensor has one radio.
+type ReliableClient struct {
+	addr, id string
+	opt      ReliableOptions
+	met      *Metrics
+	log      *slog.Logger
+	nonce    uint64
+
+	conn      net.Conn
+	bw        *bufio.Writer
+	br        *bufio.Reader
+	connected bool // a connection has succeeded before (for the reconnect metric)
+
+	outbox []pending
+	sent   int   // prefix of outbox already written to the current conn
+	streak int   // consecutive failures, drives the backoff exponent
+	term   error // terminal state; sticky
+}
+
+// NewReliable creates a reliable client for the station at addr,
+// identifying as sensorID. The connection is established lazily on the
+// first Send, through the same retry machinery as any reconnect.
+func NewReliable(addr, sensorID string, opt ReliableOptions) (*ReliableClient, error) {
+	if sensorID == "" || len(sensorID) > maxIDLen {
+		return nil, fmt.Errorf("netio: sensor ID length %d out of range", len(sensorID))
+	}
+	if opt.DialTimeout <= 0 {
+		opt.DialTimeout = 5 * time.Second
+	}
+	if opt.AckTimeout <= 0 {
+		opt.AckTimeout = defaultAckTimeout
+	}
+	if opt.BackoffBase <= 0 {
+		opt.BackoffBase = 50 * time.Millisecond
+	}
+	if opt.BackoffMax <= 0 {
+		opt.BackoffMax = 5 * time.Second
+	}
+	if opt.MaxAttempts <= 0 {
+		opt.MaxAttempts = 16
+	}
+	if opt.Window <= 0 {
+		opt.Window = 32
+	}
+	if opt.Dial == nil {
+		d := opt.DialTimeout
+		opt.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, d)
+		}
+	}
+	met := opt.Metrics
+	if met == nil {
+		met = &Metrics{}
+	}
+	return &ReliableClient{
+		addr:  addr,
+		id:    sensorID,
+		opt:   opt,
+		met:   met,
+		log:   obs.Component(opt.Logger, "netio"),
+		nonce: newNonce(),
+	}, nil
+}
+
+// Send enqueues one wire frame for delivery and drives the link. It
+// returns once the frame is written and the outbox holds at most Window
+// unacknowledged frames — so sends pipeline — or with a terminal error
+// once a frame or the connection exhausts MaxAttempts. A nil return
+// means the frame is on the wire and will be retransmitted until acked;
+// call Flush for the delivered-for-sure barrier.
+func (c *ReliableClient) Send(frame []byte) error {
+	if c.term != nil {
+		return c.term
+	}
+	seq, err := wire.FrameSeq(frame)
+	if err != nil {
+		return fmt.Errorf("netio: unsendable frame: %w", err)
+	}
+	c.outbox = append(c.outbox, pending{frame: append([]byte(nil), frame...), seq: seq})
+	return c.pump(c.opt.Window)
+}
+
+// Flush blocks until every enqueued frame has been acknowledged.
+func (c *ReliableClient) Flush() error {
+	if c.term != nil {
+		return c.term
+	}
+	return c.pump(0)
+}
+
+// Unacked reports how many sent frames still await acknowledgement.
+func (c *ReliableClient) Unacked() int { return len(c.outbox) }
+
+// Close flushes the outbox (best effort), closes the connection and
+// turns the client terminal. The flush error, if any, is returned.
+func (c *ReliableClient) Close() error {
+	var err error
+	if c.term == nil {
+		err = c.pump(0)
+	}
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	if c.term == nil {
+		c.term = ErrClientClosed
+	}
+	return err
+}
+
+// pump drives the protocol until everything enqueued has been written to
+// a live connection and at most maxUnacked frames remain outstanding.
+// Every failure path funnels through dropConn + ensureConn, which
+// retransmit the outbox on a fresh connection under backoff.
+func (c *ReliableClient) pump(maxUnacked int) error {
+	for {
+		if len(c.outbox) <= maxUnacked && c.sent == len(c.outbox) {
+			return nil
+		}
+		if err := c.ensureConn(); err != nil {
+			return err
+		}
+		if err := c.writeUnsent(); err != nil {
+			if c.term != nil {
+				return c.term
+			}
+			c.dropConn(err)
+			continue
+		}
+		if len(c.outbox) > maxUnacked {
+			if err := c.awaitAck(); err != nil {
+				c.dropConn(err)
+			}
+		}
+	}
+}
+
+// ensureConn returns with a live, handshaken connection, dialling under
+// backoff as needed. MaxAttempts consecutive failures turn terminal.
+func (c *ReliableClient) ensureConn() error {
+	for c.conn == nil {
+		if c.streak >= c.opt.MaxAttempts {
+			c.term = fmt.Errorf("%w: %d consecutive connection failures to %s",
+				ErrClientClosed, c.streak, c.addr)
+			return c.term
+		}
+		if c.streak > 0 {
+			c.sleepBackoff()
+		}
+		conn, err := dialAndShake(c.opt.Dial, c.addr, c.id, c.nonce)
+		if err != nil {
+			c.streak++
+			c.log.Warn("connect failed", "sensor", c.id, "addr", c.addr,
+				"attempt", c.streak, "err", err)
+			continue
+		}
+		if c.connected {
+			c.met.Reconnects.Inc()
+			c.log.Info("reconnected", "sensor", c.id, "addr", c.addr,
+				"unacked", len(c.outbox))
+		}
+		c.connected = true
+		c.conn = conn
+		c.bw = bufio.NewWriter(conn)
+		c.br = bufio.NewReader(conn)
+		c.sent = 0 // the whole outbox is retransmitted on a fresh conn
+	}
+	return nil
+}
+
+// writeUnsent transmits every not-yet-written outbox frame in order and
+// flushes. A frame that has exhausted MaxAttempts turns the client
+// terminal via c.term; other failures are retryable link errors.
+func (c *ReliableClient) writeUnsent() error {
+	if c.sent == len(c.outbox) {
+		return nil
+	}
+	if c.opt.AckTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.opt.AckTimeout)) //nolint:errcheck
+	}
+	for c.sent < len(c.outbox) {
+		p := &c.outbox[c.sent]
+		if p.attempts >= c.opt.MaxAttempts {
+			c.term = fmt.Errorf("%w: frame seq %d abandoned after %d attempts",
+				ErrClientClosed, p.seq, p.attempts)
+			c.conn.Close()
+			c.conn = nil
+			return c.term
+		}
+		p.attempts++
+		if p.attempts > 1 {
+			c.met.Retries.Inc()
+		}
+		if _, err := c.bw.Write(p.frame); err != nil {
+			return fmt.Errorf("netio: send: %w", err)
+		}
+		c.sent++
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("netio: send: %w", err)
+	}
+	return nil
+}
+
+// awaitAck consumes acknowledgements until the head-of-line frame is
+// acked (popping it) or the link proves broken. Acknowledgements whose
+// sequence matches no outstanding frame are stale re-acks of duplicates
+// the server deduplicated — ignored, never fatal.
+func (c *ReliableClient) awaitAck() error {
+	for {
+		if c.opt.AckTimeout > 0 {
+			c.conn.SetReadDeadline(time.Now().Add(c.opt.AckTimeout)) //nolint:errcheck
+		}
+		status, seq, err := readAck(c.br)
+		if err != nil {
+			return err
+		}
+		switch status {
+		case ackOK:
+			if len(c.outbox) > 0 && seq == c.outbox[0].seq {
+				c.outbox = c.outbox[1:]
+				c.sent--
+				c.streak = 0
+				return nil
+			}
+			if c.seqOutstanding(seq) {
+				// An ack for a non-head frame would mean the server skipped
+				// one: a protocol violation, treat the link as poisoned.
+				return fmt.Errorf("netio: ack for seq %d out of order", seq)
+			}
+			continue // stale re-ack of an already-popped frame
+		case ackBusy:
+			return ErrBusy
+		case ackError:
+			// The server closes after an error ack; reconnect and
+			// retransmit. A frame that is truly unacceptable (not just
+			// corrupted in flight) exhausts its attempts and turns
+			// terminal in writeUnsent.
+			return fmt.Errorf("netio: server rejected frame seq %d", seq)
+		default:
+			return fmt.Errorf("netio: unknown ack status 0x%02x", status)
+		}
+	}
+}
+
+// seqOutstanding reports whether seq matches any outbox entry.
+func (c *ReliableClient) seqOutstanding(seq int) bool {
+	for i := range c.outbox {
+		if c.outbox[i].seq == seq {
+			return true
+		}
+	}
+	return false
+}
+
+// dropConn discards the connection after a link failure; the next
+// ensureConn redials under backoff and the outbox is retransmitted.
+func (c *ReliableClient) dropConn(err error) {
+	c.log.Warn("link failed", "sensor", c.id, "addr", c.addr,
+		"unacked", len(c.outbox), "err", err)
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.sent = 0
+	c.streak++
+}
+
+// sleepBackoff sleeps the capped exponential backoff for the current
+// failure streak, jittered to [d/2, d).
+func (c *ReliableClient) sleepBackoff() {
+	d := c.opt.BackoffBase
+	for i := 1; i < c.streak && d < c.opt.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.opt.BackoffMax {
+		d = c.opt.BackoffMax
+	}
+	half := d / 2
+	var j time.Duration
+	if c.opt.Rand != nil {
+		j = time.Duration(c.opt.Rand.Int63n(int64(half) + 1))
+	} else {
+		j = time.Duration(rand.Int63n(int64(half) + 1))
+	}
+	time.Sleep(half + j)
+}

@@ -1,0 +1,443 @@
+package netio
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"sbr/internal/core"
+	"sbr/internal/faultnet"
+	"sbr/internal/metrics"
+	"sbr/internal/obs"
+	"sbr/internal/station"
+	"sbr/internal/timeseries"
+	"sbr/internal/wire"
+)
+
+// chaosConfig keeps frames tiny so the chaos tests can stream thousands.
+func chaosConfig() core.Config {
+	return core.Config{TotalBand: 8, MBase: 8, Metric: metrics.SSE}
+}
+
+// encodeFrames pre-encodes n deterministic single-quantity frames so the
+// fault-free baseline and the faulted run replay byte-identical input.
+func encodeFrames(t *testing.T, cfg core.Config, n, batchLen int) [][]byte {
+	t.Helper()
+	comp, err := core.NewCompressor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([][]byte, 0, n)
+	for b := 0; b < n; b++ {
+		row := make(timeseries.Series, batchLen)
+		for i := range row {
+			x := float64(b*batchLen+i) / 9
+			row[i] = 3*math.Sin(x) + 0.5*math.Cos(5*x)
+		}
+		tr, err := comp.Encode([]timeseries.Series{row})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame, err := wire.Encode(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, frame)
+	}
+	return frames
+}
+
+// newStation builds a station for cfg or fails the test.
+func newStation(t *testing.T, cfg core.Config) *station.Station {
+	t.Helper()
+	st, err := station.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestDuplicateFrameReAcked: a retransmitted, already-accepted frame must
+// be re-acknowledged OK — the ack was lost, not the frame — instead of
+// killing the connection as out-of-order.
+func TestDuplicateFrameReAcked(t *testing.T) {
+	cfg := chaosConfig()
+	st := newStation(t, cfg)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	srv, err := ServeWith(st, "127.0.0.1:0", Options{Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	frames := encodeFrames(t, cfg, 2, 16)
+	client, err := Dial(srv.Addr(), "dup-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Send(frames[0]); err != nil {
+		t.Fatalf("first send: %v", err)
+	}
+	// The same bytes again, same connection: the station already holds
+	// seq 0 from this incarnation, so this is a retransmission.
+	if err := client.Send(frames[0]); err != nil {
+		t.Fatalf("duplicate send not re-acked: %v", err)
+	}
+	// The link must still work for fresh frames.
+	if err := client.Send(frames[1]); err != nil {
+		t.Fatalf("send after duplicate: %v", err)
+	}
+
+	stats, err := st.SensorStats("dup-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Transmissions != 2 {
+		t.Errorf("station holds %d transmissions, want 2 (duplicate must not double-count)", stats.Transmissions)
+	}
+	if got := met.DupFrames.Value(); got != 1 {
+		t.Errorf("duplicate metric = %d, want 1", got)
+	}
+}
+
+// TestMaxConnsShed: arrivals beyond the cap get one busy ack and a close,
+// and the shed is counted.
+func TestMaxConnsShed(t *testing.T) {
+	cfg := chaosConfig()
+	st := newStation(t, cfg)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	srv, err := ServeWith(st, "127.0.0.1:0", Options{Metrics: met, MaxConns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	frames := encodeFrames(t, cfg, 1, 16)
+	first, err := Dial(srv.Addr(), "holder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	// A round-trip guarantees the first connection is accepted and
+	// tracked before the second arrives.
+	if err := first.Send(frames[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := Dial(srv.Addr(), "shed-me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	if err := second.Send(frames[0]); !errors.Is(err, ErrBusy) {
+		t.Errorf("over-cap send returned %v, want ErrBusy", err)
+	}
+	if got := met.ConnsShed.Value(); got != 1 {
+		t.Errorf("shed metric = %d, want 1", got)
+	}
+}
+
+// TestClientTerminalAfterReject: after a station rejection the server has
+// closed the connection, so the client must turn terminal instead of
+// scribbling on the dead socket.
+func TestClientTerminalAfterReject(t *testing.T) {
+	st := newStation(t, chaosConfig())
+	srv, err := Serve(st, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := Dial(srv.Addr(), "reject-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Send([]byte("not a frame, but comfortably long enough")); !errors.Is(err, ErrRejected) {
+		t.Fatalf("garbage send returned %v, want ErrRejected", err)
+	}
+	err = client.Send(encodeFrames(t, chaosConfig(), 1, 16)[0])
+	if !errors.Is(err, ErrClientClosed) {
+		t.Errorf("send after rejection returned %v, want ErrClientClosed", err)
+	}
+	if !errors.Is(err, ErrRejected) {
+		t.Errorf("terminal error %v does not carry the original cause", err)
+	}
+}
+
+// TestHandshakeTimeout: a connection that never completes its handshake
+// is dropped when the deadline fires, not pinned forever.
+func TestHandshakeTimeout(t *testing.T) {
+	st := newStation(t, chaosConfig())
+	srv, err := ServeWith(st, "127.0.0.1:0", Options{HandshakeTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	var buf [1]byte
+	if _, err := conn.Read(buf[:]); err == nil || isTimeout(err) {
+		t.Errorf("stalled handshake not dropped by the server: read err=%v", err)
+	}
+}
+
+// TestIdleTimeout: an established connection that goes silent is closed
+// once the idle deadline fires.
+func TestIdleTimeout(t *testing.T) {
+	cfg := chaosConfig()
+	st := newStation(t, cfg)
+	srv, err := ServeWith(st, "127.0.0.1:0", Options{IdleTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := Dial(srv.Addr(), "idle-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	frames := encodeFrames(t, cfg, 2, 16)
+	if err := client.Send(frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if err := client.Send(frames[1]); err == nil {
+		t.Error("send on an idle-closed connection succeeded")
+	}
+}
+
+// TestShutdownDrains: Shutdown wakes idle connections, lets in-flight
+// work finish, and returns without force-closing when the context allows.
+func TestShutdownDrains(t *testing.T) {
+	cfg := chaosConfig()
+	st := newStation(t, cfg)
+	srv, err := Serve(st, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(srv.Addr(), "drain-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// The frame is fully handled and acked before Shutdown is called, so
+	// the drain must not lose it.
+	if err := client.Send(encodeFrames(t, cfg, 1, 16)[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("drain of an idle connection took %v, want immediate wake", elapsed)
+	}
+	stats, err := st.SensorStats("drain-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Transmissions != 1 {
+		t.Errorf("station lost the acked frame across Shutdown: %d transmissions", stats.Transmissions)
+	}
+	// New connections are refused after drain.
+	if _, err := Dial(srv.Addr(), "late-node"); err == nil {
+		t.Error("dial succeeded after Shutdown")
+	}
+}
+
+// TestReliableReconnectAcrossRestart: the server dies mid-stream and
+// comes back on the same address with the same station; the reliable
+// client reconnects under backoff, retransmits its outbox, and every
+// frame lands exactly once.
+func TestReliableReconnectAcrossRestart(t *testing.T) {
+	cfg := chaosConfig()
+	st := newStation(t, cfg)
+	srv, err := Serve(st, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	rc, err := NewReliable(addr, "phoenix", ReliableOptions{
+		DialTimeout: time.Second,
+		AckTimeout:  time.Second,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  100 * time.Millisecond,
+		MaxAttempts: 100,
+		Metrics:     met,
+		Rand:        rand.New(rand.NewSource(11)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	const n = 12
+	frames := encodeFrames(t, cfg, n, 16)
+	for i, frame := range frames[:n/2] {
+		if err := rc.Send(frame); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := rc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server, restart on the same address with the same station.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := Serve(st, addr)
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	for i, frame := range frames[n/2:] {
+		if err := rc.Send(frame); err != nil {
+			t.Fatalf("send %d after restart: %v", n/2+i, err)
+		}
+	}
+	if err := rc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := st.SensorStats("phoenix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Transmissions != n {
+		t.Errorf("station holds %d transmissions, want %d", stats.Transmissions, n)
+	}
+	if stats.Restarts != 0 {
+		t.Errorf("reconnect misread as a sensor reboot: %d restarts", stats.Restarts)
+	}
+	if met.Reconnects.Value() == 0 {
+		t.Error("reconnect metric never moved")
+	}
+}
+
+// TestChaosExactlyOnce is the headline robustness proof: hundreds of
+// frames streamed through a link that drops, corrupts, duplicates,
+// truncates, cuts, half-closes and delays traffic — and the station
+// history must come out byte-identical to the fault-free run, with every
+// frame delivered exactly once.
+func TestChaosExactlyOnce(t *testing.T) {
+	const (
+		nFrames  = 400
+		batchLen = 16
+	)
+	cfg := chaosConfig()
+	frames := encodeFrames(t, cfg, nFrames, batchLen)
+
+	// Fault-free baseline.
+	baseline := newStation(t, cfg)
+	for i, frame := range frames {
+		if err := baseline.ReceiveFrame("chaos-node", frame); err != nil {
+			t.Fatalf("baseline frame %d: %v", i, err)
+		}
+	}
+	wantHist, err := baseline.History("chaos-node", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Faulted run: the injector sits on the client→server write path.
+	inj := faultnet.New(faultnet.Config{
+		Seed:      42,
+		Drop:      0.010,
+		Corrupt:   0.010,
+		Duplicate: 0.020,
+		Truncate:  0.006,
+		Cut:       0.006,
+		HalfClose: 0.004,
+		Delay:     0.050,
+		MaxDelay:  2 * time.Millisecond,
+	})
+	st := newStation(t, cfg)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	srv, err := ServeWith(st, "127.0.0.1:0", Options{
+		Metrics:          met,
+		HandshakeTimeout: time.Second,
+		IdleTimeout:      5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rc, err := NewReliable(srv.Addr(), "chaos-node", ReliableOptions{
+		Dial:        inj.Dialer(time.Second),
+		AckTimeout:  200 * time.Millisecond,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		MaxAttempts: 200,
+		Window:      8,
+		Metrics:     met,
+		Rand:        rand.New(rand.NewSource(7)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, frame := range frames {
+		if err := rc.Send(frame); err != nil {
+			t.Fatalf("chaos send %d: %v (%s)", i, err, inj)
+		}
+	}
+	if err := rc.Flush(); err != nil {
+		t.Fatalf("chaos flush: %v (%s)", err, inj)
+	}
+	if err := rc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("%s; retries=%d reconnects=%d duplicates=%d",
+		inj, met.Retries.Value(), met.Reconnects.Value(), met.DupFrames.Value())
+
+	if inj.Injected() == 0 {
+		t.Fatal("the fault injector never fired; the test proves nothing")
+	}
+	if met.Retries.Value() == 0 && met.Reconnects.Value() == 0 {
+		t.Error("no retries or reconnects: the chaos schedule was too gentle")
+	}
+
+	stats, err := st.SensorStats("chaos-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Transmissions != nFrames {
+		t.Errorf("station holds %d transmissions, want exactly %d", stats.Transmissions, nFrames)
+	}
+	gotHist, err := st.History("chaos-node", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotHist) != len(wantHist) {
+		t.Fatalf("history length %d, want %d", len(gotHist), len(wantHist))
+	}
+	for i := range gotHist {
+		if gotHist[i] != wantHist[i] {
+			t.Fatalf("history diverges at %d: %v != %v", i, gotHist[i], wantHist[i])
+		}
+	}
+}

@@ -65,6 +65,12 @@ type Network struct {
 	// cheap shortcut path — and are billed at the model's shortcut CPU
 	// rate.
 	Adaptive *core.AdaptivePolicy
+
+	// Deliver, when set, receives every frame after the in-process station
+	// accepted it — the uplink hook cmd/sensorsim uses to mirror the
+	// simulated field onto a real stationd over the reliable transport. A
+	// delivery error aborts the run.
+	Deliver func(id string, frame []byte) error
 }
 
 // NewNetwork creates a network whose sensors all run cfg and flush their
@@ -286,7 +292,15 @@ func (n *Network) flush(nd *Node, rep *Report) error {
 	rep.Transmissions++
 	rep.BytesToBase += len(frame)
 	rep.RawBytes += rawFrameBytes
-	return n.station.ReceiveFrame(nd.ID, frame)
+	if err := n.station.ReceiveFrame(nd.ID, frame); err != nil {
+		return err
+	}
+	if n.Deliver != nil {
+		if err := n.Deliver(nd.ID, frame); err != nil {
+			return fmt.Errorf("sensornet: delivering node %q frame: %w", nd.ID, err)
+		}
+	}
+	return nil
 }
 
 // charge bills sender cur for transmitting frame, plus overhearing by every

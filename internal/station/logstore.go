@@ -1,10 +1,13 @@
 package station
 
 import (
+	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 
@@ -78,6 +81,11 @@ func (ls *LogStore) Close() error {
 	return first
 }
 
+// logExt is the per-sensor log file extension; Restore derives sensor IDs
+// from the file names, so IDs with sanitised characters restore under
+// their sanitised spelling.
+const logExt = ".sbrlog"
+
 // path maps a sensor ID to its log file, sanitising path separators.
 func (ls *LogStore) path(id string) string {
 	safe := strings.Map(func(r rune) rune {
@@ -87,7 +95,7 @@ func (ls *LogStore) path(id string) string {
 		}
 		return r
 	}, id)
-	return filepath.Join(ls.dir, safe+".sbrlog")
+	return filepath.Join(ls.dir, safe+logExt)
 }
 
 // Replay reads every frame from one sensor log and feeds it to fn in order.
@@ -117,4 +125,125 @@ func (ls *LogStore) LoadSensorLog(st *Station, id string) error {
 	return Replay(f, func(t *core.Transmission) error {
 		return st.Receive(id, t)
 	})
+}
+
+// ReplayFrames reads raw frames from one sensor log and feeds each to fn
+// in order, without decoding the payload. It is the raw twin of Replay,
+// used by crash recovery so the station rebuilds its retransmission
+// fingerprints from the very bytes it once acknowledged.
+func ReplayFrames(r io.Reader, fn func(frame []byte) error) error {
+	br := bufio.NewReader(r)
+	for {
+		frame, err := wire.ReadFrame(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(frame); err != nil {
+			return err
+		}
+	}
+}
+
+// RestoreStats summarises a crash-recovery pass over a log directory.
+type RestoreStats struct {
+	Sensors        int   // log files replayed
+	Frames         int   // complete frames fed back into the station
+	Duplicates     int   // logged frames the station already held (skipped)
+	TornTails      int   // files whose torn or corrupt tail was truncated
+	TruncatedBytes int64 // bytes cut from torn tails across all files
+}
+
+// Restore rebuilds st by replaying every per-sensor frame log in dir —
+// the startup path of a crashed station. Each complete frame is fed back
+// through the normal receive path, so the history, the aggregate index,
+// the base-signal replica and the sequence state all resume exactly where
+// the crash interrupted them. A torn final record (the crash landed
+// mid-append) or a corrupt tail is truncated back to the last complete
+// frame and counted, never fatal: the sensor retransmits the lost frame
+// and the log heals. Call it after Instrument and before serving traffic.
+func Restore(st *Station, dir string) (RestoreStats, error) {
+	var stats RestoreStats
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return stats, nil // nothing persisted yet: a cold start
+		}
+		return stats, fmt.Errorf("station: reading log dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), logExt) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		id := strings.TrimSuffix(name, logExt)
+		frames, dups, cut, err := restoreFile(st, filepath.Join(dir, name), id)
+		stats.Frames += frames
+		stats.Duplicates += dups
+		if cut > 0 {
+			stats.TornTails++
+			stats.TruncatedBytes += cut
+		}
+		st.noteReplay(frames, cut > 0)
+		if err != nil {
+			return stats, err
+		}
+		stats.Sensors++
+	}
+	return stats, nil
+}
+
+// restoreFile replays one sensor log, truncating at the first incomplete
+// or unacceptable record. good tracks the byte offset of the last frame
+// the station holds, so the truncated file ends exactly on a frame
+// boundary and the next append continues a valid log.
+func restoreFile(st *Station, path, id string) (frames, dups int, cut int64, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("station: opening sensor log for restore: %w", err)
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("station: sizing sensor log: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, 0, fmt.Errorf("station: rewinding sensor log: %w", err)
+	}
+	br := bufio.NewReader(f)
+	var good int64
+	for {
+		frame, rerr := wire.ReadFrame(br)
+		if rerr == io.EOF {
+			return frames, dups, 0, nil
+		}
+		if rerr == nil {
+			switch serr := st.ReceiveFrameFrom(id, 0, frame); {
+			case serr == nil:
+				frames++
+				good += int64(len(frame))
+				continue
+			case errors.Is(serr, ErrDuplicate):
+				// A pre-dedup log may hold retransmitted frames; skip them
+				// but keep the bytes — they are well-formed history.
+				dups++
+				good += int64(len(frame))
+				continue
+			}
+		}
+		// Torn or corrupt tail: every later frame is unsequenceable, so
+		// cut the file back to the last frame the station accepted.
+		if terr := f.Truncate(good); terr != nil {
+			return frames, dups, 0, fmt.Errorf("station: truncating torn log tail: %w", terr)
+		}
+		if serr := f.Sync(); serr != nil {
+			return frames, dups, 0, fmt.Errorf("station: syncing truncated log: %w", serr)
+		}
+		return frames, dups, size - good, nil
+	}
 }

@@ -7,7 +7,9 @@
 package station
 
 import (
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 	"sync"
@@ -19,6 +21,12 @@ import (
 	"sbr/internal/timeseries"
 	"sbr/internal/wire"
 )
+
+// ErrDuplicate reports a transmission the station had already accepted: a
+// lossy link lost the acknowledgement and the sensor retransmitted. The
+// transport re-acknowledges it as OK instead of treating it as a protocol
+// violation, which is what makes retransmission idempotent end to end.
+var ErrDuplicate = errors.New("station: duplicate transmission")
 
 // Station is a base station serving many sensors. It is safe for
 // concurrent use: sensor networks deliver frames from many radios at once.
@@ -50,6 +58,9 @@ type stationMetrics struct {
 	rawBytes       *obs.Counter
 	restarts       *obs.Counter
 	rejects        *obs.Counter
+	duplicates     *obs.Counter
+	replayed       *obs.Counter
+	tornTails      *obs.Counter
 	receiveSeconds *obs.Histogram
 	indexDepth     *obs.Gauge
 
@@ -77,6 +88,9 @@ func (s *Station) Instrument(reg *obs.Registry) {
 		rawBytes:       reg.Counter("sbr_station_bytes_total", "Raw frame bytes ingested."),
 		restarts:       reg.Counter("sbr_station_restarts_total", "Sensor reboots observed (sequence reset to zero)."),
 		rejects:        reg.Counter("sbr_station_rejects_total", "Transmissions the station refused (decode, shape, order)."),
+		duplicates:     reg.Counter("sbr_station_duplicates_total", "Retransmitted already-accepted transmissions dropped idempotently."),
+		replayed:       reg.Counter("sbr_station_replayed_frames_total", "Frames replayed from the on-disk logs during crash recovery."),
+		tornTails:      reg.Counter("sbr_station_torn_tails_total", "Torn or corrupt log tails truncated during crash recovery."),
 		receiveSeconds: reg.Histogram("sbr_station_receive_seconds", "Receive-path latency per transmission (decode + index append).", obs.LatencyBuckets),
 		indexDepth:     reg.Gauge("sbr_station_index_depth", "Deepest per-sensor aggregate index (segment-tree levels)."),
 
@@ -110,6 +124,17 @@ type sensorLog struct {
 	values   int                   // abstract bandwidth values received
 	inserts  []int                 // base intervals inserted per transmission
 	restarts int                   // sensor reboots observed (sequence reset to zero)
+
+	// Retransmission state. nextSeq is the sequence the current sensor
+	// incarnation should send next; srcNonce identifies the transport
+	// incarnation that delivered the incarnation's first frame (0 when the
+	// frame arrived without one, e.g. in-process or replayed); zeroSum
+	// fingerprints the raw bytes of that first frame so a retransmitted
+	// seq 0 can be told from a genuine reboot even when the nonce is lost
+	// (e.g. after a crash-recovery replay).
+	nextSeq  int
+	srcNonce uint64
+	zeroSum  uint64
 }
 
 // New creates a station whose sensors all run the given configuration.
@@ -137,25 +162,66 @@ func (s *Station) sensor(id string) (*sensorLog, error) {
 
 // ReceiveFrame ingests one wire-encoded frame from the named sensor.
 func (s *Station) ReceiveFrame(id string, frame []byte) error {
+	return s.ReceiveFrameFrom(id, 0, frame)
+}
+
+// ReceiveFrameFrom ingests one wire-encoded frame delivered by the
+// transport incarnation identified by src (0: unknown). The incarnation
+// nonce lets the station classify a re-delivered already-accepted
+// sequence as a retransmission — answered with ErrDuplicate so the
+// transport can re-acknowledge it — instead of a decode-order violation,
+// and disambiguates a retransmitted seq 0 from a sensor reboot.
+func (s *Station) ReceiveFrameFrom(id string, src uint64, frame []byte) error {
 	t, err := wire.DecodeBytes(frame)
 	if err != nil {
 		return fmt.Errorf("station: sensor %q: %w", id, err)
 	}
-	return s.receive(id, t, len(frame))
+	return s.receive(id, t, len(frame), src, fingerprint(frame))
 }
 
 // Receive ingests one decoded transmission from the named sensor (used
 // when sender and receiver share an address space, e.g. in tests and the
 // simulator's loss-free fast path).
 func (s *Station) Receive(id string, t *core.Transmission) error {
-	return s.receive(id, t, 0)
+	return s.receive(id, t, 0, 0, 0)
 }
 
-func (s *Station) receive(id string, t *core.Transmission, rawBytes int) (err error) {
+// fingerprint hashes a raw frame for the seq-0 duplicate heuristic.
+func fingerprint(frame []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(frame) //nolint:errcheck — fnv never fails
+	return h.Sum64()
+}
+
+// duplicate classifies t against the log's retransmission state. The
+// caller holds s.mu.
+func (l *sensorLog) duplicate(t *core.Transmission, src, sum uint64) bool {
+	if t.Seq >= l.nextSeq {
+		return false
+	}
+	if t.Seq > 0 {
+		// Sequences only restart at zero, so any already-passed positive
+		// sequence is a retransmission (a genuinely confused sensor would
+		// be rejected by the decoder anyway; dropping idempotently is the
+		// safer answer for both).
+		return true
+	}
+	// Seq 0 is ambiguous: retransmission of the incarnation's first frame,
+	// or a rebooted sensor starting over. The incarnation nonce decides
+	// when both sides carry one; the frame fingerprint is the fallback.
+	if src != 0 && l.srcNonce != 0 {
+		return src == l.srcNonce
+	}
+	return sum != 0 && sum == l.zeroSum
+}
+
+func (s *Station) receive(id string, t *core.Transmission, rawBytes int, src, sum uint64) (err error) {
 	start := time.Now()
 	defer func() {
 		if err != nil {
-			s.met.rejects.Inc()
+			if !errors.Is(err, ErrDuplicate) {
+				s.met.rejects.Inc()
+			}
 			return
 		}
 		s.met.receiveSeconds.Observe(time.Since(start).Seconds())
@@ -165,6 +231,10 @@ func (s *Station) receive(id string, t *core.Transmission, rawBytes int) (err er
 	log, err := s.sensor(id)
 	if err != nil {
 		return err
+	}
+	if log.duplicate(t, src, sum) {
+		s.met.duplicates.Inc()
+		return fmt.Errorf("station: sensor %q seq %d: %w", id, t.Seq, ErrDuplicate)
 	}
 	if s.AllowRestart && t.Seq == 0 && log.frames > 0 {
 		// Sensor reboot: a fresh compressor numbers from zero and starts
@@ -200,6 +270,11 @@ func (s *Station) receive(id string, t *core.Transmission, rawBytes int) (err er
 	}
 	log.chunks = append(log.chunks, rows)
 	log.bounds = append(log.bounds, t.ErrBound)
+	log.nextSeq = t.Seq + 1
+	if t.Seq == 0 {
+		log.srcNonce = src
+		log.zeroSum = sum
+	}
 	log.frames++
 	log.bytes += rawBytes
 	log.values += t.Cost
@@ -228,6 +303,18 @@ func (s *Station) observeTransmission(log *sensorLog, t *core.Transmission, rawB
 	s.met.achievedError.Observe(rep.AchievedError)
 	if t.Bounded() {
 		s.met.errBound.Observe(rep.ErrBound)
+	}
+}
+
+// noteReplay feeds the crash-recovery telemetry after one log file has
+// been replayed.
+func (s *Station) noteReplay(frames int, torn bool) {
+	s.mu.RLock()
+	met := s.met
+	s.mu.RUnlock()
+	met.replayed.Add(uint64(frames))
+	if torn {
+		met.tornTails.Inc()
 	}
 }
 

@@ -144,6 +144,41 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return raw.Bytes(), nil
 }
 
+// FrameSeq extracts the sequence number from a framed transmission
+// without decoding the payload — the cheap header peek transports use to
+// match acknowledgements to outstanding frames and to re-acknowledge
+// retransmitted duplicates.
+func FrameSeq(frame []byte) (int, error) {
+	r := bytes.NewReader(frame)
+	var head [5]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return 0, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	if !bytes.Equal(head[:4], magic[:]) {
+		return 0, ErrMagic
+	}
+	if head[4] != Version {
+		return 0, fmt.Errorf("wire: unsupported frame version %d", head[4])
+	}
+	if _, err := binary.ReadUvarint(r); err != nil {
+		return 0, fmt.Errorf("wire: reading frame length: %w", err)
+	}
+	flags, err := r.ReadByte()
+	if err != nil {
+		return 0, fmt.Errorf("wire: reading flags: %w", err)
+	}
+	if flags&flagBounded != 0 {
+		if _, err := r.Seek(8, io.SeekCurrent); err != nil {
+			return 0, fmt.Errorf("wire: skipping error bound: %w", err)
+		}
+	}
+	seq, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("wire: reading seq: %w", err)
+	}
+	return int(seq), nil
+}
+
 // Decode parses one framed transmission from r. Interval lengths are
 // recovered from the sorted starts of the decoded records; Cost is
 // recomputed from the frame contents.

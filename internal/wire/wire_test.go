@@ -462,3 +462,40 @@ func TestReadFrameRejectsGarbage(t *testing.T) {
 		t.Fatal("bad version must fail")
 	}
 }
+
+// TestFrameSeq checks the header peek the transports use to match
+// acknowledgements to outstanding frames: it must agree with the full
+// decode, for plain and bounded frames alike, without touching the body.
+func TestFrameSeq(t *testing.T) {
+	for _, bound := range []float64{0, 0.125} {
+		tr := sampleTransmission(2)
+		tr.Seq = 41
+		tr.ErrBound = bound
+		frame, err := Encode(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := FrameSeq(frame)
+		if err != nil {
+			t.Fatalf("bound=%v: %v", bound, err)
+		}
+		if seq != tr.Seq {
+			t.Errorf("bound=%v: FrameSeq = %d, want %d", bound, seq, tr.Seq)
+		}
+	}
+	if _, err := FrameSeq([]byte("XXXX-definitely-not-a-frame")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := FrameSeq(nil); err == nil {
+		t.Error("empty frame accepted")
+	}
+	frame, err := Encode(sampleTransmission(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), frame...)
+	bad[4] = 99 // version
+	if _, err := FrameSeq(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+}
