@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race chaos cover bench bench-smoke fuzz examples experiments experiments-quick clean
+.PHONY: all build fmt-check vet test race chaos cover bench bench-full bench-smoke fuzz examples experiments experiments-quick clean
 
 all: build fmt-check vet test
 
@@ -32,13 +32,25 @@ chaos:
 cover:
 	$(GO) test -cover ./internal/...
 
+# The encode fast-path trajectory: measures the headline benchmarks and
+# writes BENCH_pr4.json with ns/op, allocs/op and the speedup over the
+# committed pre-optimisation baseline (BENCH_baseline.json).
+BENCH_SUITE = BenchmarkEncodeAutoIns|BenchmarkSBREncode$$|BenchmarkSBRShortcut|BenchmarkGetIntervals|BenchmarkBestMapShiftScan
 bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_SUITE)' -benchmem -benchtime 2s . \
+		| $(GO) run ./cmd/benchreport -baseline BENCH_baseline.json -out BENCH_pr4.json
+	@cat BENCH_pr4.json
+
+# Every benchmark in every package, at full measurement length.
+bench-full:
 	$(GO) test -bench=. -benchmem ./...
 
-# One iteration of every benchmark: catches bit-rotted benchmark code
-# without paying for a full measurement run.
+# One iteration of every benchmark plus the report pipeline: catches
+# bit-rotted benchmark or tooling code without paying for a measurement run.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench '$(BENCH_SUITE)' -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchreport -baseline BENCH_baseline.json -out - >/dev/null
 
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/wire

@@ -9,6 +9,7 @@ package sbr
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"sbr/internal/aggregate"
@@ -235,6 +236,56 @@ func BenchmarkSBREncode(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchCorrelatedRows builds a deterministic batch of correlated rows: a
+// shared periodic pattern with per-row affine distortion plus noise — the
+// structure SBR's base signal thrives on, so the AutoIns search has real
+// work to do.
+func benchCorrelatedRows(seed int64, n, m int) []timeseries.Series {
+	rows := make([]timeseries.Series, n)
+	for r := range rows {
+		s := float64(seed)*0.77 + float64(r)*0.13
+		row := make(timeseries.Series, m)
+		for i := range row {
+			t := float64(i)
+			row[i] = (1.5+0.2*float64(r))*(math.Sin(t/7+s)+0.5*math.Sin(t/3)) +
+				3*float64(r) + 0.05*math.Sin(t*1.7+s*31)
+		}
+		rows[r] = row
+	}
+	return rows
+}
+
+// BenchmarkEncodeAutoIns measures the steady-state full SBR encode with the
+// Algorithm 7 insert-count search enabled (the paper's default): pool
+// builder, SSE metric, N=16 rows. This is the headline number of the encode
+// fast path — the pool is warmed to capacity first so every iteration runs
+// the search against a full base signal.
+func BenchmarkEncodeAutoIns(b *testing.B) {
+	const nRows, m = 16, 256 // N×M = 4096, W = 64
+	cfg := core.Config{TotalBand: 512, MBase: 2048, Metric: metrics.SSE}
+	comp, err := core.NewCompressor(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := make([][]timeseries.Series, 8)
+	for i := range batches {
+		batches[i] = benchCorrelatedRows(int64(i), nRows, m)
+	}
+	for _, batch := range batches { // fill the pool to steady state
+		if _, err := comp.Encode(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := comp.Encode(batches[i%len(batches)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(comp.LastReport().SearchEvals), "search-evals")
 }
 
 func BenchmarkWaveletTransform(b *testing.B) {

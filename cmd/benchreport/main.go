@@ -1,0 +1,120 @@
+// Command benchreport turns `go test -bench` output into a small JSON
+// record of the encode fast path's benchmark trajectory: for every
+// benchmark it captures ns/op, B/op and allocs/op, and when a baseline
+// file provides the pre-optimisation numbers it also reports the speedup.
+// The committed BENCH_pr4.json is produced by `make bench`:
+//
+//	go test -run '^$' -bench <suite> -benchmem . | benchreport \
+//	    -baseline BENCH_baseline.json -out BENCH_pr4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// Result is one benchmark's measured numbers. BaselineNsPerOp and Speedup
+// are present only when the baseline file covers the benchmark.
+type Result struct {
+	Name             string  `json:"name"`
+	NsPerOp          float64 `json:"ns_per_op"`
+	BytesPerOp       int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp      int64   `json:"allocs_per_op,omitempty"`
+	BaselineNsPerOp  float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocsOp int64   `json:"baseline_allocs_per_op,omitempty"`
+	Speedup          float64 `json:"speedup,omitempty"`
+}
+
+// Baseline mirrors the committed pre-optimisation measurements.
+type Baseline struct {
+	Note       string   `json:"note"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Note       string   `json:"note"`
+	Baseline   string   `json:"baseline_note,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkEncodeAutoIns-8   1012   2357418 ns/op   441881 B/op   1126 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9]+) B/op\s+([0-9]+) allocs/op)?`)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "JSON file with pre-optimisation numbers (optional)")
+	out := flag.String("out", "-", "output path, or - for stdout")
+	note := flag.String("note", "Encode fast-path benchmark trajectory", "free-form note stored in the report")
+	flag.Parse()
+
+	base := map[string]Result{}
+	var baseNote string
+	if *baselinePath != "" {
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		var b Baseline
+		if err := json.Unmarshal(raw, &b); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *baselinePath, err))
+		}
+		baseNote = b.Note
+		for _, r := range b.Benchmarks {
+			base[r.Name] = r
+		}
+	}
+
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		r := Result{Name: m[1]}
+		r.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+			r.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if b, ok := base[r.Name]; ok && r.NsPerOp > 0 {
+			r.BaselineNsPerOp = b.NsPerOp
+			r.BaselineAllocsOp = b.AllocsPerOp
+			r.Speedup = math.Round(b.NsPerOp/r.NsPerOp*100) / 100
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	doc, err := json.MarshalIndent(Report{Note: *note, Baseline: baseNote, Benchmarks: results}, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	doc = append(doc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(doc)
+		return
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}

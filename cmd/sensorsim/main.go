@@ -78,10 +78,11 @@ func main() {
 	if err := net.Build(); err != nil {
 		fatal(err)
 	}
-	// The simulation's base station feeds the same obs registry a live
-	// stationd would, so the final summary and any rejection counts come
-	// from one telemetry source.
-	net.Station().Instrument(reg)
+	// The whole network feeds one obs registry: the base station's
+	// decode/query metrics plus every node compressor's encode fast-path
+	// counters (scan-cache hits, incrementally scanned tail shifts), so the
+	// final summary and any rejection counts come from one telemetry source.
+	net.Instrument(reg)
 
 	// With an uplink, every accepted frame is mirrored to a real stationd
 	// through one reliable client per node: the transport retries, backs
@@ -179,6 +180,11 @@ func main() {
 		"raw_bytes", rep.RawBytes,
 		"values", int(v["sbr_station_values_total"]),
 		"base_inserts", int(v["sbr_core_base_inserts_total"]),
+		"encodes", int(v["sbr_encode_total"]),
+		"search_evals", int(v["sbr_encode_search_evals_total"]),
+		"scan_cache_hits", int(v["sbr_encode_cache_hits_total"]),
+		"scan_cache_misses", int(v["sbr_encode_cache_misses_total"]),
+		"tail_shifts", int(v["sbr_encode_tail_shifts_total"]),
 		"wall", time.Since(start).Round(time.Millisecond).String(),
 	)
 }

@@ -1,0 +1,103 @@
+package sbr
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"sbr/internal/core"
+	"sbr/internal/interval"
+	"sbr/internal/metrics"
+	"sbr/internal/timeseries"
+	"sbr/internal/wire"
+)
+
+// encodeFrames runs a fresh compressor over the batches and returns the
+// wire frame of every transmission. The compressor is created inside so
+// each call replays the identical pool evolution from scratch.
+func encodeFrames(t *testing.T, cfg core.Config, batches [][]timeseries.Series) [][]byte {
+	t.Helper()
+	comp, err := core.NewCompressor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([][]byte, len(batches))
+	for i, batch := range batches {
+		tx, err := comp.Encode(batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		frames[i], err = wire.Encode(tx)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	return frames
+}
+
+// TestEncodeDeterministicAcrossProcs is the bit-determinism contract of the
+// parallel shift-scan engine: for every base builder and error metric, the
+// full AutoIns encode must produce byte-identical wire frames whether the
+// engine runs on one worker or many. ParallelScanThreshold is dropped to 1
+// so even these small inputs take the chunked parallel path, and the whole
+// matrix runs under -race in CI (see make race).
+func TestEncodeDeterministicAcrossProcs(t *testing.T) {
+	savedThreshold := interval.ParallelScanThreshold
+	interval.ParallelScanThreshold = 1
+	savedProcs := runtime.GOMAXPROCS(0)
+	defer func() {
+		interval.ParallelScanThreshold = savedThreshold
+		runtime.GOMAXPROCS(savedProcs)
+	}()
+
+	const nRows, m, batches = 4, 128, 3
+	data := make([][]timeseries.Series, batches)
+	for i := range data {
+		data[i] = benchCorrelatedRows(int64(i), nRows, m)
+	}
+
+	builders := []struct {
+		name string
+		b    core.BaseBuilder
+	}{
+		{"GetBase", core.BuilderGetBase},
+		{"GetBaseLowMem", core.BuilderGetBaseLowMem},
+		{"SVD", core.BuilderSVD},
+	}
+	kinds := []metrics.Kind{metrics.SSE, metrics.RelativeSSE, metrics.MaxAbs}
+
+	type variant struct {
+		name string
+		cfg  core.Config
+	}
+	var variants []variant
+	for _, bl := range builders {
+		for _, k := range kinds {
+			variants = append(variants, variant{
+				name: fmt.Sprintf("%s/%s", bl.name, k),
+				cfg:  core.Config{TotalBand: 128, MBase: 512, Metric: k, Builder: bl.b},
+			})
+		}
+		// The non-linear encoding extension shares the same scan engine.
+		variants = append(variants, variant{
+			name: bl.name + "/sse-quadratic",
+			cfg:  core.Config{TotalBand: 128, MBase: 512, Metric: metrics.SSE, Builder: bl.b, Quadratic: true},
+		})
+	}
+
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			runtime.GOMAXPROCS(1)
+			sequential := encodeFrames(t, v.cfg, data)
+			runtime.GOMAXPROCS(4)
+			parallel := encodeFrames(t, v.cfg, data)
+			for i := range sequential {
+				if !bytes.Equal(sequential[i], parallel[i]) {
+					t.Fatalf("batch %d: wire frames differ between GOMAXPROCS=1 and 4 (%d vs %d bytes)",
+						i, len(sequential[i]), len(parallel[i]))
+				}
+			}
+		})
+	}
+}

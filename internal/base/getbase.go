@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 
+	"sbr/internal/metrics"
 	"sbr/internal/regression"
 	"sbr/internal/timeseries"
 )
@@ -32,6 +33,34 @@ func Candidates(rows []timeseries.Series, w int) []Candidate {
 		}
 	}
 	return out
+}
+
+// pairErrs returns err(i, j), the error of approximating CBI j as a linear
+// image of CBI i — the entry type of Algorithm 4's K×K error matrix. Under
+// the SSE metric the per-candidate moments are hoisted (O(K·W) once) so
+// each pair costs only one unrolled cross moment instead of a full
+// five-moment accumulation. Every GetBase variant evaluates pairs through
+// this same function, which keeps their selections identical.
+func pairErrs(cands []Candidate, w int, fitter regression.Fitter) func(i, j int) float64 {
+	if fitter.Kind != metrics.SSE {
+		return func(i, j int) float64 {
+			return fitter.Fit(cands[i].Data, cands[j].Data, 0, 0, w).Err
+		}
+	}
+	sums := make([]float64, len(cands))
+	sumSqs := make([]float64, len(cands))
+	for c, cand := range cands {
+		var s, s2 float64
+		for _, v := range cand.Data {
+			s += v
+			s2 += v * v
+		}
+		sums[c], sumSqs[c] = s, s2
+	}
+	return func(i, j int) float64 {
+		cross := regression.Dot(cands[i].Data, cands[j].Data)
+		return regression.SSEFromSums(sums[i], sums[j], cross, sumSqs[i], sumSqs[j], w).Err
+	}
 }
 
 // GetBase selects up to maxIns CBIs from the rows using the greedy
@@ -60,6 +89,8 @@ func GetBase(rows []timeseries.Series, w, maxIns int, fitter regression.Fitter) 
 	// whole SBR pipeline — fans out across cores. The greedy selection
 	// below stays sequential and deterministic.
 	errMat := make([][]float64, k)
+	backing := make([]float64, k*k)
+	pairErr := pairErrs(cands, w, fitter)
 	workers := runtime.NumCPU()
 	if workers > k {
 		workers = k
@@ -73,9 +104,9 @@ func GetBase(rows []timeseries.Series, w, maxIns int, fitter regression.Fitter) 
 		go func(start int) {
 			defer wg.Done()
 			for i := start; i < k; i += workers {
-				row := make([]float64, k)
+				row := backing[i*k : (i+1)*k : (i+1)*k]
 				for j := 0; j < k; j++ {
-					row[j] = fitter.Fit(cands[i].Data, cands[j].Data, 0, 0, w).Err
+					row[j] = pairErr(i, j)
 				}
 				errMat[i] = row
 			}
@@ -142,10 +173,10 @@ func GetBaseNoAdjust(rows []timeseries.Series, w, maxIns int, fitter regression.
 		linErr[j] = fitter.FitRamp(cands[j].Data, 0, w).Err
 	}
 	benefits := make([]float64, k)
+	pairErr := pairErrs(cands, w, fitter)
 	for i := 0; i < k; i++ {
 		for j := 0; j < k; j++ {
-			err := fitter.Fit(cands[i].Data, cands[j].Data, 0, 0, w).Err
-			if gain := linErr[j] - err; gain > 0 {
+			if gain := linErr[j] - pairErr(i, j); gain > 0 {
 				benefits[i] += gain
 			}
 		}
@@ -187,6 +218,7 @@ func GetBaseLowMem(rows []timeseries.Series, w, maxIns int, fitter regression.Fi
 	for j := 0; j < k; j++ {
 		bestErr[j] = fitter.FitRamp(cands[j].Data, 0, w).Err
 	}
+	pairErr := pairErrs(cands, w, fitter)
 
 	selected := make([]Candidate, 0, maxIns)
 	taken := make([]bool, k)
@@ -198,8 +230,7 @@ func GetBaseLowMem(rows []timeseries.Series, w, maxIns int, fitter regression.Fi
 			}
 			var benefit float64
 			for j := 0; j < k; j++ {
-				err := fitter.Fit(cands[i].Data, cands[j].Data, 0, 0, w).Err
-				if gain := bestErr[j] - err; gain > 0 {
+				if gain := bestErr[j] - pairErr(i, j); gain > 0 {
 					benefit += gain
 				}
 			}
@@ -213,8 +244,7 @@ func GetBaseLowMem(rows []timeseries.Series, w, maxIns int, fitter regression.Fi
 		taken[bestIdx] = true
 		selected = append(selected, cands[bestIdx])
 		for j := 0; j < k; j++ {
-			err := fitter.Fit(cands[bestIdx].Data, cands[j].Data, 0, 0, w).Err
-			if err < bestErr[j] {
+			if err := pairErr(bestIdx, j); err < bestErr[j] {
 				bestErr[j] = err
 			}
 		}

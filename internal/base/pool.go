@@ -63,6 +63,21 @@ func (p *Pool) SignalWith(pending []timeseries.Series) timeseries.Series {
 	return timeseries.Concat(all...)
 }
 
+// AppendSignal appends the concatenation of the stored signal and the
+// given pending intervals to dst and returns the extended slice — the
+// allocation-free variant of SignalWith for callers that hold a reusable
+// scratch buffer (the insert-count search rebuilds this signal on every
+// Encode).
+func (p *Pool) AppendSignal(dst timeseries.Series, pending []timeseries.Series) timeseries.Series {
+	for _, s := range p.slots {
+		dst = append(dst, s...)
+	}
+	for _, s := range pending {
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
 // UseCounts returns a zeroed per-slot counter sized for the layout of
 // SignalWith(pending): callers accumulate, via CountUse, one increment per
 // interval record mapped onto each slot, then pass the counters to Commit.

@@ -226,3 +226,27 @@ func TestPoolSignalWith(t *testing.T) {
 		t.Error("SignalWith mutated the pool")
 	}
 }
+
+func TestPoolAppendSignalMatchesSignalWith(t *testing.T) {
+	p := NewPool(8, 2)
+	if _, err := p.Commit([]timeseries.Series{{1, 2}, {3, 4}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	pending := []timeseries.Series{{5, 6}, {7, 8}}
+	want := p.SignalWith(pending)
+
+	scratch := make(timeseries.Series, 0, 1)
+	got := p.AppendSignal(scratch[:0], pending)
+	if !timeseries.Equal(got, want, 0) {
+		t.Fatalf("AppendSignal = %v, want %v", got, want)
+	}
+	// Reuse: a second call into the same (now larger) scratch allocates
+	// nothing and overwrites the previous contents.
+	again := p.AppendSignal(got[:0], nil)
+	if !timeseries.Equal(again, p.Signal(), 0) {
+		t.Fatalf("reused AppendSignal = %v, want %v", again, p.Signal())
+	}
+	if &again[0] != &got[0] {
+		t.Error("second AppendSignal should reuse the scratch backing array")
+	}
+}

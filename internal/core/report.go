@@ -29,6 +29,19 @@ type CompressionReport struct {
 	// (zero unless the stream runs under metrics.MaxAbs).
 	AchievedError float64
 	ErrBound      float64
+
+	// Encode fast-path telemetry, sender-side only (like SearchEvals):
+	// how the insert-count search's cross-probe scan cache fared.
+	// CacheHits/CacheMisses count BestMap calls served from / creating a
+	// cache entry; TailShifts counts the shift positions actually scanned
+	// incrementally on top of cached coverage (the redundant work a
+	// non-incremental search would have repeated); ScanWorkers records the
+	// scan engine's worker cap during the Encode. All zero when the Encode
+	// ran without a search (forced or zero-candidate insert counts).
+	CacheHits   int
+	CacheMisses int
+	TailShifts  int
+	ScanWorkers int
 }
 
 // ReportTransmission derives the telemetry record of one transmission —

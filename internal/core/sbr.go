@@ -62,6 +62,17 @@ type Compressor struct {
 
 	searchEvals int               // CalculateError evaluations of the last Encode
 	lastReport  CompressionReport // telemetry record of the last Encode
+
+	// Encode fast-path scratch state, reused across batches: the
+	// concatenated search signal, its prefix sums, and the cache of the
+	// last insert-count search (nil when the last Encode did not search).
+	sigScratch timeseries.Series
+	yScratch   timeseries.Series
+	px         timeseries.Prefix
+	mapper     *interval.Mapper
+	lastCache  *interval.SearchCache
+
+	met encodeMetrics // obs instruments, all nil until Instrument
 }
 
 // NewCompressor validates the configuration and creates a compressor.
@@ -175,10 +186,18 @@ func (c *Compressor) Encode(rows []timeseries.Series) (*Transmission, error) {
 			c.cfg.TotalBand, n, minCost)
 	}
 
-	y := timeseries.Concat(rows...)
+	// Concatenate into a reused scratch: nothing built from the batch holds
+	// a reference into y once Encode returns (intervals store coefficients
+	// only), so the buffer is safe to recycle next batch.
+	c.yScratch = c.yScratch[:0]
+	for _, row := range rows {
+		c.yScratch = append(c.yScratch, row...)
+	}
+	y := c.yScratch
 	t := &Transmission{Seq: c.seq, N: n, M: m, W: c.w}
 	c.seq++
 	c.searchEvals = 0
+	c.lastCache = nil
 
 	switch c.cfg.Builder {
 	case BuilderDCT:
@@ -204,6 +223,12 @@ func (c *Compressor) Encode(rows []timeseries.Series) (*Transmission, error) {
 	}
 	c.lastReport = ReportTransmission(t)
 	c.lastReport.SearchEvals = c.searchEvals
+	hits, misses, tail := c.lastCache.Stats()
+	c.lastReport.CacheHits = int(hits)
+	c.lastReport.CacheMisses = int(misses)
+	c.lastReport.TailShifts = int(tail)
+	c.lastReport.ScanWorkers = interval.ScanWorkers()
+	c.met.observe(&c.lastReport)
 	return t, nil
 }
 
@@ -229,12 +254,13 @@ func (c *Compressor) encodeWithPool(rows []timeseries.Series, y timeseries.Serie
 		}
 	}
 
-	ins := c.chooseIns(candidates, y, n, m)
+	st := c.newSearch(candidates, y, n, m)
+	ins := c.chooseIns(st, len(candidates))
 	inserted := candidates[:ins]
 
-	xNew := c.pool.SignalWith(inserted)
-	budget := c.cfg.TotalBand - ins*(w+1)
-	list := c.getIntervals(xNew, y, n, m, budget)
+	// The winning probe's interval list is memoised in the search state, so
+	// the final approximation is free when the search already evaluated it.
+	list := c.searchList(st, ins)
 
 	counts := c.pool.UseCounts(ins)
 	for _, iv := range list {
@@ -272,30 +298,98 @@ func (c *Compressor) maxIns(n int) int {
 	return maxIns
 }
 
+// searchState is the shared context of one insert-count search: the full
+// candidate signal X₀‖candidates (built once into the compressor's scratch
+// buffer), its prefix sums, one Mapper whose X is resliced per probe, the
+// cross-probe scan cache, and the memoised per-probe interval lists and
+// errors (Algorithm 6).
+//
+// Every probe pos approximates the batch against the prefix
+// xFull[:prefixLen+pos·W]. Nothing mutates xFull or the prefix sums between
+// probes, which is what makes the scan cache and the shared prefix sums
+// bit-exact: a fit computed at any probe is the fit every other probe would
+// compute.
+type searchState struct {
+	xFull     timeseries.Series
+	prefixLen int // length of the stored pool signal X₀
+	mapper    *interval.Mapper
+	cache     *interval.SearchCache
+	y         timeseries.Series
+	n, m      int
+
+	lists [][]interval.Interval
+	errs  []float64
+	known []bool
+}
+
+// newSearch builds the search state for one Encode, reusing the
+// compressor's scratch signal, prefix sums and mapper across batches. The
+// scan cache is installed only when an actual Algorithm 7 search will run
+// (AutoIns with more than one candidate); single-probe encodes would pay
+// the bookkeeping without ever re-reading an entry.
+func (c *Compressor) newSearch(candidates []timeseries.Series, y timeseries.Series, n, m int) *searchState {
+	c.sigScratch = c.pool.AppendSignal(c.sigScratch[:0], candidates)
+	c.px.Reset(c.sigScratch)
+	if c.mapper == nil {
+		c.mapper = interval.NewMapperWithPrefix(nil, c.w, c.fitter, &c.px)
+		c.mapper.Quadratic = c.cfg.Quadratic
+	}
+	c.mapper.Cache = nil
+	st := &searchState{
+		xFull:     c.sigScratch,
+		prefixLen: c.pool.Size(),
+		mapper:    c.mapper,
+		y:         y,
+		n:         n,
+		m:         m,
+		lists:     make([][]interval.Interval, len(candidates)+1),
+		errs:      make([]float64, len(candidates)+1),
+		known:     make([]bool, len(candidates)+1),
+	}
+	if !c.cfg.SkipBaseUpdate && c.cfg.ForceIns == AutoIns && len(candidates) > 1 {
+		st.cache = interval.NewSearchCache()
+		st.mapper.Cache = st.cache
+	}
+	c.lastCache = st.cache
+	return st
+}
+
+// searchList returns the interval list of probe pos (insert the first pos
+// candidates), computing and memoising it on first use. This is
+// CalculateError's expensive half; the error itself lands in st.errs.
+func (c *Compressor) searchList(st *searchState, pos int) []interval.Interval {
+	if !st.known[pos] {
+		x := st.xFull[:st.prefixLen+pos*c.w]
+		st.mapper.X = x
+		st.mapper.DisableRamp = c.cfg.DisableRampFallback && len(x) > 0
+		budget := c.cfg.TotalBand - pos*(c.w+1)
+		st.lists[pos] = interval.GetIntervals(st.mapper, st.y, st.n, st.m, budget, interval.Options{
+			ErrorTarget:     c.cfg.ErrorTarget,
+			ValuesPerRecord: c.recordCost(),
+		})
+		st.errs[pos] = interval.TotalError(c.cfg.Metric, st.lists[pos])
+		st.known[pos] = true
+	}
+	return st.lists[pos]
+}
+
 // chooseIns picks how many of the candidate base intervals to insert:
 // a forced count, zero in shortcut mode, or the binary search of
 // Algorithm 7 with memoised CalculateError evaluations (Algorithm 6).
-func (c *Compressor) chooseIns(candidates []timeseries.Series, y timeseries.Series, n, m int) int {
-	if c.cfg.SkipBaseUpdate || len(candidates) == 0 {
+func (c *Compressor) chooseIns(st *searchState, maxIns int) int {
+	if c.cfg.SkipBaseUpdate || maxIns == 0 {
 		return 0
 	}
-	maxIns := len(candidates)
 	if c.cfg.ForceIns >= 0 {
 		return min(c.cfg.ForceIns, maxIns)
 	}
 
-	errs := make([]float64, maxIns+1)
-	known := make([]bool, maxIns+1)
 	calc := func(pos int) float64 { // CalculateError, memoised
-		if !known[pos] {
+		if !st.known[pos] {
 			c.searchEvals++
-			x := c.pool.SignalWith(candidates[:pos])
-			budget := c.cfg.TotalBand - pos*(c.w+1)
-			list := c.getIntervals(x, y, n, m, budget)
-			errs[pos] = interval.TotalError(c.cfg.Metric, list)
-			known[pos] = true
+			c.searchList(st, pos)
 		}
-		return errs[pos]
+		return st.errs[pos]
 	}
 	return search(calc, 0, maxIns)
 }

@@ -9,9 +9,7 @@ package interval
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"sbr/internal/metrics"
 	"sbr/internal/regression"
@@ -99,7 +97,15 @@ type Mapper struct {
 	// supported under the SSE metric.
 	Quadratic bool
 
-	px *timeseries.Prefix
+	// Cache, when set, memoises shift-scan state across BestMap calls. The
+	// insert-count search installs one cache per Encode and grows X between
+	// probes by reslicing a fixed backing signal; the cache is only valid
+	// under that discipline (X values at indices covered by earlier calls
+	// never change). See SearchCache.
+	Cache *SearchCache
+
+	px   *timeseries.Prefix
+	qbuf []Interval // recycled priority-queue backing array for GetIntervals
 }
 
 // NewMapper builds a Mapper over base signal x.
@@ -107,138 +113,145 @@ func NewMapper(x timeseries.Series, w int, fitter regression.Fitter) *Mapper {
 	return &Mapper{X: x, W: w, Fitter: fitter, px: timeseries.NewPrefix(x)}
 }
 
-// BestMap fills in iv.Shift, iv.A, iv.B and iv.Err with the best available
-// approximation of y[iv.Start : iv.Start+iv.Length): the plain regression
-// fall-back and, for intervals no longer than 2W, every shift of the
-// interval over the base signal (Algorithm 2).
-func (m *Mapper) BestMap(y timeseries.Series, iv *Interval) {
-	if m.Quadratic {
-		m.bestMapQuad(y, iv)
-		return
-	}
-	fit := m.Fitter.FitRamp(y, iv.Start, iv.Length)
-	iv.Shift = RampShift
-	iv.A, iv.B, iv.C, iv.Err = fit.A, fit.B, 0, fit.Err
-	ramped := true
+// NewMapperWithPrefix builds a Mapper whose prefix sums are supplied by the
+// caller. px must cover at least x; it may cover a longer backing signal of
+// which x is a prefix, which is how the insert-count search shares one
+// prefix-sum computation across all probes (prefix sums accumulate left to
+// right, so the sums over a shared prefix are bit-identical).
+func NewMapperWithPrefix(x timeseries.Series, w int, fitter regression.Fitter, px *timeseries.Prefix) *Mapper {
+	return &Mapper{X: x, W: w, Fitter: fitter, px: px}
+}
 
+// scanner returns the rangeScanner for y[start : start+length) — the fused
+// SSE kernel, the quadratic evaluator, or the generic metric fitter —
+// together with the approximate cost of one shift evaluation (used to
+// decide whether a scan is worth fanning out). Scanners are pure functions
+// of the shift range, which is what makes both the parallel scan and the
+// cross-probe cache bit-exact.
+func (m *Mapper) scanner(y timeseries.Series, start, length int) (rangeScanner, int) {
+	if m.Quadratic {
+		x := m.X
+		return evalScanner(func(s int) shiftFit {
+			fit := regression.Quad(x, y, s, start, length)
+			return shiftFit{Shift: s, A: fit.A, B: fit.B, C: fit.C, Err: fit.Err}
+		}), length
+	}
+	if m.Fitter.Kind == metrics.SSE {
+		// SSE fast path: the Y-segment moments are accumulated once here,
+		// the X-segment moments come from prefix sums, and the fused kernel
+		// computes only the cross moment per shift.
+		var sumY, sumY2 float64
+		for i := 0; i < length; i++ {
+			v := y[start+i]
+			sumY += v
+			sumY2 += v * v
+		}
+		x, px := m.X, m.px
+		return func(lo, hi int, best float64, out []shiftFit) []shiftFit {
+			regression.ScanSSEMins(x, px, y, sumY, sumY2, start, length, lo, hi, best,
+				func(s int, f regression.Fit) {
+					out = append(out, shiftFit{Shift: s, A: f.A, B: f.B, Err: f.Err})
+				})
+			return out
+		}, length
+	}
+	x, fitter := m.X, m.Fitter
+	return evalScanner(func(s int) shiftFit {
+		fit := fitter.Fit(x, y, s, start, length)
+		return shiftFit{Shift: s, A: fit.A, B: fit.B, Err: fit.Err}
+	}), length
+}
+
+// rampFit computes the plain-regression fall-back fit for
+// y[start : start+length).
+func (m *Mapper) rampFit(y timeseries.Series, start, length int) shiftFit {
+	if m.Quadratic {
+		fit := regression.RampQuad(y, start, length)
+		return shiftFit{Shift: RampShift, A: fit.A, B: fit.B, C: fit.C, Err: fit.Err}
+	}
+	fit := m.Fitter.FitRamp(y, start, length)
+	return shiftFit{Shift: RampShift, A: fit.A, B: fit.B, Err: fit.Err}
+}
+
+// BestMap fills in iv.Shift, iv.A, iv.B (and iv.C under the quadratic
+// encoding) and iv.Err with the best available approximation of
+// y[iv.Start : iv.Start+iv.Length): the plain regression fall-back and, for
+// intervals no longer than 2W, every shift of the interval over the base
+// signal (Algorithm 2). All three encodings (generic metric, quadratic,
+// SSE) run through the shared scan engine in scan.go, so they inherit the
+// same parallel fan-out, deterministic reduction and cross-probe caching.
+func (m *Mapper) BestMap(y timeseries.Series, iv *Interval) {
+	useRamp := true
 	scan := iv.Length <= 2*m.W
 	if m.DisableRamp {
 		// Comparison mode: use the base signal whenever it is long enough,
 		// pretending the fall-back is unavailable (Section 5.2).
-		scan = iv.Length <= len(m.X)
-		ramped = false
-	}
-	if !scan || iv.Length > len(m.X) {
-		return
-	}
-
-	if m.Fitter.Kind == metrics.SSE {
-		m.bestShiftSSE(y, iv, ramped)
-		return
-	}
-	for shift := 0; shift+iv.Length <= len(m.X); shift++ {
-		fit := m.Fitter.Fit(m.X, y, shift, iv.Start, iv.Length)
-		if !ramped || fit.Err < iv.Err {
-			iv.Shift, iv.A, iv.B, iv.Err = shift, fit.A, fit.B, fit.Err
-			ramped = true
-		}
-	}
-}
-
-// bestMapQuad is BestMap under the quadratic encoding: the same ramp
-// fall-back and shift scan, with three-coefficient fits.
-func (m *Mapper) bestMapQuad(y timeseries.Series, iv *Interval) {
-	fit := regression.RampQuad(y, iv.Start, iv.Length)
-	iv.Shift = RampShift
-	iv.A, iv.B, iv.C, iv.Err = fit.A, fit.B, fit.C, fit.Err
-	ramped := true
-
-	scan := iv.Length <= 2*m.W
-	if m.DisableRamp {
-		scan = iv.Length <= len(m.X)
-		ramped = false
-	}
-	if !scan || iv.Length > len(m.X) {
-		return
-	}
-	for shift := 0; shift+iv.Length <= len(m.X); shift++ {
-		fit := regression.Quad(m.X, y, shift, iv.Start, iv.Length)
-		if !ramped || fit.Err < iv.Err {
-			iv.Shift, iv.A, iv.B, iv.C, iv.Err = shift, fit.A, fit.B, fit.C, fit.Err
-			ramped = true
-		}
-	}
-}
-
-// parallelScanThreshold is the amount of scan work (shift positions ×
-// interval length) above which the shift scan fans out across cores.
-// Below it, goroutine overhead outweighs the win.
-const parallelScanThreshold = 1 << 17
-
-// bestShiftSSE is the SSE fast path of the shift scan: the Y-segment
-// moments are accumulated once, the X-segment moments come from prefix
-// sums, so each shift costs one pass for the cross moment only. Large
-// scans fan out across cores with a deterministic reduction (smallest
-// error, ties to the smallest shift — exactly the sequential order).
-func (m *Mapper) bestShiftSSE(y timeseries.Series, iv *Interval, haveBest bool) {
-	var sumY, sumY2 float64
-	for i := 0; i < iv.Length; i++ {
-		v := y[iv.Start+i]
-		sumY += v
-		sumY2 += v * v
+		scan = true
+		useRamp = false
 	}
 	shifts := len(m.X) - iv.Length + 1
-	if shifts <= 0 {
+	if !scan || shifts < 0 {
+		shifts = 0
+	}
+
+	var e *scanEntry
+	if m.Cache != nil {
+		e = m.Cache.entry(iv.Start, iv.Length)
+		e.mu.Lock()
+		defer e.mu.Unlock()
+	}
+
+	var scanFit shiftFit
+	haveScan := false
+	if shifts > 0 {
+		scan, cost := m.scanner(y, iv.Start, iv.Length)
+		if e != nil {
+			if shifts > e.scanned {
+				// Only the tail beyond the cached coverage needs scanning;
+				// continue the running minima from the cached best.
+				cur := math.Inf(1)
+				if n := len(e.mins); n > 0 {
+					cur = e.mins[n-1].Err
+				}
+				m.Cache.tailShifts.Add(int64(shifts - e.scanned))
+				if e.mins == nil {
+					// Smooth signals accumulate tens of improvements per
+					// entry; pre-sizing avoids the append-doubling garbage.
+					e.mins = make([]shiftFit, 0, 24)
+				}
+				e.mins = scanMins(scan, e.scanned, shifts, cost, cur, e.mins)
+				e.scanned = shifts
+			}
+			scanFit, haveScan = bestAmong(e.mins, shifts)
+		} else {
+			scanFit, haveScan = scanBest(scan, 0, shifts, cost)
+		}
+	}
+
+	if haveScan && !useRamp {
+		iv.Shift, iv.A, iv.B, iv.C, iv.Err = scanFit.Shift, scanFit.A, scanFit.B, scanFit.C, scanFit.Err
 		return
 	}
+	ramp := m.cachedRamp(e, y, iv.Start, iv.Length)
+	if haveScan && scanFit.Err < ramp.Err {
+		iv.Shift, iv.A, iv.B, iv.C, iv.Err = scanFit.Shift, scanFit.A, scanFit.B, scanFit.C, scanFit.Err
+		return
+	}
+	iv.Shift, iv.A, iv.B, iv.C, iv.Err = ramp.Shift, ramp.A, ramp.B, ramp.C, ramp.Err
+}
 
-	scan := func(lo, hi int) (regression.Fit, int) {
-		best := regression.Fit{Err: math.Inf(1)}
-		bestShift := -1
-		for shift := lo; shift < hi; shift++ {
-			fit := regression.SSEWithPrefix(m.X, m.px, y, sumY, sumY2,
-				shift, iv.Start, iv.Length)
-			if fit.Err < best.Err {
-				best, bestShift = fit, shift
-			}
-		}
-		return best, bestShift
+// cachedRamp returns the ramp fall-back fit, memoised on the cache entry
+// when one is held (the ramp depends only on the Y segment, never on the
+// probe's signal).
+func (m *Mapper) cachedRamp(e *scanEntry, y timeseries.Series, start, length int) shiftFit {
+	if e != nil && e.rampKnown {
+		return e.ramp
 	}
-
-	var best regression.Fit
-	bestShift := -1
-	if work := shifts * iv.Length; work < parallelScanThreshold {
-		best, bestShift = scan(0, shifts)
-	} else {
-		workers := runtime.NumCPU()
-		if workers > shifts {
-			workers = shifts
-		}
-		fits := make([]regression.Fit, workers)
-		at := make([]int, workers)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				lo := w * shifts / workers
-				hi := (w + 1) * shifts / workers
-				fits[w], at[w] = scan(lo, hi)
-			}(w)
-		}
-		wg.Wait()
-		best = regression.Fit{Err: math.Inf(1)}
-		for w := 0; w < workers; w++ {
-			// Strict < keeps the lowest-shift winner on ties, since worker
-			// ranges are ordered by shift.
-			if at[w] >= 0 && fits[w].Err < best.Err {
-				best, bestShift = fits[w], at[w]
-			}
-		}
+	ramp := m.rampFit(y, start, length)
+	if e != nil {
+		e.ramp, e.rampKnown = ramp, true
 	}
-	if bestShift >= 0 && (!haveBest || best.Err < iv.Err) {
-		iv.Shift, iv.A, iv.B, iv.Err = bestShift, best.A, best.B, best.Err
-	}
+	return ramp
 }
 
 // Options tunes GetIntervals beyond the paper's defaults.
@@ -273,12 +286,8 @@ func GetIntervals(m *Mapper, y timeseries.Series, n, rowLen, budget int, opts Op
 		maxIntervals = n
 	}
 
-	q := newQueue(m.Fitter.Kind, maxIntervals)
-	for i := 0; i < n; i++ {
-		iv := Interval{Start: i * rowLen, Length: rowLen}
-		m.BestMap(y, &iv)
-		q.push(iv)
-	}
+	q := newQueue(m.Fitter.Kind, maxIntervals, m.qbuf)
+	m.seedRows(q, y, n, rowLen)
 
 	var done []Interval // unsplittable single-sample intervals
 	for q.countAll(len(done)) < maxIntervals {
@@ -300,9 +309,46 @@ func GetIntervals(m *Mapper, y timeseries.Series, n, rowLen, budget int, opts Op
 		q.push(right)
 	}
 
-	out := append(q.drain(), done...)
+	out := make([]Interval, 0, q.Len()+len(done))
+	out = append(out, q.items...)
+	out = append(out, done...)
+	m.qbuf = q.release()
 	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out
+}
+
+// seedRows pushes the N initial one-per-row intervals. When the per-row
+// shift scans add up to enough work, the rows are fitted concurrently under
+// the scan engine's worker cap; the results are pushed in row order either
+// way, so the heap layout — and everything downstream — is identical to the
+// serial seeding.
+func (m *Mapper) seedRows(q *queue, y timeseries.Series, n, rowLen int) {
+	shifts := len(m.X) - rowLen + 1
+	scanning := rowLen <= 2*m.W || m.DisableRamp
+	workers := ScanWorkers()
+	if workers > n {
+		workers = n
+	}
+	if n < 2 || workers <= 1 || !scanning || shifts <= 0 ||
+		n*shifts*rowLen < ParallelScanThreshold {
+		for i := 0; i < n; i++ {
+			iv := Interval{Start: i * rowLen, Length: rowLen}
+			m.BestMap(y, &iv)
+			q.push(iv)
+		}
+		return
+	}
+	seeds := make([]Interval, n)
+	fanOut(workers, 0, n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			iv := Interval{Start: i * rowLen, Length: rowLen}
+			m.BestMap(y, &iv)
+			seeds[i] = iv
+		}
+	})
+	for _, iv := range seeds {
+		q.push(iv)
+	}
 }
 
 // TotalError combines the per-interval errors under the given metric.

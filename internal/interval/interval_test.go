@@ -337,7 +337,7 @@ func TestGetIntervalsTilingProperty(t *testing.T) {
 }
 
 func TestQueuePopSplittable(t *testing.T) {
-	q := newQueue(metrics.SSE, 8)
+	q := newQueue(metrics.SSE, 8, nil)
 	q.push(Interval{Start: 0, Length: 1, Err: 100})
 	q.push(Interval{Start: 1, Length: 4, Err: 50})
 	q.push(Interval{Start: 5, Length: 2, Err: 75})
@@ -355,7 +355,7 @@ func TestQueuePopSplittable(t *testing.T) {
 }
 
 func TestQueueTotalErrMaxMetric(t *testing.T) {
-	q := newQueue(metrics.MaxAbs, 4)
+	q := newQueue(metrics.MaxAbs, 4, nil)
 	if q.totalErr() != 0 {
 		t.Errorf("empty queue totalErr = %v", q.totalErr())
 	}
@@ -487,19 +487,14 @@ func TestParallelScanTieBreak(t *testing.T) {
 	// winner is whichever the *sequential* strict-< scan picks; the
 	// parallel reduction must agree exactly.
 	wantShift := -1
-	wantErr := math.Inf(1)
 	var sumY, sumY2 float64
 	for _, v := range y {
 		sumY += v
 		sumY2 += v * v
 	}
 	px := timeseries.NewPrefix(x)
-	for shift := 0; shift+300 <= len(x); shift++ {
-		fit := regression.SSEWithPrefix(x, px, y, sumY, sumY2, shift, 0, 300)
-		if fit.Err < wantErr {
-			wantErr, wantShift = fit.Err, shift
-		}
-	}
+	regression.ScanSSEMins(x, px, y, sumY, sumY2, 0, 300, 0, len(x)-300+1,
+		math.Inf(1), func(s int, f regression.Fit) { wantShift = s })
 	if iv.Shift != wantShift {
 		t.Errorf("parallel reduction picked shift %d, sequential picks %d", iv.Shift, wantShift)
 	}

@@ -1,39 +1,80 @@
 package interval
 
 import (
-	"container/heap"
-
 	"sbr/internal/metrics"
 )
 
 // queue is the priority queue of Algorithm 3, ordered by decreasing
 // approximation error. It also tracks the combined error of its contents so
 // the error-target extension of Section 4.5 can test convergence in O(1).
+// The sift operations are hand-rolled (mirroring container/heap's element
+// moves exactly) so pushes and pops move Interval values directly instead
+// of boxing them through interface{} — the queue churns on every split, and
+// the boxing allocations dominated GetIntervals' garbage.
 type queue struct {
 	kind  metrics.Kind
 	items []Interval
 	sum   float64 // running total for the sum-based metrics
 }
 
-func newQueue(kind metrics.Kind, capacity int) *queue {
-	return &queue{kind: kind, items: make([]Interval, 0, capacity)}
+// newQueue builds a queue, reusing buf's backing array when it is large
+// enough; release() hands the array back for the next call.
+func newQueue(kind metrics.Kind, capacity int, buf []Interval) *queue {
+	if cap(buf) < capacity {
+		buf = make([]Interval, 0, capacity)
+	}
+	return &queue{kind: kind, items: buf[:0]}
 }
 
-// heap.Interface — max-heap on Err.
+// Len returns the number of queued intervals.
+func (q *queue) Len() int { return len(q.items) }
 
-func (q *queue) Len() int           { return len(q.items) }
-func (q *queue) Less(i, j int) bool { return q.items[i].Err > q.items[j].Err }
-func (q *queue) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
-func (q *queue) Push(x interface{}) { q.items = append(q.items, x.(Interval)) }
-func (q *queue) Pop() interface{} {
-	last := q.items[len(q.items)-1]
-	q.items = q.items[:len(q.items)-1]
-	return last
-}
+// less orders the max-heap: true when the interval at i must sit above the
+// one at j.
+func (q *queue) less(i, j int) bool { return q.items[i].Err > q.items[j].Err }
 
 func (q *queue) push(iv Interval) {
-	heap.Push(q, iv)
+	q.items = append(q.items, iv)
 	q.sum += iv.Err
+	// Sift up, as container/heap's up().
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.items[parent], q.items[i] = q.items[i], q.items[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the worst-error interval. The element moves match
+// container/heap's Pop (swap root with last, sift down) so the resulting
+// layout — and therefore every tie-broken split decision downstream — is
+// identical to the previous implementation.
+func (q *queue) pop() Interval {
+	last := len(q.items) - 1
+	q.items[0], q.items[last] = q.items[last], q.items[0]
+	top := q.items[last]
+	q.items = q.items[:last]
+	q.sum -= top.Err
+	// Sift down, as container/heap's down().
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= len(q.items) {
+			break
+		}
+		if r := child + 1; r < len(q.items) && q.less(r, child) {
+			child = r
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q.items[i], q.items[child] = q.items[child], q.items[i]
+		i = child
+	}
+	return top
 }
 
 // popSplittable removes and returns the worst-error interval that can still
@@ -41,8 +82,7 @@ func (q *queue) push(iv Interval) {
 // are moved to done; they remain part of the final approximation.
 func (q *queue) popSplittable(done *[]Interval) (Interval, bool) {
 	for q.Len() > 0 {
-		iv := heap.Pop(q).(Interval)
-		q.sum -= iv.Err
+		iv := q.pop()
 		if iv.Length >= 2 {
 			return iv, true
 		}
@@ -66,9 +106,10 @@ func (q *queue) totalErr() float64 {
 	return q.sum
 }
 
-// drain removes and returns all remaining intervals in no particular order.
-func (q *queue) drain() []Interval {
-	out := q.items
+// release empties the queue and returns its backing array for reuse. The
+// caller must have copied out any intervals it still needs.
+func (q *queue) release() []Interval {
+	out := q.items[:0]
 	q.items = nil
 	q.sum = 0
 	return out

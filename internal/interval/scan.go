@@ -1,0 +1,138 @@
+package interval
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// This file is the unified shift-scan engine behind BestMap: one fan-out
+// and one deterministic reduction shared by all three scan paths (the
+// generic per-metric fitter, the quadratic encoding, and the fused SSE
+// kernel). The reduction rule is "smallest error, ties to the smallest
+// shift" — exactly the order of a sequential ascending scan with a strict
+// < comparison — so the parallel result is bit-identical to the sequential
+// one for any worker count.
+
+// shiftFit is one scanned candidate mapping: the shift (or RampShift) and
+// its fitted coefficients. C stays zero under the linear encoding.
+type shiftFit struct {
+	Shift   int
+	A, B, C float64
+	Err     float64
+}
+
+// A rangeScanner is one scan path's sequential unit of work: evaluate
+// shifts [lo, hi) in ascending order and append every fit whose error
+// strictly beats best (which then becomes the new bar) to out. The engine
+// composes rangeScanners into full scans — sequentially, or chunked across
+// workers with a deterministic merge. Implementations must be pure
+// functions of (lo, hi, best): the same range must always produce the same
+// fits, which is what makes chunking invisible.
+type rangeScanner func(lo, hi int, best float64, out []shiftFit) []shiftFit
+
+// evalScanner lifts a per-shift evaluator into a rangeScanner — the
+// generic-fitter and quadratic paths; the SSE path uses a fused kernel
+// instead.
+func evalScanner(eval func(int) shiftFit) rangeScanner {
+	return func(lo, hi int, best float64, out []shiftFit) []shiftFit {
+		for s := lo; s < hi; s++ {
+			if f := eval(s); f.Err < best {
+				best = f.Err
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+}
+
+// ParallelScanThreshold is the amount of scan work (shift positions ×
+// interval length) above which a shift scan fans out across cores; below
+// it, goroutine overhead outweighs the win. It is a variable so tests can
+// force the parallel path on small inputs — by construction the scan
+// result is identical at any threshold or worker count.
+var ParallelScanThreshold = 1 << 17
+
+// ScanWorkers returns the scan engine's current worker cap: GOMAXPROCS,
+// the knob the cross-proc determinism test varies. Seeding in
+// GetIntervals reuses the same cap.
+func ScanWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// fanOut splits [lo, hi) into `workers` contiguous chunks and runs f for
+// each on its own goroutine. Chunk boundaries depend only on (lo, hi,
+// workers), keeping the chunk-order merge deterministic.
+func fanOut(workers, lo, hi int, f func(w, clo, chi int)) {
+	var wg sync.WaitGroup
+	span := hi - lo
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			f(w, lo+w*span/workers, lo+(w+1)*span/workers)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// scanMins is the engine's entry point: it appends the running minima of
+// the scan over [lo, hi) to out. Entry k is the lowest shift whose error
+// strictly beats everything before it, so the final element is the range's
+// winner under the deterministic reduction rule, and any prefix of the
+// scanned range can later be answered by bestAmong. Large scans fan out
+// over contiguous chunks; merging the per-chunk local minima in chunk
+// order with the same strict < rebuilds exactly the sequential
+// improvements list.
+func scanMins(scan rangeScanner, lo, hi, costPerShift int, best float64, out []shiftFit) []shiftFit {
+	if hi <= lo {
+		return out
+	}
+	workers := ScanWorkers()
+	if work := (hi - lo) * costPerShift; work < ParallelScanThreshold || workers <= 1 {
+		return scan(lo, hi, best, out)
+	}
+	if workers > hi-lo {
+		workers = hi - lo
+	}
+	chunks := make([][]shiftFit, workers)
+	fanOut(workers, lo, hi, func(w, clo, chi int) {
+		chunks[w] = scan(clo, chi, math.Inf(1), nil)
+	})
+	for _, chunk := range chunks {
+		for _, f := range chunk {
+			if f.Err < best {
+				best = f.Err
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// scanBest reduces a scan to its winner only — the path for scans whose
+// improvements are not being cached.
+func scanBest(scan rangeScanner, lo, hi, costPerShift int) (shiftFit, bool) {
+	mins := scanMins(scan, lo, hi, costPerShift, math.Inf(1), nil)
+	if len(mins) == 0 {
+		return shiftFit{}, false
+	}
+	return mins[len(mins)-1], true
+}
+
+// bestAmong answers "best mapping over shifts [0, shifts)" from a
+// running-minima list: the last improvement below that bound, found by
+// binary search. ok is false when no improvement falls in the range.
+func bestAmong(mins []shiftFit, shifts int) (shiftFit, bool) {
+	lo, hi := 0, len(mins)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if mins[mid].Shift < shifts {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return shiftFit{}, false
+	}
+	return mins[lo-1], true
+}

@@ -1,0 +1,145 @@
+package regression
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sbr/internal/timeseries"
+)
+
+func TestDotMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 3, 4, 5, 17, 64, 100} {
+		a, b := randSeries(rng, n), randSeries(rng, n)
+		var want float64
+		for i := range a {
+			want += a[i] * b[i]
+		}
+		if got := Dot(a, b); math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Errorf("n=%d: Dot=%g want %g", n, got, want)
+		}
+	}
+}
+
+func TestSSEFromSumsMatchesSSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 8 + rng.Intn(60)
+		x, y := randSeries(rng, n), randSeries(rng, n)
+		var sx, sy, sxy, sx2, sy2 float64
+		for i := 0; i < n; i++ {
+			sx += x[i]
+			sy += y[i]
+			sxy += x[i] * y[i]
+			sx2 += x[i] * x[i]
+			sy2 += y[i] * y[i]
+		}
+		got := SSEFromSums(sx, sy, sxy, sx2, sy2, n)
+		want := SSE(x, y, 0, 0, n)
+		if math.Abs(got.Err-want.Err) > 1e-8*(1+want.Err) ||
+			math.Abs(got.A-want.A) > 1e-8 || math.Abs(got.B-want.B) > 1e-8 {
+			t.Fatalf("trial %d: SSEFromSums=%+v want %+v", trial, got, want)
+		}
+	}
+}
+
+// TestScanSSEMinsMatchesSSE checks the fused kernel against the plain
+// per-shift fit: every emitted shift must carry the least-squares fit of
+// that alignment (within FP reassociation tolerance), emissions must be
+// ascending with strictly decreasing error, and the final emission must be
+// the argmin over all shifts.
+func TestScanSSEMinsMatchesSSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x := randSeries(rng, 400)
+	px := timeseries.NewPrefix(x)
+	const length = 64
+	y := randSeries(rng, length)
+	var sumY, sumY2 float64
+	for _, v := range y {
+		sumY += v
+		sumY2 += v * v
+	}
+	shifts := len(x) - length + 1
+
+	var emitted []int
+	var fits []Fit
+	ScanSSEMins(x, px, y, sumY, sumY2, 0, length, 0, shifts, math.Inf(1),
+		func(s int, f Fit) {
+			emitted = append(emitted, s)
+			fits = append(fits, f)
+		})
+	if len(emitted) == 0 {
+		t.Fatal("kernel emitted nothing")
+	}
+	for i, s := range emitted {
+		if i > 0 {
+			if s <= emitted[i-1] {
+				t.Fatalf("emissions not ascending: %v", emitted)
+			}
+			if fits[i].Err >= fits[i-1].Err {
+				t.Fatalf("errors not strictly decreasing: %g then %g", fits[i-1].Err, fits[i].Err)
+			}
+		}
+		want := SSE(x, y, s, 0, length)
+		if math.Abs(fits[i].Err-want.Err) > 1e-6*(1+want.Err) {
+			t.Fatalf("shift %d: kernel err %g, SSE %g", s, fits[i].Err, want.Err)
+		}
+	}
+	// The last emission is the running minimum over every shift.
+	bestErr := math.Inf(1)
+	for s := 0; s < shifts; s++ {
+		if e := SSE(x, y, s, 0, length).Err; e < bestErr {
+			bestErr = e
+		}
+	}
+	last := fits[len(fits)-1].Err
+	if math.Abs(last-bestErr) > 1e-6*(1+bestErr) {
+		t.Fatalf("final emission err %g, brute-force best %g", last, bestErr)
+	}
+}
+
+// TestScanSSEMinsRespectsBar: shifts that do not strictly beat the initial
+// bar are never emitted.
+func TestScanSSEMinsRespectsBar(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	x := randSeries(rng, 200)
+	px := timeseries.NewPrefix(x)
+	const length = 32
+	y := randSeries(rng, length)
+	var sumY, sumY2 float64
+	for _, v := range y {
+		sumY += v
+		sumY2 += v * v
+	}
+	count := 0
+	ScanSSEMins(x, px, y, sumY, sumY2, 0, length, 0, len(x)-length+1, 0,
+		func(int, Fit) { count++ })
+	if count != 0 {
+		t.Fatalf("bar 0 should suppress every emission, got %d", count)
+	}
+}
+
+// TestScanSSEMinsDegenerateX: a constant X window must fall back to the
+// horizontal line through the Y mean, exactly as sseFromSums does.
+func TestScanSSEMinsDegenerateX(t *testing.T) {
+	x := make(timeseries.Series, 40) // all zeros: every window degenerate
+	px := timeseries.NewPrefix(x)
+	y := timeseries.Series{1, 2, 3, 4}
+	var sumY, sumY2 float64
+	for _, v := range y {
+		sumY += v
+		sumY2 += v * v
+	}
+	var got []Fit
+	ScanSSEMins(x, px, y, sumY, sumY2, 0, len(y), 0, 3, math.Inf(1),
+		func(s int, f Fit) { got = append(got, f) })
+	if len(got) != 1 {
+		t.Fatalf("expected exactly one emission (all windows identical), got %d", len(got))
+	}
+	want := SSE(x, y, 0, 0, len(y))
+	if got[0].A != want.A || got[0].B != want.B ||
+		math.Abs(got[0].Err-want.Err) > 1e-9 {
+		t.Fatalf("degenerate fit %+v, want %+v", got[0], want)
+	}
+}

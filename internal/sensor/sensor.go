@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"sbr/internal/core"
+	"sbr/internal/obs"
 	"sbr/internal/timeseries"
 	"sbr/internal/wire"
 )
@@ -158,6 +159,15 @@ func (s *Sensor) BaseSignal() timeseries.Series {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.compressor().BaseSignal()
+}
+
+// Instrument registers the sensor's encode fast-path metrics (scan-cache
+// hits, tail shifts, search evaluations…) on reg. Registration is
+// idempotent, so a fleet of sensors can share one registry.
+func (s *Sensor) Instrument(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compressor().Instrument(reg)
 }
 
 func (s *Sensor) compressor() *core.Compressor {

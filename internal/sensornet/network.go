@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"sbr/internal/core"
+	"sbr/internal/obs"
 	"sbr/internal/station"
 	"sbr/internal/timeseries"
 	"sbr/internal/wire"
@@ -55,6 +56,7 @@ type Network struct {
 	order   []string
 	station *station.Station
 	built   bool
+	reg     *obs.Registry // non-nil after Instrument; applied to late AddNodes
 
 	// Overhearing can be disabled to isolate the pure routing cost.
 	CountOverhearing bool
@@ -100,6 +102,28 @@ func NewNetwork(cfg core.Config, model EnergyModel, radioRange float64, bufferM 
 // Station exposes the receiving base station.
 func (n *Network) Station() *station.Station { return n.station }
 
+// Instrument registers the whole network on reg: the base station's
+// decode/query metrics plus every node compressor's encode fast-path
+// metrics. Node registrations are idempotent and shared, so the encode
+// counters aggregate across the field; nodes added after Instrument are
+// registered as they join.
+func (n *Network) Instrument(reg *obs.Registry) {
+	n.reg = reg
+	n.station.Instrument(reg)
+	for _, id := range n.order {
+		n.nodes[id].instrument(reg)
+	}
+}
+
+// instrument wires one node's compressor into reg.
+func (nd *Node) instrument(reg *obs.Registry) {
+	if nd.adaptive != nil {
+		nd.adaptive.Compressor().Instrument(reg)
+		return
+	}
+	nd.compressor.Instrument(reg)
+}
+
 // Node returns the named node, or nil.
 func (n *Network) Node(id string) *Node { return n.nodes[id] }
 
@@ -130,6 +154,9 @@ func (n *Network) AddNode(id string, x, y float64, source SampleSource) error {
 	}
 	n.nodes[id] = node
 	n.order = append(n.order, id)
+	if n.reg != nil {
+		node.instrument(n.reg)
+	}
 	return nil
 }
 

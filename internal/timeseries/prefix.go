@@ -12,20 +12,38 @@ type Prefix struct {
 
 // NewPrefix builds prefix sums over s in O(len(s)).
 func NewPrefix(s Series) *Prefix {
-	p := &Prefix{
-		sum:   make([]float64, len(s)+1),
-		sumSq: make([]float64, len(s)+1),
-		n:     len(s),
+	p := &Prefix{}
+	p.Reset(s)
+	return p
+}
+
+// Reset recomputes the prefix sums over s, reusing the existing backing
+// arrays when they are large enough. Because the sums accumulate strictly
+// left to right, two series sharing a prefix produce bit-identical sums
+// over that prefix — the invariant the insert-count search relies on to
+// share one Prefix across probes of growing signals.
+func (p *Prefix) Reset(s Series) {
+	if cap(p.sum) < len(s)+1 {
+		p.sum = make([]float64, len(s)+1)
+		p.sumSq = make([]float64, len(s)+1)
 	}
+	p.sum = p.sum[:len(s)+1]
+	p.sumSq = p.sumSq[:len(s)+1]
+	p.n = len(s)
+	p.sum[0], p.sumSq[0] = 0, 0
 	for i, v := range s {
 		p.sum[i+1] = p.sum[i] + v
 		p.sumSq[i+1] = p.sumSq[i] + v*v
 	}
-	return p
 }
 
 // Len returns the length of the underlying series.
 func (p *Prefix) Len() int { return p.n }
+
+// Raw exposes the prefix-sum arrays (length Len()+1; entry i covers
+// s[0..i)) for hot loops that cannot afford per-element method calls. The
+// arrays must not be modified.
+func (p *Prefix) Raw() (sum, sumSq []float64) { return p.sum, p.sumSq }
 
 // Sum returns Σ s[start : start+length).
 func (p *Prefix) Sum(start, length int) float64 {

@@ -375,3 +375,37 @@ func TestAlignToGridMismatchPanics(t *testing.T) {
 	}()
 	AlignToGrid([]float64{1, 2}, Series{1}, 3)
 }
+
+func TestPrefixResetReusesBacking(t *testing.T) {
+	p := NewPrefix(Series{1, 2, 3, 4, 5})
+	sumBefore, _ := p.Raw()
+	p.Reset(Series{7, 7, 7})
+	sumAfter, _ := p.Raw()
+	if &sumBefore[0] != &sumAfter[0] {
+		t.Error("Reset to a shorter series should reuse the backing array")
+	}
+	if p.Len() != 3 || p.Sum(0, 3) != 21 || p.SumSq(0, 3) != 147 {
+		t.Fatalf("after Reset: len=%d sum=%g sumsq=%g", p.Len(), p.Sum(0, 3), p.SumSq(0, 3))
+	}
+	// Growing past capacity must still be correct.
+	long := make(Series, 64)
+	for i := range long {
+		long[i] = float64(i)
+	}
+	p.Reset(long)
+	if p.Len() != 64 || p.Sum(0, 64) != 63*64/2 {
+		t.Fatalf("after growing Reset: len=%d sum=%g", p.Len(), p.Sum(0, 64))
+	}
+}
+
+func TestPrefixRawLayout(t *testing.T) {
+	s := Series{2, -1, 4}
+	sum, sumSq := NewPrefix(s).Raw()
+	wantSum := []float64{0, 2, 1, 5}
+	wantSq := []float64{0, 4, 5, 21}
+	for i := range wantSum {
+		if sum[i] != wantSum[i] || sumSq[i] != wantSq[i] {
+			t.Fatalf("Raw()[%d] = (%g, %g), want (%g, %g)", i, sum[i], sumSq[i], wantSum[i], wantSq[i])
+		}
+	}
+}
