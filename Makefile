@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race chaos cover bench bench-full bench-smoke fuzz examples experiments experiments-quick clean
+.PHONY: all build fmt-check vet test race chaos cover bench bench-full bench-smoke recovery-bench fuzz examples experiments experiments-quick clean
 
 all: build fmt-check vet test
 
@@ -52,8 +52,16 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench '$(BENCH_SUITE)' -benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/benchreport -baseline BENCH_baseline.json -out - >/dev/null
 
+# Station restart cost: full-archive replay vs checkpoint + bounded tail.
+# Writes BENCH_pr6_recovery.json (the committed copy documents the gap).
+recovery-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkRecover' -benchmem -benchtime 2s ./internal/station \
+		| $(GO) run ./cmd/benchreport -note "Restart recovery: full replay vs checkpoint+tail" -out BENCH_pr6_recovery.json
+	@cat BENCH_pr6_recovery.json
+
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/wire
+	$(GO) test -run '^$$' -fuzz=FuzzScanSegment -fuzztime=30s ./internal/segstore
 
 examples:
 	$(GO) run ./examples/quickstart

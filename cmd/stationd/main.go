@@ -6,7 +6,17 @@
 // it against cmd/sensorsim's source model.
 //
 //	stationd -addr 127.0.0.1:7070 -http 127.0.0.1:8080 -debug 127.0.0.1:9090 \
-//	         -logdir /tmp/sbr-logs -band 150 -mbase 64
+//	         -datadir /var/lib/sbr -band 150 -mbase 64
+//
+// With -datadir set, the daemon runs on the persistent segment store:
+// every accepted transmission is archived in its compressed wire form
+// before it is acknowledged, the in-memory history is a bounded window
+// (-mem-chunks) with older chunks served cold from sealed segments, the
+// station checkpoints itself periodically (-checkpoint), and a restart
+// recovers from the newest checkpoint plus a bounded tail replay instead
+// of replaying history from t=0. -retention-age / -retention-bytes bound
+// the archive. The legacy raw-frame WAL (-logdir, full replay on boot)
+// remains available but is mutually exclusive with -datadir.
 //
 // With -http set, the approximate-query engine is exposed while frames
 // keep arriving: point, range, aggregate (answered from the hierarchical
@@ -44,6 +54,7 @@ import (
 	"sbr/internal/metrics"
 	"sbr/internal/netio"
 	"sbr/internal/obs"
+	"sbr/internal/segstore"
 	"sbr/internal/station"
 )
 
@@ -52,11 +63,17 @@ func main() {
 		addr      = flag.String("addr", "127.0.0.1:7070", "TCP listen address for sensor connections")
 		httpAddr  = flag.String("http", "", "HTTP query-API listen address (empty: disabled)")
 		debugAddr = flag.String("debug", "", "admin-plane listen address for /debug/metrics, /debug/vars, /debug/pprof (empty: disabled)")
-		logDir    = flag.String("logdir", "", "directory for per-sensor logs (empty: memory only)")
+		logDir    = flag.String("logdir", "", "directory for legacy raw-frame logs (empty: disabled; exclusive with -datadir)")
+		dataDir   = flag.String("datadir", "", "persistent segment-store directory (empty: memory only)")
 		band      = flag.Int("band", 150, "TotalBand the sensors were configured with")
 		mbase     = flag.Int("mbase", 64, "MBase the sensors were configured with")
 		every     = flag.Duration("report", 10*time.Second, "statistics reporting interval (0: disabled)")
-		cacheSz   = flag.Int("cache", httpapi.DefaultCacheEntries, "query-API history cache entries")
+		cacheSz   = flag.Int("history-cache", httpapi.DefaultCacheEntries, "query-API history cache entries")
+		ckptEvery = flag.Duration("checkpoint", time.Minute, "station checkpoint + retention interval with -datadir (0: only at shutdown)")
+		retAge    = flag.Duration("retention-age", 0, "drop sealed segments older than this (0: keep forever)")
+		retBytes  = flag.Int64("retention-bytes", 0, "archive byte budget; oldest segments dropped beyond it (0: unlimited)")
+		segChunks = flag.Int("segment-chunks", segstore.DefaultSegmentChunks, "transmissions per segment before sealing")
+		memChunks = flag.Int("mem-chunks", 256, "per-sensor in-memory chunk window with -datadir (0: unbounded)")
 		verbose   = flag.Bool("v", false, "log at debug level (per-connection events)")
 		maxConns  = flag.Int("max-conns", 0, "cap on concurrent sensor connections; extras are shed with a busy ack (0: unlimited)")
 		idleTO    = flag.Duration("idle-timeout", 0, "close sensor connections silent this long (0: 2m default, negative: never)")
@@ -79,6 +96,37 @@ func main() {
 		fatal(dlog, err)
 	}
 	st.Instrument(reg)
+
+	if *logDir != "" && *dataDir != "" {
+		fatal(dlog, errors.New("stationd: -logdir and -datadir are mutually exclusive"))
+	}
+
+	var seg *segstore.Store
+	if *dataDir != "" {
+		var err error
+		seg, err = segstore.Open(segstore.Options{
+			Dir:           *dataDir,
+			Config:        cfg,
+			SegmentChunks: *segChunks,
+			Retention:     segstore.Retention{MaxAge: *retAge, MaxBytes: *retBytes},
+		})
+		if err != nil {
+			fatal(dlog, err)
+		}
+		seg.Instrument(reg)
+		st.SetArchive(seg, *memChunks)
+		// Recovery before anything else: newest checkpoint + bounded tail
+		// replay of the records archived since, instead of a full replay.
+		rs, err := st.Recover()
+		if err != nil {
+			fatal(dlog, err)
+		}
+		ss := seg.StoreStats()
+		dlog.Info("recovered station from segment store", "dir", *dataDir,
+			"sensors", rs.Sensors, "from_checkpoint", rs.FromCheckpoint,
+			"tail_frames_replayed", rs.Replayed,
+			"segments", ss.Segments, "bytes", ss.Bytes)
+	}
 
 	var store *station.LogStore
 	var observer netio.FrameObserver
@@ -133,16 +181,44 @@ func main() {
 		defer ticker.Stop()
 		tick = ticker.C
 	}
+	var ckptTick <-chan time.Time
+	if seg != nil && *ckptEvery > 0 {
+		ticker := time.NewTicker(*ckptEvery)
+		defer ticker.Stop()
+		ckptTick = ticker.C
+	}
 
 	for {
 		select {
 		case <-tick:
+			if seg != nil {
+				seg.UpdateCheckpointAge()
+			}
 			report(dlog, reg, st)
+		case <-ckptTick:
+			checkpoint(dlog, st, seg)
 		case <-stop:
-			shutdown(dlog, reg, st, srv, httpSrv, debugSrv, store, *drainTO)
+			shutdown(dlog, reg, st, srv, httpSrv, debugSrv, store, seg, *drainTO)
 			return
 		}
 	}
+}
+
+// checkpoint runs one periodic maintenance pass on the segment store:
+// write a station checkpoint, then enforce retention (which may only now
+// drop segments the new checkpoint no longer needs for tail replay).
+func checkpoint(log *slog.Logger, st *station.Station, seg *segstore.Store) {
+	if err := st.Checkpoint(); err != nil {
+		log.Error("checkpoint failed", "err", err)
+		return
+	}
+	removed, err := seg.EnforceRetention(time.Now())
+	if err != nil {
+		log.Error("retention failed", "err", err)
+	} else if removed > 0 {
+		log.Info("retention removed segments", "segments", removed)
+	}
+	seg.UpdateCheckpointAge()
 }
 
 // serveHTTP starts one HTTP listener in the background, or returns nil
@@ -189,7 +265,7 @@ func debugMux(reg *obs.Registry) http.Handler {
 // interrupt cannot lose buffered frames.
 func shutdown(log *slog.Logger, reg *obs.Registry, st *station.Station,
 	srv *netio.Server, httpSrv, debugSrv *http.Server, store *station.LogStore,
-	drain time.Duration) {
+	seg *segstore.Store, drain time.Duration) {
 
 	log.Info("shutting down", "drain", drain.String())
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
@@ -213,6 +289,17 @@ func shutdown(log *slog.Logger, reg *obs.Registry, st *station.Station,
 		}
 		if err := store.Close(); err != nil {
 			log.Error("closing logs", "err", err)
+		}
+	}
+	if seg != nil {
+		// Final checkpoint with all traffic drained, then Close seals the
+		// active segments: the next boot loads the checkpoint and replays an
+		// empty tail.
+		if err := st.Checkpoint(); err != nil {
+			log.Error("final checkpoint failed", "err", err)
+		}
+		if err := seg.Close(); err != nil {
+			log.Error("closing segment store", "err", err)
 		}
 	}
 	report(log, reg, st)

@@ -96,6 +96,65 @@ func (d *Decoder) Decode(t *Transmission) ([]timeseries.Series, error) {
 	return rows, nil
 }
 
+// DecoderState is a serialisable snapshot of a decoder's replica state:
+// the stream width, the next expected sequence number and the base-signal
+// pool slots in slot order. It is what the persistent segment store writes
+// into segment headers (so one sealed segment can be decoded cold, without
+// replaying the whole stream) and what station checkpoints persist.
+//
+// The replica pool carries no LFU frequencies — eviction decisions are the
+// sender's and arrive as placements — so the slots alone reproduce it.
+type DecoderState struct {
+	W    int                 `json:"w"`
+	Next int                 `json:"next"`
+	Base []timeseries.Series `json:"base,omitempty"`
+}
+
+// State snapshots the decoder. The zero state (W == 0) describes a
+// decoder that has not yet seen a transmission.
+func (d *Decoder) State() DecoderState {
+	st := DecoderState{W: d.w, Next: d.next}
+	if d.pool != nil && d.pool.NumIntervals() > 0 {
+		sig := d.pool.Signal()
+		st.Base = make([]timeseries.Series, d.pool.NumIntervals())
+		for i := range st.Base {
+			st.Base[i] = sig[i*d.w : (i+1)*d.w]
+		}
+	}
+	return st
+}
+
+// NewDecoderAt creates a decoder resumed at the given snapshot: the next
+// Decode call must be fed the transmission with sequence st.Next, and the
+// replica pool starts from st.Base. A zero state is a fresh decoder.
+func NewDecoderAt(cfg Config, st DecoderState) (*Decoder, error) {
+	d, err := NewDecoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if st.W == 0 {
+		return d, nil
+	}
+	d.w = st.W
+	d.next = st.Next
+	switch d.cfg.Builder {
+	case BuilderDCT:
+		d.dctX = timeseries.Concat(base.GetBaseDCT(d.w, d.cfg.MBase/d.w)...)
+	case BuilderNone:
+		// no base signal
+	default:
+		d.pool = base.NewPool(d.cfg.MBase, d.w)
+		placements := make([]base.Placement, len(st.Base))
+		for i := range placements {
+			placements[i] = base.Placement{Slot: i}
+		}
+		if err := d.pool.Apply(st.Base, placements); err != nil {
+			return nil, fmt.Errorf("core: seeding replica pool: %w", err)
+		}
+	}
+	return d, nil
+}
+
 // validateIntervals rejects transmissions whose records cannot be
 // reconstructed — out-of-range starts or base-signal shifts. The wire
 // checksum catches random corruption; this guards the decoder (and any

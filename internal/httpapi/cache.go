@@ -37,6 +37,7 @@ type historyCache struct {
 	hits      *obs.Counter
 	misses    *obs.Counter
 	evictions *obs.Counter
+	size      *obs.Gauge
 }
 
 func newHistoryCache(capacity int) *historyCache {
@@ -47,6 +48,7 @@ func newHistoryCache(capacity int) *historyCache {
 		hits:      &obs.Counter{},
 		misses:    &obs.Counter{},
 		evictions: &obs.Counter{},
+		size:      &obs.Gauge{},
 	}
 }
 
@@ -78,6 +80,7 @@ func (c *historyCache) put(k histKey, hist timeseries.Series) {
 		delete(c.entries, oldest.Value.(*histEntry).key)
 		c.evictions.Inc()
 	}
+	c.size.Set(float64(c.order.Len()))
 }
 
 // len reports the current entry count (for tests).

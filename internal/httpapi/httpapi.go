@@ -64,6 +64,8 @@ func NewObserved(st *station.Station, cacheEntries int, reg *obs.Registry) *API 
 		a.cache.hits = reg.Counter("sbr_httpapi_cache_events_total", help, obs.L("kind", "hit"))
 		a.cache.misses = reg.Counter("sbr_httpapi_cache_events_total", help, obs.L("kind", "miss"))
 		a.cache.evictions = reg.Counter("sbr_httpapi_cache_events_total", help, obs.L("kind", "eviction"))
+		a.cache.size = reg.Gauge("sbr_httpapi_history_cache_entries",
+			"Reconstructed histories currently held by the query-API LRU.")
 	}
 	a.handle("/v1/sensors", a.handleSensors)
 	a.handle("/v1/point", a.handlePoint)
@@ -183,7 +185,7 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 			Restarts:      stats.Restarts,
 		}
 	}
-	writeJSON(w, map[string]any{
+	out := map[string]any{
 		"sensors": sensors,
 		"cache": map[string]any{
 			"hits":      a.cache.hits.Value(),
@@ -191,7 +193,11 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 			"evictions": a.cache.evictions.Value(),
 			"entries":   a.cache.len(),
 		},
-	})
+	}
+	if store := a.st.Archive(); store != nil {
+		out["store"] = store.StoreStats()
+	}
+	writeJSON(w, out)
 }
 
 func (a *API) handlePoint(w http.ResponseWriter, r *http.Request) {

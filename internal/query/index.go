@@ -162,6 +162,44 @@ func (ix *Index) AppendChunk(rows []timeseries.Series, bound float64) error {
 	return nil
 }
 
+// RowLeaves returns a copy of one quantity's per-chunk summaries (the
+// segment-tree leaves) in chunk order — the serialisable snapshot a
+// station checkpoint persists so a restart can rebuild the index without
+// re-decoding the archived history.
+func (ix *Index) RowLeaves(row int) []Summary {
+	if row < 0 || row >= len(ix.rows) {
+		return nil
+	}
+	t := ix.rows[row]
+	if len(t.levels) == 0 {
+		return nil
+	}
+	return append([]Summary(nil), t.levels[0]...)
+}
+
+// NewIndexFromLeaves rebuilds an index from a leaves snapshot (one slice
+// of per-chunk summaries per quantity, as produced by RowLeaves). Every
+// row must hold the same number of chunks.
+func NewIndexFromLeaves(n, m int, leaves [][]Summary) (*Index, error) {
+	if len(leaves) != n {
+		return nil, fmt.Errorf("query: %d leaf rows for %d quantities", len(leaves), n)
+	}
+	ix, err := NewIndex(n, m)
+	if err != nil {
+		return nil, err
+	}
+	for row, ls := range leaves {
+		if len(ls) != len(leaves[0]) {
+			return nil, fmt.Errorf("query: leaf row %d has %d chunks, row 0 has %d",
+				row, len(ls), len(leaves[0]))
+		}
+		for _, s := range ls {
+			ix.rows[row].append(s)
+		}
+	}
+	return ix, nil
+}
+
 // QueryChunks merges the summaries of chunks [c0, c1) of one quantity in
 // O(log n) node merges. An empty or inverted range yields the zero Summary.
 func (ix *Index) QueryChunks(row, c0, c1 int) (Summary, error) {

@@ -1,0 +1,247 @@
+package segstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"sbr/internal/core"
+	"sbr/internal/timeseries"
+)
+
+// segCache is a small LRU of decoded segments. Cold queries cluster — a
+// range query touches consecutive chunks of one segment, a dashboard
+// refreshes the same window — so caching whole decoded segments turns a
+// burst of cold reads into one segment decode. Keys carry the record
+// count, so a growing active segment never serves stale entries.
+type segCache struct {
+	cap     int
+	entries map[string]*segCacheEntry
+	order   []string // LRU order, oldest first
+}
+
+type segCacheEntry struct {
+	firstChunk int
+	rows       [][]timeseries.Series // per record, per quantity
+	bounds     []float64             // per record
+}
+
+func newSegCache(capacity int) *segCache {
+	return &segCache{cap: capacity, entries: make(map[string]*segCacheEntry)}
+}
+
+func cacheKey(sensor string, firstChunk, records int) string {
+	return fmt.Sprintf("%s\x00%d:%d", sensor, firstChunk, records)
+}
+
+func (c *segCache) get(key string) *segCacheEntry {
+	e, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	c.touch(key)
+	return e
+}
+
+func (c *segCache) put(key string, e *segCacheEntry) {
+	if _, ok := c.entries[key]; !ok {
+		c.order = append(c.order, key)
+		for len(c.order) > c.cap {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, oldest)
+		}
+	} else {
+		c.touch(key)
+	}
+	c.entries[key] = e
+}
+
+func (c *segCache) touch(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// dropSensor evicts every cached segment of one sensor (retention purged
+// some of them; precision is not worth the bookkeeping).
+func (c *segCache) dropSensor(sensor string) {
+	kept := c.order[:0]
+	for _, k := range c.order {
+		if len(k) > len(sensor) && k[:len(sensor)] == sensor && k[len(sensor)] == 0 {
+			delete(c.entries, k)
+			continue
+		}
+		kept = append(kept, k)
+	}
+	c.order = kept
+}
+
+// ChunkRows serves a cold read: the reconstructed rows and error bound of
+// one archived chunk, byte-identical to what the live station computed
+// when the transmission arrived. Only the segment holding the chunk is
+// loaded and decoded (and cached for the next neighbouring read).
+func (s *Store) ChunkRows(sensor string, chunk int) ([]timeseries.Series, float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss := s.sensors[sensor]
+	if ss == nil {
+		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownSensor, sensor)
+	}
+	if chunk < ss.purged {
+		return nil, 0, fmt.Errorf("%w: sensor %q chunk %d (archive starts at %d)",
+			ErrPurged, sensor, chunk, ss.purged)
+	}
+	if chunk >= ss.nextChunk() {
+		return nil, 0, fmt.Errorf("segstore: sensor %q chunk %d not yet archived", sensor, chunk)
+	}
+	e, err := s.decodedSegment(sensor, ss, chunk)
+	if err != nil {
+		return nil, 0, err
+	}
+	i := chunk - e.firstChunk
+	if i < 0 || i >= len(e.rows) {
+		return nil, 0, fmt.Errorf("segstore: sensor %q chunk %d missing from its segment", sensor, chunk)
+	}
+	return e.rows[i], e.bounds[i], nil
+}
+
+// decodedSegment returns the decoded segment holding chunk, from the cache
+// when warm. Caller holds s.mu; the chunk is known to be in range.
+func (s *Store) decodedSegment(sensor string, ss *sensorSegs, chunk int) (*segCacheEntry, error) {
+	if a := ss.active; a != nil && chunk >= a.header.FirstChunk {
+		key := cacheKey(sensor, a.header.FirstChunk, len(a.recs))
+		if e := s.cache.get(key); e != nil {
+			return e, nil
+		}
+		scan := segScan{Header: a.header, Recs: a.recs, Frames: a.frames}
+		e, err := decodeScan(s.opts.Config, scan)
+		if err != nil {
+			return nil, err
+		}
+		s.met.coldReads.Inc()
+		s.cache.put(key, e)
+		return e, nil
+	}
+	i := sort.Search(len(ss.sealed), func(i int) bool {
+		return ss.sealed[i].LastChunk >= chunk
+	})
+	if i >= len(ss.sealed) || ss.sealed[i].FirstChunk > chunk {
+		return nil, fmt.Errorf("segstore: sensor %q chunk %d not covered by any segment", sensor, chunk)
+	}
+	sm := ss.sealed[i]
+	key := cacheKey(sensor, sm.FirstChunk, sm.LastChunk-sm.FirstChunk+1)
+	if e := s.cache.get(key); e != nil {
+		return e, nil
+	}
+	scan, err := s.scanSealed(sm)
+	if err != nil {
+		return nil, err
+	}
+	e, err := decodeScan(s.opts.Config, scan)
+	if err != nil {
+		return nil, err
+	}
+	s.met.coldReads.Inc()
+	s.cache.put(key, e)
+	return e, nil
+}
+
+// scanSealed loads one sealed segment from disk, verifying every checksum.
+func (s *Store) scanSealed(sm segMeta) (segScan, error) {
+	path := filepath.Join(s.dir, filepath.FromSlash(sm.File))
+	f, err := os.Open(path)
+	if err != nil {
+		return segScan{}, fmt.Errorf("segstore: opening sealed segment: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return segScan{}, err
+	}
+	scan, err := scanSegment(f, fi.Size())
+	if err != nil {
+		return segScan{}, fmt.Errorf("segstore: sealed segment %s: %w", sm.File, err)
+	}
+	if got := len(scan.Recs); got != sm.LastChunk-sm.FirstChunk+1 {
+		return segScan{}, fmt.Errorf("segstore: sealed segment %s holds %d whole records, manifest says %d",
+			sm.File, got, sm.LastChunk-sm.FirstChunk+1)
+	}
+	return scan, nil
+}
+
+// decodeScan runs the cold decode of one scanned segment and packages it
+// as a cache entry.
+func decodeScan(cfg core.Config, scan segScan) (*segCacheEntry, error) {
+	rows, err := decodeSegmentChunks(cfg, scan)
+	if err != nil {
+		return nil, err
+	}
+	bounds := make([]float64, len(scan.Recs))
+	for i, r := range scan.Recs {
+		bounds[i] = r.Bound
+	}
+	return &segCacheEntry{firstChunk: scan.Header.FirstChunk, rows: rows, bounds: bounds}, nil
+}
+
+// ReplayFrom streams the archived raw frames of one sensor with chunk
+// index >= from, in order, to fn. It is the recovery tail replay: the
+// station calls it with the chunk count its checkpoint covers and feeds
+// each frame back through its receive path. Frames are read outside the
+// store lock, so fn may re-enter the station.
+func (s *Store) ReplayFrom(sensor string, from int, fn func(chunk int, frame []byte) error) error {
+	s.mu.Lock()
+	ss := s.sensors[sensor]
+	if ss == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownSensor, sensor)
+	}
+	if from < ss.purged {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: sensor %q replay from %d (archive starts at %d)",
+			ErrPurged, sensor, from, ss.purged)
+	}
+	sealed := make([]segMeta, 0, len(ss.sealed))
+	for _, sm := range ss.sealed {
+		if sm.LastChunk >= from {
+			sealed = append(sealed, sm)
+		}
+	}
+	var activeFirst int
+	var activeFrames [][]byte
+	if a := ss.active; a != nil {
+		activeFirst = a.header.FirstChunk
+		activeFrames = a.frames
+	}
+	s.mu.Unlock()
+
+	for _, sm := range sealed {
+		scan, err := s.scanSealed(sm)
+		if err != nil {
+			return err
+		}
+		for i, frame := range scan.Frames {
+			chunk := scan.Header.FirstChunk + i
+			if chunk < from {
+				continue
+			}
+			if err := fn(chunk, frame); err != nil {
+				return err
+			}
+		}
+	}
+	for i, frame := range activeFrames {
+		chunk := activeFirst + i
+		if chunk < from {
+			continue
+		}
+		if err := fn(chunk, frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}

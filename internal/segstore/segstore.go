@@ -1,0 +1,788 @@
+// Package segstore is the base station's persistent archive: an
+// append-only, crash-safe on-disk segment store whose unit of record is
+// the wire-encoded SBR transmission — the compressed form the sensor
+// actually shipped, exactly the deployment model of the paper's Section 3.2
+// ("a separate file exists for each sensor") hardened for production.
+//
+// Records are CRC32C-framed blocks in per-sensor segment files. The active
+// segment absorbs appends (fsynced by default, so an acknowledged frame is
+// durable); once it holds SegmentChunks records it is sealed — a footer
+// index (chunk range, time range, per-record byte offsets and per-row
+// summaries) is written and the manifest is atomically replaced. Each
+// segment header carries the decoder replica state at segment start, so a
+// cold read decodes one segment in isolation: queries over history evicted
+// from station memory load and decode only the segments whose index
+// overlaps the requested range. Periodic station checkpoints (replica pool
+// + query-index snapshot) land next to the manifest and bound recovery to
+// checkpoint-load plus a tail replay of the records appended since.
+// Background retention drops the oldest sealed segments by age or byte
+// budget, never touching records newer than the last checkpoint.
+//
+// Crash safety relies on two invariants: every block is independently
+// checksummed (a torn append is detected and truncated at reopen), and the
+// manifest and checkpoints are only ever replaced by atomic rename after
+// an fsync, so readers see either the old or the new index, never a
+// partial one. Compaction deletes files only after the manifest that
+// forgets them is durable; leftovers from a crash in between are swept at
+// the next open.
+package segstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sbr/internal/core"
+	"sbr/internal/obs"
+	"sbr/internal/timeseries"
+)
+
+// ErrPurged reports a query for chunks that retention has dropped.
+var ErrPurged = errors.New("segstore: chunk purged by retention")
+
+// ErrUnknownSensor reports a query for a sensor the store has no data for.
+var ErrUnknownSensor = errors.New("segstore: unknown sensor")
+
+// DefaultSegmentChunks is the records-per-segment seal threshold when
+// Options leaves it zero: big enough to amortise footer and manifest
+// writes, small enough that a cold read decodes a bounded batch.
+const DefaultSegmentChunks = 64
+
+// DefaultCacheSegments bounds the decoded-segment cache when Options
+// leaves it zero.
+const DefaultCacheSegments = 4
+
+// Retention bounds the archive. Zero values mean unlimited.
+type Retention struct {
+	// MaxAge drops sealed segments whose newest record is older than this.
+	MaxAge time.Duration
+	// MaxBytes drops the oldest sealed segments while the store exceeds
+	// this byte budget.
+	MaxBytes int64
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory (created if needed).
+	Dir string
+	// Config must match the station's core configuration: cold reads seed
+	// replica decoders from it.
+	Config core.Config
+	// SegmentChunks is the seal threshold in records (DefaultSegmentChunks
+	// when zero).
+	SegmentChunks int
+	// NoSync skips the per-append fsync. Throughput rises; a crash may
+	// lose acknowledged frames. The default (false) is the durable mode
+	// the recovery guarantees assume.
+	NoSync bool
+	// CacheSegments bounds the decoded-segment LRU (DefaultCacheSegments
+	// when zero).
+	CacheSegments int
+	// Retention bounds the archive by age and/or bytes.
+	Retention Retention
+}
+
+// segMeta is one sealed segment's manifest entry.
+type segMeta struct {
+	File       string `json:"file"` // store-relative path
+	FirstChunk int    `json:"first_chunk"`
+	LastChunk  int    `json:"last_chunk"`
+	Bytes      int64  `json:"bytes"`
+	MinUnix    int64  `json:"min_unix"`
+	MaxUnix    int64  `json:"max_unix"`
+}
+
+// sensorManifest is one sensor's slice of the manifest.
+type sensorManifest struct {
+	// PurgedThrough is the retention watermark: chunks [0, PurgedThrough)
+	// are gone from the archive.
+	PurgedThrough int       `json:"purged_through"`
+	Segments      []segMeta `json:"segments"`
+}
+
+// manifest is the store's authoritative index of sealed segments, always
+// replaced by atomic rename.
+type manifest struct {
+	Version int                        `json:"version"`
+	Sensors map[string]*sensorManifest `json:"sensors"`
+}
+
+const manifestVersion = 1
+const manifestName = "MANIFEST.json"
+const segExt = ".seg"
+
+// activeSeg is the per-sensor segment currently absorbing appends. Its
+// raw frames are mirrored in memory (bounded by SegmentChunks) so tail
+// replay and cold reads of the newest chunks need no extra file reads.
+type activeSeg struct {
+	f      *os.File
+	path   string // absolute
+	rel    string // store-relative (manifest form)
+	header segHeader
+	recs   []recMeta
+	frames [][]byte
+	size   int64
+}
+
+func (a *activeSeg) lastChunk() int { return a.header.FirstChunk + len(a.recs) - 1 }
+
+// sensorSegs is the in-memory index of one sensor's archive.
+type sensorSegs struct {
+	purged int // chunks [0, purged) dropped by retention
+	sealed []segMeta
+	active *activeSeg
+}
+
+// nextChunk returns the chunk index the next append must carry.
+func (ss *sensorSegs) nextChunk() int {
+	if ss.active != nil {
+		return ss.active.header.FirstChunk + len(ss.active.recs)
+	}
+	if n := len(ss.sealed); n > 0 {
+		return ss.sealed[n-1].LastChunk + 1
+	}
+	return ss.purged
+}
+
+// oldestChunk returns the first chunk the archive still holds.
+func (ss *sensorSegs) oldestChunk() int { return ss.purged }
+
+// storeMetrics is the store telemetry; all fields are standalone obs
+// metrics so Stats works uninstrumented, swapped for registered instances
+// by Instrument.
+type storeMetrics struct {
+	segments    *obs.Gauge
+	bytes       *obs.Gauge
+	appends     *obs.Counter
+	coldReads   *obs.Counter
+	compactions *obs.Counter
+	ckptAge     *obs.Gauge
+}
+
+func newStoreMetrics() storeMetrics {
+	return storeMetrics{
+		segments: &obs.Gauge{}, bytes: &obs.Gauge{},
+		appends: &obs.Counter{}, coldReads: &obs.Counter{},
+		compactions: &obs.Counter{}, ckptAge: &obs.Gauge{},
+	}
+}
+
+// Store is the persistent segment store. It is safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	sensors   map[string]*sensorSegs
+	ckptSeq   int64
+	ckptUnix  int64
+	ckptCover map[string]int // chunks covered by the latest checkpoint
+	cache     *segCache
+	met       storeMetrics
+	closed    bool
+}
+
+// Open opens (creating if needed) a segment store rooted at opts.Dir and
+// recovers whatever a previous process — cleanly shut down or crashed —
+// left behind: sealed segments are taken from the manifest, the active
+// segment is rescanned with its torn tail truncated, a segment sealed but
+// not yet recorded in the manifest finishes sealing, and compaction
+// leftovers are swept.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("segstore: empty data directory")
+	}
+	if opts.SegmentChunks <= 0 {
+		opts.SegmentChunks = DefaultSegmentChunks
+	}
+	if opts.CacheSegments <= 0 {
+		opts.CacheSegments = DefaultCacheSegments
+	}
+	if err := os.MkdirAll(filepath.Join(opts.Dir, "segments"), 0o755); err != nil {
+		return nil, fmt.Errorf("segstore: creating data dir: %w", err)
+	}
+	s := &Store{
+		dir:       opts.Dir,
+		opts:      opts,
+		sensors:   make(map[string]*sensorSegs),
+		ckptCover: make(map[string]int),
+		cache:     newSegCache(opts.CacheSegments),
+		met:       newStoreMetrics(),
+	}
+	if err := s.loadManifest(); err != nil {
+		return nil, err
+	}
+	if ck, seq, err := s.loadLatestCheckpoint(); err == nil && ck != nil {
+		s.ckptSeq = seq
+		s.ckptUnix = ck.Unix
+		for id, sc := range ck.Sensors {
+			s.ckptCover[id] = sc.Chunks
+		}
+	}
+	if err := s.recoverSegments(); err != nil {
+		return nil, err
+	}
+	s.updateGauges()
+	return s, nil
+}
+
+// loadManifest reads the manifest (absent: empty store) and verifies the
+// files it names are present.
+func (s *Store) loadManifest() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("segstore: reading manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("segstore: decoding manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return fmt.Errorf("segstore: unsupported manifest version %d", m.Version)
+	}
+	for id, sm := range m.Sensors {
+		ss := &sensorSegs{purged: sm.PurgedThrough, sealed: sm.Segments}
+		sort.Slice(ss.sealed, func(i, j int) bool {
+			return ss.sealed[i].FirstChunk < ss.sealed[j].FirstChunk
+		})
+		for _, sm := range ss.sealed {
+			if _, err := os.Stat(filepath.Join(s.dir, sm.File)); err != nil {
+				return fmt.Errorf("segstore: manifest names missing segment %s: %w", sm.File, err)
+			}
+		}
+		s.sensors[id] = ss
+	}
+	return nil
+}
+
+// recoverSegments scans the segments tree for files the manifest does not
+// know: per sensor, the one past the sealed range is the active segment
+// (rescanned, torn tail truncated, or seal finished if it has a footer);
+// anything else is a compaction leftover and is deleted.
+func (s *Store) recoverSegments() error {
+	root := filepath.Join(s.dir, "segments")
+	dirs, err := os.ReadDir(root)
+	if err != nil {
+		return fmt.Errorf("segstore: reading segments dir: %w", err)
+	}
+	known := make(map[string]bool)
+	for _, ss := range s.sensors {
+		for _, sm := range ss.sealed {
+			known[filepath.ToSlash(sm.File)] = true
+		}
+	}
+	var sealedDirty bool
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(root, d.Name()))
+		if err != nil {
+			return fmt.Errorf("segstore: reading sensor dir: %w", err)
+		}
+		type cand struct {
+			path string
+			rel  string
+			scan segScan
+		}
+		var cands []cand
+		for _, f := range files {
+			if f.IsDir() || !strings.HasSuffix(f.Name(), segExt) {
+				continue
+			}
+			rel := filepath.ToSlash(filepath.Join("segments", d.Name(), f.Name()))
+			if known[rel] {
+				continue
+			}
+			path := filepath.Join(root, d.Name(), f.Name())
+			fi, err := os.Stat(path)
+			if err != nil {
+				return err
+			}
+			fh, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			scan, serr := scanSegment(fh, fi.Size())
+			fh.Close()
+			if serr != nil {
+				// Unusable preamble or header: the crash landed inside the
+				// very first write of a fresh segment — nothing recoverable.
+				if err := os.Remove(path); err != nil {
+					return fmt.Errorf("segstore: removing unreadable segment: %w", err)
+				}
+				continue
+			}
+			cands = append(cands, cand{path: path, rel: rel, scan: scan})
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		// The true active segment starts past everything the manifest holds
+		// for its sensor; everything else is a stale leftover.
+		sort.Slice(cands, func(i, j int) bool {
+			return cands[i].scan.Header.FirstChunk < cands[j].scan.Header.FirstChunk
+		})
+		for i, c := range cands {
+			id := c.scan.Header.Sensor
+			ss := s.sensors[id]
+			if ss == nil {
+				ss = &sensorSegs{}
+				s.sensors[id] = ss
+			}
+			if i < len(cands)-1 || c.scan.Header.FirstChunk != ss.nextChunk() {
+				if err := os.Remove(c.path); err != nil {
+					return fmt.Errorf("segstore: sweeping stale segment: %w", err)
+				}
+				continue
+			}
+			if c.scan.Footer != nil {
+				// Sealed on disk but the crash beat the manifest update:
+				// finish the job.
+				ss.sealed = append(ss.sealed, metaFromScan(c.rel, c.scan))
+				sealedDirty = true
+				continue
+			}
+			if c.scan.Good < c.scan.Size {
+				if err := truncateTo(c.path, c.scan.Good); err != nil {
+					return err
+				}
+			}
+			fh, err := os.OpenFile(c.path, os.O_RDWR, 0)
+			if err != nil {
+				return fmt.Errorf("segstore: reopening active segment: %w", err)
+			}
+			if _, err := fh.Seek(c.scan.Good, 0); err != nil {
+				fh.Close()
+				return err
+			}
+			ss.active = &activeSeg{
+				f: fh, path: c.path, rel: c.rel,
+				header: c.scan.Header, recs: c.scan.Recs,
+				frames: c.scan.Frames, size: c.scan.Good,
+			}
+		}
+	}
+	if sealedDirty {
+		return s.writeManifest()
+	}
+	return nil
+}
+
+func metaFromScan(rel string, scan segScan) segMeta {
+	sm := segMeta{
+		File:       rel,
+		FirstChunk: scan.Header.FirstChunk,
+		LastChunk:  scan.Header.FirstChunk + len(scan.Recs) - 1,
+		Bytes:      scan.Good,
+	}
+	for i, r := range scan.Recs {
+		if i == 0 || r.Unix < sm.MinUnix {
+			sm.MinUnix = r.Unix
+		}
+		if r.Unix > sm.MaxUnix {
+			sm.MaxUnix = r.Unix
+		}
+	}
+	return sm
+}
+
+func truncateTo(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("segstore: opening segment for truncation: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return fmt.Errorf("segstore: truncating torn segment tail: %w", err)
+	}
+	return f.Sync()
+}
+
+// safeName maps a sensor ID to its directory name, sanitising separators
+// the same way the station's raw-frame log store does.
+func safeName(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':':
+			return '_'
+		}
+		return r
+	}, id)
+}
+
+// NeedsSegment reports whether the next Append for sensor will open a
+// fresh segment — the station's cue to snapshot the decoder replica
+// *before* decoding the frame, because that pre-decode state becomes the
+// new segment's header. The answer stays valid as long as the caller
+// serialises its appends per sensor (the station's lock does).
+func (s *Store) NeedsSegment(sensor string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss := s.sensors[sensor]
+	return ss == nil || ss.active == nil
+}
+
+// Append archives one accepted transmission: chunk is the station's global
+// chunk index for the sensor, rows the decoded quantities, bound the §4.5
+// error bound, frame the raw wire bytes, and state a lazy snapshot of the
+// decoder replica *before* this frame was decoded — evaluated only when
+// the append opens a fresh segment, whose header it becomes.
+func (s *Store) Append(sensor string, chunk int, rows []timeseries.Series, bound float64, frame []byte, state func() core.DecoderState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("segstore: store is closed")
+	}
+	ss := s.sensors[sensor]
+	if ss == nil {
+		ss = &sensorSegs{}
+		s.sensors[sensor] = ss
+	}
+	if want := ss.nextChunk(); chunk != want {
+		return fmt.Errorf("segstore: sensor %q chunk %d out of order (want %d)", sensor, chunk, want)
+	}
+	if ss.active == nil {
+		if err := s.openSegment(sensor, ss, chunk, rows, state()); err != nil {
+			return err
+		}
+	}
+	a := ss.active
+	now := time.Now().Unix()
+	rec := record{Chunk: chunk, Unix: now, Bound: bound, Rows: summarizeRows(rows), Frame: frame}
+	block := encodeRecordBlock(rec)
+	if _, err := a.f.Write(block); err != nil {
+		return fmt.Errorf("segstore: appending record: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := a.f.Sync(); err != nil {
+			return fmt.Errorf("segstore: syncing record: %w", err)
+		}
+	}
+	a.recs = append(a.recs, recMeta{
+		Chunk: chunk, Offset: a.size, Unix: now, Bound: bound, Rows: rec.Rows,
+	})
+	a.frames = append(a.frames, append([]byte(nil), frame...))
+	a.size += int64(len(block))
+	s.met.appends.Inc()
+	if len(a.recs) >= s.opts.SegmentChunks {
+		if err := s.sealActive(ss); err != nil {
+			return err
+		}
+		if err := s.writeManifest(); err != nil {
+			return err
+		}
+	}
+	s.updateGauges()
+	return nil
+}
+
+// summarizeRows digests the decoded rows for the record and footer index.
+func summarizeRows(rows []timeseries.Series) []rowSummary {
+	out := make([]rowSummary, len(rows))
+	for i, r := range rows {
+		if len(r) == 0 {
+			continue
+		}
+		rs := rowSummary{Sum: r[0], Min: r[0], Max: r[0]}
+		for _, v := range r[1:] {
+			rs.Sum += v
+			if v < rs.Min {
+				rs.Min = v
+			}
+			if v > rs.Max {
+				rs.Max = v
+			}
+		}
+		out[i] = rs
+	}
+	return out
+}
+
+// openSegment creates the sensor's next active segment, its header holding
+// the decoder state as of firstChunk.
+func (s *Store) openSegment(sensor string, ss *sensorSegs, firstChunk int, rows []timeseries.Series, state core.DecoderState) error {
+	m := 0
+	if len(rows) > 0 {
+		m = len(rows[0])
+	}
+	h := segHeader{
+		Sensor:      sensor,
+		FirstChunk:  firstChunk,
+		N:           len(rows),
+		M:           m,
+		Decoder:     state,
+		CreatedUnix: time.Now().Unix(),
+	}
+	dir := filepath.Join(s.dir, "segments", safeName(sensor))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("segstore: creating sensor dir: %w", err)
+	}
+	name := fmt.Sprintf("%012d%s", firstChunk, segExt)
+	path := filepath.Join(dir, name)
+	rel := filepath.ToSlash(filepath.Join("segments", safeName(sensor), name))
+	block, err := encodeHeaderBlock(h)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("segstore: creating segment: %w", err)
+	}
+	buf := append(append([]byte(nil), segMagic[:]...), block...)
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("segstore: writing segment header: %w", err)
+	}
+	ss.active = &activeSeg{f: f, path: path, rel: rel, header: h, size: int64(len(buf))}
+	return nil
+}
+
+// sealActive writes the footer index and trailer, fsyncs and closes the
+// active segment, and moves it to the sealed list. The caller must hold
+// s.mu and follow up with writeManifest.
+func (s *Store) sealActive(ss *sensorSegs) error {
+	a := ss.active
+	if a == nil {
+		return nil
+	}
+	if len(a.recs) == 0 {
+		// Nothing durable in it: drop the empty shell instead of sealing.
+		a.f.Close()
+		ss.active = nil
+		return os.Remove(a.path)
+	}
+	ft := segFooter{
+		FirstChunk: a.header.FirstChunk,
+		Records:    len(a.recs),
+	}
+	for i, r := range a.recs {
+		if i == 0 || r.Unix < ft.MinUnix {
+			ft.MinUnix = r.Unix
+		}
+		if r.Unix > ft.MaxUnix {
+			ft.MaxUnix = r.Unix
+		}
+	}
+	ft.Recs = a.recs
+	block, err := encodeFooterBlock(ft, a.size)
+	if err != nil {
+		return err
+	}
+	if _, err := a.f.Write(block); err != nil {
+		return fmt.Errorf("segstore: writing segment footer: %w", err)
+	}
+	if err := a.f.Sync(); err != nil {
+		return fmt.Errorf("segstore: syncing sealed segment: %w", err)
+	}
+	if err := a.f.Close(); err != nil {
+		return fmt.Errorf("segstore: closing sealed segment: %w", err)
+	}
+	ss.sealed = append(ss.sealed, segMeta{
+		File:       a.rel,
+		FirstChunk: a.header.FirstChunk,
+		LastChunk:  a.lastChunk(),
+		Bytes:      a.size + int64(len(block)),
+		MinUnix:    ft.MinUnix,
+		MaxUnix:    ft.MaxUnix,
+	})
+	ss.active = nil
+	return nil
+}
+
+// writeManifest atomically replaces the manifest with the current sealed
+// index. The caller must hold s.mu.
+func (s *Store) writeManifest() error {
+	m := manifest{Version: manifestVersion, Sensors: make(map[string]*sensorManifest, len(s.sensors))}
+	for id, ss := range s.sensors {
+		m.Sensors[id] = &sensorManifest{PurgedThrough: ss.purged, Segments: ss.sealed}
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("segstore: encoding manifest: %w", err)
+	}
+	return atomicWrite(s.dir, manifestName, data)
+}
+
+// atomicWrite writes name under dir via tmp + fsync + rename + dir fsync,
+// the crash-safe replacement idiom the manifest and checkpoints share.
+func atomicWrite(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("segstore: creating %s: %w", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("segstore: writing %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("segstore: syncing %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("segstore: closing %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("segstore: installing %s: %w", name, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck — advisory on some filesystems
+		d.Close()
+	}
+	return nil
+}
+
+// Close seals every active segment (graceful shutdown: the footer index
+// and manifest make the next boot cheap) and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var sealed bool
+	for _, ss := range s.sensors {
+		if ss.active == nil {
+			continue
+		}
+		if err := s.sealActive(ss); err != nil {
+			return err
+		}
+		sealed = true
+	}
+	if sealed {
+		if err := s.writeManifest(); err != nil {
+			return err
+		}
+	}
+	s.updateGauges()
+	return nil
+}
+
+// Sensors returns the IDs the store holds data for, sorted.
+func (s *Store) Sensors() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.sensors))
+	for id := range s.sensors {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bounds reports the archived chunk range [oldest, next) of one sensor:
+// oldest is the retention watermark, next the chunk the next append will
+// carry.
+func (s *Store) Bounds(sensor string) (oldest, next int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss := s.sensors[sensor]
+	if ss == nil {
+		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownSensor, sensor)
+	}
+	return ss.oldestChunk(), ss.nextChunk(), nil
+}
+
+// updateGauges refreshes the segment/byte gauges. Caller holds s.mu.
+func (s *Store) updateGauges() {
+	var segs int
+	var bytes int64
+	for _, ss := range s.sensors {
+		segs += len(ss.sealed)
+		for _, sm := range ss.sealed {
+			bytes += sm.Bytes
+		}
+		if ss.active != nil {
+			segs++
+			bytes += ss.active.size
+		}
+	}
+	s.met.segments.Set(float64(segs))
+	s.met.bytes.Set(float64(bytes))
+}
+
+// Stats is a point-in-time summary of the store, served on /v1/stats.
+type Stats struct {
+	Sensors            int    `json:"sensors"`
+	Segments           int    `json:"segments"`
+	SealedSegments     int    `json:"sealed_segments"`
+	Bytes              int64  `json:"bytes"`
+	Appends            uint64 `json:"appends"`
+	ColdReads          uint64 `json:"cold_reads"`
+	Compactions        uint64 `json:"compactions"`
+	LastCheckpointUnix int64  `json:"last_checkpoint_unix"`
+}
+
+// StoreStats reports the current store statistics.
+func (s *Store) StoreStats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Sensors:            len(s.sensors),
+		Appends:            s.met.appends.Value(),
+		ColdReads:          s.met.coldReads.Value(),
+		Compactions:        s.met.compactions.Value(),
+		LastCheckpointUnix: s.ckptUnix,
+	}
+	for _, ss := range s.sensors {
+		st.SealedSegments += len(ss.sealed)
+		for _, sm := range ss.sealed {
+			st.Bytes += sm.Bytes
+		}
+		if ss.active != nil {
+			st.Segments++
+			st.Bytes += ss.active.size
+		}
+	}
+	st.Segments += st.SealedSegments
+	return st
+}
+
+// Instrument registers the store's metrics on reg and re-points the
+// internal counters at the registered instances. Call before traffic.
+func (s *Store) Instrument(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met = storeMetrics{
+		segments:    reg.Gauge("sbr_segstore_segments", "Segment files in the archive (sealed + active)."),
+		bytes:       reg.Gauge("sbr_segstore_bytes", "Archive size in bytes (sealed + active segments)."),
+		appends:     reg.Counter("sbr_segstore_appends_total", "Transmissions archived."),
+		coldReads:   reg.Counter("sbr_segstore_cold_reads_total", "Segment loads serving queries beyond the in-memory window."),
+		compactions: reg.Counter("sbr_segstore_compactions_total", "Retention passes that removed at least one segment."),
+		ckptAge:     reg.Gauge("sbr_segstore_checkpoint_age_seconds", "Seconds since the last station checkpoint (-1: none yet)."),
+	}
+	s.updateGauges()
+	s.updateCheckpointAgeLocked()
+}
+
+// UpdateCheckpointAge refreshes the checkpoint-age gauge; the daemon's
+// report ticker calls it so the exported age moves between checkpoints.
+func (s *Store) UpdateCheckpointAge() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.updateCheckpointAgeLocked()
+}
+
+func (s *Store) updateCheckpointAgeLocked() {
+	if s.ckptUnix == 0 {
+		s.met.ckptAge.Set(-1)
+		return
+	}
+	age := time.Now().Unix() - s.ckptUnix
+	if age < 0 {
+		age = 0
+	}
+	s.met.ckptAge.Set(float64(age))
+}

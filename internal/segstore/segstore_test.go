@@ -1,0 +1,372 @@
+package segstore
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sbr/internal/core"
+	"sbr/internal/metrics"
+	"sbr/internal/timeseries"
+	"sbr/internal/wire"
+)
+
+func testConfig() core.Config {
+	return core.Config{TotalBand: 8, MBase: 8, Metric: metrics.SSE}
+}
+
+// makeFrames returns n deterministic wire frames for one sensor stream.
+func makeFrames(t testing.TB, cfg core.Config, n, batchLen int) [][]byte {
+	t.Helper()
+	comp, err := core.NewCompressor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([][]byte, 0, n)
+	for b := 0; b < n; b++ {
+		row := make(timeseries.Series, batchLen)
+		for i := range row {
+			row[i] = 2 * math.Sin(float64(b*batchLen+i)/5)
+		}
+		tr, err := comp.Encode([]timeseries.Series{row})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame, err := wire.Encode(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, frame)
+	}
+	return frames
+}
+
+// feedStore mirrors the station's archiving loop: decode each frame with a
+// live replica, snapshot the pre-decode state, append. It returns the
+// decoded rows and bounds per chunk — the reference for readback checks.
+func feedStore(t testing.TB, s *Store, cfg core.Config, sensor string, frames [][]byte, from int) ([][]timeseries.Series, []float64) {
+	t.Helper()
+	dec, err := core.NewDecoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var allRows [][]timeseries.Series
+	var bounds []float64
+	for i, frame := range frames {
+		tr, err := wire.DecodeBytes(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre := dec.State()
+		rows, err := dec.Decode(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= from {
+			err = s.Append(sensor, i, rows, tr.ErrBound, frame,
+				func() core.DecoderState { return pre })
+			if err != nil {
+				t.Fatalf("append chunk %d: %v", i, err)
+			}
+		}
+		allRows = append(allRows, rows)
+		bounds = append(bounds, tr.ErrBound)
+	}
+	return allRows, bounds
+}
+
+func sameRows(a, b []timeseries.Series) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkAll verifies every archived chunk reads back byte-identical to the
+// live decode.
+func checkAll(t testing.TB, s *Store, sensor string, rows [][]timeseries.Series, bounds []float64, from int) {
+	t.Helper()
+	for c := from; c < len(rows); c++ {
+		got, bound, err := s.ChunkRows(sensor, c)
+		if err != nil {
+			t.Fatalf("ChunkRows(%d): %v", c, err)
+		}
+		if !sameRows(got, rows[c]) {
+			t.Fatalf("chunk %d read back differs from live decode", c)
+		}
+		if bound != bounds[c] {
+			t.Fatalf("chunk %d bound %v, want %v", c, bound, bounds[c])
+		}
+	}
+}
+
+func TestAppendSealReadback(t *testing.T) {
+	cfg := testConfig()
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Config: cfg, SegmentChunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	frames := makeFrames(t, cfg, 10, 16)
+	rows, bounds := feedStore(t, s, cfg, "node", frames, 0)
+
+	st := s.StoreStats()
+	if st.SealedSegments != 2 || st.Segments != 3 {
+		t.Errorf("stats %+v, want 2 sealed of 3 segments", st)
+	}
+	if st.Appends != 10 {
+		t.Errorf("appends = %d, want 10", st.Appends)
+	}
+	oldest, next, err := s.Bounds("node")
+	if err != nil || oldest != 0 || next != 10 {
+		t.Errorf("Bounds = (%d,%d,%v), want (0,10,nil)", oldest, next, err)
+	}
+	checkAll(t, s, "node", rows, bounds, 0)
+
+	// Out-of-order appends are rejected: the archive is strictly sequential.
+	if err := s.Append("node", 12, rows[9], bounds[9], frames[9], nil); err == nil {
+		t.Error("out-of-order append accepted")
+	}
+}
+
+func TestCloseSealsAndReopens(t *testing.T) {
+	cfg := testConfig()
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Config: cfg, SegmentChunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := makeFrames(t, cfg, 7, 16)
+	rows, bounds := feedStore(t, s, cfg, "node", frames[:6], 0)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	again, err := Open(Options{Dir: dir, Config: cfg, SegmentChunks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	st := again.StoreStats()
+	if st.SealedSegments != 2 || st.Segments != 2 {
+		t.Errorf("reopened stats %+v, want 2 sealed segments (graceful close seals the active one)", st)
+	}
+	checkAll(t, again, "node", rows, bounds, 0)
+
+	// The stream continues where it stopped.
+	dec, err := core.NewDecoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pre core.DecoderState
+	var lastRows []timeseries.Series
+	var lastBound float64
+	for i, frame := range frames {
+		tr, _ := wire.DecodeBytes(frame)
+		pre = dec.State()
+		r, err := dec.Decode(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 6 {
+			lastRows, lastBound = r, tr.ErrBound
+		}
+	}
+	err = again.Append("node", 6, lastRows, lastBound, frames[6],
+		func() core.DecoderState { return pre })
+	if err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+	got, _, err := again.ChunkRows("node", 6)
+	if err != nil || !sameRows(got, lastRows) {
+		t.Fatalf("chunk 6 after reopen: %v", err)
+	}
+}
+
+func TestReplayFrom(t *testing.T) {
+	cfg := testConfig()
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Config: cfg, SegmentChunks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	frames := makeFrames(t, cfg, 8, 16)
+	feedStore(t, s, cfg, "node", frames, 0)
+
+	for _, from := range []int{0, 2, 5, 7, 8} {
+		var got [][]byte
+		err := s.ReplayFrom("node", from, func(chunk int, frame []byte) error {
+			if chunk != from+len(got) {
+				t.Fatalf("replay from %d yielded chunk %d at position %d", from, chunk, len(got))
+			}
+			got = append(got, frame)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("ReplayFrom(%d): %v", from, err)
+		}
+		if len(got) != len(frames)-from {
+			t.Fatalf("ReplayFrom(%d) yielded %d frames, want %d", from, len(got), len(frames)-from)
+		}
+		for i, frame := range got {
+			if string(frame) != string(frames[from+i]) {
+				t.Fatalf("replayed frame %d differs from the archived original", from+i)
+			}
+		}
+	}
+}
+
+func TestCheckpointRoundtripAndPruning(t *testing.T) {
+	cfg := testConfig()
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, err := s.LoadCheckpoint(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty store LoadCheckpoint = %v, want ErrNoCheckpoint", err)
+	}
+	for i := 1; i <= 3; i++ {
+		ck := &Checkpoint{
+			Unix: int64(1000 + i),
+			Sensors: map[string]*SensorCheckpoint{
+				"node": {Chunks: i * 10, N: 1, M: 16},
+			},
+		}
+		if err := s.WriteCheckpoint(ck); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files := s.checkpointFiles()
+	if len(files) != checkpointKeep {
+		t.Errorf("%d checkpoint files on disk, want %d", len(files), checkpointKeep)
+	}
+	ck, err := s.LoadCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Sensors["node"].Chunks != 30 || ck.Unix != 1003 {
+		t.Errorf("loaded checkpoint %+v, want the newest (chunks 30)", ck.Sensors["node"])
+	}
+
+	// Destroy the newest: loading falls back to the survivor.
+	if err := os.WriteFile(filepath.Join(dir, checkpointName(3)), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, err = s.LoadCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Sensors["node"].Chunks != 20 {
+		t.Errorf("fallback checkpoint covers %d chunks, want 20", ck.Sensors["node"].Chunks)
+	}
+}
+
+func TestRetentionByBytes(t *testing.T) {
+	cfg := testConfig()
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Config: cfg, SegmentChunks: 2,
+		Retention: Retention{MaxBytes: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	frames := makeFrames(t, cfg, 8, 16)
+	rows, bounds := feedStore(t, s, cfg, "node", frames, 0)
+
+	// Without a checkpoint nothing is removable: tail replay still needs
+	// every record.
+	removed, err := s.EnforceRetention(time.Now())
+	if err != nil || removed != 0 {
+		t.Fatalf("retention before checkpoint removed %d (%v), want 0", removed, err)
+	}
+
+	// A checkpoint covering the first 6 chunks frees exactly the sealed
+	// segments living entirely below it.
+	err = s.WriteCheckpoint(&Checkpoint{Sensors: map[string]*SensorCheckpoint{
+		"node": {Chunks: 6, N: 1, M: 16},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, err = s.EnforceRetention(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 { // chunks 0-1, 2-3, 4-5
+		t.Fatalf("retention removed %d segments, want 3", removed)
+	}
+	oldest, next, err := s.Bounds("node")
+	if err != nil || oldest != 6 || next != 8 {
+		t.Errorf("Bounds after retention = (%d,%d,%v), want (6,8,nil)", oldest, next, err)
+	}
+	if _, _, err := s.ChunkRows("node", 3); !errors.Is(err, ErrPurged) {
+		t.Errorf("purged chunk read = %v, want ErrPurged", err)
+	}
+	checkAll(t, s, "node", rows, bounds, 6)
+	if st := s.StoreStats(); st.Compactions != 1 {
+		t.Errorf("compactions = %d, want 1", st.Compactions)
+	}
+
+	// The purge watermark survives a restart.
+	s.Close()
+	again, err := Open(Options{Dir: dir, Config: cfg, SegmentChunks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if _, _, err := again.ChunkRows("node", 0); !errors.Is(err, ErrPurged) {
+		t.Errorf("purged chunk after reopen = %v, want ErrPurged", err)
+	}
+	checkAll(t, again, "node", rows, bounds, 6)
+}
+
+func TestRetentionByAge(t *testing.T) {
+	cfg := testConfig()
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Config: cfg, SegmentChunks: 2,
+		Retention: Retention{MaxAge: time.Hour}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	frames := makeFrames(t, cfg, 4, 16)
+	feedStore(t, s, cfg, "node", frames, 0)
+	err = s.WriteCheckpoint(&Checkpoint{Sensors: map[string]*SensorCheckpoint{
+		"node": {Chunks: 4, N: 1, M: 16},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Now: nothing is older than an hour.
+	removed, err := s.EnforceRetention(time.Now())
+	if err != nil || removed != 0 {
+		t.Fatalf("fresh segments removed: %d (%v)", removed, err)
+	}
+	// Two hours in the future every sealed segment has expired.
+	removed, err = s.EnforceRetention(time.Now().Add(2 * time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Errorf("retention removed %d segments, want 2", removed)
+	}
+}

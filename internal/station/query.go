@@ -41,7 +41,7 @@ func (s *Station) Run(q Query) ([]QueryPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	total := len(log.chunks) * log.m
+	total := log.totalSamples()
 	from, to := q.From, q.To
 	if to == 0 {
 		to = total
@@ -60,7 +60,11 @@ func (s *Station) Run(q Query) ([]QueryPoint, error) {
 		if end > to {
 			end = to
 		}
-		v, _, err := answerSummary(log.summarize(q.Row, start, end), q.Agg)
+		sum, err := s.summarize(log, q.Sensor, q.Row, start, end)
+		if err != nil {
+			return nil, err
+		}
+		v, _, err := answerSummary(sum, q.Agg)
 		if err != nil {
 			return nil, err
 		}

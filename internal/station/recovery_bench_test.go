@@ -1,0 +1,91 @@
+package station
+
+import (
+	"testing"
+
+	"sbr/internal/core"
+	"sbr/internal/segstore"
+)
+
+// The recovery benchmarks quantify what checkpointing buys at restart:
+// full-archive replay decodes every archived frame through the receive
+// path, while checkpoint+tail deserialises the snapshot and replays only
+// the frames archived after it. Both restore the same queryable state.
+
+const (
+	benchChunks   = 768 // archived history size
+	benchBatchLen = 64  // samples per chunk
+)
+
+// benchDatadir ingests benchChunks frames into a fresh datadir; when
+// checkpointAt > 0 a checkpoint is installed at that chunk.
+func benchDatadir(b *testing.B, cfg core.Config, checkpointAt int) string {
+	b.Helper()
+	dir := b.TempDir()
+	store, err := segstore.Open(segstore.Options{Dir: dir, Config: cfg, SegmentChunks: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st.SetArchive(store, 16)
+	frames := encodeTestFrames(b, cfg, benchChunks, benchBatchLen)
+	for i, frame := range frames {
+		if err := st.ReceiveFrameFrom("s", 1, frame); err != nil {
+			b.Fatal(err)
+		}
+		if checkpointAt > 0 && i == checkpointAt-1 {
+			if err := st.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := store.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+func benchRecover(b *testing.B, dir string, cfg core.Config, wantReplayed int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		store, err := segstore.Open(segstore.Options{Dir: dir, Config: cfg, SegmentChunks: 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.SetArchive(store, 16)
+		rec, err := st.Recover()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.Replayed != wantReplayed {
+			b.Fatalf("replayed %d frames, want %d", rec.Replayed, wantReplayed)
+		}
+		store.Close()
+	}
+}
+
+// BenchmarkRecoverFullReplay restarts with no checkpoint: every archived
+// frame decodes again.
+func BenchmarkRecoverFullReplay(b *testing.B) {
+	cfg := restoreConfig()
+	dir := benchDatadir(b, cfg, 0)
+	b.ResetTimer()
+	benchRecover(b, dir, cfg, benchChunks)
+}
+
+// BenchmarkRecoverCheckpointTail restarts from a checkpoint covering all
+// but the last 16 chunks: only the tail replays.
+func BenchmarkRecoverCheckpointTail(b *testing.B) {
+	cfg := restoreConfig()
+	dir := benchDatadir(b, cfg, benchChunks-16)
+	b.ResetTimer()
+	benchRecover(b, dir, cfg, 16)
+}

@@ -20,7 +20,7 @@ func restoreConfig() core.Config {
 }
 
 // encodeTestFrames returns n deterministic frames for one sensor.
-func encodeTestFrames(t *testing.T, cfg core.Config, n, batchLen int) [][]byte {
+func encodeTestFrames(t testing.TB, cfg core.Config, n, batchLen int) [][]byte {
 	t.Helper()
 	comp, err := core.NewCompressor(cfg)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"sbr/internal/core"
 	"sbr/internal/obs"
 	"sbr/internal/query"
+	"sbr/internal/segstore"
 	"sbr/internal/timeseries"
 	"sbr/internal/wire"
 )
@@ -43,6 +44,12 @@ type Station struct {
 	mu      sync.RWMutex
 	sensors map[string]*sensorLog
 	met     stationMetrics
+
+	// archive, when attached via SetArchive, receives every accepted
+	// transmission and serves cold reads for chunks evicted from memory;
+	// memChunks bounds the per-sensor in-memory window (0: unbounded).
+	archive   *segstore.Store
+	memChunks int
 }
 
 // stationMetrics is the station's telemetry: reception totals, the
@@ -114,9 +121,21 @@ func (s *Station) Instrument(reg *obs.Registry) {
 // sensorLog is the per-sensor state: the decoder replica and the decoded
 // history, the in-memory equivalent of the paper's per-sensor log file.
 type sensorLog struct {
-	decoder  *core.Decoder
-	n, m     int
-	chunks   [][]timeseries.Series // chunks[seq][row] has m samples
+	decoder *core.Decoder
+	n, m    int
+
+	// chunks is the in-memory window of the decoded history: chunks[i]
+	// holds global chunk first+i. With an archive attached, chunks below
+	// first have been evicted after being made durable and are served cold
+	// from the segment store; without one, first stays 0 and the window is
+	// the whole history. bounds and the aggregate index always cover the
+	// full history — they are tiny per chunk, and keeping them hot is what
+	// keeps aggregates O(log n) regardless of eviction.
+	first    int
+	archived int  // chunks [0, archived) durably appended to the archive
+	archDown bool // archive append failed: stop archiving and evicting
+
+	chunks   [][]timeseries.Series // chunks[i][row] has m samples
 	bounds   []float64             // per-chunk max-abs error bound (0: none)
 	index    *query.Index          // hierarchical aggregate index over the chunks
 	frames   int                   // frames received
@@ -136,6 +155,12 @@ type sensorLog struct {
 	srcNonce uint64
 	zeroSum  uint64
 }
+
+// totalChunks is the number of chunks ever accepted (in memory + archived).
+func (l *sensorLog) totalChunks() int { return l.first + len(l.chunks) }
+
+// totalSamples is the recorded history length per quantity.
+func (l *sensorLog) totalSamples() int { return l.totalChunks() * l.m }
 
 // New creates a station whose sensors all run the given configuration.
 func New(cfg core.Config) (*Station, error) {
@@ -176,14 +201,14 @@ func (s *Station) ReceiveFrameFrom(id string, src uint64, frame []byte) error {
 	if err != nil {
 		return fmt.Errorf("station: sensor %q: %w", id, err)
 	}
-	return s.receive(id, t, len(frame), src, fingerprint(frame))
+	return s.receive(id, t, frame, len(frame), src, fingerprint(frame), false)
 }
 
 // Receive ingests one decoded transmission from the named sensor (used
 // when sender and receiver share an address space, e.g. in tests and the
 // simulator's loss-free fast path).
 func (s *Station) Receive(id string, t *core.Transmission) error {
-	return s.receive(id, t, 0, 0, 0)
+	return s.receive(id, t, nil, 0, 0, 0, false)
 }
 
 // fingerprint hashes a raw frame for the seq-0 duplicate heuristic.
@@ -215,7 +240,11 @@ func (l *sensorLog) duplicate(t *core.Transmission, src, sum uint64) bool {
 	return sum != 0 && sum == l.zeroSum
 }
 
-func (s *Station) receive(id string, t *core.Transmission, rawBytes int, src, sum uint64) (err error) {
+// receive is the single ingestion path. frame is the raw wire encoding
+// when the caller has it (nil for in-process delivery: re-encoded on
+// demand if an archive needs it); replay marks frames re-read from the
+// archive during recovery, which must not be archived again.
+func (s *Station) receive(id string, t *core.Transmission, frame []byte, rawBytes int, src, sum uint64, replay bool) (err error) {
 	start := time.Now()
 	defer func() {
 		if err != nil {
@@ -246,6 +275,22 @@ func (s *Station) receive(id string, t *core.Transmission, rawBytes int, src, su
 		log.decoder = dec
 		log.restarts++
 		s.met.restarts.Inc()
+	}
+	// Archiving needs the raw frame and, when this append opens a fresh
+	// segment, the decoder replica as it stands *before* this decode — that
+	// snapshot becomes the segment header that makes the segment
+	// self-contained for cold reads.
+	archiving := s.archive != nil && !replay && !log.archDown
+	var preState core.DecoderState
+	if archiving {
+		if frame == nil {
+			if frame, err = wire.Encode(t); err != nil {
+				return fmt.Errorf("station: sensor %q: re-encoding for archive: %w", id, err)
+			}
+		}
+		if s.archive.NeedsSegment(id) {
+			preState = log.decoder.State()
+		}
 	}
 	rows, err := log.decoder.Decode(t)
 	if err != nil {
@@ -279,8 +324,37 @@ func (s *Station) receive(id string, t *core.Transmission, rawBytes int, src, su
 	log.bytes += rawBytes
 	log.values += t.Cost
 	log.inserts = append(log.inserts, t.Ins())
+	gchunk := log.totalChunks() - 1 // global index of the chunk just appended
+	if archiving {
+		aerr := s.archive.Append(id, gchunk, rows, t.ErrBound, frame,
+			func() core.DecoderState { return preState })
+		if aerr != nil {
+			// Degraded mode: keep serving from memory, stop archiving and
+			// evicting this sensor — nothing non-durable is ever dropped.
+			log.archDown = true
+		} else {
+			log.archived = gchunk + 1
+		}
+	}
+	if replay {
+		log.archived = gchunk + 1 // the archive is where the frame came from
+	}
+	s.evict(log)
 	s.observeTransmission(log, t, rawBytes)
 	return nil
+}
+
+// evict trims the in-memory window to memChunks, dropping only chunks the
+// archive holds durably. The caller holds s.mu.
+func (s *Station) evict(l *sensorLog) {
+	if s.memChunks <= 0 {
+		return
+	}
+	for len(l.chunks) > s.memChunks && l.first < l.archived {
+		l.chunks[0] = nil // release the decoded rows
+		l.chunks = l.chunks[1:]
+		l.first++
+	}
 }
 
 // observeTransmission feeds the accepted transmission into the telemetry:
@@ -374,8 +448,29 @@ func (s *Station) lookup(id string, row int) (*sensorLog, error) {
 	return log, nil
 }
 
+// chunkRowsAt returns the decoded rows of global chunk c of one sensor:
+// straight from the in-memory window when c is inside it, otherwise cold
+// from the archive (the segment holding c is loaded, decoded and cached).
+// The caller holds s.mu (read or write).
+func (s *Station) chunkRowsAt(l *sensorLog, id string, c int) ([]timeseries.Series, error) {
+	if c >= l.first {
+		if i := c - l.first; i < len(l.chunks) {
+			return l.chunks[i], nil
+		}
+		return nil, fmt.Errorf("station: sensor %q chunk %d beyond recorded history", id, c)
+	}
+	if s.archive == nil {
+		return nil, fmt.Errorf("station: sensor %q chunk %d evicted and no archive attached", id, c)
+	}
+	rows, _, err := s.archive.ChunkRows(id, c)
+	return rows, err
+}
+
 // History returns the full reconstructed history of quantity row of the
-// named sensor: the concatenation of that row across every received chunk.
+// named sensor: the concatenation of that row across every received chunk,
+// decoding archived segments for any chunk evicted from memory. It fails
+// with the archive's purge error when retention has dropped part of the
+// history.
 func (s *Station) History(id string, row int) (timeseries.Series, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -383,15 +478,19 @@ func (s *Station) History(id string, row int) (timeseries.Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make(timeseries.Series, 0, len(log.chunks)*log.m)
-	for _, chunk := range log.chunks {
-		out = append(out, chunk[row]...)
+	out := make(timeseries.Series, 0, log.totalSamples())
+	for c := 0; c < log.totalChunks(); c++ {
+		rows, err := s.chunkRowsAt(log, id, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows[row]...)
 	}
 	return out, nil
 }
 
 // HistoryLen returns the number of recorded samples per quantity of the
-// named sensor.
+// named sensor (archived chunks included).
 func (s *Station) HistoryLen(id string) (int, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -399,11 +498,12 @@ func (s *Station) HistoryLen(id string) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("station: unknown sensor %q", id)
 	}
-	return len(log.chunks) * log.m, nil
+	return log.totalSamples(), nil
 }
 
 // At answers a historical point query: the reconstructed value of quantity
 // row at global sample index idx (counted from the first transmission).
+// Samples evicted from memory are served cold from the archive.
 func (s *Station) At(id string, row, idx int) (float64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -411,24 +511,47 @@ func (s *Station) At(id string, row, idx int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if idx < 0 || idx >= len(log.chunks)*log.m {
+	if idx < 0 || idx >= log.totalSamples() {
 		return 0, fmt.Errorf("station: sample %d outside recorded history [0,%d)",
-			idx, len(log.chunks)*log.m)
+			idx, log.totalSamples())
 	}
-	return log.chunks[idx/log.m][row][idx%log.m], nil
+	rows, err := s.chunkRowsAt(log, id, idx/log.m)
+	if err != nil {
+		return 0, err
+	}
+	return rows[row][idx%log.m], nil
 }
 
-// Range answers a historical range query over [from, to) of quantity row.
+// Range answers a historical range query over [from, to) of quantity row,
+// materialising only the chunks the range overlaps (cold ones from the
+// archive).
 func (s *Station) Range(id string, row, from, to int) (timeseries.Series, error) {
-	hist, err := s.History(id, row)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	log, err := s.lookup(id, row)
 	if err != nil {
 		return nil, err
 	}
-	if from < 0 || to > len(hist) || from > to {
+	if from < 0 || to > log.totalSamples() || from > to {
 		return nil, fmt.Errorf("station: range [%d,%d) outside history [0,%d)",
-			from, to, len(hist))
+			from, to, log.totalSamples())
 	}
-	return hist[from:to].Clone(), nil
+	out := make(timeseries.Series, 0, to-from)
+	for i := from; i < to; {
+		c := i / log.m
+		rows, err := s.chunkRowsAt(log, id, c)
+		if err != nil {
+			return nil, err
+		}
+		lo := i - c*log.m
+		hi := log.m
+		if limit := to - c*log.m; limit < hi {
+			hi = limit
+		}
+		out = append(out, rows[row][lo:hi]...)
+		i = c*log.m + hi
+	}
+	return out, nil
 }
 
 // AggregateKind selects a range-aggregate function.
@@ -463,14 +586,18 @@ func (s *Station) AggregateWithBound(id string, row, from, to int, kind Aggregat
 	if err != nil {
 		return 0, 0, err
 	}
-	total := len(log.chunks) * log.m
+	total := log.totalSamples()
 	if from < 0 || to > total || from > to {
 		return 0, 0, fmt.Errorf("station: range [%d,%d) outside history [0,%d)", from, to, total)
 	}
 	if from == to {
 		return 0, 0, fmt.Errorf("station: aggregate over empty range [%d,%d)", from, to)
 	}
-	return answerSummary(log.summarize(row, from, to), kind)
+	sum, err := s.summarize(log, id, row, from, to)
+	if err != nil {
+		return 0, 0, err
+	}
+	return answerSummary(sum, kind)
 }
 
 // answerSummary turns a merged span summary into the aggregate answer and
@@ -491,17 +618,18 @@ func answerSummary(sum query.Summary, kind AggregateKind) (value, bound float64,
 }
 
 // summarize reduces [from, to) of one quantity: whole chunks come from the
-// aggregate index in O(log n) merges, the ragged edges from an exact
-// in-place scan of the decoded chunk windows. The caller must hold the
-// station lock and have validated the range.
-func (l *sensorLog) summarize(row, from, to int) query.Summary {
+// aggregate index in O(log n) merges (the index spans the full history,
+// evicted chunks included), the ragged edges from an exact scan of the
+// overlapped chunk windows — cold-loaded from the archive when evicted.
+// The caller must hold the station lock and have validated the range.
+func (s *Station) summarize(l *sensorLog, id string, row, from, to int) (query.Summary, error) {
 	m := l.m
 	c0 := (from + m - 1) / m // first fully covered chunk
 	c1 := to / m             // one past the last fully covered chunk
 	if c0 >= c1 {
 		// The range lives inside one chunk or straddles one boundary with
 		// no whole chunk in between: the exact scan is already minimal.
-		return l.scan(row, from, to)
+		return s.scanRange(l, id, row, from, to)
 	}
 	sum, err := l.index.QueryChunks(row, c0, c1)
 	if err != nil {
@@ -509,29 +637,41 @@ func (l *sensorLog) summarize(row, from, to int) query.Summary {
 		panic(err)
 	}
 	if lead := c0 * m; from < lead {
-		sum = query.Merge(l.scan(row, from, lead), sum)
+		edge, err := s.scanRange(l, id, row, from, lead)
+		if err != nil {
+			return query.Summary{}, err
+		}
+		sum = query.Merge(edge, sum)
 	}
 	if tail := c1 * m; tail < to {
-		sum = query.Merge(sum, l.scan(row, tail, to))
+		edge, err := s.scanRange(l, id, row, tail, to)
+		if err != nil {
+			return query.Summary{}, err
+		}
+		sum = query.Merge(sum, edge)
 	}
-	return sum
+	return sum, nil
 }
 
-// scan summarises [from, to) exactly by reducing each overlapped chunk
-// window in place — no history materialisation, no cloning.
-func (l *sensorLog) scan(row, from, to int) query.Summary {
+// scanRange summarises [from, to) exactly by reducing each overlapped
+// chunk window in place, fetching evicted chunks cold from the archive.
+func (s *Station) scanRange(l *sensorLog, id string, row, from, to int) (query.Summary, error) {
 	var out query.Summary
 	for from < to {
 		c := from / l.m
+		rows, err := s.chunkRowsAt(l, id, c)
+		if err != nil {
+			return query.Summary{}, err
+		}
 		lo := from - c*l.m
 		hi := l.m
 		if limit := to - c*l.m; limit < hi {
 			hi = limit
 		}
-		out = query.Merge(out, query.Summarize(l.chunks[c][row][lo:hi], l.bounds[c]))
+		out = query.Merge(out, query.Summarize(rows[row][lo:hi], l.bounds[c]))
 		from = c*l.m + hi
 	}
-	return out
+	return out, nil
 }
 
 // AtWithBound answers a point query together with the guaranteed maximum
@@ -557,7 +697,7 @@ func (s *Station) RangeBound(id string, from, to int) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("station: unknown sensor %q", id)
 	}
-	total := len(log.chunks) * log.m
+	total := log.totalSamples()
 	if from < 0 || to > total || from >= to {
 		return 0, fmt.Errorf("station: range [%d,%d) outside history [0,%d)", from, to, total)
 	}
