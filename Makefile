@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race chaos cover bench bench-full bench-smoke recovery-bench fuzz examples experiments experiments-quick clean
+.PHONY: all build fmt-check vet test race chaos trace-gate cover bench bench-full bench-smoke recovery-bench fuzz examples experiments experiments-quick clean
 
 all: build fmt-check vet test
 
@@ -28,6 +28,12 @@ race:
 # and cuts — the station history must match the fault-free run exactly.
 chaos:
 	$(GO) test -race -run Chaos -count=1 ./...
+
+# The tracing overhead gate: with a tracer installed but frames sampled
+# out, ReceiveFrame must stay within 5% of the uninstrumented path (takes
+# the best of several timed attempts; see tracebench_test.go).
+trace-gate:
+	SBR_TRACE_GATE=1 $(GO) test -run TestTracingOverheadGate -count=1 -v ./internal/station
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -30,6 +30,7 @@ import (
 	"sbr/internal/metrics"
 	"sbr/internal/netio"
 	"sbr/internal/obs"
+	"sbr/internal/obs/trace"
 	"sbr/internal/sensornet"
 )
 
@@ -43,6 +44,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		adaptive = flag.Bool("adaptive", false, "use the Section 4.4 adaptive schedule (full SBR only when needed)")
 		uplink   = flag.String("station", "", "stationd address to stream every frame to over the reliable transport (empty: simulate only)")
+		traceN   = flag.Int("trace-sample", 0, "sample 1 in N encoded frames for end-to-end tracing (0: tracing disabled)")
 	)
 	flag.Parse()
 
@@ -84,6 +86,15 @@ func main() {
 	// final summary and any rejection counts come from one telemetry source.
 	net.Instrument(reg)
 
+	// With sampling on, 1 in N frames is born traced at encode time; the
+	// trace context rides the wire (protocol v3) and the station's spans
+	// land in the same recorder, so the summary can show where time went.
+	var tracer *trace.Recorder
+	if *traceN > 0 {
+		tracer = trace.NewRecorder(trace.Options{SampleEvery: *traceN})
+		net.Trace(tracer)
+	}
+
 	// With an uplink, every accepted frame is mirrored to a real stationd
 	// through one reliable client per node: the transport retries, backs
 	// off and reconnects on its own, and its telemetry lands in the same
@@ -99,6 +110,7 @@ func main() {
 				rc, err = netio.NewReliable(*uplink, id, netio.ReliableOptions{
 					Metrics: netMet,
 					Logger:  logger,
+					Tracer:  tracer,
 				})
 				if err != nil {
 					return err
@@ -167,6 +179,32 @@ func main() {
 	fmt.Printf("  bytes: %d, energy: %.3g nJ\n", agg.Bytes, agg.TotalEnergy)
 	fmt.Printf("  network-wide avg over the run: %.3f — but no historical detail survives;\n", agg.Results.Mean())
 	fmt.Println("  the SBR feed above answers arbitrary historical queries instead.")
+
+	// Latency quantiles from every histogram the run populated — the same
+	// interpolated p50/p95/p99 stationd serves on /v1/stats.
+	if lat := reg.HistogramSummaries(); len(lat) > 0 {
+		fmt.Println("\nLatency quantiles (seconds):")
+		for _, h := range lat {
+			fmt.Printf("  %-40s n=%-8d p50=%.3g p95=%.3g p99=%.3g\n",
+				h.Name, h.Count, h.P50, h.P95, h.P99)
+		}
+	}
+
+	// Slowest traced frame per pipeline stage, when tracing was sampled.
+	if tracer != nil {
+		if ex := tracer.Exemplars(); len(ex) > 0 {
+			stages := make([]string, 0, len(ex))
+			for stage := range ex {
+				stages = append(stages, stage)
+			}
+			sort.Strings(stages)
+			fmt.Printf("\nSlow-path exemplars (%d traced frames):\n", len(tracer.Recent(0)))
+			for _, stage := range stages {
+				tr := ex[stage][0]
+				fmt.Printf("  %-16s worst trace %s (%s)\n", stage, tr.TraceID(), tr.Sensor())
+			}
+		}
+	}
 
 	// Final structured summary, from the same registry the station fed.
 	v := reg.Values()

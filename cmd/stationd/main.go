@@ -28,6 +28,7 @@
 //
 //	GET /debug/metrics   — Prometheus text exposition of the obs registry
 //	GET /debug/vars      — the same registry as an expvar-style JSON dump
+//	GET /debug/traces    — recent end-to-end frame traces (-trace-sample)
 //	GET /debug/pprof/…   — the standard net/http/pprof profiles
 //
 // Every daemon event and the periodic report go through the structured
@@ -54,9 +55,15 @@ import (
 	"sbr/internal/metrics"
 	"sbr/internal/netio"
 	"sbr/internal/obs"
+	"sbr/internal/obs/trace"
 	"sbr/internal/segstore"
 	"sbr/internal/station"
+	"sbr/internal/wire"
 )
+
+// version identifies the build in sbr_build_info; release builds override
+// it via -ldflags "-X main.version=v1.2.3".
+var version = "dev"
 
 func main() {
 	var (
@@ -79,6 +86,8 @@ func main() {
 		idleTO    = flag.Duration("idle-timeout", 0, "close sensor connections silent this long (0: 2m default, negative: never)")
 		hsTO      = flag.Duration("handshake-timeout", 0, "drop connections that stall in the handshake (0: 10s default, negative: never)")
 		drainTO   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget before force-closing connections")
+		traceN    = flag.Int("trace-sample", 0, "sample 1 in N station-born traces; wire-propagated traces are always continued (0: tracing disabled)")
+		traceCap  = flag.Int("trace-cap", 256, "completed traces retained for /debug/traces")
 	)
 	flag.Parse()
 
@@ -89,6 +98,8 @@ func main() {
 	logger := obs.NewLogger(os.Stderr, level)
 	dlog := obs.Component(logger, "stationd")
 	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg, version, wire.VersionTraced)
+	obs.RegisterRuntimeMetrics(reg)
 
 	cfg := core.Config{TotalBand: *band, MBase: *mbase, Metric: metrics.SSE}
 	st, err := station.New(cfg)
@@ -96,6 +107,16 @@ func main() {
 		fatal(dlog, err)
 	}
 	st.Instrument(reg)
+
+	var tracer *trace.Recorder
+	if *traceN > 0 {
+		tracer = trace.NewRecorder(trace.Options{
+			Capacity:    *traceCap,
+			SampleEvery: *traceN,
+		})
+		st.SetTracer(tracer)
+		dlog.Info("tracing enabled", "sample_every", *traceN, "capacity", *traceCap)
+	}
 
 	if *logDir != "" && *dataDir != "" {
 		fatal(dlog, errors.New("stationd: -logdir and -datadir are mutually exclusive"))
@@ -161,6 +182,7 @@ func main() {
 		Observer:         observer,
 		Metrics:          netio.NewMetrics(reg),
 		Logger:           logger,
+		Tracer:           tracer,
 		MaxConns:         *maxConns,
 		IdleTimeout:      *idleTO,
 		HandshakeTimeout: *hsTO,
@@ -171,7 +193,7 @@ func main() {
 	dlog.Info("listening for sensors", "addr", srv.Addr(), "band", *band, "mbase", *mbase)
 
 	httpSrv := serveHTTP(dlog, srv, *httpAddr, "query API", httpapi.NewObserved(st, *cacheSz, reg))
-	debugSrv := serveHTTP(dlog, srv, *debugAddr, "debug plane", debugMux(reg))
+	debugSrv := serveHTTP(dlog, srv, *debugAddr, "debug plane", debugMux(reg, tracer))
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -246,10 +268,13 @@ func serveHTTP(log *slog.Logger, srv *netio.Server, addr, name string, h http.Ha
 // debugMux assembles the admin plane: metrics exposition in both formats
 // plus the standard pprof handlers, on a mux of its own so nothing ever
 // mounts them on a public listener by accident.
-func debugMux(reg *obs.Registry) http.Handler {
+func debugMux(reg *obs.Registry, tracer *trace.Recorder) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/metrics", reg.MetricsHandler())
 	mux.Handle("/debug/vars", reg.VarsHandler())
+	traces := tracer.Handler("/debug/traces")
+	mux.Handle("/debug/traces", traces)
+	mux.Handle("/debug/traces/", traces)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -19,6 +19,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -27,9 +28,15 @@ import (
 	"time"
 
 	"sbr/internal/obs"
+	"sbr/internal/obs/trace"
 	"sbr/internal/station"
 	"sbr/internal/timeseries"
 )
+
+// TraceHeader carries a trace ID (16 hex digits) on a query request, so a
+// read can join the trace of the frame — or workflow — that caused it.
+// Responses echo the ID of whatever trace the request recorded into.
+const TraceHeader = "X-Sbr-Trace"
 
 // DefaultCacheEntries bounds the history LRU when New is given a
 // non-positive capacity: enough for a handful of hot sensor/quantity
@@ -77,19 +84,46 @@ func NewObserved(st *station.Station, cacheEntries int, reg *obs.Registry) *API 
 	return a
 }
 
+// spanKey carries the request span through the handler context.
+type spanKey struct{}
+
+// reqSpan returns the request's trace span (nil: untraced request).
+func reqSpan(r *http.Request) *trace.Span {
+	sp, _ := r.Context().Value(spanKey{}).(*trace.Span)
+	return sp
+}
+
 // handle registers one endpoint, wrapped with its request counter and
-// latency histogram when the API is instrumented.
+// latency histogram (nil-safe no-ops when uninstrumented) and, when the
+// station has a tracer, a per-request span: a request carrying the
+// TraceHeader joins that trace — the "which frame made this query slow"
+// join — while any other request may birth one under the recorder's
+// sampling policy.
 func (a *API) handle(path string, h http.HandlerFunc) {
-	if a.reg == nil {
-		a.mux.HandleFunc(path, h)
-		return
-	}
 	reqs := a.reg.Counter("sbr_httpapi_requests_total",
 		"Query-API requests served, by endpoint.", obs.L("endpoint", path))
 	secs := a.reg.Histogram("sbr_httpapi_request_seconds",
 		"Query-API request latency, by endpoint.", obs.LatencyBuckets, obs.L("endpoint", path))
 	a.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		if rec := a.st.Tracer(); rec != nil {
+			var tr *trace.Trace
+			if id, ok := trace.ParseID(r.Header.Get(TraceHeader)); ok {
+				tr = rec.Continue(id, r.URL.Query().Get("sensor"))
+			} else {
+				tr = rec.Begin(r.URL.Query().Get("sensor"))
+			}
+			if tr != nil {
+				sp := tr.StartSpan("http." + strings.TrimPrefix(path, "/v1/"))
+				sp.Annotate("query", r.URL.RawQuery)
+				w.Header().Set(TraceHeader, tr.TraceID().String())
+				r = r.WithContext(context.WithValue(r.Context(), spanKey{}, sp))
+				defer func() {
+					sp.End()
+					tr.Finish()
+				}()
+			}
+		}
 		h(w, r)
 		reqs.Inc()
 		secs.Observe(time.Since(start).Seconds())
@@ -107,17 +141,26 @@ func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // history returns the reconstructed history of one quantity through the
 // LRU. The sensor's transmission count keys the entry, so a newly received
-// frame misses and triggers one fresh reconstruction.
-func (a *API) history(id string, row int) (timeseries.Series, error) {
+// frame misses and triggers one fresh reconstruction. The cache verdict
+// and any reconstruction (with its cold archive fetches) are recorded as
+// children of sp.
+func (a *API) history(id string, row int, sp *trace.Span) (timeseries.Series, error) {
 	stats, err := a.st.SensorStats(id)
 	if err != nil {
 		return nil, err
 	}
 	k := histKey{sensor: id, row: row, frames: stats.Transmissions}
+	csp := sp.Child("httpapi.cache")
 	if hist, ok := a.cache.get(k); ok {
+		csp.Annotate("verdict", "hit")
+		csp.End()
 		return hist, nil
 	}
-	hist, err := a.st.History(id, row)
+	csp.Annotate("verdict", "miss")
+	csp.End()
+	hsp := sp.Child("station.history")
+	hist, err := a.st.HistoryTraced(id, row, hsp)
+	hsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -197,6 +240,11 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	if store := a.st.Archive(); store != nil {
 		out["store"] = store.StoreStats()
 	}
+	// Latency SLOs without a Prometheus server: every registered
+	// histogram reduced to interpolated p50/p95/p99.
+	if lat := a.reg.HistogramSummaries(); len(lat) > 0 {
+		out["latency"] = lat
+	}
 	writeJSON(w, out)
 }
 
@@ -228,7 +276,7 @@ func (a *API) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	hist, err := a.history(id, row)
+	hist, err := a.history(id, row, reqSpan(r))
 	if err != nil {
 		writeStationError(w, err)
 		return
@@ -275,7 +323,7 @@ func (a *API) handleAggregate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	value, bound, err := a.st.AggregateWithBound(id, row, from, to, kind)
+	value, bound, err := a.st.AggregateWithBoundTraced(id, row, from, to, kind, reqSpan(r))
 	if err != nil {
 		writeStationError(w, err)
 		return
@@ -296,7 +344,7 @@ func (a *API) handleDownsample(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	hist, err := a.history(id, row)
+	hist, err := a.history(id, row, reqSpan(r))
 	if err != nil {
 		writeStationError(w, err)
 		return
@@ -324,7 +372,7 @@ func (a *API) handleExceedances(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	hist, err := a.history(id, row)
+	hist, err := a.history(id, row, reqSpan(r))
 	if err != nil {
 		writeStationError(w, err)
 		return

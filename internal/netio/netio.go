@@ -33,18 +33,34 @@ import (
 	"time"
 
 	"sbr/internal/obs"
+	"sbr/internal/obs/trace"
 	"sbr/internal/station"
 	"sbr/internal/wire"
 )
 
-// Protocol constants.
-var handshakeMagic = [4]byte{'S', 'B', 'R', 'S'}
+// Protocol constants. The v2 handshake magic is "SBRS"; a client that
+// understands traced frames opens with "SBR3" instead and waits for a
+// hello acknowledgement naming the server's protocol version. A v2-only
+// server rejects the unknown magic and closes, which the client detects
+// and answers by redialling with the v2 magic — so negotiation costs one
+// extra round trip against old servers and nothing against new ones.
+var (
+	handshakeMagic   = [4]byte{'S', 'B', 'R', 'S'}
+	handshakeMagicV3 = [4]byte{'S', 'B', 'R', '3'}
+)
 
 const (
 	ackOK    byte = 0x06 // frame decoded and logged (or re-acked duplicate)
 	ackError byte = 0x15 // frame rejected; the connection closes after this
 	ackBusy  byte = 0x07 // server at capacity; reconnect after a backoff
+	ackHello byte = 0x05 // handshake reply: the seq field carries the protocol version
 	maxIDLen      = 256
+)
+
+// Protocol versions negotiated by the handshake.
+const (
+	protoV2 = 2 // untraced frames only
+	protoV3 = 3 // frames may carry a trace header (wire.VersionTraced)
 )
 
 // Default timeouts; Options and ReliableOptions override them.
@@ -124,6 +140,11 @@ type Options struct {
 	Metrics  *Metrics      // transport telemetry (nil: uninstrumented)
 	Logger   *slog.Logger  // structured events (nil: discard)
 
+	// Tracer records per-frame receive spans for sampled traced frames
+	// and answers the v3 handshake hello (nil: frames are still accepted
+	// in either version, but no spans are recorded).
+	Tracer *trace.Recorder
+
 	// MaxConns caps concurrent sensor connections. Arrivals beyond the
 	// cap are shed gracefully: one busy acknowledgement, then close, so
 	// the sensor backs off instead of hanging. 0 means unlimited.
@@ -163,6 +184,7 @@ type Server struct {
 	obs       FrameObserver
 	met       *Metrics
 	log       *slog.Logger
+	tracer    *trace.Recorder
 	maxConns  int
 	hsTimeout time.Duration
 	idle      time.Duration
@@ -208,6 +230,7 @@ func ServeWith(st *station.Station, addr string, opt Options) (*Server, error) {
 		obs:       opt.Observer,
 		met:       met,
 		log:       obs.Component(opt.Logger, "netio"),
+		tracer:    opt.Tracer,
 		maxConns:  opt.MaxConns,
 		hsTimeout: timeout(opt.HandshakeTimeout, defaultHandshakeTimeout),
 		idle:      timeout(opt.IdleTimeout, defaultIdleTimeout),
@@ -367,7 +390,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.SetReadDeadline(time.Now().Add(s.hsTimeout)) //nolint:errcheck
 	}
 	br := bufio.NewReader(conn)
-	id, src, err := readHandshake(br)
+	id, src, proto, err := readHandshake(br)
 	if err != nil {
 		if err != io.EOF { // bare connect-and-close (port probe) is not a protocol error
 			s.met.RejectHandshake.Inc()
@@ -375,7 +398,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		return
 	}
-	s.log.Debug("sensor connected", "sensor", id, "remote", remote)
+	if proto >= protoV3 {
+		// Answer the negotiation: a trace-aware client is waiting to learn
+		// whether its frames may keep their trace headers.
+		if !s.writeAck(conn, ackHello, wire.VersionTraced, id, remote) {
+			return
+		}
+	}
+	s.log.Debug("sensor connected", "sensor", id, "remote", remote, "proto", proto)
 	for {
 		if s.draining.Load() {
 			s.log.Debug("connection drained", "sensor", id, "remote", remote)
@@ -416,6 +446,19 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.writeAck(conn, ackError, 0, id, remote)
 			return
 		}
+		// One receive span per sampled traced frame, covering the station
+		// handle and the acknowledgement write. FrameTrace is only peeked
+		// when a tracer is installed, so the untraced path pays one nil
+		// check here.
+		var rsp *trace.Span
+		if s.tracer != nil {
+			if tc := wire.FrameTrace(frame); tc.Sampled {
+				tr := s.tracer.Continue(trace.ID(tc.ID), id)
+				rsp = tr.StartSpan("netio.recv")
+				rsp.AnnotateInt("seq", int64(seq))
+				rsp.AnnotateInt("bytes", int64(len(frame)))
+			}
+		}
 		start := time.Now()
 		switch err := s.st.ReceiveFrameFrom(id, src, frame); {
 		case err == nil:
@@ -425,14 +468,21 @@ func (s *Server) serveConn(conn net.Conn) {
 			// skip the observer so the on-disk log stays exactly-once.
 			s.met.DupFrames.Inc()
 			s.log.Debug("duplicate frame re-acked", "sensor", id, "remote", remote, "seq", seq)
-			if !s.writeAck(conn, ackOK, seq, id, remote) {
+			rsp.Annotate("duplicate", "true")
+			ok := s.writeAck(conn, ackOK, seq, id, remote)
+			rsp.End()
+			rsp.Trace().Finish()
+			if !ok {
 				return
 			}
 			continue
 		default:
 			s.met.RejectReceive.Inc()
 			s.log.Warn("station rejected frame", "sensor", id, "remote", remote, "err", err)
+			rsp.Annotate("rejected", err.Error())
 			s.writeAck(conn, ackError, seq, id, remote)
+			rsp.End()
+			rsp.Trace().Finish()
 			return
 		}
 		s.met.FramesAccepted.Inc()
@@ -441,7 +491,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.obs != nil {
 			s.obs(id, frame)
 		}
-		if !s.writeAck(conn, ackOK, seq, id, remote) {
+		ok := s.writeAck(conn, ackOK, seq, id, remote)
+		rsp.End()
+		rsp.Trace().Finish()
+		if !ok {
 			return
 		}
 	}
@@ -469,37 +522,43 @@ func (s *Server) writeAck(conn net.Conn, status byte, seq int, id, remote string
 }
 
 // readHandshake validates the magic and reads the sensor ID and the
-// transport incarnation nonce.
-func readHandshake(r *bufio.Reader) (string, uint64, error) {
+// transport incarnation nonce. The magic chooses the protocol version:
+// "SBRS" is v2, "SBR3" announces a trace-aware client expecting a hello.
+func readHandshake(r *bufio.Reader) (id string, nonce uint64, proto int, err error) {
 	var magic [4]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return "", 0, err
+		return "", 0, 0, err
 	}
-	if magic != handshakeMagic {
-		return "", 0, errors.New("netio: bad handshake magic")
+	switch magic {
+	case handshakeMagic:
+		proto = protoV2
+	case handshakeMagicV3:
+		proto = protoV3
+	default:
+		return "", 0, 0, errors.New("netio: bad handshake magic")
 	}
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
-		return "", 0, err
+		return "", 0, 0, err
 	}
 	if n == 0 || n > maxIDLen {
-		return "", 0, fmt.Errorf("netio: sensor ID length %d out of range", n)
+		return "", 0, 0, fmt.Errorf("netio: sensor ID length %d out of range", n)
 	}
-	id := make([]byte, n)
-	if _, err := io.ReadFull(r, id); err != nil {
-		return "", 0, err
+	idb := make([]byte, n)
+	if _, err := io.ReadFull(r, idb); err != nil {
+		return "", 0, 0, err
 	}
-	var nonce [8]byte
-	if _, err := io.ReadFull(r, nonce[:]); err != nil {
-		return "", 0, fmt.Errorf("netio: reading incarnation nonce: %w", err)
+	var nb [8]byte
+	if _, err := io.ReadFull(r, nb[:]); err != nil {
+		return "", 0, 0, fmt.Errorf("netio: reading incarnation nonce: %w", err)
 	}
-	return string(id), binary.LittleEndian.Uint64(nonce[:]), nil
+	return string(idb), binary.LittleEndian.Uint64(nb[:]), proto, nil
 }
 
 // writeHandshake ships the magic, ID and incarnation nonce; errors
 // surface at Flush.
-func writeHandshake(bw *bufio.Writer, sensorID string, nonce uint64) {
-	bw.Write(handshakeMagic[:]) //nolint:errcheck — surfaced by Flush
+func writeHandshake(bw *bufio.Writer, magic [4]byte, sensorID string, nonce uint64) {
+	bw.Write(magic[:]) //nolint:errcheck — surfaced by Flush
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], uint64(len(sensorID)))
 	bw.Write(buf[:n])        //nolint:errcheck
@@ -533,8 +592,23 @@ func readAck(br *bufio.Reader) (status byte, seq int, err error) {
 }
 
 // dialAndShake opens one TCP connection with a connect timeout and
-// keepalives and performs the handshake.
+// keepalives and performs the v2 handshake.
 func dialAndShake(dial func(addr string) (net.Conn, error), addr, sensorID string, nonce uint64) (net.Conn, error) {
+	conn, err := dialRaw(dial, addr)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriter(conn)
+	writeHandshake(bw, handshakeMagic, sensorID, nonce)
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netio: handshake: %w", err)
+	}
+	return conn, nil
+}
+
+// dialRaw dials and arms keepalives.
+func dialRaw(dial func(addr string) (net.Conn, error), addr string) (net.Conn, error) {
 	conn, err := dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("netio: dial: %w", err)
@@ -543,13 +617,58 @@ func dialAndShake(dial func(addr string) (net.Conn, error), addr, sensorID strin
 		tc.SetKeepAlive(true)                  //nolint:errcheck — advisory
 		tc.SetKeepAlivePeriod(keepalivePeriod) //nolint:errcheck
 	}
+	return conn, nil
+}
+
+// dialAndShakeNegotiated opens a connection with the v3 handshake and
+// waits (under helloWait) for the server's hello. A peer that closes or
+// stays silent instead of answering is taken for a v2-only server: the
+// connection is redialled with the v2 magic within the same attempt, and
+// the caller learns proto = 2 — its cue to strip trace headers from
+// everything it writes on this connection. The returned bufio.Reader has
+// consumed the hello and must be kept as the connection's ack reader. A
+// busy shed (the server's capacity farewell) surfaces as ErrBusy exactly
+// as it would mid-stream.
+func dialAndShakeNegotiated(dial func(addr string) (net.Conn, error), addr, sensorID string, nonce uint64, helloWait time.Duration) (net.Conn, *bufio.Reader, int, error) {
+	conn, err := dialRaw(dial, addr)
+	if err != nil {
+		return nil, nil, 0, err
+	}
 	bw := bufio.NewWriter(conn)
-	writeHandshake(bw, sensorID, nonce)
+	writeHandshake(bw, handshakeMagicV3, sensorID, nonce)
 	if err := bw.Flush(); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("netio: handshake: %w", err)
+		return nil, nil, 0, fmt.Errorf("netio: handshake: %w", err)
 	}
-	return conn, nil
+	br := bufio.NewReader(conn)
+	if helloWait > 0 {
+		conn.SetReadDeadline(time.Now().Add(helloWait)) //nolint:errcheck
+	}
+	status, ver, err := readAck(br)
+	if helloWait > 0 {
+		conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+	}
+	switch {
+	case err != nil:
+		// No hello: a v2 server rejected the "SBR3" magic (or never heard
+		// of hellos). Fall back to the v2 handshake on a fresh connection.
+		conn.Close()
+		conn, err = dialAndShake(dial, addr, sensorID, nonce)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return conn, bufio.NewReader(conn), protoV2, nil
+	case status == ackBusy:
+		conn.Close()
+		return nil, nil, 0, ErrBusy
+	case status != ackHello:
+		conn.Close()
+		return nil, nil, 0, fmt.Errorf("netio: expected hello, got ack status 0x%02x", status)
+	case ver < protoV3:
+		return conn, br, protoV2, nil
+	default:
+		return conn, br, protoV3, nil
+	}
 }
 
 // Client is the minimal sensor-side transport: synchronous sends, no

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sbr/internal/obs"
+	"sbr/internal/obs/trace"
 	"sbr/internal/wire"
 )
 
@@ -52,13 +53,18 @@ type ReliableOptions struct {
 
 	// Logger receives structured transport events (nil: discard).
 	Logger *slog.Logger
+
+	// Tracer records send/retry/reconnect spans for frames that carry a
+	// sampled trace header (nil: untraced).
+	Tracer *trace.Recorder
 }
 
 // pending is one enqueued frame awaiting acknowledgement.
 type pending struct {
 	frame    []byte
 	seq      int
-	attempts int // transmissions so far, counting the first
+	attempts int         // transmissions so far, counting the first
+	sp       *trace.Span // netio.send span for sampled traced frames (else nil)
 }
 
 // ReliableClient is the fault-tolerant sensor transport: connect
@@ -84,6 +90,7 @@ type ReliableClient struct {
 	conn      net.Conn
 	bw        *bufio.Writer
 	br        *bufio.Reader
+	proto     int  // negotiated protocol of the current connection
 	connected bool // a connection has succeeded before (for the reconnect metric)
 
 	outbox []pending
@@ -151,7 +158,15 @@ func (c *ReliableClient) Send(frame []byte) error {
 	if err != nil {
 		return fmt.Errorf("netio: unsendable frame: %w", err)
 	}
-	c.outbox = append(c.outbox, pending{frame: append([]byte(nil), frame...), seq: seq})
+	p := pending{frame: append([]byte(nil), frame...), seq: seq}
+	if c.opt.Tracer != nil {
+		if tc := wire.FrameTrace(frame); tc.Sampled {
+			tr := c.opt.Tracer.Continue(trace.ID(tc.ID), c.id)
+			p.sp = tr.StartSpan("netio.send")
+			p.sp.AnnotateInt("seq", int64(seq))
+		}
+	}
+	c.outbox = append(c.outbox, p)
 	return c.pump(c.opt.Window)
 }
 
@@ -222,7 +237,7 @@ func (c *ReliableClient) ensureConn() error {
 		if c.streak > 0 {
 			c.sleepBackoff()
 		}
-		conn, err := dialAndShake(c.opt.Dial, c.addr, c.id, c.nonce)
+		conn, br, proto, err := dialAndShakeNegotiated(c.opt.Dial, c.addr, c.id, c.nonce, c.opt.AckTimeout)
 		if err != nil {
 			c.streak++
 			c.log.Warn("connect failed", "sensor", c.id, "addr", c.addr,
@@ -232,12 +247,20 @@ func (c *ReliableClient) ensureConn() error {
 		if c.connected {
 			c.met.Reconnects.Inc()
 			c.log.Info("reconnected", "sensor", c.id, "addr", c.addr,
-				"unacked", len(c.outbox))
+				"unacked", len(c.outbox), "proto", proto)
+			// The head-of-line frame wears the reconnect event: it is the
+			// one whose latency the lost link actually extended.
+			if len(c.outbox) > 0 {
+				sp := c.outbox[0].sp.Child("netio.reconnect")
+				sp.AnnotateInt("streak", int64(c.streak))
+				sp.End()
+			}
 		}
 		c.connected = true
 		c.conn = conn
 		c.bw = bufio.NewWriter(conn)
-		c.br = bufio.NewReader(conn)
+		c.br = br
+		c.proto = proto
 		c.sent = 0 // the whole outbox is retransmitted on a fresh conn
 	}
 	return nil
@@ -265,8 +288,18 @@ func (c *ReliableClient) writeUnsent() error {
 		p.attempts++
 		if p.attempts > 1 {
 			c.met.Retries.Inc()
+			sp := p.sp.Child("netio.retry")
+			sp.AnnotateInt("attempt", int64(p.attempts))
+			sp.End()
 		}
-		if _, err := c.bw.Write(p.frame); err != nil {
+		frame := p.frame
+		if c.proto < protoV3 {
+			// A v2 peer would reject the traced header: shed it. The outbox
+			// keeps the original bytes, so a later v3 reconnect propagates
+			// the trace again.
+			frame = wire.StripTrace(frame)
+		}
+		if _, err := c.bw.Write(frame); err != nil {
 			return fmt.Errorf("netio: send: %w", err)
 		}
 		c.sent++
@@ -293,9 +326,15 @@ func (c *ReliableClient) awaitAck() error {
 		switch status {
 		case ackOK:
 			if len(c.outbox) > 0 && seq == c.outbox[0].seq {
+				p := c.outbox[0]
 				c.outbox = c.outbox[1:]
 				c.sent--
 				c.streak = 0
+				if p.sp != nil {
+					p.sp.AnnotateInt("attempts", int64(p.attempts))
+					p.sp.End()
+					p.sp.Trace().Finish()
+				}
 				return nil
 			}
 			if c.seqOutstanding(seq) {

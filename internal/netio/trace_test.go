@@ -1,0 +1,320 @@
+package netio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"sbr/internal/faultnet"
+	"sbr/internal/obs"
+	"sbr/internal/obs/trace"
+	"sbr/internal/wire"
+)
+
+// encodeTracedFrames wraps encodeFrames with per-frame sampled trace
+// contexts, IDs 1..n — deterministic so tests can look each trace up.
+func encodeTracedFrames(t *testing.T, n int) [][]byte {
+	t.Helper()
+	cfg := chaosConfig()
+	plain := encodeFrames(t, cfg, n, 16)
+	frames := make([][]byte, n)
+	for i, frame := range plain {
+		tr, err := wire.DecodeBytes(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traced, err := wire.EncodeTraced(tr, wire.TraceContext{ID: uint64(i + 1), Sampled: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = traced
+	}
+	return frames
+}
+
+// TestChaosOneTracePerFrame is the tracing half of the chaos proof: frames
+// whose delivery needed retransmissions and reconnects must still come out
+// as ONE trace each — the send span and the receive span joined on the
+// wire-propagated ID, the retries recorded as child spans — never as a
+// fresh trace per attempt.
+func TestChaosOneTracePerFrame(t *testing.T) {
+	const nFrames = 120
+	frames := encodeTracedFrames(t, nFrames)
+
+	// Client and server share one recorder (one process), so Continue on
+	// the same ID must join the halves into a single trace object.
+	rec := trace.NewRecorder(trace.Options{Capacity: 2 * nFrames, MaxInflight: 2 * nFrames})
+	st := newStation(t, chaosConfig())
+	srv, err := ServeWith(st, "127.0.0.1:0", Options{
+		Tracer:           rec,
+		HandshakeTimeout: time.Second,
+		IdleTimeout:      5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	inj := faultnet.New(faultnet.Config{
+		Seed:      9,
+		Drop:      0.05,
+		Duplicate: 0.03,
+		Cut:       0.02,
+		Delay:     0.05,
+		MaxDelay:  2 * time.Millisecond,
+	})
+	met := NewMetrics(obs.NewRegistry())
+	rc, err := NewReliable(srv.Addr(), "chaos-node", ReliableOptions{
+		Dial:        inj.Dialer(time.Second),
+		AckTimeout:  200 * time.Millisecond,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		MaxAttempts: 200,
+		Window:      8,
+		Metrics:     met,
+		Tracer:      rec,
+		Rand:        rand.New(rand.NewSource(3)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, frame := range frames {
+		if err := rc.Send(frame); err != nil {
+			t.Fatalf("send %d: %v (%s)", i, err, inj)
+		}
+	}
+	if err := rc.Flush(); err != nil {
+		t.Fatalf("flush: %v (%s)", err, inj)
+	}
+	if err := rc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if met.Retries.Value() == 0 && met.Reconnects.Value() == 0 {
+		t.Fatal("chaos schedule too gentle: no retries, the test proves nothing")
+	}
+	t.Logf("%s; retries=%d reconnects=%d", inj, met.Retries.Value(), met.Reconnects.Value())
+
+	retried := 0
+	for i := 1; i <= nFrames; i++ {
+		tr := rec.Lookup(trace.ID(i))
+		if tr == nil {
+			t.Fatalf("trace %d lost", i)
+		}
+		tv := tr.Snapshot(true)
+		stages := map[string]int{}
+		var walk func(vs []*trace.SpanView)
+		walk = func(vs []*trace.SpanView) {
+			for _, v := range vs {
+				stages[v.Stage]++
+				walk(v.Children)
+			}
+		}
+		walk(tv.Tree)
+		// Exactly one send span and at least one receive span: a restarted
+		// trace would show a second netio.send; a forked one would miss the
+		// receive half entirely.
+		if stages["netio.send"] != 1 {
+			t.Errorf("trace %d has %d netio.send spans, want exactly 1", i, stages["netio.send"])
+		}
+		if stages["netio.recv"] == 0 {
+			t.Errorf("trace %d has no netio.recv span: halves not joined", i)
+		}
+		if stages["netio.retry"] > 0 {
+			retried++
+		}
+	}
+	if int64(retried) == 0 && met.Retries.Value() > 0 {
+		t.Error("retries happened but no trace carries a netio.retry span")
+	}
+	if got, _ := st.SensorStats("chaos-node"); got.Transmissions != nFrames {
+		t.Errorf("station holds %d transmissions, want %d", got.Transmissions, nFrames)
+	}
+}
+
+// serveV2Only is a minimal pre-trace server: it accepts only the "SBRS"
+// handshake magic (closing on anything else, as an old binary would),
+// acks every frame, and records the wire version byte of each frame seen.
+func serveV2Only(t *testing.T, ln net.Listener, versions chan<- byte) {
+	t.Helper()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			br := bufio.NewReader(conn)
+			var magic [4]byte
+			if _, err := io.ReadFull(br, magic[:]); err != nil || magic != handshakeMagic {
+				return // unknown magic: a v2-only server just hangs up
+			}
+			n, err := binary.ReadUvarint(br)
+			if err != nil || n == 0 || n > maxIDLen {
+				return
+			}
+			if _, err := io.CopyN(io.Discard, br, int64(n)+8); err != nil {
+				return // sensor ID + nonce
+			}
+			for {
+				frame, err := wire.ReadFrame(br)
+				if err != nil {
+					return
+				}
+				versions <- frame[4]
+				seq, err := wire.FrameSeq(frame)
+				if err != nil {
+					return
+				}
+				var buf [1 + binary.MaxVarintLen64]byte
+				buf[0] = ackOK
+				k := binary.PutUvarint(buf[1:], uint64(seq))
+				if _, err := conn.Write(buf[:1+k]); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// TestV3ClientFallsBackToV2Server: a trace-aware client against an old
+// server must redial with the v2 handshake and strip trace headers from
+// everything it writes — the data flows, the trace context is shed, and
+// nothing errors.
+func TestV3ClientFallsBackToV2Server(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	versions := make(chan byte, 16)
+	go serveV2Only(t, ln, versions)
+
+	rec := trace.NewRecorder(trace.Options{})
+	rc, err := NewReliable(ln.Addr().String(), "old-peer-node", ReliableOptions{
+		AckTimeout:  500 * time.Millisecond,
+		BackoffBase: time.Millisecond,
+		MaxAttempts: 8,
+		Tracer:      rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	frames := encodeTracedFrames(t, 3)
+	for i, frame := range frames {
+		if err := rc.Send(frame); err != nil {
+			t.Fatalf("send %d to v2 server: %v", i, err)
+		}
+	}
+	if err := rc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rc.proto != protoV2 {
+		t.Errorf("negotiated proto %d, want fallback to %d", rc.proto, protoV2)
+	}
+	for i := 0; i < len(frames); i++ {
+		select {
+		case v := <-versions:
+			if v != wire.Version {
+				t.Errorf("frame %d arrived as version %d, want stripped v%d", i, v, wire.Version)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("v2 server saw only %d frames", i)
+		}
+	}
+	// The traces still exist client-side — the send spans were recorded
+	// before the headers were shed.
+	if tr := rec.Lookup(1); tr == nil {
+		t.Error("client-side trace lost in the fallback")
+	}
+}
+
+// TestV2ClientAgainstTracedServer: an old client (plain v2 handshake, no
+// hello expected) against a trace-enabled server must work unchanged —
+// the server only sends its hello to peers that announced v3.
+func TestV2ClientAgainstTracedServer(t *testing.T) {
+	cfg := chaosConfig()
+	st := newStation(t, cfg)
+	rec := trace.NewRecorder(trace.Options{})
+	srv, err := ServeWith(st, "127.0.0.1:0", Options{Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := Dial(srv.Addr(), "legacy-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for i, frame := range encodeFrames(t, cfg, 3, 16) {
+		if err := client.Send(frame); err != nil {
+			t.Fatalf("legacy send %d: %v", i, err)
+		}
+	}
+	stats, err := st.SensorStats("legacy-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Transmissions != 3 {
+		t.Errorf("station holds %d transmissions, want 3", stats.Transmissions)
+	}
+}
+
+// TestNegotiatedV3EndToEnd: both sides new — the hello round-trip settles
+// on v3, traced frames keep their headers, and the server records receive
+// spans joined to the client's send spans.
+func TestNegotiatedV3EndToEnd(t *testing.T) {
+	st := newStation(t, chaosConfig())
+	rec := trace.NewRecorder(trace.Options{})
+	srv, err := ServeWith(st, "127.0.0.1:0", Options{Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rc, err := NewReliable(srv.Addr(), "new-node", ReliableOptions{Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	frames := encodeTracedFrames(t, 2)
+	for _, frame := range frames {
+		if err := rc.Send(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if rc.proto != protoV3 {
+		t.Errorf("negotiated proto %d, want %d", rc.proto, protoV3)
+	}
+	tr := rec.Lookup(1)
+	if tr == nil {
+		t.Fatal("trace 1 not recorded")
+	}
+	tv := tr.Snapshot(true)
+	var sends, recvs int
+	var walk func(vs []*trace.SpanView)
+	walk = func(vs []*trace.SpanView) {
+		for _, v := range vs {
+			switch v.Stage {
+			case "netio.send":
+				sends++
+			case "netio.recv":
+				recvs++
+			}
+			walk(v.Children)
+		}
+	}
+	walk(tv.Tree)
+	if sends != 1 || recvs != 1 {
+		t.Errorf("trace has %d send / %d recv spans, want 1/1", sends, recvs)
+	}
+}

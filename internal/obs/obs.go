@@ -192,6 +192,46 @@ func (h *Histogram) BucketCounts() []uint64 {
 	return out
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observations by
+// linear interpolation within the bucket the target rank falls into —
+// the same estimator Prometheus's histogram_quantile applies, computed
+// station-side so p50/p95/p99 are readable without a Prometheus server.
+// The first bucket interpolates from zero; a rank landing in the +Inf
+// bucket returns the last finite bound (the estimate saturates). A nil
+// or empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || len(h.bounds) == 0 {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.buckets {
+		n := float64(h.buckets[i].Load())
+		if cum+n >= rank && n > 0 {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1] // +Inf bucket: saturate
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (h.bounds[i]-lo)*(rank-cum)/n
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // LatencyBuckets spans 1µs to 10s in decades — wide enough for both the
 // sub-millisecond frame-handle path and slow cold HTTP queries.
 var LatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}

@@ -37,6 +37,16 @@ type series struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	fn     func() float64 // lazy gauge: evaluated at scrape time instead of g
+}
+
+// gaugeValue resolves a gauge series: the callback when one is installed
+// (GaugeFunc), otherwise the stored value.
+func (s *series) gaugeValue() float64 {
+	if s.fn != nil {
+		return s.fn()
+	}
+	return s.g.Value()
 }
 
 // family groups every series sharing a metric name.
@@ -85,6 +95,18 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	return s.g
 }
 
+// GaugeFunc registers a lazy gauge: fn is evaluated at each scrape
+// instead of storing values — the right shape for quantities the runtime
+// already tracks (goroutine counts, heap bytes) where pushing updates
+// would mean polling. The first registration's callback wins; fn must be
+// safe for concurrent calls. A nil registry ignores the registration.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.lookupFunc(kindGauge, name, help, labels, nil, fn)
+}
+
 // Histogram returns the named histogram, creating and registering it on
 // first use. The bucket bounds only matter at creation; later calls with
 // the same name and labels return the existing instance.
@@ -97,6 +119,13 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 }
 
 func (r *Registry) lookup(k kind, name, help string, labels []Label, bounds []float64) *series {
+	return r.lookupFunc(k, name, help, labels, bounds, nil)
+}
+
+// lookupFunc is lookup carrying an optional lazy-gauge callback, which
+// must be installed inside the registry lock: a concurrent scrape sees
+// either no series or a fully built one, never a half-initialised fn.
+func (r *Registry) lookupFunc(k kind, name, help string, labels []Label, bounds []float64, fn func() float64) *series {
 	if !validName(name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", name))
 	}
@@ -119,7 +148,7 @@ func (r *Registry) lookup(k kind, name, help string, labels []Label, bounds []fl
 	key := labelKey(labels)
 	s, ok := f.byKey[key]
 	if !ok {
-		s = &series{labels: append([]Label(nil), labels...)}
+		s = &series{labels: append([]Label(nil), labels...), fn: fn}
 		switch k {
 		case kindCounter:
 			s.c = &Counter{}
@@ -200,7 +229,7 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(s.labels, ""), s.c.Value())
 		return err
 	case kindGauge:
-		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(s.labels, ""), formatFloat(s.g.Value()))
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(s.labels, ""), formatFloat(s.gaugeValue()))
 		return err
 	}
 	bounds := s.h.Bounds()
@@ -284,7 +313,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			case kindCounter:
 				out[key] = s.c.Value()
 			case kindGauge:
-				out[key] = s.g.Value()
+				out[key] = s.gaugeValue()
 			case kindHistogram:
 				bounds := s.h.Bounds()
 				counts := s.h.BucketCounts()
@@ -326,11 +355,53 @@ func (r *Registry) Values() map[string]float64 {
 			case kindCounter:
 				out[key] = float64(s.c.Value())
 			case kindGauge:
-				out[key] = s.g.Value()
+				out[key] = s.gaugeValue()
 			case kindHistogram:
 				out[key+"_count"] = float64(s.h.Count())
 				out[key+"_sum"] = s.h.Sum()
 			}
+		}
+	}
+	return out
+}
+
+// HistogramSummary is one histogram series reduced to its headline
+// quantiles — the latency-SLO view of /v1/stats and the simulator
+// summary.
+type HistogramSummary struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Count  uint64  `json:"count"`
+	Sum    float64 `json:"sum"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+}
+
+// HistogramSummaries reduces every registered histogram with at least one
+// observation to interpolated p50/p95/p99 (see Histogram.Quantile).
+func (r *Registry) HistogramSummaries() []HistogramSummary {
+	if r == nil {
+		return nil
+	}
+	var out []HistogramSummary
+	for _, f := range r.snapshot() {
+		if f.kind != kindHistogram {
+			continue
+		}
+		for _, s := range f.order {
+			if s.h.Count() == 0 {
+				continue
+			}
+			out = append(out, HistogramSummary{
+				Name:   f.name,
+				Labels: labelString(s.labels, ""),
+				Count:  s.h.Count(),
+				Sum:    s.h.Sum(),
+				P50:    s.h.Quantile(0.50),
+				P95:    s.h.Quantile(0.95),
+				P99:    s.h.Quantile(0.99),
+			})
 		}
 	}
 	return out

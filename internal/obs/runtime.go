@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"runtime"
+	"strconv"
+)
+
+// RegisterBuildInfo emits the conventional `sbr_build_info` gauge: a
+// constant 1 whose labels carry the build's identity — release version,
+// Go toolchain, and wire protocol generation (pass wire.VersionTraced;
+// obs deliberately does not import the wire layer). Joining on it is how
+// dashboards annotate every other series with "which build was this".
+func RegisterBuildInfo(reg *Registry, version string, protocol int) {
+	if version == "" {
+		version = "dev"
+	}
+	reg.Gauge("sbr_build_info",
+		"Constant 1; the labels identify the running build.",
+		L("version", version),
+		L("go_version", runtime.Version()),
+		L("protocol", strconv.Itoa(protocol)),
+	).Set(1)
+}
+
+// RegisterRuntimeMetrics registers the Go runtime gauges, collected
+// lazily at scrape time (GaugeFunc): nothing is polled, nothing is
+// stored, and an idle daemon pays nothing for them. ReadMemStats is
+// called per gauge per scrape — cheap at scrape cadence, and it keeps
+// each gauge self-contained.
+func RegisterRuntimeMetrics(reg *Registry) {
+	reg.GaugeFunc("sbr_go_goroutines",
+		"Goroutines currently live.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("sbr_go_heap_alloc_bytes",
+		"Heap bytes allocated and still in use.",
+		func() float64 { return float64(readMemStats().HeapAlloc) })
+	reg.GaugeFunc("sbr_go_heap_objects",
+		"Heap objects allocated and still in use.",
+		func() float64 { return float64(readMemStats().HeapObjects) })
+	reg.GaugeFunc("sbr_go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.",
+		func() float64 { return float64(readMemStats().PauseTotalNs) / 1e9 })
+	reg.GaugeFunc("sbr_go_gc_cycles_total",
+		"Completed GC cycles.",
+		func() float64 { return float64(readMemStats().NumGC) })
+}
+
+func readMemStats() runtime.MemStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms
+}

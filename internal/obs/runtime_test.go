@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	// 10 observations in (1,2]: rank interpolates linearly across the bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("p50 of a single (1,2] bucket = %g, want 1.5", got)
+	}
+	if got := h.Quantile(1.0); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("p100 = %g, want the bucket upper bound 2", got)
+	}
+	// First bucket interpolates from zero.
+	h2 := NewHistogram([]float64{10})
+	h2.Observe(3)
+	h2.Observe(7)
+	if got := h2.Quantile(0.5); math.Abs(got-5) > 1e-9 {
+		t.Errorf("p50 in the first bucket = %g, want 5", got)
+	}
+	// +Inf bucket saturates at the last finite bound.
+	h3 := NewHistogram([]float64{1, 2})
+	h3.Observe(100)
+	if got := h3.Quantile(0.99); got != 2 {
+		t.Errorf("p99 landing in +Inf = %g, want saturation at 2", got)
+	}
+	// Degenerates.
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile non-zero")
+	}
+	if NewHistogram([]float64{1}).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile non-zero")
+	}
+	// Out-of-range q clamps instead of misbehaving.
+	if got := h.Quantile(-3); got < 0 {
+		t.Errorf("q<0 gave %g", got)
+	}
+	if got := h.Quantile(7); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("q>1 gave %g, want clamp to p100", got)
+	}
+}
+
+func TestHistogramQuantileAcrossBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// 50 obs ≤1, 30 in (1,2], 20 in (2,4].
+	for i := 0; i < 50; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 30; i++ {
+		h.Observe(1.5)
+	}
+	for i := 0; i < 20; i++ {
+		h.Observe(3)
+	}
+	// rank(p95)=95: 15 into the 20-count (2,4] bucket → 2 + 2·(15/20) = 3.5.
+	if got := h.Quantile(0.95); math.Abs(got-3.5) > 1e-9 {
+		t.Errorf("p95 = %g, want 3.5", got)
+	}
+	// rank(p50)=50: exactly the 50th observation, upper edge of bucket 0.
+	if got := h.Quantile(0.50); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("p50 = %g, want 1", got)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	reg := NewRegistry()
+	calls := 0
+	reg.GaugeFunc("sbr_test_lazy", "lazy", func() float64 {
+		calls++
+		return float64(40 + calls)
+	})
+	if calls != 0 {
+		t.Fatal("fn evaluated at registration")
+	}
+	v := reg.Values()
+	if v["sbr_test_lazy"] != 41 {
+		t.Errorf("first scrape = %g", v["sbr_test_lazy"])
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "sbr_test_lazy 42") {
+		t.Errorf("exposition missing lazy gauge:\n%s", sb.String())
+	}
+	// Nil registry swallows the registration.
+	var nilReg *Registry
+	nilReg.GaugeFunc("x_y", "h", func() float64 { return 1 })
+}
+
+func TestHistogramSummaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("sbr_test_seconds", "latency", []float64{1, 2, 4}, L("path", "point"))
+	reg.Histogram("sbr_test_empty_seconds", "never observed", []float64{1})
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	sums := reg.HistogramSummaries()
+	if len(sums) != 1 {
+		t.Fatalf("%d summaries, want 1 (empty histograms skipped)", len(sums))
+	}
+	s := sums[0]
+	if s.Name != "sbr_test_seconds" || !strings.Contains(s.Labels, `path="point"`) {
+		t.Errorf("summary identity %q %q", s.Name, s.Labels)
+	}
+	if s.Count != 10 || math.Abs(s.P50-1.5) > 1e-9 {
+		t.Errorf("summary %+v", s)
+	}
+	if nilSums := (*Registry)(nil).HistogramSummaries(); nilSums != nil {
+		t.Error("nil registry returned summaries")
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg, "", 3)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"sbr_build_info", `version="dev"`, `protocol="3"`, `go_version="go`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	v := reg.Values()
+	if v["sbr_go_goroutines"] < 1 {
+		t.Errorf("goroutines = %g", v["sbr_go_goroutines"])
+	}
+	if v["sbr_go_heap_alloc_bytes"] <= 0 {
+		t.Errorf("heap alloc = %g", v["sbr_go_heap_alloc_bytes"])
+	}
+	for _, name := range []string{"sbr_go_heap_objects", "sbr_go_gc_pause_seconds_total", "sbr_go_gc_cycles_total"} {
+		if _, ok := v[name]; !ok {
+			t.Errorf("missing %s", name)
+		}
+	}
+}

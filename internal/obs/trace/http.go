@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SpanView is the JSON shape of one span in the debug endpoints.
+type SpanView struct {
+	ID       uint32       `json:"id"`
+	Parent   uint32       `json:"parent,omitempty"`
+	Stage    string       `json:"stage"`
+	StartUS  int64        `json:"start_us"` // offset from trace start, microseconds
+	DurUS    int64        `json:"dur_us"`
+	Open     bool         `json:"open,omitempty"` // span never Ended
+	Annots   []Annotation `json:"annotations,omitempty"`
+	Children []*SpanView  `json:"children,omitempty"`
+}
+
+// TraceView is the JSON shape of one trace: a header plus the span tree.
+type TraceView struct {
+	ID     string      `json:"id"`
+	Sensor string      `json:"sensor,omitempty"`
+	Start  time.Time   `json:"start"`
+	DurUS  int64       `json:"dur_us"`
+	Spans  int         `json:"spans"`
+	Tree   []*SpanView `json:"tree,omitempty"`
+}
+
+// Snapshot renders the trace for the debug endpoints. withTree controls
+// whether the full span tree is built (the list endpoint omits it).
+func (t *Trace) Snapshot(withTree bool) TraceView {
+	if t == nil {
+		return TraceView{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tv := TraceView{
+		ID:     t.id.String(),
+		Sensor: t.sensor,
+		Start:  t.start,
+		DurUS:  t.durationLocked().Microseconds(),
+		Spans:  len(t.spans),
+	}
+	if !withTree {
+		return tv
+	}
+	views := make(map[uint32]*SpanView, len(t.spans))
+	for _, sp := range t.spans {
+		v := &SpanView{
+			ID:      sp.id,
+			Parent:  sp.parent,
+			Stage:   sp.stage,
+			StartUS: sp.start.Sub(t.start).Microseconds(),
+			DurUS:   sp.dur.Microseconds(),
+			Open:    !sp.ended,
+			Annots:  append([]Annotation(nil), sp.annots...),
+		}
+		views[sp.id] = v
+	}
+	// Attach children in span-creation order; orphans (parent missing,
+	// which cannot normally happen) surface at the top level.
+	for _, sp := range t.spans {
+		v := views[sp.id]
+		if p, ok := views[sp.parent]; ok && sp.parent != sp.id {
+			p.Children = append(p.Children, v)
+		} else {
+			tv.Tree = append(tv.Tree, v)
+		}
+	}
+	return tv
+}
+
+// Recent returns up to limit completed traces, newest first.
+func (r *Recorder) Recent(limit int) []*Trace {
+	if r == nil {
+		return nil
+	}
+	if limit <= 0 || limit > len(r.ring) {
+		limit = len(r.ring)
+	}
+	head := r.head.Load()
+	out := make([]*Trace, 0, limit)
+	n := uint64(len(r.ring))
+	for off := uint64(0); off < n && len(out) < limit; off++ {
+		i := head - 1 - off
+		if head < 1+off { // ring not yet full
+			break
+		}
+		if t := r.ring[i%n].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Lookup finds a trace by ID among inflight, ring and exemplars.
+func (r *Recorder) Lookup(id ID) *Trace {
+	if r == nil || id == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	t := r.inflight[id]
+	r.mu.Unlock()
+	if t != nil {
+		return t
+	}
+	if t := r.lookupRing(id); t != nil {
+		return t
+	}
+	r.exMu.Lock()
+	defer r.exMu.Unlock()
+	for _, list := range r.exemplars {
+		for _, et := range list {
+			if et.id == id {
+				return et
+			}
+		}
+	}
+	return nil
+}
+
+// Exemplars returns the pinned slowest traces per stage.
+func (r *Recorder) Exemplars() map[string][]*Trace {
+	if r == nil {
+		return nil
+	}
+	r.exMu.Lock()
+	defer r.exMu.Unlock()
+	out := make(map[string][]*Trace, len(r.exemplars))
+	for stage, list := range r.exemplars {
+		out[stage] = append([]*Trace(nil), list...)
+	}
+	return out
+}
+
+// Handler serves the debug endpoints:
+//
+//	GET <prefix>          — recent traces (?sensor=, ?min=<duration>,
+//	                        ?limit=N) plus per-stage slow exemplars
+//	GET <prefix>/{id}     — one trace as a nested span tree
+//
+// Mount it at e.g. /debug/traces. A nil recorder serves 404s.
+func (r *Recorder) Handler(prefix string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		rest := strings.Trim(strings.TrimPrefix(req.URL.Path, prefix), "/")
+		if rest == "" {
+			r.serveList(w, req)
+			return
+		}
+		id, ok := ParseID(rest)
+		if !ok {
+			http.Error(w, "bad trace id", http.StatusBadRequest)
+			return
+		}
+		t := r.Lookup(id)
+		if t == nil {
+			http.Error(w, "trace not found", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, t.Snapshot(true))
+	})
+}
+
+func (r *Recorder) serveList(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	limit := 50
+	if s := q.Get("limit"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			limit = n
+		}
+	}
+	var minDur time.Duration
+	if s := q.Get("min"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil {
+			minDur = d
+		} else {
+			http.Error(w, "bad min duration", http.StatusBadRequest)
+			return
+		}
+	}
+	sensor := q.Get("sensor")
+
+	var recent []TraceView
+	for _, t := range r.Recent(limit) {
+		tv := t.Snapshot(false)
+		if sensor != "" && tv.Sensor != sensor {
+			continue
+		}
+		if minDur > 0 && time.Duration(tv.DurUS)*time.Microsecond < minDur {
+			continue
+		}
+		recent = append(recent, tv)
+	}
+
+	type stageEx struct {
+		Stage  string      `json:"stage"`
+		Traces []TraceView `json:"traces"`
+	}
+	var exemplars []stageEx
+	for stage, list := range r.Exemplars() {
+		se := stageEx{Stage: stage}
+		for _, t := range list {
+			se.Traces = append(se.Traces, t.Snapshot(false))
+		}
+		exemplars = append(exemplars, se)
+	}
+	sort.Slice(exemplars, func(i, j int) bool { return exemplars[i].Stage < exemplars[j].Stage })
+
+	writeJSON(w, map[string]any{
+		"traces":    recent,
+		"exemplars": exemplars,
+		"dropped":   r.Dropped(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

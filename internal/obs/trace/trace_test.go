@@ -1,0 +1,320 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	tr := r.Begin("s1")
+	if tr != nil {
+		t.Fatal("nil recorder birthed a trace")
+	}
+	if got := r.Continue(7, "s1"); got != nil {
+		t.Fatal("nil recorder continued a trace")
+	}
+	// Every span call on the nil chain must be a no-op, not a panic.
+	sp := tr.StartSpan("stage")
+	sp.Annotate("k", "v")
+	sp.AnnotateInt("n", 3)
+	child := sp.Child("sub")
+	child.End()
+	sp.End()
+	sp.Trace().Finish()
+	tr.Finish()
+	if r.Recent(10) != nil || r.Lookup(7) != nil || r.Exemplars() != nil || r.Dropped() != 0 {
+		t.Error("nil recorder leaked state")
+	}
+	if tr.TraceID() != 0 || tr.Sensor() != "" || sp.Stage() != "" {
+		t.Error("nil accessors returned non-zero values")
+	}
+}
+
+func TestSampling(t *testing.T) {
+	r := NewRecorder(Options{SampleEvery: 4})
+	live := 0
+	for i := 0; i < 16; i++ {
+		if r.Begin("s") != nil {
+			live++
+		}
+	}
+	if live != 4 {
+		t.Errorf("1-in-4 sampling over 16 births gave %d traces", live)
+	}
+	// Sampling disabled: Begin never fires, Continue still joins.
+	off := NewRecorder(Options{})
+	if off.Begin("s") != nil {
+		t.Error("SampleEvery=0 birthed a trace")
+	}
+	if off.Continue(99, "s") == nil {
+		t.Error("SampleEvery=0 refused to continue a wire trace")
+	}
+}
+
+func TestContinueJoinsNotForks(t *testing.T) {
+	r := NewRecorder(Options{SampleEvery: 1})
+	a := r.Continue(123, "node-1")
+	sp := a.StartSpan("encode")
+	sp.End()
+
+	// Same ID continued again — the retransmission path — must return the
+	// same live object.
+	b := r.Continue(123, "")
+	if a != b {
+		t.Fatal("Continue forked a second trace for the same ID")
+	}
+	if b.Sensor() != "node-1" {
+		t.Errorf("sensor lost on re-continue: %q", b.Sensor())
+	}
+
+	// Even after Finish, the ID stays joinable while the ring holds it.
+	a.Finish()
+	c := r.Continue(123, "")
+	if c != a {
+		t.Fatal("Continue restarted a finished trace")
+	}
+	sp2 := c.StartSpan("query.index_walk")
+	sp2.End()
+	if got := r.Lookup(123).Snapshot(true); got.Spans != 2 {
+		t.Errorf("late span not visible: %d spans", got.Spans)
+	}
+}
+
+func TestFinishIdempotentPublish(t *testing.T) {
+	r := NewRecorder(Options{Capacity: 8})
+	tr := r.Continue(5, "s")
+	tr.StartSpan("a").End()
+	tr.Finish()
+	tr.Finish()
+	tr.Finish()
+	if got := len(r.Recent(0)); got != 1 {
+		t.Errorf("triple Finish published %d ring entries, want 1", got)
+	}
+}
+
+func TestRootSpanParenting(t *testing.T) {
+	r := NewRecorder(Options{})
+	tr := r.Continue(9, "s")
+	root := tr.StartSpan("encode")
+	top := tr.StartSpan("netio.send") // top-level: must parent to root
+	kid := top.Child("netio.retry")
+	kid.End()
+	top.End()
+	root.End()
+	tr.Finish()
+
+	tv := tr.Snapshot(true)
+	if len(tv.Tree) != 1 {
+		t.Fatalf("%d roots, want 1", len(tv.Tree))
+	}
+	rt := tv.Tree[0]
+	if rt.Stage != "encode" || len(rt.Children) != 1 {
+		t.Fatalf("root %q with %d children", rt.Stage, len(rt.Children))
+	}
+	if rt.Children[0].Stage != "netio.send" || len(rt.Children[0].Children) != 1 {
+		t.Fatal("netio.send not parented under encode, or retry missing")
+	}
+	if rt.Children[0].Children[0].Stage != "netio.retry" {
+		t.Fatal("retry span not a child of netio.send")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	// Exemplars disabled: this test is about the ring alone, and a pinned
+	// exemplar would keep an overwritten trace findable by design.
+	r := NewRecorder(Options{Capacity: 4, Exemplars: -1})
+	for i := 1; i <= 10; i++ {
+		tr := r.Continue(ID(i), "s")
+		tr.StartSpan("x").End()
+		tr.Finish()
+	}
+	recent := r.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("ring of 4 holds %d", len(recent))
+	}
+	// Newest first: 10, 9, 8, 7.
+	for i, want := range []ID{10, 9, 8, 7} {
+		if recent[i].TraceID() != want {
+			t.Errorf("recent[%d] = %d, want %d", i, recent[i].TraceID(), want)
+		}
+	}
+	if r.Lookup(1) != nil {
+		t.Error("overwritten trace still findable")
+	}
+}
+
+func TestExemplarsPinSlowest(t *testing.T) {
+	r := NewRecorder(Options{Capacity: 2, Exemplars: 2})
+	slow := r.Continue(1, "s")
+	sp := slow.StartSpan("segstore.fsync")
+	time.Sleep(5 * time.Millisecond)
+	sp.End()
+	slow.Finish()
+
+	// Flood the ring so the slow trace is long gone from it.
+	for i := 2; i <= 8; i++ {
+		tr := r.Continue(ID(i), "s")
+		tr.StartSpan("segstore.fsync").End()
+		tr.Finish()
+	}
+	ex := r.Exemplars()["segstore.fsync"]
+	if len(ex) != 2 {
+		t.Fatalf("%d exemplars pinned, want 2", len(ex))
+	}
+	if ex[0] != slow {
+		t.Error("slowest fsync trace not ranked first")
+	}
+	// Pinned exemplars outlive ring wraparound: still findable by ID.
+	if r.Lookup(1) != slow {
+		t.Error("exemplar not findable after ring wrap")
+	}
+}
+
+func TestInflightEviction(t *testing.T) {
+	r := NewRecorder(Options{MaxInflight: 4})
+	for i := 1; i <= 8; i++ {
+		tr := r.Continue(ID(i), "s")
+		tr.StartSpan("x") // never ended, never finished
+	}
+	deadline := time.Now().Add(time.Second)
+	for r.Dropped() < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := r.Dropped(); got != 4 {
+		t.Errorf("dropped %d inflight traces, want 4", got)
+	}
+}
+
+func TestParseID(t *testing.T) {
+	id := ID(0x0123456789abcdef)
+	s := id.String()
+	if s != "0123456789abcdef" {
+		t.Fatalf("String() = %q", s)
+	}
+	back, ok := ParseID(s)
+	if !ok || back != id {
+		t.Fatalf("ParseID(%q) = %d, %v", s, back, ok)
+	}
+	for _, bad := range []string{"", "xyz", "0", "0000000000000000", "ffffffffffffffffff"} {
+		if _, ok := ParseID(bad); ok {
+			t.Errorf("ParseID(%q) accepted", bad)
+		}
+	}
+}
+
+// TestTraceRecorderConcurrency hammers one recorder from many goroutines —
+// concurrent Begin/Continue on overlapping IDs, span churn, Finish, and
+// debug-endpoint reads — and relies on the race detector for verdicts.
+func TestTraceRecorderConcurrency(t *testing.T) {
+	r := NewRecorder(Options{Capacity: 32, SampleEvery: 2, MaxInflight: 16})
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				// Overlapping IDs across workers force Continue races.
+				tr := r.Continue(ID(i%10+1), fmt.Sprintf("s%d", w))
+				sp := tr.StartSpan("station.receive")
+				sp.AnnotateInt("seq", int64(i))
+				ch := sp.Child("station.decode")
+				ch.End()
+				sp.End()
+				tr.Finish()
+				if btr := r.Begin("born"); btr != nil {
+					btr.StartSpan("encode").End()
+					btr.Finish()
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers: the debug surface while writers churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			r.Recent(8)
+			r.Lookup(ID(i%10 + 1))
+			r.Exemplars()
+			for _, tr := range r.Recent(4) {
+				tr.Snapshot(true)
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestHandlerListAndDetail(t *testing.T) {
+	r := NewRecorder(Options{Capacity: 8})
+	tr := r.Continue(0xabc, "node-03")
+	sp := tr.StartSpan("station.receive")
+	sp.Child("station.decode").End()
+	sp.End()
+	tr.Finish()
+
+	h := r.Handler("/debug/traces")
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("list: %d", rec.Code)
+	}
+	var list struct {
+		Traces []TraceView `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 1 || list.Traces[0].Sensor != "node-03" {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// Sensor filter excludes.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?sensor=other", nil))
+	list.Traces = nil
+	json.Unmarshal(rec.Body.Bytes(), &list)
+	if len(list.Traces) != 0 {
+		t.Error("sensor filter did not exclude")
+	}
+
+	// Detail endpoint returns the span tree.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/"+ID(0xabc).String(), nil))
+	if rec.Code != 200 {
+		t.Fatalf("detail: %d %s", rec.Code, rec.Body)
+	}
+	var tv TraceView
+	if err := json.Unmarshal(rec.Body.Bytes(), &tv); err != nil {
+		t.Fatal(err)
+	}
+	if tv.Spans != 2 || len(tv.Tree) != 1 || len(tv.Tree[0].Children) != 1 {
+		t.Fatalf("detail tree = %+v", tv)
+	}
+
+	// Unknown ID and malformed ID.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/0000000000000001", nil))
+	if rec.Code != 404 {
+		t.Errorf("unknown id: %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/nope", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad id: %d", rec.Code)
+	}
+
+	// Nil recorder serves 404 rather than panicking.
+	var nilRec *Recorder
+	rec = httptest.NewRecorder()
+	nilRec.Handler("/debug/traces").ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 404 {
+		t.Errorf("nil recorder: %d", rec.Code)
+	}
+}

@@ -40,6 +40,7 @@ import (
 
 	"sbr/internal/core"
 	"sbr/internal/obs"
+	"sbr/internal/obs/trace"
 	"sbr/internal/timeseries"
 )
 
@@ -438,6 +439,14 @@ func (s *Store) NeedsSegment(sensor string) bool {
 // decoder replica *before* this frame was decoded — evaluated only when
 // the append opens a fresh segment, whose header it becomes.
 func (s *Store) Append(sensor string, chunk int, rows []timeseries.Series, bound float64, frame []byte, state func() core.DecoderState) error {
+	return s.AppendTraced(sensor, chunk, rows, bound, frame, state, nil)
+}
+
+// AppendTraced is Append recording the durability work — the per-record
+// fsync and any segment seal — as children of sp (nil: identical to
+// Append). The fsync child is the usual answer to "where did this
+// frame's receive latency go".
+func (s *Store) AppendTraced(sensor string, chunk int, rows []timeseries.Series, bound float64, frame []byte, state func() core.DecoderState, sp *trace.Span) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -464,7 +473,10 @@ func (s *Store) Append(sensor string, chunk int, rows []timeseries.Series, bound
 		return fmt.Errorf("segstore: appending record: %w", err)
 	}
 	if !s.opts.NoSync {
-		if err := a.f.Sync(); err != nil {
+		fsp := sp.Child("segstore.fsync")
+		err := a.f.Sync()
+		fsp.End()
+		if err != nil {
 			return fmt.Errorf("segstore: syncing record: %w", err)
 		}
 	}
@@ -475,10 +487,13 @@ func (s *Store) Append(sensor string, chunk int, rows []timeseries.Series, bound
 	a.size += int64(len(block))
 	s.met.appends.Inc()
 	if len(a.recs) >= s.opts.SegmentChunks {
-		if err := s.sealActive(ss); err != nil {
-			return err
+		ssp := sp.Child("segstore.seal")
+		err := s.sealActive(ss)
+		if err == nil {
+			err = s.writeManifest()
 		}
-		if err := s.writeManifest(); err != nil {
+		ssp.End()
+		if err != nil {
 			return err
 		}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"sbr/internal/core"
 	"sbr/internal/obs"
+	"sbr/internal/obs/trace"
 	"sbr/internal/station"
 	"sbr/internal/timeseries"
 	"sbr/internal/wire"
@@ -56,7 +57,8 @@ type Network struct {
 	order   []string
 	station *station.Station
 	built   bool
-	reg     *obs.Registry // non-nil after Instrument; applied to late AddNodes
+	reg     *obs.Registry   // non-nil after Instrument; applied to late AddNodes
+	tracer  *trace.Recorder // non-nil after Trace; births per-flush traces
 
 	// Overhearing can be disabled to isolate the pure routing cost.
 	CountOverhearing bool
@@ -113,6 +115,15 @@ func (n *Network) Instrument(reg *obs.Registry) {
 	for _, id := range n.order {
 		n.nodes[id].instrument(reg)
 	}
+}
+
+// Trace installs a span recorder: every flush may birth a trace (subject
+// to the recorder's sampling policy) whose encode span is annotated from
+// the compression report and whose ID rides the wire frame — the
+// in-process station and any Deliver uplink continue it.
+func (n *Network) Trace(rec *trace.Recorder) {
+	n.tracer = rec
+	n.station.SetTracer(rec)
 }
 
 // instrument wires one node's compressor into reg.
@@ -280,6 +291,11 @@ func (n *Network) flush(nd *Node, rep *Report) error {
 	nd.buf = nil
 	values := len(batch) * len(batch[0])
 
+	// A trace is born here, at the encode, when the sampler says so; its
+	// ID rides the frame so every downstream stage joins it.
+	tr := n.tracer.Begin(nd.ID)
+	esp := tr.StartSpan("encode")
+
 	var (
 		t    *core.Transmission
 		full = true
@@ -291,10 +307,30 @@ func (n *Network) flush(nd *Node, rep *Report) error {
 		t, err = nd.compressor.Encode(batch)
 	}
 	if err != nil {
+		esp.End()
+		tr.Finish()
 		return fmt.Errorf("sensornet: node %q: %w", nd.ID, err)
 	}
-	frame, err := wire.Encode(t)
+	if esp != nil {
+		comp := nd.compressor
+		if nd.adaptive != nil {
+			comp = nd.adaptive.Compressor()
+		}
+		rep := comp.LastReport()
+		esp.AnnotateInt("seq", int64(t.Seq))
+		esp.AnnotateInt("search_evals", int64(rep.SearchEvals))
+		esp.AnnotateInt("cache_hits", int64(rep.CacheHits))
+		esp.AnnotateInt("cache_misses", int64(rep.CacheMisses))
+		esp.AnnotateInt("base_inserts", int64(rep.BaseInserts))
+		esp.AnnotateInt("intervals", int64(rep.Intervals))
+		if !full {
+			esp.Annotate("shortcut", "true")
+		}
+	}
+	frame, err := wire.EncodeTraced(t, wire.TraceContext{ID: uint64(tr.TraceID()), Sampled: tr != nil})
+	esp.End()
 	if err != nil {
+		tr.Finish()
 		return fmt.Errorf("sensornet: node %q: %w", nd.ID, err)
 	}
 	if full {
@@ -327,6 +363,7 @@ func (n *Network) flush(nd *Node, rep *Report) error {
 			return fmt.Errorf("sensornet: delivering node %q frame: %w", nd.ID, err)
 		}
 	}
+	tr.Finish()
 	return nil
 }
 

@@ -125,7 +125,7 @@ func (s *Station) Recover() (RecoverStats, error) {
 			if derr != nil {
 				return fmt.Errorf("station: replaying sensor %q chunk %d: %w", id, chunk, derr)
 			}
-			rerr := s.receive(id, t, frame, len(frame), 0, fingerprint(frame), true)
+			rerr := s.receive(id, t, frame, len(frame), 0, fingerprint(frame), true, nil)
 			if rerr != nil {
 				if errors.Is(rerr, ErrDuplicate) {
 					return nil

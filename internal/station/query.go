@@ -60,7 +60,7 @@ func (s *Station) Run(q Query) ([]QueryPoint, error) {
 		if end > to {
 			end = to
 		}
-		sum, err := s.summarize(log, q.Sensor, q.Row, start, end)
+		sum, err := s.summarize(log, q.Sensor, q.Row, start, end, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -13,10 +13,12 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sbr/internal/core"
 	"sbr/internal/obs"
+	"sbr/internal/obs/trace"
 	"sbr/internal/query"
 	"sbr/internal/segstore"
 	"sbr/internal/timeseries"
@@ -44,6 +46,11 @@ type Station struct {
 	mu      sync.RWMutex
 	sensors map[string]*sensorLog
 	met     stationMetrics
+
+	// tracer, when set via SetTracer, continues the trace a sampled v3
+	// frame carries and records receive-path spans. Atomic so the hot
+	// path reads it without the station lock.
+	tracer atomic.Pointer[trace.Recorder]
 
 	// archive, when attached via SetArchive, receives every accepted
 	// transmission and serves cold reads for chunks evicted from memory;
@@ -185,6 +192,17 @@ func (s *Station) sensor(id string) (*sensorLog, error) {
 	return log, nil
 }
 
+// SetTracer installs (or removes, with nil) the span recorder the
+// receive and query paths feed. Safe to call at any time.
+func (s *Station) SetTracer(rec *trace.Recorder) {
+	s.tracer.Store(rec)
+}
+
+// Tracer returns the installed span recorder (nil: untraced).
+func (s *Station) Tracer() *trace.Recorder {
+	return s.tracer.Load()
+}
+
 // ReceiveFrame ingests one wire-encoded frame from the named sensor.
 func (s *Station) ReceiveFrame(id string, frame []byte) error {
 	return s.ReceiveFrameFrom(id, 0, frame)
@@ -197,18 +215,35 @@ func (s *Station) ReceiveFrame(id string, frame []byte) error {
 // transport can re-acknowledge it — instead of a decode-order violation,
 // and disambiguates a retransmitted seq 0 from a sensor reboot.
 func (s *Station) ReceiveFrameFrom(id string, src uint64, frame []byte) error {
+	// Continue the wire-propagated trace, if the frame carries a sampled
+	// one and a tracer is installed. The header peek only happens with a
+	// live tracer, so the untraced path pays a single atomic load.
+	var rsp *trace.Span
+	if rec := s.tracer.Load(); rec != nil {
+		if tc := wire.FrameTrace(frame); tc.Sampled {
+			tr := rec.Continue(trace.ID(tc.ID), id)
+			rsp = tr.StartSpan("station.receive")
+		}
+	}
+	dsp := rsp.Child("station.decode")
 	t, err := wire.DecodeBytes(frame)
+	dsp.End()
 	if err != nil {
+		rsp.End()
+		rsp.Trace().Finish()
 		return fmt.Errorf("station: sensor %q: %w", id, err)
 	}
-	return s.receive(id, t, frame, len(frame), src, fingerprint(frame), false)
+	err = s.receive(id, t, frame, len(frame), src, fingerprint(frame), false, rsp)
+	rsp.End()
+	rsp.Trace().Finish()
+	return err
 }
 
 // Receive ingests one decoded transmission from the named sensor (used
 // when sender and receiver share an address space, e.g. in tests and the
 // simulator's loss-free fast path).
 func (s *Station) Receive(id string, t *core.Transmission) error {
-	return s.receive(id, t, nil, 0, 0, 0, false)
+	return s.receive(id, t, nil, 0, 0, 0, false, nil)
 }
 
 // fingerprint hashes a raw frame for the seq-0 duplicate heuristic.
@@ -243,8 +278,9 @@ func (l *sensorLog) duplicate(t *core.Transmission, src, sum uint64) bool {
 // receive is the single ingestion path. frame is the raw wire encoding
 // when the caller has it (nil for in-process delivery: re-encoded on
 // demand if an archive needs it); replay marks frames re-read from the
-// archive during recovery, which must not be archived again.
-func (s *Station) receive(id string, t *core.Transmission, frame []byte, rawBytes int, src, sum uint64, replay bool) (err error) {
+// archive during recovery, which must not be archived again; rsp is the
+// caller's receive span for sampled traced frames (nil: untraced).
+func (s *Station) receive(id string, t *core.Transmission, frame []byte, rawBytes int, src, sum uint64, replay bool, rsp *trace.Span) (err error) {
 	start := time.Now()
 	defer func() {
 		if err != nil {
@@ -263,6 +299,13 @@ func (s *Station) receive(id string, t *core.Transmission, frame []byte, rawByte
 	}
 	if log.duplicate(t, src, sum) {
 		s.met.duplicates.Inc()
+		// The dedup decision is the interesting event on this path: it is
+		// what turns a retransmission into an idempotent re-ack.
+		if dsp := rsp.Child("station.dedup"); dsp != nil {
+			dsp.AnnotateInt("seq", int64(t.Seq))
+			dsp.Annotate("verdict", "duplicate")
+			dsp.End()
+		}
 		return fmt.Errorf("station: sensor %q seq %d: %w", id, t.Seq, ErrDuplicate)
 	}
 	if s.AllowRestart && t.Seq == 0 && log.frames > 0 {
@@ -292,7 +335,9 @@ func (s *Station) receive(id string, t *core.Transmission, frame []byte, rawByte
 			preState = log.decoder.State()
 		}
 	}
+	rsp2 := rsp.Child("station.replica")
 	rows, err := log.decoder.Decode(t)
+	rsp2.End()
 	if err != nil {
 		return fmt.Errorf("station: sensor %q: %w", id, err)
 	}
@@ -310,7 +355,10 @@ func (s *Station) receive(id string, t *core.Transmission, frame []byte, rawByte
 		ix.Instrument(s.met.queryQueries, s.met.queryNodes)
 		log.index = ix
 	}
-	if err := log.index.AppendChunk(rows, t.ErrBound); err != nil {
+	isp := rsp.Child("station.index")
+	err = log.index.AppendChunk(rows, t.ErrBound)
+	isp.End()
+	if err != nil {
 		return fmt.Errorf("station: sensor %q: %w", id, err)
 	}
 	log.chunks = append(log.chunks, rows)
@@ -326,8 +374,10 @@ func (s *Station) receive(id string, t *core.Transmission, frame []byte, rawByte
 	log.inserts = append(log.inserts, t.Ins())
 	gchunk := log.totalChunks() - 1 // global index of the chunk just appended
 	if archiving {
-		aerr := s.archive.Append(id, gchunk, rows, t.ErrBound, frame,
-			func() core.DecoderState { return preState })
+		asp := rsp.Child("segstore.append")
+		aerr := s.archive.AppendTraced(id, gchunk, rows, t.ErrBound, frame,
+			func() core.DecoderState { return preState }, asp)
+		asp.End()
 		if aerr != nil {
 			// Degraded mode: keep serving from memory, stop archiving and
 			// evicting this sensor — nothing non-durable is ever dropped.
@@ -451,8 +501,9 @@ func (s *Station) lookup(id string, row int) (*sensorLog, error) {
 // chunkRowsAt returns the decoded rows of global chunk c of one sensor:
 // straight from the in-memory window when c is inside it, otherwise cold
 // from the archive (the segment holding c is loaded, decoded and cached).
-// The caller holds s.mu (read or write).
-func (s *Station) chunkRowsAt(l *sensorLog, id string, c int) ([]timeseries.Series, error) {
+// Cold fetches are recorded as children of sp (nil: untraced). The caller
+// holds s.mu (read or write).
+func (s *Station) chunkRowsAt(l *sensorLog, id string, c int, sp *trace.Span) ([]timeseries.Series, error) {
 	if c >= l.first {
 		if i := c - l.first; i < len(l.chunks) {
 			return l.chunks[i], nil
@@ -462,7 +513,10 @@ func (s *Station) chunkRowsAt(l *sensorLog, id string, c int) ([]timeseries.Seri
 	if s.archive == nil {
 		return nil, fmt.Errorf("station: sensor %q chunk %d evicted and no archive attached", id, c)
 	}
+	csp := sp.Child("segstore.cold_fetch")
+	csp.AnnotateInt("chunk", int64(c))
 	rows, _, err := s.archive.ChunkRows(id, c)
+	csp.End()
 	return rows, err
 }
 
@@ -472,6 +526,12 @@ func (s *Station) chunkRowsAt(l *sensorLog, id string, c int) ([]timeseries.Seri
 // with the archive's purge error when retention has dropped part of the
 // history.
 func (s *Station) History(id string, row int) (timeseries.Series, error) {
+	return s.HistoryTraced(id, row, nil)
+}
+
+// HistoryTraced is History recording its archive cold fetches as children
+// of sp (nil: identical to History).
+func (s *Station) HistoryTraced(id string, row int, sp *trace.Span) (timeseries.Series, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	log, err := s.lookup(id, row)
@@ -480,7 +540,7 @@ func (s *Station) History(id string, row int) (timeseries.Series, error) {
 	}
 	out := make(timeseries.Series, 0, log.totalSamples())
 	for c := 0; c < log.totalChunks(); c++ {
-		rows, err := s.chunkRowsAt(log, id, c)
+		rows, err := s.chunkRowsAt(log, id, c, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -515,7 +575,7 @@ func (s *Station) At(id string, row, idx int) (float64, error) {
 		return 0, fmt.Errorf("station: sample %d outside recorded history [0,%d)",
 			idx, log.totalSamples())
 	}
-	rows, err := s.chunkRowsAt(log, id, idx/log.m)
+	rows, err := s.chunkRowsAt(log, id, idx/log.m, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -539,7 +599,7 @@ func (s *Station) Range(id string, row, from, to int) (timeseries.Series, error)
 	out := make(timeseries.Series, 0, to-from)
 	for i := from; i < to; {
 		c := i / log.m
-		rows, err := s.chunkRowsAt(log, id, c)
+		rows, err := s.chunkRowsAt(log, id, c, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -580,6 +640,12 @@ func (s *Station) Aggregate(id string, row, from, to int, kind AggregateKind) (f
 // per-sample bound applies. The bound is zero when the sensor did not run
 // under the MaxAbs metric.
 func (s *Station) AggregateWithBound(id string, row, from, to int, kind AggregateKind) (value, bound float64, err error) {
+	return s.AggregateWithBoundTraced(id, row, from, to, kind, nil)
+}
+
+// AggregateWithBoundTraced is AggregateWithBound recording the index walk
+// and any archive cold fetches as children of sp (nil: untraced).
+func (s *Station) AggregateWithBoundTraced(id string, row, from, to int, kind AggregateKind, sp *trace.Span) (value, bound float64, err error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	log, err := s.lookup(id, row)
@@ -593,7 +659,9 @@ func (s *Station) AggregateWithBound(id string, row, from, to int, kind Aggregat
 	if from == to {
 		return 0, 0, fmt.Errorf("station: aggregate over empty range [%d,%d)", from, to)
 	}
-	sum, err := s.summarize(log, id, row, from, to)
+	wsp := sp.Child("query.index_walk")
+	sum, err := s.summarize(log, id, row, from, to, sp)
+	wsp.End()
 	if err != nil {
 		return 0, 0, err
 	}
@@ -622,14 +690,14 @@ func answerSummary(sum query.Summary, kind AggregateKind) (value, bound float64,
 // evicted chunks included), the ragged edges from an exact scan of the
 // overlapped chunk windows — cold-loaded from the archive when evicted.
 // The caller must hold the station lock and have validated the range.
-func (s *Station) summarize(l *sensorLog, id string, row, from, to int) (query.Summary, error) {
+func (s *Station) summarize(l *sensorLog, id string, row, from, to int, sp *trace.Span) (query.Summary, error) {
 	m := l.m
 	c0 := (from + m - 1) / m // first fully covered chunk
 	c1 := to / m             // one past the last fully covered chunk
 	if c0 >= c1 {
 		// The range lives inside one chunk or straddles one boundary with
 		// no whole chunk in between: the exact scan is already minimal.
-		return s.scanRange(l, id, row, from, to)
+		return s.scanRange(l, id, row, from, to, sp)
 	}
 	sum, err := l.index.QueryChunks(row, c0, c1)
 	if err != nil {
@@ -637,14 +705,14 @@ func (s *Station) summarize(l *sensorLog, id string, row, from, to int) (query.S
 		panic(err)
 	}
 	if lead := c0 * m; from < lead {
-		edge, err := s.scanRange(l, id, row, from, lead)
+		edge, err := s.scanRange(l, id, row, from, lead, sp)
 		if err != nil {
 			return query.Summary{}, err
 		}
 		sum = query.Merge(edge, sum)
 	}
 	if tail := c1 * m; tail < to {
-		edge, err := s.scanRange(l, id, row, tail, to)
+		edge, err := s.scanRange(l, id, row, tail, to, sp)
 		if err != nil {
 			return query.Summary{}, err
 		}
@@ -655,11 +723,11 @@ func (s *Station) summarize(l *sensorLog, id string, row, from, to int) (query.S
 
 // scanRange summarises [from, to) exactly by reducing each overlapped
 // chunk window in place, fetching evicted chunks cold from the archive.
-func (s *Station) scanRange(l *sensorLog, id string, row, from, to int) (query.Summary, error) {
+func (s *Station) scanRange(l *sensorLog, id string, row, from, to int, sp *trace.Span) (query.Summary, error) {
 	var out query.Summary
 	for from < to {
 		c := from / l.m
-		rows, err := s.chunkRowsAt(l, id, c)
+		rows, err := s.chunkRowsAt(l, id, c, sp)
 		if err != nil {
 			return query.Summary{}, err
 		}

@@ -1,0 +1,157 @@
+package station
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"testing"
+
+	"sbr/internal/core"
+	"sbr/internal/metrics"
+	"sbr/internal/obs"
+	"sbr/internal/obs/trace"
+	"sbr/internal/wire"
+)
+
+// tracedBenchFrames rewraps plain frames with sampled trace headers so a
+// benchmark can drive the full span-recording path.
+func tracedBenchFrames(b *testing.B, frames [][]byte) [][]byte {
+	b.Helper()
+	out := make([][]byte, len(frames))
+	for i, frame := range frames {
+		t, err := wire.DecodeBytes(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[i], err = wire.EncodeTraced(t, wire.TraceContext{ID: uint64(i + 1), Sampled: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return out
+}
+
+// receiveLoop drives count ReceiveFrame calls through fresh stations every
+// `stream` frames — the same shape BenchmarkReceiveFrame uses — with the
+// given instrumentation installed. With restamp set, each traced frame
+// gets a unique trace ID per iteration (as real traffic would have);
+// without it the pre-encoded IDs recur and every Continue would join the
+// same few ever-growing traces, measuring an artifact instead of the path.
+func receiveLoop(cfg core.Config, frames [][]byte, stream int,
+	reg *obs.Registry, rec *trace.Recorder, restamp bool) func(int) error {
+
+	return func(count int) error {
+		var st *Station
+		buf := make([]byte, 0, 4096)
+		for i := 0; i < count; i++ {
+			if i%stream == 0 {
+				var err error
+				st, err = New(cfg)
+				if err != nil {
+					return err
+				}
+				st.Instrument(reg)
+				if rec != nil {
+					st.SetTracer(rec)
+				}
+			}
+			frame := frames[i%stream]
+			if restamp {
+				buf = append(buf[:0], frame...)
+				binary.LittleEndian.PutUint64(buf[5:13], uint64(i+1))
+				frame = buf
+			}
+			if err := st.ReceiveFrame("bench", frame); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// BenchmarkReceiveFrameTraced measures the ingest path under the tracing
+// configurations: "trace_unsampled" has a tracer installed but receives
+// plain v2 frames (the always-on production setting — a sampler births
+// unsampled frames as v2, so the station pays one nil check and nothing
+// else), which is what the <5% gate bounds against "noop". The
+// "trace_sampled" mode records spans for every frame — the worst case,
+// reported for visibility but not gated.
+func BenchmarkReceiveFrameTraced(b *testing.B) {
+	const (
+		n, m   = 3, 256
+		stream = 8
+	)
+	cfg := core.Config{TotalBand: n * m / 8, MBase: n * m / 8, Metric: metrics.SSE}
+	frames := benchFrames(b, cfg, n, m, stream)
+	traced := tracedBenchFrames(b, frames)
+
+	for _, mode := range []struct {
+		name    string
+		frames  [][]byte
+		trace   bool
+		restamp bool
+	}{
+		{"noop", frames, false, false},
+		{"trace_unsampled", frames, true, false},
+		{"trace_sampled", traced, true, true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var rec *trace.Recorder
+			if mode.trace {
+				rec = trace.NewRecorder(trace.Options{Capacity: 64})
+			}
+			run := receiveLoop(cfg, mode.frames, stream, nil, rec, mode.restamp)
+			b.ReportAllocs()
+			if err := run(b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTracingOverheadGate is the acceptance gate: with a tracer installed
+// but frames sampled out, ReceiveFrame must stay within 5% of the fully
+// uninstrumented path. Timing variance on shared CI boxes makes a single
+// comparison flaky, so the gate takes the best of several attempts and is
+// opt-in via SBR_TRACE_GATE=1 (the Makefile trace-gate target sets it).
+func TestTracingOverheadGate(t *testing.T) {
+	if os.Getenv("SBR_TRACE_GATE") == "" {
+		t.Skip("set SBR_TRACE_GATE=1 to run the tracing overhead gate")
+	}
+	const (
+		n, m    = 3, 256
+		stream  = 8
+		limit   = 1.05
+		retries = 5
+	)
+	cfg := core.Config{TotalBand: n * m / 8, MBase: n * m / 8, Metric: metrics.SSE}
+	var frames [][]byte
+	testing.Benchmark(func(b *testing.B) {
+		frames = benchFrames(b, cfg, n, m, stream)
+	})
+
+	noop := receiveLoop(cfg, frames, stream, nil, nil, false)
+	var last string
+	for attempt := 1; attempt <= retries; attempt++ {
+		base := testing.Benchmark(func(b *testing.B) {
+			if err := noop(b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+		rec := trace.NewRecorder(trace.Options{Capacity: 64})
+		withTrace := testing.Benchmark(func(b *testing.B) {
+			if err := receiveLoop(cfg, frames, stream, nil, rec, false)(b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+		ratio := float64(withTrace.NsPerOp()) / float64(base.NsPerOp())
+		last = fmt.Sprintf("attempt %d: noop %dns/op, traced %dns/op, ratio %.4f",
+			attempt, base.NsPerOp(), withTrace.NsPerOp(), ratio)
+		t.Log(last)
+		if ratio <= limit {
+			return
+		}
+	}
+	t.Errorf("tracing overhead above %.0f%% across %d attempts; last: %s",
+		(limit-1)*100, retries, last)
+}

@@ -32,6 +32,31 @@ var magic = [4]byte{'S', 'B', 'R', 'T'}
 // byte (quadratic records, shipped error bounds) at the head of the body.
 const Version = 2
 
+// VersionTraced is the traced frame format: identical to Version except
+// that nine extra header bytes — an 8-byte little-endian trace ID and a
+// trace-flags byte — sit between the version byte and the body length.
+// The CRC still covers the body only, so a v3 frame downgrades to a
+// byte-identical v2 frame by dropping the trace header (StripTrace): the
+// trace context is best-effort diagnostic metadata, deliberately outside
+// checksum protection, and a corrupted trace header at worst mis-joins a
+// trace — never the data.
+const VersionTraced = 3
+
+// traceHeaderLen is the extra header length of a VersionTraced frame.
+const traceHeaderLen = 9
+
+// traceFlagSampled marks a frame whose trace is sampled: receivers record
+// spans for it. Unsampled traced frames exist only transiently (a sampler
+// decides at birth and encodes unsampled frames as plain v2).
+const traceFlagSampled byte = 1 << 0
+
+// TraceContext is the causal-trace identity a frame carries across the
+// wire. The zero value means "untraced".
+type TraceContext struct {
+	ID      uint64
+	Sampled bool
+}
+
 // ErrChecksum is returned when a frame fails CRC validation.
 var ErrChecksum = errors.New("wire: frame checksum mismatch")
 
@@ -104,6 +129,57 @@ func Encode(t *core.Transmission) ([]byte, error) {
 	return frame.Bytes(), nil
 }
 
+// EncodeTraced serialises t like Encode and, when tc carries a non-zero
+// trace ID, emits a VersionTraced frame whose header propagates tc. A
+// zero tc yields a plain Version 2 frame — callers never branch on
+// whether a trace is live.
+func EncodeTraced(t *core.Transmission, tc TraceContext) ([]byte, error) {
+	frame, err := Encode(t)
+	if err != nil || tc.ID == 0 {
+		return frame, err
+	}
+	out := make([]byte, 0, len(frame)+traceHeaderLen)
+	out = append(out, frame[:4]...)
+	out = append(out, VersionTraced)
+	var hdr [traceHeaderLen]byte
+	binary.LittleEndian.PutUint64(hdr[:8], tc.ID)
+	if tc.Sampled {
+		hdr[8] = traceFlagSampled
+	}
+	out = append(out, hdr[:]...)
+	out = append(out, frame[5:]...)
+	return out, nil
+}
+
+// FrameTrace peeks the trace context of a framed transmission without
+// decoding the payload. Version 2 frames return the zero context; so do
+// frames too short or mis-versioned to carry one (the full validation
+// belongs to ReadFrame/Decode — this is a header peek).
+func FrameTrace(frame []byte) TraceContext {
+	if len(frame) < 5+traceHeaderLen || !bytes.Equal(frame[:4], magic[:]) || frame[4] != VersionTraced {
+		return TraceContext{}
+	}
+	return TraceContext{
+		ID:      binary.LittleEndian.Uint64(frame[5 : 5+8]),
+		Sampled: frame[5+8]&traceFlagSampled != 0,
+	}
+}
+
+// StripTrace downgrades a VersionTraced frame to the byte-identical
+// Version 2 frame (same body, same CRC) by dropping the trace header.
+// Non-traced input is returned unchanged. This is how a v3 sender talks
+// to a v2 peer: the data survives, the trace context is shed.
+func StripTrace(frame []byte) []byte {
+	if len(frame) < 5+traceHeaderLen || !bytes.Equal(frame[:4], magic[:]) || frame[4] != VersionTraced {
+		return frame
+	}
+	out := make([]byte, 0, len(frame)-traceHeaderLen)
+	out = append(out, frame[:4]...)
+	out = append(out, Version)
+	out = append(out, frame[5+traceHeaderLen:]...)
+	return out
+}
+
 // DecodeBytes parses one framed transmission from a byte slice.
 func DecodeBytes(frame []byte) (*core.Transmission, error) {
 	return Decode(bytes.NewReader(frame))
@@ -126,11 +202,18 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	if !bytes.Equal(head[:4], magic[:]) {
 		return nil, ErrMagic
 	}
-	if head[4] != Version {
+	if head[4] != Version && head[4] != VersionTraced {
 		return nil, fmt.Errorf("wire: unsupported frame version %d", head[4])
 	}
 	var raw bytes.Buffer
 	raw.Write(head[:])
+	if head[4] == VersionTraced {
+		var thdr [traceHeaderLen]byte
+		if _, err := io.ReadFull(r, thdr[:]); err != nil {
+			return nil, fmt.Errorf("wire: reading trace header: %w", err)
+		}
+		raw.Write(thdr[:])
+	}
 	bodyLen, err := binary.ReadUvarint(&byteCounter{r: io.TeeReader(r, &raw)})
 	if err != nil {
 		return nil, fmt.Errorf("wire: reading frame length: %w", err)
@@ -157,8 +240,13 @@ func FrameSeq(frame []byte) (int, error) {
 	if !bytes.Equal(head[:4], magic[:]) {
 		return 0, ErrMagic
 	}
-	if head[4] != Version {
+	if head[4] != Version && head[4] != VersionTraced {
 		return 0, fmt.Errorf("wire: unsupported frame version %d", head[4])
+	}
+	if head[4] == VersionTraced {
+		if _, err := r.Seek(traceHeaderLen, io.SeekCurrent); err != nil {
+			return 0, fmt.Errorf("wire: skipping trace header: %w", err)
+		}
 	}
 	if _, err := binary.ReadUvarint(r); err != nil {
 		return 0, fmt.Errorf("wire: reading frame length: %w", err)
@@ -194,8 +282,14 @@ func Decode(r io.Reader) (*core.Transmission, error) {
 	if !bytes.Equal(head[:4], magic[:]) {
 		return nil, ErrMagic
 	}
-	if head[4] != Version {
+	if head[4] != Version && head[4] != VersionTraced {
 		return nil, fmt.Errorf("wire: unsupported frame version %d", head[4])
+	}
+	if head[4] == VersionTraced {
+		var thdr [traceHeaderLen]byte
+		if _, err := io.ReadFull(r, thdr[:]); err != nil {
+			return nil, fmt.Errorf("wire: reading trace header: %w", err)
+		}
 	}
 	br := &byteCounter{r: r}
 	bodyLen, err := binary.ReadUvarint(br)
