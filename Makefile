@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race chaos trace-gate cover bench bench-full bench-smoke recovery-bench fuzz examples experiments experiments-quick clean
+.PHONY: all build fmt-check vet test race chaos soak lint trace-gate cover bench bench-full bench-smoke recovery-bench fuzz examples experiments experiments-quick clean
 
 all: build fmt-check vet test
 
@@ -28,6 +28,22 @@ race:
 # and cuts — the station history must match the fault-free run exactly.
 chaos:
 	$(GO) test -race -run Chaos -count=1 ./...
+
+# The survivable-uplink soak at full scale, race mode: a sensor killed
+# mid-transmission, a station flap with archive recovery, and a forced
+# shed episode — history must match the fault-free reference exactly.
+soak:
+	SBR_SOAK=1 $(GO) test -race -run TestChaosSoakSurvivableUplink -count=1 -v .
+
+# Static analysis: vet always; staticcheck when installed (CI installs
+# it, local runs without it just say so instead of failing).
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # The tracing overhead gate: with a tracer installed but frames sampled
 # out, ReceiveFrame must stay within 5% of the uninstrumented path (takes

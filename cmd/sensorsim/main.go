@@ -16,12 +16,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"math"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -31,6 +33,7 @@ import (
 	"sbr/internal/netio"
 	"sbr/internal/obs"
 	"sbr/internal/obs/trace"
+	"sbr/internal/outbox"
 	"sbr/internal/sensornet"
 )
 
@@ -45,6 +48,9 @@ func main() {
 		adaptive = flag.Bool("adaptive", false, "use the Section 4.4 adaptive schedule (full SBR only when needed)")
 		uplink   = flag.String("station", "", "stationd address to stream every frame to over the reliable transport (empty: simulate only)")
 		traceN   = flag.Int("trace-sample", 0, "sample 1 in N encoded frames for end-to-end tracing (0: tracing disabled)")
+		outDir   = flag.String("outbox", "", "directory for per-node durable outboxes: frames are fsynced before first transmit and replayed on restart (empty: memory only)")
+		brkN     = flag.Int("breaker-threshold", 0, "trip the uplink circuit breaker open after this many consecutive transport failures (0: disabled)")
+		brkCool  = flag.Duration("breaker-cooldown", time.Second, "how long an open breaker waits before a half-open probe")
 	)
 	flag.Parse()
 
@@ -100,17 +106,38 @@ func main() {
 	// off and reconnects on its own, and its telemetry lands in the same
 	// registry as the simulation's.
 	var netMet *netio.Metrics
+	var obMet *outbox.Metrics
 	clients := make(map[string]*netio.ReliableClient)
+	outboxes := make(map[string]*outbox.Outbox)
 	if *uplink != "" {
 		netMet = netio.NewMetrics(reg)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			obMet = outbox.NewMetrics(reg)
+		}
 		net.Deliver = func(id string, frame []byte) error {
 			rc, ok := clients[id]
 			if !ok {
+				var ob *outbox.Outbox
+				if *outDir != "" {
+					var err error
+					ob, err = outbox.Open(filepath.Join(*outDir, id+".outbox"),
+						outbox.Options{Sensor: id, Metrics: obMet})
+					if err != nil {
+						return err
+					}
+					outboxes[id] = ob
+				}
 				var err error
 				rc, err = netio.NewReliable(*uplink, id, netio.ReliableOptions{
-					Metrics: netMet,
-					Logger:  logger,
-					Tracer:  tracer,
+					Metrics:          netMet,
+					Logger:           logger,
+					Tracer:           tracer,
+					Outbox:           ob,
+					BreakerThreshold: *brkN,
+					BreakerCooldown:  *brkCool,
 				})
 				if err != nil {
 					return err
@@ -131,11 +158,46 @@ func main() {
 		fatal(err)
 	}
 	if *uplink != "" {
-		// Drain the uplink: every frame acknowledged before reporting.
+		// Drain the uplink: every frame acknowledged before reporting. A
+		// node whose flush cannot complete leaves a residue of undelivered
+		// frames; the run then reports it per node and exits nonzero so
+		// scripted runs detect the loss (or, with -outbox, the deferral).
+		residue := make(map[string]*netio.PendingError)
 		for id, rc := range clients {
-			if err := rc.Close(); err != nil {
+			err := rc.Close()
+			var pe *netio.PendingError
+			switch {
+			case err == nil:
+			case errors.As(err, &pe):
+				residue[id] = pe
+			default:
 				fatal(fmt.Errorf("uplink %s: %w", id, err))
 			}
+		}
+		for id, ob := range outboxes {
+			if err := ob.Close(); err != nil {
+				fatal(fmt.Errorf("outbox %s: %w", id, err))
+			}
+		}
+		if len(residue) > 0 {
+			fmt.Fprintf(os.Stderr, "\nsensorsim: run ended with undelivered frames:\n")
+			ids := make([]string, 0, len(residue))
+			for id := range residue {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			total := 0
+			for _, id := range ids {
+				pe := residue[id]
+				fate := "LOST (no -outbox)"
+				if pe.Durable {
+					fate = "durable in " + filepath.Join(*outDir, id+".outbox")
+				}
+				fmt.Fprintf(os.Stderr, "  %-9s %4d frames pending — %s\n", id, pe.Pending, fate)
+				total += pe.Pending
+			}
+			fmt.Fprintf(os.Stderr, "sensorsim: %d frames undelivered across %d nodes\n", total, len(ids))
+			os.Exit(1)
 		}
 		fmt.Printf("\nUplink to %s: %d frames delivered, %d retries, %d reconnects\n",
 			*uplink, rep.Transmissions, netMet.Retries.Value(), netMet.Reconnects.Value())

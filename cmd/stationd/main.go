@@ -26,6 +26,9 @@
 // With -debug set, the admin plane is exposed on a separate listener so
 // operational traffic never competes with queries:
 //
+//	GET /healthz         — liveness: 200 while the process serves HTTP
+//	GET /readyz          — readiness: 503 while draining, archive degraded,
+//	                       or over the shed watermarks; 200 otherwise
 //	GET /debug/metrics   — Prometheus text exposition of the obs registry
 //	GET /debug/vars      — the same registry as an expvar-style JSON dump
 //	GET /debug/traces    — recent end-to-end frame traces (-trace-sample)
@@ -41,6 +44,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
@@ -83,6 +87,8 @@ func main() {
 		memChunks = flag.Int("mem-chunks", 256, "per-sensor in-memory chunk window with -datadir (0: unbounded)")
 		verbose   = flag.Bool("v", false, "log at debug level (per-connection events)")
 		maxConns  = flag.Int("max-conns", 0, "cap on concurrent sensor connections; extras are shed with a busy ack (0: unlimited)")
+		shedQueue = flag.Int("shed-queue", 0, "ingest watermark: shed arrivals while this many frames are in flight in the station (0: unlimited)")
+		retryHint = flag.Duration("retry-after", 0, "retry-after hint carried in busy acks; reliable clients floor their backoff by it (0: none)")
 		idleTO    = flag.Duration("idle-timeout", 0, "close sensor connections silent this long (0: 2m default, negative: never)")
 		hsTO      = flag.Duration("handshake-timeout", 0, "drop connections that stall in the handshake (0: 10s default, negative: never)")
 		drainTO   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget before force-closing connections")
@@ -184,6 +190,9 @@ func main() {
 		Logger:           logger,
 		Tracer:           tracer,
 		MaxConns:         *maxConns,
+		ShedQueueDepth:   *shedQueue,
+		ArchiveDegraded:  st.ArchiveDegraded,
+		RetryAfter:       *retryHint,
 		IdleTimeout:      *idleTO,
 		HandshakeTimeout: *hsTO,
 	})
@@ -193,7 +202,7 @@ func main() {
 	dlog.Info("listening for sensors", "addr", srv.Addr(), "band", *band, "mbase", *mbase)
 
 	httpSrv := serveHTTP(dlog, srv, *httpAddr, "query API", httpapi.NewObserved(st, *cacheSz, reg))
-	debugSrv := serveHTTP(dlog, srv, *debugAddr, "debug plane", debugMux(reg, tracer))
+	debugSrv := serveHTTP(dlog, srv, *debugAddr, "debug plane", debugMux(reg, tracer, health(srv, st)))
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -265,11 +274,39 @@ func serveHTTP(log *slog.Logger, srv *netio.Server, addr, name string, h http.Ha
 	return s
 }
 
-// debugMux assembles the admin plane: metrics exposition in both formats
-// plus the standard pprof handlers, on a mux of its own so nothing ever
-// mounts them on a public listener by accident.
-func debugMux(reg *obs.Registry, tracer *trace.Recorder) http.Handler {
+// health assembles the readiness checks: not draining, archive not
+// degraded, below the shed watermarks. These are the SAME conditions the
+// transport's admission control sheds on, so /readyz going 503 predicts
+// busy acks on the sensor port.
+func health(srv *netio.Server, st *station.Station) *httpapi.Health {
+	return httpapi.NewHealth(
+		httpapi.Check{Name: "draining", Probe: func() error {
+			if srv.Draining() {
+				return errors.New("shutting down")
+			}
+			return nil
+		}},
+		httpapi.Check{Name: "archive", Probe: func() error {
+			if st.ArchiveDegraded() {
+				return errors.New("archive degraded: appends failing, serving memory only")
+			}
+			return nil
+		}},
+		httpapi.Check{Name: "admission", Probe: func() error {
+			if reason := srv.OverWatermark(); reason != "" {
+				return fmt.Errorf("shedding arrivals: %s watermark", reason)
+			}
+			return nil
+		}},
+	)
+}
+
+// debugMux assembles the admin plane: metrics exposition in both formats,
+// the health surfaces, plus the standard pprof handlers, on a mux of its
+// own so nothing ever mounts them on a public listener by accident.
+func debugMux(reg *obs.Registry, tracer *trace.Recorder, h *httpapi.Health) http.Handler {
 	mux := http.NewServeMux()
+	h.Register(mux)
 	mux.Handle("/debug/metrics", reg.MetricsHandler())
 	mux.Handle("/debug/vars", reg.VarsHandler())
 	traces := tracer.Handler("/debug/traces")

@@ -46,6 +46,22 @@ type Config struct {
 	Delay     float64 // sleep up to MaxDelay before the write
 
 	MaxDelay time.Duration // upper bound for injected delays (default 10ms)
+
+	// BytesPerSec throttles every connection to a bandwidth budget
+	// (0: unlimited): each write advances a per-connection pacing clock by
+	// its size over the budget, and a write that arrives before the clock
+	// frees sleeps the difference. Unlike the probabilistic faults above
+	// this models a *congested* link rather than a lossy one — soak tests
+	// use it to keep many frames in flight long enough for crashes and
+	// sheds to land mid-transmission.
+	BytesPerSec int
+
+	// Jitter adds a uniform random [0, Jitter] latency to every write
+	// (0: none) — congestion's variance, on top of BytesPerSec's mean.
+	// Deterministic faults stay deterministic: the jitter draw only
+	// consumes randomness when Jitter is configured, so existing seeds
+	// replay the same fault schedules.
+	Jitter time.Duration
 }
 
 // Injector wraps connections with the configured fault plan and counts
@@ -155,8 +171,32 @@ type conn struct {
 	net.Conn
 	in *Injector
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu       sync.Mutex
+	rng      *rand.Rand
+	nextFree time.Time // bandwidth pacing clock (zero: link idle)
+}
+
+// congest computes this write's congestion sleep under the connection
+// lock: the bandwidth-throttle wait (time until the pacing clock frees,
+// which the write then advances by its own cost) plus the latency
+// jitter draw.
+func (c *conn) congest(n int) (wait, jit time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cfg := c.in.cfg
+	if cfg.BytesPerSec > 0 {
+		now := time.Now()
+		if c.nextFree.Before(now) {
+			c.nextFree = now
+		}
+		wait = c.nextFree.Sub(now)
+		cost := time.Duration(float64(n) / float64(cfg.BytesPerSec) * float64(time.Second))
+		c.nextFree = c.nextFree.Add(cost)
+	}
+	if cfg.Jitter > 0 {
+		jit = time.Duration(c.rng.Int63n(int64(cfg.Jitter) + 1))
+	}
+	return wait, jit
 }
 
 // roll draws the fault (or "") for one write under the connection lock,
@@ -194,6 +234,15 @@ func (c *conn) roll(n int) (kind string, at int, delay time.Duration) {
 }
 
 func (c *conn) Write(p []byte) (int, error) {
+	if wait, jit := c.congest(len(p)); wait+jit > 0 {
+		if wait > 0 {
+			c.in.note("throttle")
+		}
+		if jit > 0 {
+			c.in.note("jitter")
+		}
+		time.Sleep(wait + jit)
+	}
 	kind, at, delay := c.roll(len(p))
 	if kind != "" {
 		c.in.note(kind)

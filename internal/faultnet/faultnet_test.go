@@ -209,3 +209,75 @@ func TestNoFaultsPassthrough(t *testing.T) {
 		t.Errorf("%d faults injected by a zero config", n)
 	}
 }
+
+// TestBandwidthThrottle: a throttled link paces writes to the budget —
+// pushing several times the per-second allowance must take proportional
+// wall-clock time, and a zero budget must not pace at all.
+func TestBandwidthThrottle(t *testing.T) {
+	in := New(Config{Seed: 5, BytesPerSec: 4096})
+	cl, sv := pipePair(in)
+	defer sv.Close()
+	go io.Copy(io.Discard, sv) //nolint:errcheck — drain
+
+	// 8 KiB through a 4 KiB/s link: the tail write waits for the pacing
+	// clock, so the whole burst needs at least ~1.5s of pacing (the first
+	// write rides the idle clock for free).
+	start := time.Now()
+	for i := 0; i < 8; i++ {
+		if _, err := cl.Write(make([]byte, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 1200*time.Millisecond {
+		t.Errorf("8 KiB through 4 KiB/s took %s, want >= 1.2s of pacing", elapsed)
+	}
+	if in.Counts()["throttle"] == 0 {
+		t.Error("no throttle events counted")
+	}
+	cl.Close()
+}
+
+// TestJitterDelaysWrites: configured jitter adds latency and counts
+// events; an unconfigured injector draws no jitter randomness (the
+// deterministic-schedule guarantee).
+func TestJitterDelaysWrites(t *testing.T) {
+	in := New(Config{Seed: 6, Jitter: 5 * time.Millisecond})
+	cl, sv := pipePair(in)
+	defer sv.Close()
+	go io.Copy(io.Discard, sv) //nolint:errcheck — drain
+
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		if _, err := cl.Write([]byte("jittery")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	// 20 draws uniform in [0, 5ms]: expectation 50ms; even a very lucky
+	// run should exceed 10ms, and a no-jitter run would finish in ~0.
+	if elapsed < 10*time.Millisecond {
+		t.Errorf("20 jittered writes took %s, want noticeable added latency", elapsed)
+	}
+	if in.Counts()["jitter"] == 0 {
+		t.Error("no jitter events counted")
+	}
+	cl.Close()
+}
+
+// TestThrottleAndFaultsCompose: congestion shaping runs before the fault
+// roll, so a throttled lossy link still injects its schedule.
+func TestThrottleAndFaultsCompose(t *testing.T) {
+	in := New(Config{Seed: 9, Drop: 0.5, BytesPerSec: 64 << 10, Jitter: time.Millisecond})
+	cl, sv := pipePair(in)
+	defer sv.Close()
+	go io.Copy(io.Discard, sv) //nolint:errcheck — drain
+	for i := 0; i < 50; i++ {
+		cl.Write([]byte{1, 2, 3, 4}) //nolint:errcheck — drops expected
+	}
+	counts := in.Counts()
+	if counts["drop"] == 0 {
+		t.Error("throttled link stopped injecting drops")
+	}
+	cl.Close()
+}

@@ -1,0 +1,89 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// Check is one named readiness probe. Probe returns nil when the
+// condition holds and a descriptive error when it does not; it must be
+// safe for concurrent calls and cheap enough to run on every /readyz
+// request (load balancers poll aggressively).
+type Check struct {
+	Name  string
+	Probe func() error
+}
+
+// Health serves the two standard health surfaces:
+//
+//	GET /healthz — liveness: the process is up and serving HTTP. Always
+//	               200; a dead process answers nothing, which is the
+//	               signal.
+//	GET /readyz  — readiness: every registered check passes. Any failure
+//	               answers 503 with a JSON body naming the failed checks,
+//	               so traffic (and operators) can tell WHY the station is
+//	               refusing work — draining, degraded archive, or over
+//	               its shed watermarks.
+//
+// Readiness flipping to 503 is deliberately aligned with the transport's
+// admission control: the station starts shedding sensors busy at the
+// same watermarks that fail the probe, so a 503 here predicts busy acks
+// there.
+type Health struct {
+	mu     sync.RWMutex
+	checks []Check
+}
+
+// NewHealth builds a Health serving the given checks, in order.
+func NewHealth(checks ...Check) *Health {
+	return &Health{checks: checks}
+}
+
+// Add registers another readiness check. Safe to call while serving.
+func (h *Health) Add(c Check) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.checks = append(h.checks, c)
+}
+
+// Register mounts /healthz and /readyz on mux.
+func (h *Health) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/healthz", h.Healthz)
+	mux.HandleFunc("/readyz", h.Readyz)
+}
+
+// healthResponse is the JSON body of both surfaces.
+type healthResponse struct {
+	Status string            `json:"status"` // "ok" or "unavailable"
+	Checks map[string]string `json:"checks,omitempty"`
+}
+
+// Healthz is the liveness probe: reachable means alive.
+func (h *Health) Healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(healthResponse{Status: "ok"}) //nolint:errcheck — best-effort body
+}
+
+// Readyz runs every check and answers 200 when all pass, 503 otherwise,
+// with a per-check verdict either way.
+func (h *Health) Readyz(w http.ResponseWriter, _ *http.Request) {
+	h.mu.RLock()
+	checks := h.checks
+	h.mu.RUnlock()
+
+	resp := healthResponse{Status: "ok", Checks: make(map[string]string, len(checks))}
+	for _, c := range checks {
+		if err := c.Probe(); err != nil {
+			resp.Status = "unavailable"
+			resp.Checks[c.Name] = err.Error()
+		} else {
+			resp.Checks[c.Name] = "ok"
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if resp.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck — best-effort body
+}

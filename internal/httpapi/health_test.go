@@ -1,0 +1,89 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	h := NewHealth(Check{Name: "never", Probe: func() error { return errors.New("down") }})
+	mux := http.NewServeMux()
+	h.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d even though liveness ignores checks, want 200", resp.StatusCode)
+	}
+}
+
+func TestReadyzFlips(t *testing.T) {
+	var degraded atomic.Bool
+	h := NewHealth(
+		Check{Name: "archive", Probe: func() error {
+			if degraded.Load() {
+				return errors.New("archive degraded")
+			}
+			return nil
+		}},
+		Check{Name: "draining", Probe: func() error { return nil }},
+	)
+	mux := http.NewServeMux()
+	h.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func() (int, healthResponse) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body healthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, body := get(); code != http.StatusOK || body.Status != "ok" {
+		t.Errorf("ready station: %d %q, want 200 ok", code, body.Status)
+	}
+	degraded.Store(true)
+	code, body := get()
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("degraded station: %d, want 503", code)
+	}
+	if body.Checks["archive"] != "archive degraded" || body.Checks["draining"] != "ok" {
+		t.Errorf("check verdicts %v, want archive failed and draining ok", body.Checks)
+	}
+	degraded.Store(false)
+	if code, _ := get(); code != http.StatusOK {
+		t.Errorf("recovered station: %d, want 200", code)
+	}
+}
+
+func TestHealthAddWhileServing(t *testing.T) {
+	h := NewHealth()
+	rec := httptest.NewRecorder()
+	h.Readyz(rec, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("no checks: %d, want 200", rec.Code)
+	}
+	h.Add(Check{Name: "late", Probe: func() error { return errors.New("no") }})
+	rec = httptest.NewRecorder()
+	h.Readyz(rec, nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("late failing check: %d, want 503", rec.Code)
+	}
+}

@@ -78,9 +78,25 @@ const (
 // client is terminal afterwards.
 var ErrRejected = errors.New("netio: station rejected the frame")
 
-// ErrBusy is returned when the server shed the connection at its
-// max-connections cap; the sensor should back off and reconnect.
+// ErrBusy is returned when the server shed the connection — at its
+// max-connections cap, over its ingest watermark, or with a degraded
+// archive; the sensor should back off and reconnect.
 var ErrBusy = errors.New("netio: server at capacity")
+
+// busyError is a busy shed carrying the server's optional retry-after
+// hint (the uvarint field of the busy ack, in milliseconds; 0: none).
+// It matches ErrBusy under errors.Is, so existing callers keep working,
+// and the reliable client extracts the hint to floor its next backoff.
+type busyError struct{ after time.Duration }
+
+func (e *busyError) Error() string {
+	if e.after > 0 {
+		return fmt.Sprintf("netio: server at capacity (retry after %s)", e.after)
+	}
+	return ErrBusy.Error()
+}
+
+func (e *busyError) Is(target error) bool { return target == ErrBusy }
 
 // ErrClientClosed is returned by sends on a client that reached a
 // terminal state: explicitly closed, rejected by the station, or out of
@@ -113,6 +129,16 @@ type Metrics struct {
 	AckErrors       *obs.Counter   // acknowledgement writes that failed
 	Retries         *obs.Counter   // client frame retransmissions
 	Reconnects      *obs.Counter   // client reconnections after a lost link
+
+	ShedCap      *obs.Counter // sheds at the max-connections cap
+	ShedQueue    *obs.Counter // sheds over the ingest inflight watermark
+	ShedDegraded *obs.Counter // sheds while the archive was degraded
+	Inflight     *obs.Gauge   // frames currently inside the station handle
+	ConnPanics   *obs.Counter // frame-handler panics isolated to their connection
+
+	BreakerState  *obs.Gauge   // client circuit breaker: 0 closed, 1 open
+	BreakerTrips  *obs.Counter // breaker transitions to open
+	BreakerProbes *obs.Counter // half-open probe dials
 }
 
 // NewMetrics registers the transport metrics on reg (nil: no-op metrics).
@@ -131,6 +157,16 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		AckErrors:       reg.Counter("sbr_netio_ack_errors_total", "Acknowledgement writes that failed."),
 		Retries:         reg.Counter("sbr_netio_retries_total", "Frame retransmissions by reliable clients."),
 		Reconnects:      reg.Counter("sbr_netio_reconnects_total", "Reconnections by reliable clients after a lost link."),
+
+		ShedCap:      reg.Counter("sbr_netio_shed_total", "Connections shed by admission control, by reason.", obs.L("reason", "cap")),
+		ShedQueue:    reg.Counter("sbr_netio_shed_total", "Connections shed by admission control, by reason.", obs.L("reason", "queue")),
+		ShedDegraded: reg.Counter("sbr_netio_shed_total", "Connections shed by admission control, by reason.", obs.L("reason", "degraded")),
+		Inflight:     reg.Gauge("sbr_netio_inflight_frames", "Frames currently inside the station handle."),
+		ConnPanics:   reg.Counter("sbr_netio_conn_panics_total", "Frame-handler panics isolated to their connection."),
+
+		BreakerState:  reg.Gauge("sbr_netio_breaker_state", "Client circuit breaker state: 0 closed, 1 open."),
+		BreakerTrips:  reg.Counter("sbr_netio_breaker_trips_total", "Circuit breaker transitions to open."),
+		BreakerProbes: reg.Counter("sbr_netio_breaker_probes_total", "Circuit breaker half-open probe dials."),
 	}
 }
 
@@ -149,6 +185,24 @@ type Options struct {
 	// cap are shed gracefully: one busy acknowledgement, then close, so
 	// the sensor backs off instead of hanging. 0 means unlimited.
 	MaxConns int
+
+	// ShedQueueDepth is the ingest watermark: when this many frames are
+	// already inside the station handle, new arrivals are shed busy until
+	// the queue drains. 0 means unlimited. Unlike MaxConns (a static cap
+	// on peers) this tracks actual processing pressure, so a burst of
+	// slow-to-decode frames sheds load even from few connections.
+	ShedQueueDepth int
+
+	// ArchiveDegraded, when set, is probed per arrival: true means the
+	// station's archive is refusing appends (degraded, memory-only mode),
+	// so accepting more traffic only widens the unarchived window — shed
+	// busy instead and let the sensors' durable outboxes hold the frames.
+	ArchiveDegraded func() bool
+
+	// RetryAfter, when positive, rides in every busy acknowledgement as a
+	// retry-after hint (milliseconds on the wire); reliable clients floor
+	// their backoff by it, so the operator controls the retry storm.
+	RetryAfter time.Duration
 
 	// HandshakeTimeout bounds how long a fresh connection may take to
 	// complete its handshake (0: 10s default, negative: no limit) — a
@@ -186,12 +240,17 @@ type Server struct {
 	log       *slog.Logger
 	tracer    *trace.Recorder
 	maxConns  int
+	shedDepth int
+	degraded  func() bool
+	retryHint time.Duration
+
 	hsTimeout time.Duration
 	idle      time.Duration
 	ackWait   time.Duration
 
 	wg       sync.WaitGroup
 	draining atomic.Bool
+	inflight atomic.Int64
 	lnOnce   sync.Once
 	lnErr    error
 
@@ -232,6 +291,9 @@ func ServeWith(st *station.Station, addr string, opt Options) (*Server, error) {
 		log:       obs.Component(opt.Logger, "netio"),
 		tracer:    opt.Tracer,
 		maxConns:  opt.MaxConns,
+		shedDepth: opt.ShedQueueDepth,
+		degraded:  opt.ArchiveDegraded,
+		retryHint: opt.RetryAfter,
 		hsTimeout: timeout(opt.HandshakeTimeout, defaultHandshakeTimeout),
 		idle:      timeout(opt.IdleTimeout, defaultIdleTimeout),
 		ackWait:   timeout(opt.AckTimeout, defaultAckTimeout),
@@ -315,6 +377,33 @@ func (s *Server) numConns() int {
 	return len(s.conns)
 }
 
+// Draining reports whether the server has begun shutting down — the
+// readiness probe's first question.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Inflight reports how many frames are currently inside the station
+// handle across all connections.
+func (s *Server) Inflight() int { return int(s.inflight.Load()) }
+
+// Conns reports the number of tracked sensor connections.
+func (s *Server) Conns() int { return s.numConns() }
+
+// OverWatermark reports whether admission control would shed a new
+// arrival right now, and why ("" when admitting). The readiness probe
+// shares this logic so /readyz flips 503 exactly when sensors start
+// seeing busy acks.
+func (s *Server) OverWatermark() (reason string) {
+	switch {
+	case s.degraded != nil && s.degraded():
+		return "degraded"
+	case s.shedDepth > 0 && s.Inflight() >= s.shedDepth:
+		return "queue"
+	case s.maxConns > 0 && s.numConns() >= s.maxConns:
+		return "cap"
+	}
+	return ""
+}
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -322,13 +411,28 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		if s.maxConns > 0 && s.numConns() >= s.maxConns {
-			s.shed(conn)
+		if reason := s.OverWatermark(); reason != "" {
+			s.shed(conn, reason)
 			continue
 		}
 		s.wg.Add(1)
 		s.track(conn)
 		go func() {
+			defer func() {
+				// Panic isolation: one poisoned frame handler kills its own
+				// connection, never the listener. The panicking frame is NOT
+				// acked, so the sensor retransmits it; a frame that panics
+				// deterministically exhausts the client's per-frame attempts
+				// and turns that one client terminal, which is the blast
+				// radius we want. This recover is declared after the close
+				// and untrack defers, so it runs before them and they still
+				// clean up.
+				if r := recover(); r != nil {
+					s.met.ConnPanics.Inc()
+					s.log.Error("frame handler panicked; connection dropped",
+						"remote", conn.RemoteAddr().String(), "panic", fmt.Sprint(r))
+				}
+			}()
 			defer s.wg.Done()
 			defer s.untrack(conn)
 			defer conn.Close()
@@ -337,17 +441,27 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// shed turns an over-capacity arrival away gracefully: one busy
-// acknowledgement so the sensor backs off knowingly. The farewell runs
-// in its own bounded goroutine so a dead peer cannot stall the accept
-// loop, and it half-closes then drains instead of closing outright — an
-// immediate close could reset the connection and destroy the unread busy
-// ack in the peer's receive buffer. Shed connections are tracked, so
-// they count against the cap until gone and Close/Shutdown reach them.
-func (s *Server) shed(conn net.Conn) {
+// shed turns an arrival away gracefully: one busy acknowledgement —
+// carrying the configured retry-after hint in its sequence field — so
+// the sensor backs off knowingly. The farewell runs in its own bounded
+// goroutine so a dead peer cannot stall the accept loop, and it
+// half-closes then drains instead of closing outright — an immediate
+// close could reset the connection and destroy the unread busy ack in
+// the peer's receive buffer. Shed connections are tracked, so they
+// count against the cap until gone and Close/Shutdown reach them.
+func (s *Server) shed(conn net.Conn, reason string) {
 	s.met.ConnsShed.Inc()
-	s.log.Warn("connection shed at capacity",
-		"remote", conn.RemoteAddr().String(), "max_conns", s.maxConns)
+	switch reason {
+	case "queue":
+		s.met.ShedQueue.Inc()
+	case "degraded":
+		s.met.ShedDegraded.Inc()
+	default:
+		s.met.ShedCap.Inc()
+	}
+	s.log.Warn("connection shed", "reason", reason,
+		"remote", conn.RemoteAddr().String(), "max_conns", s.maxConns,
+		"inflight", s.Inflight())
 	s.wg.Add(1)
 	s.track(conn)
 	go func() {
@@ -357,7 +471,10 @@ func (s *Server) shed(conn net.Conn) {
 		if s.ackWait > 0 {
 			conn.SetDeadline(time.Now().Add(s.ackWait)) //nolint:errcheck
 		}
-		if _, err := conn.Write([]byte{ackBusy, 0}); err != nil {
+		var buf [1 + binary.MaxVarintLen64]byte
+		buf[0] = ackBusy
+		n := binary.PutUvarint(buf[1:], uint64(s.retryHint.Milliseconds()))
+		if _, err := conn.Write(buf[:1+n]); err != nil {
 			return
 		}
 		if tc, ok := conn.(*net.TCPConn); ok {
@@ -460,7 +577,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}
 		start := time.Now()
-		switch err := s.st.ReceiveFrameFrom(id, src, frame); {
+		switch err := s.handle(id, src, frame); {
 		case err == nil:
 		case errors.Is(err, station.ErrDuplicate):
 			// Retransmission of a frame the station already holds: the ack
@@ -498,6 +615,20 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// handle runs one frame through the station under inflight accounting —
+// the depth ShedQueueDepth watches. The deferred decrement keeps the
+// count truthful even when the station handler panics (the connection's
+// recover then isolates the blast).
+func (s *Server) handle(id string, src uint64, frame []byte) error {
+	s.inflight.Add(1)
+	s.met.Inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		s.met.Inflight.Add(-1)
+	}()
+	return s.st.ReceiveFrameFrom(id, src, frame)
 }
 
 // writeAck ships one acknowledgement record — status byte plus the
@@ -659,8 +790,11 @@ func dialAndShakeNegotiated(dial func(addr string) (net.Conn, error), addr, sens
 		}
 		return conn, bufio.NewReader(conn), protoV2, nil
 	case status == ackBusy:
+		// The seq field of a busy ack carries the server's retry-after
+		// hint in milliseconds (0: none); surface it so the reliable
+		// client can floor its next backoff on the server's estimate.
 		conn.Close()
-		return nil, nil, 0, ErrBusy
+		return nil, nil, 0, &busyError{after: time.Duration(ver) * time.Millisecond}
 	case status != ackHello:
 		conn.Close()
 		return nil, nil, 0, fmt.Errorf("netio: expected hello, got ack status 0x%02x", status)

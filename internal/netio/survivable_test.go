@@ -1,0 +1,457 @@
+package netio
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sbr/internal/obs"
+	"sbr/internal/outbox"
+)
+
+// reservedAddr returns a localhost address that is currently closed —
+// dials to it fail fast with connection refused — but can be rebound by
+// the test later to bring a server up "on the same address".
+func reservedAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestBackoffDelayBounds: every backoff delay the client can produce must
+// stay inside [BackoffBase, BackoffMax] — for any failure streak, across
+// many jitter draws. An out-of-range delay either hammers a struggling
+// station (too short) or strands the sensor (too long).
+func TestBackoffDelayBounds(t *testing.T) {
+	const (
+		base = 10 * time.Millisecond
+		max  = 160 * time.Millisecond
+	)
+	c, err := NewReliable("127.0.0.1:1", "bounds-node", ReliableOptions{
+		BackoffBase: base,
+		BackoffMax:  max,
+		Rand:        rand.New(rand.NewSource(99)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for streak := 1; streak <= 20; streak++ {
+		c.streak = streak
+		for draw := 0; draw < 200; draw++ {
+			d := c.backoffDelay()
+			if d < base || d > max {
+				t.Fatalf("streak %d draw %d: delay %v outside [%v, %v]", streak, draw, d, base, max)
+			}
+		}
+	}
+}
+
+// TestRetryAfterHintFloorsBackoff: a server retry-after hint floors the
+// next delay — even past BackoffMax, the server knows its own relief
+// schedule best — and is consumed by that one delay, not sticky.
+func TestRetryAfterHintFloorsBackoff(t *testing.T) {
+	c, err := NewReliable("127.0.0.1:1", "hint-node", ReliableOptions{
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		Rand:        rand.New(rand.NewSource(5)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.streak = 1
+	c.noteBusy(&busyError{after: 250 * time.Millisecond})
+	if d := c.backoffDelay(); d < 250*time.Millisecond {
+		t.Errorf("hinted delay %v, want >= 250ms", d)
+	}
+	if d := c.backoffDelay(); d > 4*time.Millisecond {
+		t.Errorf("post-hint delay %v, want back inside [1ms, 4ms] — the hint must not stick", d)
+	}
+}
+
+// TestBusyShedBackoffRedial: a sensor turned away with a busy ack (here:
+// the connection cap) must back off and redial on its own, and deliver
+// every frame exactly once when capacity frees up.
+func TestBusyShedBackoffRedial(t *testing.T) {
+	cfg := chaosConfig()
+	st := newStation(t, cfg)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	srv, err := ServeWith(st, "127.0.0.1:0", Options{
+		Metrics:    met,
+		MaxConns:   1,
+		RetryAfter: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	frames := encodeFrames(t, cfg, 3, 16)
+	holder, err := Dial(srv.Addr(), "holder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A round-trip guarantees the holder occupies the single slot before
+	// the reliable client arrives.
+	if err := holder.Send(frames[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	rc, err := NewReliable(srv.Addr(), "patient", ReliableOptions{
+		DialTimeout: time.Second,
+		AckTimeout:  time.Second,
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		MaxAttempts: 500,
+		Metrics:     met,
+		Rand:        rand.New(rand.NewSource(3)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		for _, frame := range frames {
+			if err := rc.Send(frame); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- rc.Flush()
+	}()
+
+	// Let the client run into the cap at least once, then free the slot.
+	time.Sleep(50 * time.Millisecond)
+	if err := holder.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("sends never recovered from the shed: %v", err)
+	}
+
+	if met.ShedCap.Value() == 0 {
+		t.Error("the cap never shed the client; the test proves nothing")
+	}
+	stats, err := st.SensorStats("patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Transmissions != len(frames) {
+		t.Errorf("station holds %d transmissions, want exactly %d", stats.Transmissions, len(frames))
+	}
+	if stats.Restarts != 0 {
+		t.Errorf("shed-and-redial misread as a reboot: %d restarts", stats.Restarts)
+	}
+}
+
+// TestDegradedShed: with the archive degraded the station sheds arrivals
+// with reason "degraded" — spooling frames into a log that cannot persist
+// them would betray the durability contract.
+func TestDegradedShed(t *testing.T) {
+	cfg := chaosConfig()
+	st := newStation(t, cfg)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	srv, err := ServeWith(st, "127.0.0.1:0", Options{
+		Metrics:         met,
+		ArchiveDegraded: func() bool { return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := Dial(srv.Addr(), "unlucky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Send(encodeFrames(t, cfg, 1, 16)[0]); !errors.Is(err, ErrBusy) {
+		t.Errorf("send to a degraded station returned %v, want ErrBusy", err)
+	}
+	if got := met.ShedDegraded.Value(); got != 1 {
+		t.Errorf("degraded shed counter = %d, want 1", got)
+	}
+	if reason := srv.OverWatermark(); reason != "degraded" {
+		t.Errorf("OverWatermark() = %q, want \"degraded\"", reason)
+	}
+}
+
+// TestBreakerOpensDrainsToOutboxAndRecovers: with the station down, the
+// breaker trips after the threshold and sends start draining straight to
+// the durable outbox — returning nil, because the frames are safe on
+// disk. Once the station is back, a half-open probe closes the breaker
+// and a flush delivers everything exactly once.
+func TestBreakerOpensDrainsToOutboxAndRecovers(t *testing.T) {
+	cfg := chaosConfig()
+	addr := reservedAddr(t)
+	dir := t.TempDir()
+
+	ob, err := outbox.Open(filepath.Join(dir, "node.outbox"), outbox.Options{Sensor: "breaker-node"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ob.Close()
+
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	rc, err := NewReliable(addr, "breaker-node", ReliableOptions{
+		DialTimeout:      200 * time.Millisecond,
+		AckTimeout:       time.Second,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       5 * time.Millisecond,
+		Outbox:           ob,
+		BreakerThreshold: 2,
+		BreakerCooldown:  30 * time.Millisecond,
+		Metrics:          met,
+		Rand:             rand.New(rand.NewSource(17)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	const n = 5
+	frames := encodeFrames(t, cfg, n, 16)
+	for i, frame := range frames {
+		if err := rc.Send(frame); err != nil {
+			t.Fatalf("durable send %d against a dead station: %v", i, err)
+		}
+	}
+	if met.BreakerTrips.Value() == 0 {
+		t.Fatal("breaker never tripped against a dead station")
+	}
+	if got := met.BreakerState.Value(); got != 1 {
+		t.Errorf("breaker state gauge = %v, want 1 (open)", got)
+	}
+	if got := ob.PendingCount(); got != n {
+		t.Errorf("outbox holds %d frames, want all %d", got, n)
+	}
+	// With the breaker open and cooling, Flush must fail fast — deferral,
+	// not a hang.
+	if err := rc.Flush(); !errors.Is(err, ErrBreakerOpen) {
+		t.Errorf("flush under an open breaker returned %v, want ErrBreakerOpen", err)
+	}
+
+	st := newStation(t, cfg)
+	srv, err := Serve(st, addr)
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	defer srv.Close()
+	time.Sleep(40 * time.Millisecond) // let the cooldown lapse
+
+	if err := rc.Flush(); err != nil {
+		t.Fatalf("flush after recovery: %v", err)
+	}
+	if met.BreakerProbes.Value() == 0 {
+		t.Error("recovery happened without a recorded half-open probe")
+	}
+	if got := met.BreakerState.Value(); got != 0 {
+		t.Errorf("breaker state gauge = %v after recovery, want 0 (closed)", got)
+	}
+	stats, err := st.SensorStats("breaker-node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Transmissions != n {
+		t.Errorf("station holds %d transmissions, want exactly %d", stats.Transmissions, n)
+	}
+	if got := ob.PendingCount(); got != 0 {
+		t.Errorf("outbox still holds %d frames after a full flush", got)
+	}
+}
+
+// TestCloseReportsPendingError: Close on a client that cannot flush must
+// say so — a typed error carrying the count of stranded frames and
+// whether they survive on disk — never silently discard them.
+func TestCloseReportsPendingError(t *testing.T) {
+	cfg := chaosConfig()
+	rc, err := NewReliable(reservedAddr(t), "stranded", ReliableOptions{
+		DialTimeout:      100 * time.Millisecond,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       2 * time.Millisecond,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Minute, // still cooling when Close flushes
+		CloseTimeout:     50 * time.Millisecond,
+		Rand:             rand.New(rand.NewSource(23)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No outbox: the breaker-open error surfaces from Send, and the frame
+	// stays queued in memory.
+	if err := rc.Send(encodeFrames(t, cfg, 1, 16)[0]); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("memory-only send under a dead station returned %v, want ErrBreakerOpen", err)
+	}
+
+	err = rc.Close()
+	var pe *PendingError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Close returned %v, want *PendingError", err)
+	}
+	if pe.Pending != 1 {
+		t.Errorf("PendingError.Pending = %d, want 1", pe.Pending)
+	}
+	if pe.Durable {
+		t.Error("PendingError.Durable = true without an outbox; the frame is gone")
+	}
+}
+
+// TestOutboxReplayAcrossClientRestart is the crash-survival proof at the
+// client layer: frames accepted while the station is unreachable land in
+// the outbox; the process "crashes" (the client is abandoned, never
+// closed); a new incarnation opens the same outbox and delivers the
+// residue exactly once — as the same transport incarnation, so the
+// station sees no phantom reboot.
+func TestOutboxReplayAcrossClientRestart(t *testing.T) {
+	cfg := chaosConfig()
+	addr := reservedAddr(t)
+	path := filepath.Join(t.TempDir(), "node.outbox")
+	const n = 4
+	frames := encodeFrames(t, cfg, n, 16)
+
+	ob1, err := outbox.Open(path, outbox.Options{Sensor: "crashy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc1, err := NewReliable(addr, "crashy", ReliableOptions{
+		DialTimeout:      100 * time.Millisecond,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       2 * time.Millisecond,
+		Outbox:           ob1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Minute,
+		Rand:             rand.New(rand.NewSource(31)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, frame := range frames {
+		if err := rc1.Send(frame); err != nil {
+			t.Fatalf("durable send %d: %v", i, err)
+		}
+	}
+	// Crash: rc1 and ob1 are simply abandoned, like a kill -9.
+
+	st := newStation(t, cfg)
+	srv, err := Serve(st, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ob2, err := outbox.Open(path, outbox.Options{Sensor: "crashy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ob2.Close()
+	if got := ob2.PendingCount(); got != n {
+		t.Fatalf("reopened outbox holds %d frames, want %d", got, n)
+	}
+	rc2, err := NewReliable(addr, "crashy", ReliableOptions{
+		DialTimeout: time.Second,
+		AckTimeout:  time.Second,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  10 * time.Millisecond,
+		Outbox:      ob2,
+		Rand:        rand.New(rand.NewSource(37)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc2.Unacked() != n {
+		t.Fatalf("new incarnation queued %d frames from the outbox, want %d", rc2.Unacked(), n)
+	}
+	if err := rc2.Flush(); err != nil {
+		t.Fatalf("replay flush: %v", err)
+	}
+	if err := rc2.Close(); err != nil {
+		t.Fatalf("close after clean replay: %v", err)
+	}
+
+	stats, err := st.SensorStats("crashy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Transmissions != n {
+		t.Errorf("station holds %d transmissions, want exactly %d", stats.Transmissions, n)
+	}
+	if stats.Restarts != 0 {
+		t.Errorf("outbox replay misread as a reboot: %d restarts", stats.Restarts)
+	}
+	if got := ob2.PendingCount(); got != 0 {
+		t.Errorf("outbox still holds %d frames after delivery", got)
+	}
+}
+
+// TestConnPanicIsolation: a panic while handling one sensor's frame must
+// kill only that connection — counted and logged — while the listener
+// keeps serving, and the unacked frame must be retransmitted and
+// delivered. The panic is injected through the frame observer, which
+// runs on the connection goroutine like the station handler does.
+func TestConnPanicIsolation(t *testing.T) {
+	cfg := chaosConfig()
+	st := newStation(t, cfg)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	panicked := false
+	srv, err := ServeWith(st, "127.0.0.1:0", Options{
+		Metrics: met,
+		Observer: func(id string, frame []byte) {
+			if !panicked {
+				panicked = true
+				panic("poisoned frame handler")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	frames := encodeFrames(t, cfg, 2, 16)
+	rc, err := NewReliable(srv.Addr(), "survivor", ReliableOptions{
+		DialTimeout: time.Second,
+		AckTimeout:  500 * time.Millisecond,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  10 * time.Millisecond,
+		MaxAttempts: 50,
+		Metrics:     met,
+		Rand:        rand.New(rand.NewSource(41)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	for i, frame := range frames {
+		if err := rc.Send(frame); err != nil {
+			t.Fatalf("send %d across the panic: %v", i, err)
+		}
+	}
+	if err := rc.Flush(); err != nil {
+		t.Fatalf("flush across the panic: %v", err)
+	}
+
+	if got := met.ConnPanics.Value(); got != 1 {
+		t.Errorf("conn panic counter = %d, want 1", got)
+	}
+	stats, err := st.SensorStats("survivor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Transmissions != len(frames) {
+		t.Errorf("station holds %d transmissions, want exactly %d (the panicked frame must be redelivered, once)",
+			stats.Transmissions, len(frames))
+	}
+}

@@ -1,0 +1,345 @@
+package outbox
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sbr/internal/obs"
+)
+
+func tempBox(t *testing.T, opt Options) (*Outbox, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "node.outbox")
+	o, err := Open(path, opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return o, path
+}
+
+func frameBytes(i int) []byte {
+	return []byte(fmt.Sprintf("frame-%04d-payload", i))
+}
+
+func TestAppendAckRoundtrip(t *testing.T) {
+	o, _ := tempBox(t, Options{Sensor: "node-00"})
+	defer o.Close()
+
+	for i := 0; i < 5; i++ {
+		if err := o.Append(i, frameBytes(i)); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+	if got := o.PendingCount(); got != 5 {
+		t.Fatalf("pending = %d, want 5", got)
+	}
+	if err := o.Ack(0); err != nil {
+		t.Fatalf("Ack(0): %v", err)
+	}
+	if err := o.Ack(1); err != nil {
+		t.Fatalf("Ack(1): %v", err)
+	}
+	p := o.Pending()
+	if len(p) != 3 || p[0].Seq != 2 || !bytes.Equal(p[0].Bytes, frameBytes(2)) {
+		t.Fatalf("pending after acks = %+v", p)
+	}
+	// Out-of-order ack is a protocol violation.
+	if err := o.Ack(4); !errors.Is(err, ErrAckOrder) {
+		t.Fatalf("Ack(4) = %v, want ErrAckOrder", err)
+	}
+}
+
+func TestReopenReplaysPending(t *testing.T) {
+	o, path := tempBox(t, Options{Sensor: "node-00"})
+	for i := 0; i < 8; i++ {
+		if err := o.Append(i, frameBytes(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := o.Ack(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: no Close, just drop the handle and reopen.
+	o.f.Close()
+
+	re, err := Open(path, Options{Sensor: "node-00"})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	p := re.Pending()
+	if len(p) != 5 {
+		t.Fatalf("replayed %d frames, want 5", len(p))
+	}
+	for i, f := range p {
+		want := i + 3
+		if f.Seq != want || !bytes.Equal(f.Bytes, frameBytes(want)) {
+			t.Fatalf("pending[%d] = seq %d (%q), want seq %d", i, f.Seq, f.Bytes, want)
+		}
+	}
+	if re.TornBytes != 0 {
+		t.Fatalf("clean log reported %d torn bytes", re.TornBytes)
+	}
+}
+
+func TestSensorMismatchRejected(t *testing.T) {
+	o, path := tempBox(t, Options{Sensor: "node-00"})
+	o.Close()
+	if _, err := Open(path, Options{Sensor: "node-99"}); err == nil {
+		t.Fatal("Open with mismatched sensor id succeeded")
+	}
+	// Same id and empty id are both fine.
+	for _, id := range []string{"node-00", ""} {
+		re, err := Open(path, Options{Sensor: id})
+		if err != nil {
+			t.Fatalf("Open(%q): %v", id, err)
+		}
+		re.Close()
+	}
+}
+
+// TestTornTailSweep truncates the log at every byte offset past the
+// header and verifies each prefix reopens to a coherent pending queue —
+// some durable prefix of the appended frames, never garbage.
+func TestTornTailSweep(t *testing.T) {
+	o, path := tempBox(t, Options{Sensor: "node-00"})
+	for i := 0; i < 4; i++ {
+		if err := o.Append(i, frameBytes(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.Ack(0); err != nil {
+		t.Fatal(err)
+	}
+	o.f.Close()
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cuts inside the header block cannot happen in practice: create()
+	// fsyncs magic+header before Open ever returns. Sweep from the first
+	// record boundary onward.
+	hlen := int64(binary.LittleEndian.Uint32(whole[len(obMagic):]))
+	headerEnd := int64(len(obMagic)) + 8 + hlen
+	for cut := int64(len(whole)); cut > headerEnd; cut-- {
+		dir := t.TempDir()
+		p := filepath.Join(dir, "cut.outbox")
+		if err := os.WriteFile(p, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, err := Open(p, Options{Sensor: "node-00"})
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		p2 := re.Pending()
+		// The queue must be a contiguous run of the original frames with
+		// every payload intact.
+		for i, f := range p2 {
+			want := p2[0].Seq + i
+			if f.Seq != want || !bytes.Equal(f.Bytes, frameBytes(want)) {
+				t.Fatalf("cut=%d: pending[%d] = seq %d, want %d", cut, i, f.Seq, want)
+			}
+		}
+		if len(p2) > 4 {
+			t.Fatalf("cut=%d: %d pending frames from 4 appends", cut, len(p2))
+		}
+		// Whatever survived must itself reopen cleanly (truncation was durable).
+		re.Close()
+		re2, err := Open(p, Options{})
+		if err != nil {
+			t.Fatalf("cut=%d: second reopen: %v", cut, err)
+		}
+		if re2.TornBytes != 0 {
+			t.Fatalf("cut=%d: second reopen still torn (%d bytes)", cut, re2.TornBytes)
+		}
+		re2.Close()
+	}
+}
+
+func TestCorruptTailTruncated(t *testing.T) {
+	o, path := tempBox(t, Options{Sensor: "node-00"})
+	for i := 0; i < 3; i++ {
+		if err := o.Append(i, frameBytes(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.f.Close()
+	// Flip a byte inside the last frame's payload: CRC mismatch → torn.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path, Options{Sensor: "node-00"})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if re.TornBytes == 0 {
+		t.Fatal("corrupt tail not reported torn")
+	}
+	if got := re.PendingCount(); got != 2 {
+		t.Fatalf("pending = %d, want 2 (corrupt third frame dropped)", got)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	met := NewMetrics(obs.NewRegistry())
+	o, path := tempBox(t, Options{Sensor: "node-00", CompactEvery: 4, Metrics: met})
+	defer o.Close()
+
+	for i := 0; i < 10; i++ {
+		if err := o.Append(i, frameBytes(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := o.Size()
+	for i := 0; i < 6; i++ {
+		if err := o.Ack(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if met.Compactions.Value() != 1 {
+		t.Fatalf("compactions = %d, want 1", met.Compactions.Value())
+	}
+	if o.Size() >= before {
+		t.Fatalf("size did not shrink: %d -> %d", before, o.Size())
+	}
+	// The compacted log still appends and survives reopen.
+	if err := o.Append(10, frameBytes(10)); err != nil {
+		t.Fatal(err)
+	}
+	o.f.Close()
+	re, err := Open(path, Options{Sensor: "node-00"})
+	if err != nil {
+		t.Fatalf("reopen after compaction: %v", err)
+	}
+	defer re.Close()
+	p := re.Pending()
+	if len(p) != 5 || p[0].Seq != 6 || p[4].Seq != 10 {
+		t.Fatalf("pending after compaction reopen = %+v", p)
+	}
+}
+
+func TestCompactionLeftoverSwept(t *testing.T) {
+	o, path := tempBox(t, Options{Sensor: "node-00"})
+	if err := o.Append(0, frameBytes(0)); err != nil {
+		t.Fatal(err)
+	}
+	o.Close()
+	// Simulate a crash mid-compaction: a stray tmp file next to the log.
+	if err := os.WriteFile(path+".tmp", []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path, Options{Sensor: "node-00"})
+	if err != nil {
+		t.Fatalf("reopen with tmp leftover: %v", err)
+	}
+	defer re.Close()
+	if re.PendingCount() != 1 {
+		t.Fatalf("pending = %d, want 1", re.PendingCount())
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("compaction leftover not swept")
+	}
+}
+
+func TestNoncePersistence(t *testing.T) {
+	o, path := tempBox(t, Options{Sensor: "node-00", CompactEvery: 2})
+	if o.Nonce() != 0 {
+		t.Fatalf("fresh outbox nonce = %d, want 0", o.Nonce())
+	}
+	if err := o.SetNonce(0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := o.Append(i, frameBytes(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.f.Close() // crash
+
+	re, err := Open(path, Options{Sensor: "node-00", CompactEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Nonce() != 0xdeadbeef {
+		t.Fatalf("nonce after reopen = %#x, want 0xdeadbeef", re.Nonce())
+	}
+	// The nonce survives compaction (it moves into the rewritten header).
+	for i := 0; i < 2; i++ {
+		if err := re.Ack(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re.Close()
+	re2, err := Open(path, Options{Sensor: "node-00"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.Nonce() != 0xdeadbeef {
+		t.Fatalf("nonce after compaction reopen = %#x, want 0xdeadbeef", re2.Nonce())
+	}
+}
+
+func TestClosedOps(t *testing.T) {
+	o, _ := tempBox(t, Options{})
+	if err := o.Append(0, frameBytes(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := o.Append(1, frameBytes(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if err := o.Ack(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Ack after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	o, path := tempBox(t, Options{Sensor: "node-00", Metrics: met})
+	for i := 0; i < 4; i++ {
+		if err := o.Append(i, frameBytes(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.Ack(0); err != nil {
+		t.Fatal(err)
+	}
+	if met.Appended.Value() != 4 || met.Acked.Value() != 1 {
+		t.Fatalf("appended=%d acked=%d", met.Appended.Value(), met.Acked.Value())
+	}
+	if got := met.Pending.Value(); got != 3 {
+		t.Fatalf("pending gauge = %v, want 3", got)
+	}
+	o.Close()
+	if got := met.Pending.Value(); got != 0 {
+		t.Fatalf("pending gauge after close = %v, want 0", got)
+	}
+	re, err := Open(path, Options{Sensor: "node-00", Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if met.Replayed.Value() != 3 {
+		t.Fatalf("replayed = %d, want 3", met.Replayed.Value())
+	}
+}

@@ -462,3 +462,52 @@ func FuzzReplayFrames(f *testing.F) {
 		_ = err // torn and corrupt logs legitimately error; panics are the bug
 	})
 }
+
+// TestInProcessRebootSameNonce: a sensor application that reboots while
+// its radio keeps the same long-lived transport client (same incarnation
+// nonce) starts a fresh compressor and sends a NEW seq-0 frame whose
+// bytes differ from the incarnation's original first frame. That is a
+// reboot, not a retransmission — the fingerprint splits the same-nonce
+// case.
+func TestInProcessRebootSameNonce(t *testing.T) {
+	cfg := restoreConfig()
+	frames := encodeTestFrames(t, cfg, 1, 16)
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nonce = 0xA11CE
+	if err := st.ReceiveFrameFrom("node", nonce, frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh compressor, different samples: a genuinely new first frame.
+	comp, err := core.NewCompressor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make(timeseries.Series, 16)
+	for i := range row {
+		row[i] = float64(3*i + 7)
+	}
+	tr, err := comp.Encode([]timeseries.Series{row})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := wire.Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(frame, frames[0]) {
+		t.Fatal("test frames must differ for this scenario")
+	}
+	if err := st.ReceiveFrameFrom("node", nonce, frame); err != nil {
+		t.Errorf("same-nonce reboot with new bytes gave %v, want acceptance", err)
+	}
+	stats, err := st.SensorStats("node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Restarts != 1 || stats.Transmissions != 2 {
+		t.Errorf("restarts=%d transmissions=%d, want 1 and 2", stats.Restarts, stats.Transmissions)
+	}
+}

@@ -66,17 +66,18 @@ type Station struct {
 // nil-safe obs metrics; an uninstrumented station pays one nil check
 // per event.
 type stationMetrics struct {
-	sensors        *obs.Gauge
-	transmissions  *obs.Counter
-	values         *obs.Counter
-	rawBytes       *obs.Counter
-	restarts       *obs.Counter
-	rejects        *obs.Counter
-	duplicates     *obs.Counter
-	replayed       *obs.Counter
-	tornTails      *obs.Counter
-	receiveSeconds *obs.Histogram
-	indexDepth     *obs.Gauge
+	sensors         *obs.Gauge
+	transmissions   *obs.Counter
+	values          *obs.Counter
+	rawBytes        *obs.Counter
+	restarts        *obs.Counter
+	rejects         *obs.Counter
+	duplicates      *obs.Counter
+	replayed        *obs.Counter
+	tornTails       *obs.Counter
+	receiveSeconds  *obs.Histogram
+	indexDepth      *obs.Gauge
+	degradedSensors *obs.Gauge
 
 	intervals     *obs.Counter
 	baseInserts   *obs.Counter
@@ -96,17 +97,18 @@ func (s *Station) Instrument(reg *obs.Registry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.met = stationMetrics{
-		sensors:        reg.Gauge("sbr_station_sensors", "Distinct sensors the station has heard from."),
-		transmissions:  reg.Counter("sbr_station_transmissions_total", "Transmissions accepted across all sensors."),
-		values:         reg.Counter("sbr_station_values_total", "Abstract bandwidth values received (paper's cost unit)."),
-		rawBytes:       reg.Counter("sbr_station_bytes_total", "Raw frame bytes ingested."),
-		restarts:       reg.Counter("sbr_station_restarts_total", "Sensor reboots observed (sequence reset to zero)."),
-		rejects:        reg.Counter("sbr_station_rejects_total", "Transmissions the station refused (decode, shape, order)."),
-		duplicates:     reg.Counter("sbr_station_duplicates_total", "Retransmitted already-accepted transmissions dropped idempotently."),
-		replayed:       reg.Counter("sbr_station_replayed_frames_total", "Frames replayed from the on-disk logs during crash recovery."),
-		tornTails:      reg.Counter("sbr_station_torn_tails_total", "Torn or corrupt log tails truncated during crash recovery."),
-		receiveSeconds: reg.Histogram("sbr_station_receive_seconds", "Receive-path latency per transmission (decode + index append).", obs.LatencyBuckets),
-		indexDepth:     reg.Gauge("sbr_station_index_depth", "Deepest per-sensor aggregate index (segment-tree levels)."),
+		sensors:         reg.Gauge("sbr_station_sensors", "Distinct sensors the station has heard from."),
+		transmissions:   reg.Counter("sbr_station_transmissions_total", "Transmissions accepted across all sensors."),
+		values:          reg.Counter("sbr_station_values_total", "Abstract bandwidth values received (paper's cost unit)."),
+		rawBytes:        reg.Counter("sbr_station_bytes_total", "Raw frame bytes ingested."),
+		restarts:        reg.Counter("sbr_station_restarts_total", "Sensor reboots observed (sequence reset to zero)."),
+		rejects:         reg.Counter("sbr_station_rejects_total", "Transmissions the station refused (decode, shape, order)."),
+		duplicates:      reg.Counter("sbr_station_duplicates_total", "Retransmitted already-accepted transmissions dropped idempotently."),
+		replayed:        reg.Counter("sbr_station_replayed_frames_total", "Frames replayed from the on-disk logs during crash recovery."),
+		tornTails:       reg.Counter("sbr_station_torn_tails_total", "Torn or corrupt log tails truncated during crash recovery."),
+		receiveSeconds:  reg.Histogram("sbr_station_receive_seconds", "Receive-path latency per transmission (decode + index append).", obs.LatencyBuckets),
+		indexDepth:      reg.Gauge("sbr_station_index_depth", "Deepest per-sensor aggregate index (segment-tree levels)."),
+		degradedSensors: reg.Gauge("sbr_station_degraded_sensors", "Sensors in degraded memory-only mode after an archive append failure."),
 
 		intervals:     reg.Counter("sbr_core_intervals_total", "Piece-wise regression records received."),
 		baseInserts:   reg.Counter("sbr_core_base_inserts_total", "Base intervals inserted into the pool (Table 6)."),
@@ -203,6 +205,22 @@ func (s *Station) Tracer() *trace.Recorder {
 	return s.tracer.Load()
 }
 
+// ArchiveDegraded reports whether any sensor has tripped into degraded
+// memory-only mode after an archive append failure. The transport's
+// admission control and the /readyz probe watch this: a degraded
+// archive means accepted frames are no longer made durable, so the
+// right move is to shed new traffic back to the sensors' outboxes.
+func (s *Station) ArchiveDegraded() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, l := range s.sensors {
+		if l.archDown {
+			return true
+		}
+	}
+	return false
+}
+
 // ReceiveFrame ingests one wire-encoded frame from the named sensor.
 func (s *Station) ReceiveFrame(id string, frame []byte) error {
 	return s.ReceiveFrameFrom(id, 0, frame)
@@ -267,10 +285,23 @@ func (l *sensorLog) duplicate(t *core.Transmission, src, sum uint64) bool {
 		return true
 	}
 	// Seq 0 is ambiguous: retransmission of the incarnation's first frame,
-	// or a rebooted sensor starting over. The incarnation nonce decides
-	// when both sides carry one; the frame fingerprint is the fallback.
+	// or a rebooted sensor starting over. When both sides carry a nonce,
+	// the same transport incarnation is further split by the frame
+	// fingerprint: identical bytes are a retransmission (including a
+	// crashed sensor replaying its durable outbox, which persists and
+	// reuses its nonce exactly so this case classifies right), while
+	// different bytes under the same nonce are an in-process sensor
+	// reboot speaking through its long-lived radio client. A different
+	// nonce is always a fresh start. Without nonces (in-process delivery,
+	// crash-recovery replay) the fingerprint alone decides.
 	if src != 0 && l.srcNonce != 0 {
-		return src == l.srcNonce
+		if src != l.srcNonce {
+			return false
+		}
+		if sum != 0 && l.zeroSum != 0 {
+			return sum == l.zeroSum
+		}
+		return true
 	}
 	return sum != 0 && sum == l.zeroSum
 }
@@ -381,7 +412,11 @@ func (s *Station) receive(id string, t *core.Transmission, frame []byte, rawByte
 		if aerr != nil {
 			// Degraded mode: keep serving from memory, stop archiving and
 			// evicting this sensor — nothing non-durable is ever dropped.
+			// The transport's admission control watches ArchiveDegraded and
+			// sheds new arrivals, pushing the backlog out to the sensors'
+			// durable outboxes instead of growing an unarchivable window.
 			log.archDown = true
+			s.met.degradedSensors.Add(1)
 		} else {
 			log.archived = gchunk + 1
 		}
