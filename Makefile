@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race chaos soak lint trace-gate cover bench bench-full bench-smoke recovery-bench fuzz examples experiments experiments-quick clean
+.PHONY: all build fmt-check vet test race chaos soak lint trace-gate cover bench bench-full bench-smoke query-bench recovery-bench fuzz examples experiments experiments-quick clean
 
 all: build fmt-check vet test
 
@@ -73,6 +73,21 @@ bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 	$(GO) test -run '^$$' -bench '$(BENCH_SUITE)' -benchmem -benchtime 1x . \
 		| $(GO) run ./cmd/benchreport -baseline BENCH_baseline.json -out - >/dev/null
+	$(GO) test -run '^$$' -bench '$(QUERY_BENCH_SUITE)' -benchmem -benchtime 1x . \
+		| $(GO) run ./cmd/benchreport -baseline BENCH_pr9_query_baseline.json -out - >/dev/null
+
+# Query-serving trajectory (PR 9): hot index aggregates, parallel cold
+# range reads and the mixed ingest+query workload, reported against the
+# committed pre-PR read path (station-wide RWMutex, cold fetch under
+# lock). Writes BENCH_pr9_query.json with the speedups and the ingest
+# tail-latency ratios.
+QUERY_BENCH_SUITE = BenchmarkQueryHot|BenchmarkQueryColdParallel|BenchmarkQueryMixedIngest
+query-bench:
+	$(GO) test -run '^$$' -bench '$(QUERY_BENCH_SUITE)' -benchmem -benchtime 2s . \
+		| $(GO) run ./cmd/benchreport -baseline BENCH_pr9_query_baseline.json \
+			-note "Query-serving trajectory: per-sensor locks, snapshot reads, singleflight cold fetch" \
+			-out BENCH_pr9_query.json
+	@cat BENCH_pr9_query.json
 
 # Station restart cost: full-archive replay vs checkpoint + bounded tail.
 # Writes BENCH_pr6_recovery.json (the committed copy documents the gap).

@@ -17,18 +17,25 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 )
 
 // Result is one benchmark's measured numbers. BaselineNsPerOp and Speedup
-// are present only when the baseline file covers the benchmark.
+// are present only when the baseline file covers the benchmark. Extras
+// holds any custom units the benchmark reported via b.ReportMetric (e.g.
+// the mixed-workload suite's ingest-p99-ns), with the baseline's values —
+// and the baseline/current ratio per shared unit — alongside when known.
 type Result struct {
-	Name             string  `json:"name"`
-	NsPerOp          float64 `json:"ns_per_op"`
-	BytesPerOp       int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp      int64   `json:"allocs_per_op,omitempty"`
-	BaselineNsPerOp  float64 `json:"baseline_ns_per_op,omitempty"`
-	BaselineAllocsOp int64   `json:"baseline_allocs_per_op,omitempty"`
-	Speedup          float64 `json:"speedup,omitempty"`
+	Name             string             `json:"name"`
+	NsPerOp          float64            `json:"ns_per_op"`
+	BytesPerOp       int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp      int64              `json:"allocs_per_op,omitempty"`
+	Extras           map[string]float64 `json:"extras,omitempty"`
+	BaselineNsPerOp  float64            `json:"baseline_ns_per_op,omitempty"`
+	BaselineAllocsOp int64              `json:"baseline_allocs_per_op,omitempty"`
+	BaselineExtras   map[string]float64 `json:"baseline_extras,omitempty"`
+	Speedup          float64            `json:"speedup,omitempty"`
+	ExtraRatios      map[string]float64 `json:"extra_ratios,omitempty"`
 }
 
 // Baseline mirrors the committed pre-optimisation measurements.
@@ -86,10 +93,44 @@ func main() {
 			r.BytesPerOp, _ = strconv.ParseInt(m[3], 10, 64)
 			r.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
 		}
+		// Custom b.ReportMetric units trail ns/op as "<value> <unit>" pairs.
+		fields := strings.Fields(sc.Text())
+		for i := 2; i+1 < len(fields); i++ {
+			unit := fields[i+1]
+			switch unit {
+			case "ns/op", "B/op", "allocs/op":
+				continue
+			}
+			if !strings.Contains(unit, "-") && !strings.Contains(unit, "/") {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if r.Extras == nil {
+				r.Extras = map[string]float64{}
+			}
+			r.Extras[unit] = v
+			i++ // consume the unit token
+		}
 		if b, ok := base[r.Name]; ok && r.NsPerOp > 0 {
 			r.BaselineNsPerOp = b.NsPerOp
 			r.BaselineAllocsOp = b.AllocsPerOp
 			r.Speedup = math.Round(b.NsPerOp/r.NsPerOp*100) / 100
+			if len(b.Extras) > 0 {
+				r.BaselineExtras = b.Extras
+				for unit, bv := range b.Extras {
+					cv, ok := r.Extras[unit]
+					if !ok || cv == 0 {
+						continue
+					}
+					if r.ExtraRatios == nil {
+						r.ExtraRatios = map[string]float64{}
+					}
+					r.ExtraRatios[unit] = math.Round(bv/cv*100) / 100
+				}
+			}
 		}
 		results = append(results, r)
 	}

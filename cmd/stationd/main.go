@@ -34,6 +34,11 @@
 //	GET /debug/traces    — recent end-to-end frame traces (-trace-sample)
 //	GET /debug/pprof/…   — the standard net/http/pprof profiles
 //
+// -mutexprofile N and -blockprofile NS turn on runtime lock-contention
+// sampling (1 in N contended mutex events; blocking events >= NS ns), so
+// /debug/pprof/mutex and /debug/pprof/block carry real data when chasing
+// a read-path contention regression in production.
+//
 // Every daemon event and the periodic report go through the structured
 // logger (internal/obs conventions); -v raises it to debug level. On
 // SIGINT or SIGTERM the daemon stops accepting sensors, drains the HTTP
@@ -51,6 +56,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -94,6 +100,8 @@ func main() {
 		drainTO   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget before force-closing connections")
 		traceN    = flag.Int("trace-sample", 0, "sample 1 in N station-born traces; wire-propagated traces are always continued (0: tracing disabled)")
 		traceCap  = flag.Int("trace-cap", 256, "completed traces retained for /debug/traces")
+		mutexFrac = flag.Int("mutexprofile", 0, "mutex contention profiling: sample 1 in N contended lock events for /debug/pprof/mutex (0: disabled)")
+		blockNs   = flag.Int("blockprofile", 0, "blocking profiling: sample blocking events >= this many ns for /debug/pprof/block (0: disabled)")
 	)
 	flag.Parse()
 
@@ -106,6 +114,18 @@ func main() {
 	reg := obs.NewRegistry()
 	obs.RegisterBuildInfo(reg, version, wire.VersionTraced)
 	obs.RegisterRuntimeMetrics(reg)
+
+	// Lock-contention diagnostics for the -debug pprof plane: read-path
+	// regressions (a reader blocking ingest, a hot sensor lock) show up in
+	// /debug/pprof/mutex and /debug/pprof/block without a rebuild.
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+		dlog.Info("mutex profiling enabled", "fraction", *mutexFrac)
+	}
+	if *blockNs > 0 {
+		runtime.SetBlockProfileRate(*blockNs)
+		dlog.Info("block profiling enabled", "rate_ns", *blockNs)
+	}
 
 	cfg := core.Config{TotalBand: *band, MBase: *mbase, Metric: metrics.SSE}
 	st, err := station.New(cfg)

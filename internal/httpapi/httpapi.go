@@ -237,6 +237,9 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 			"entries":   a.cache.len(),
 		},
 	}
+	// Read-path counters: query volume and chunks served cold from the
+	// archive (the store's singleflight totals ride along under "store").
+	out["query"] = a.st.ReadStats()
 	if store := a.st.Archive(); store != nil {
 		out["store"] = store.StoreStats()
 	}

@@ -216,6 +216,100 @@ func (ix *Index) QueryChunks(row, c0, c1 int) (Summary, error) {
 	return sum, nil
 }
 
+// Snapshot is an immutable point-in-time view of an index, safe to query
+// while the index keeps absorbing AppendChunk calls from another
+// goroutine. It relies on the tree's append-only discipline: a node whose
+// span lies entirely inside the snapshot's chunk count is complete — both
+// its children existed when it was last written — and complete nodes are
+// never rewritten by later appends (append only recomputes the ancestors
+// of the newest leaf, whose indexes strictly pass a completed node's).
+// The snapshot copies the per-level slice headers, so level growth and
+// reallocation in the live tree cannot touch it, and its query walk is
+// clipped to the snapshot count so it never reads an incomplete right-edge
+// node the writer may be rewriting in place.
+//
+// Snapshot must be called while holding whatever lock serialises
+// AppendChunk (the station's per-sensor lock); the returned value is then
+// free of any locking for its whole lifetime.
+type Snapshot struct {
+	m    int
+	rows []treeSnap
+
+	queries *obs.Counter
+	nodes   *obs.Counter
+}
+
+// treeSnap is one quantity's frozen tree: the level slice headers as of
+// the snapshot, valid for chunk spans within [0, count).
+type treeSnap struct {
+	count  int
+	levels [][]Summary
+}
+
+// Snapshot captures the index at its current chunk count. See the type
+// comment for the locking contract.
+func (ix *Index) Snapshot() *Snapshot {
+	sn := &Snapshot{m: ix.m, queries: ix.queries, nodes: ix.nodes}
+	sn.rows = make([]treeSnap, len(ix.rows))
+	for i, t := range ix.rows {
+		sn.rows[i] = treeSnap{count: t.count, levels: append([][]Summary(nil), t.levels...)}
+	}
+	return sn
+}
+
+// M returns the samples-per-chunk of the snapshotted index.
+func (sn *Snapshot) M() int { return sn.m }
+
+// Chunks returns the number of chunks the snapshot covers.
+func (sn *Snapshot) Chunks() int {
+	if len(sn.rows) == 0 {
+		return 0
+	}
+	return sn.rows[0].count
+}
+
+// QueryChunks merges the summaries of chunks [c0, c1) of one quantity,
+// exactly like Index.QueryChunks but against the frozen view: concurrent
+// appends past the snapshot count are invisible and harmless.
+func (sn *Snapshot) QueryChunks(row, c0, c1 int) (Summary, error) {
+	if row < 0 || row >= len(sn.rows) {
+		return Summary{}, fmt.Errorf("query: row %d outside [0,%d)", row, len(sn.rows))
+	}
+	t := sn.rows[row]
+	if c0 < 0 || c1 > t.count {
+		return Summary{}, fmt.Errorf("query: chunk range [%d,%d) outside [0,%d)", c0, c1, t.count)
+	}
+	sum, visited := snapQuery(t.levels, c0, c1)
+	sn.queries.Inc()
+	sn.nodes.Add(uint64(visited))
+	return sum, nil
+}
+
+// snapQuery is the iterative segment-tree walk over frozen level headers.
+// The bounds-as-given invariant (hi never exceeds the snapshot count)
+// guarantees every node it touches covers a span wholly inside the
+// snapshot, i.e. a complete node the live writer will never rewrite.
+func snapQuery(levels [][]Summary, lo, hi int) (Summary, int) {
+	var out Summary
+	visited := 0
+	for lv := 0; lo < hi; lv++ {
+		level := levels[lv]
+		if lo&1 == 1 {
+			out = Merge(out, level[lo])
+			lo++
+			visited++
+		}
+		if hi&1 == 1 {
+			hi--
+			out = Merge(out, level[hi])
+			visited++
+		}
+		lo >>= 1
+		hi >>= 1
+	}
+	return out, visited
+}
+
 // tree is an append-only segment tree stored as levels of merged pairs:
 // levels[0] holds one Summary per chunk and levels[k][i] summarises chunks
 // [i<<k, min((i+1)<<k, count)). Appending a chunk touches one node per

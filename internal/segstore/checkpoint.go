@@ -83,7 +83,7 @@ func (s *Store) WriteCheckpoint(ck *Checkpoint) error {
 		return fmt.Errorf("segstore: encoding checkpoint: %w", err)
 	}
 	seq := s.ckptSeq + 1
-	if err := atomicWrite(s.dir, checkpointName(seq), data); err != nil {
+	if err := atomicWrite(s.dir, checkpointName(seq), data, !s.opts.NoSync); err != nil {
 		return err
 	}
 	s.ckptSeq = seq

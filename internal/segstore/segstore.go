@@ -78,13 +78,17 @@ type Options struct {
 	// SegmentChunks is the seal threshold in records (DefaultSegmentChunks
 	// when zero).
 	SegmentChunks int
-	// NoSync skips the per-append fsync. Throughput rises; a crash may
-	// lose acknowledged frames. The default (false) is the durable mode
-	// the recovery guarantees assume.
+	// NoSync skips every fsync — per-append, segment seal, manifest and
+	// checkpoint installs. Throughput rises; a crash may lose acknowledged
+	// frames. The default (false) is the durable mode the recovery
+	// guarantees assume.
 	NoSync bool
 	// CacheSegments bounds the decoded-segment LRU (DefaultCacheSegments
 	// when zero).
 	CacheSegments int
+	// FetchWorkers bounds the parallel segment decodes of one range read
+	// (DefaultFetchWorkers when zero).
+	FetchWorkers int
 	// Retention bounds the archive by age and/or bytes.
 	Retention Retention
 }
@@ -158,12 +162,15 @@ func (ss *sensorSegs) oldestChunk() int { return ss.purged }
 // metrics so Stats works uninstrumented, swapped for registered instances
 // by Instrument.
 type storeMetrics struct {
-	segments    *obs.Gauge
-	bytes       *obs.Gauge
-	appends     *obs.Counter
-	coldReads   *obs.Counter
-	compactions *obs.Counter
-	ckptAge     *obs.Gauge
+	segments      *obs.Gauge
+	bytes         *obs.Gauge
+	appends       *obs.Counter
+	coldReads     *obs.Counter
+	compactions   *obs.Counter
+	ckptAge       *obs.Gauge
+	sfHits        *obs.Counter
+	sfWaits       *obs.Counter
+	fetchParallel *obs.Gauge
 }
 
 func newStoreMetrics() storeMetrics {
@@ -171,6 +178,8 @@ func newStoreMetrics() storeMetrics {
 		segments: &obs.Gauge{}, bytes: &obs.Gauge{},
 		appends: &obs.Counter{}, coldReads: &obs.Counter{},
 		compactions: &obs.Counter{}, ckptAge: &obs.Gauge{},
+		sfHits: &obs.Counter{}, sfWaits: &obs.Counter{},
+		fetchParallel: &obs.Gauge{},
 	}
 }
 
@@ -185,6 +194,7 @@ type Store struct {
 	ckptUnix  int64
 	ckptCover map[string]int // chunks covered by the latest checkpoint
 	cache     *segCache
+	flights   map[string]*flight // in-progress segment decodes, by cache key
 	met       storeMetrics
 	closed    bool
 }
@@ -214,6 +224,7 @@ func Open(opts Options) (*Store, error) {
 		sensors:   make(map[string]*sensorSegs),
 		ckptCover: make(map[string]int),
 		cache:     newSegCache(opts.CacheSegments),
+		flights:   make(map[string]*flight),
 		met:       newStoreMetrics(),
 	}
 	if err := s.loadManifest(); err != nil {
@@ -596,8 +607,10 @@ func (s *Store) sealActive(ss *sensorSegs) error {
 	if _, err := a.f.Write(block); err != nil {
 		return fmt.Errorf("segstore: writing segment footer: %w", err)
 	}
-	if err := a.f.Sync(); err != nil {
-		return fmt.Errorf("segstore: syncing sealed segment: %w", err)
+	if !s.opts.NoSync {
+		if err := a.f.Sync(); err != nil {
+			return fmt.Errorf("segstore: syncing sealed segment: %w", err)
+		}
 	}
 	if err := a.f.Close(); err != nil {
 		return fmt.Errorf("segstore: closing sealed segment: %w", err)
@@ -625,12 +638,14 @@ func (s *Store) writeManifest() error {
 	if err != nil {
 		return fmt.Errorf("segstore: encoding manifest: %w", err)
 	}
-	return atomicWrite(s.dir, manifestName, data)
+	return atomicWrite(s.dir, manifestName, data, !s.opts.NoSync)
 }
 
 // atomicWrite writes name under dir via tmp + fsync + rename + dir fsync,
 // the crash-safe replacement idiom the manifest and checkpoints share.
-func atomicWrite(dir, name string, data []byte) error {
+// sync=false (a NoSync store) keeps the atomic rename but skips the
+// fsyncs, matching the durability the rest of the store forfeits.
+func atomicWrite(dir, name string, data []byte, sync bool) error {
 	tmp := filepath.Join(dir, name+".tmp")
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -640,9 +655,11 @@ func atomicWrite(dir, name string, data []byte) error {
 		f.Close()
 		return fmt.Errorf("segstore: writing %s: %w", name, err)
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("segstore: syncing %s: %w", name, err)
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("segstore: syncing %s: %w", name, err)
+		}
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("segstore: closing %s: %w", name, err)
@@ -650,9 +667,11 @@ func atomicWrite(dir, name string, data []byte) error {
 	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
 		return fmt.Errorf("segstore: installing %s: %w", name, err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		d.Sync() //nolint:errcheck — advisory on some filesystems
-		d.Close()
+	if sync {
+		if d, err := os.Open(dir); err == nil {
+			d.Sync() //nolint:errcheck — advisory on some filesystems
+			d.Close()
+		}
 	}
 	return nil
 }
@@ -737,6 +756,8 @@ type Stats struct {
 	Appends            uint64 `json:"appends"`
 	ColdReads          uint64 `json:"cold_reads"`
 	Compactions        uint64 `json:"compactions"`
+	SingleflightHits   uint64 `json:"singleflight_hits"`
+	SingleflightWaits  uint64 `json:"singleflight_waits"`
 	LastCheckpointUnix int64  `json:"last_checkpoint_unix"`
 }
 
@@ -749,6 +770,8 @@ func (s *Store) StoreStats() Stats {
 		Appends:            s.met.appends.Value(),
 		ColdReads:          s.met.coldReads.Value(),
 		Compactions:        s.met.compactions.Value(),
+		SingleflightHits:   s.met.sfHits.Value(),
+		SingleflightWaits:  s.met.sfWaits.Value(),
 		LastCheckpointUnix: s.ckptUnix,
 	}
 	for _, ss := range s.sensors {
@@ -771,12 +794,15 @@ func (s *Store) Instrument(reg *obs.Registry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.met = storeMetrics{
-		segments:    reg.Gauge("sbr_segstore_segments", "Segment files in the archive (sealed + active)."),
-		bytes:       reg.Gauge("sbr_segstore_bytes", "Archive size in bytes (sealed + active segments)."),
-		appends:     reg.Counter("sbr_segstore_appends_total", "Transmissions archived."),
-		coldReads:   reg.Counter("sbr_segstore_cold_reads_total", "Segment loads serving queries beyond the in-memory window."),
-		compactions: reg.Counter("sbr_segstore_compactions_total", "Retention passes that removed at least one segment."),
-		ckptAge:     reg.Gauge("sbr_segstore_checkpoint_age_seconds", "Seconds since the last station checkpoint (-1: none yet)."),
+		segments:      reg.Gauge("sbr_segstore_segments", "Segment files in the archive (sealed + active)."),
+		bytes:         reg.Gauge("sbr_segstore_bytes", "Archive size in bytes (sealed + active segments)."),
+		appends:       reg.Counter("sbr_segstore_appends_total", "Transmissions archived."),
+		coldReads:     reg.Counter("sbr_segstore_cold_reads_total", "Segment loads serving queries beyond the in-memory window."),
+		compactions:   reg.Counter("sbr_segstore_compactions_total", "Retention passes that removed at least one segment."),
+		ckptAge:       reg.Gauge("sbr_segstore_checkpoint_age_seconds", "Seconds since the last station checkpoint (-1: none yet)."),
+		sfHits:        reg.Counter("sbr_segstore_singleflight_hits_total", "Cold fetches served by joining an in-flight decode of the same segment."),
+		sfWaits:       reg.Counter("sbr_segstore_singleflight_waits_total", "Singleflight joins that blocked waiting for the leading decode."),
+		fetchParallel: reg.Gauge("sbr_segstore_cold_fetch_parallel", "Segment decodes currently in flight serving cold reads."),
 	}
 	s.updateGauges()
 	s.updateCheckpointAgeLocked()

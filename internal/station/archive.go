@@ -21,34 +21,39 @@ import (
 // the per-sensor in-memory window to memChunks chunks (0: unbounded, no
 // eviction). Attach before traffic arrives and before Recover.
 func (s *Station) SetArchive(store *segstore.Store, memChunks int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.archive = store
-	s.memChunks = memChunks
+	s.arch.Store(&archiveRef{store: store, memChunks: memChunks})
+	s.forEachLog(func(_ string, l *sensorLog) {
+		l.mu.Lock()
+		l.view.Store(nil) // cached views bake the archive binding
+		l.mu.Unlock()
+	})
 }
 
 // Archive returns the attached segment store (nil when none is).
 func (s *Station) Archive() *segstore.Store {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.archive
+	store, _ := s.archiveBinding()
+	return store
 }
 
 // Checkpoint snapshots the station — per sensor: decoder replica state,
 // aggregate-index leaves, error bounds and receive bookkeeping — and
-// durably installs it in the archive. A restart then resumes from the
-// snapshot and replays only the records archived after it.
+// durably installs it in the archive. Each sensor's slice is captured
+// under that sensor's own lock (so per-sensor state is internally
+// consistent); no lock is held across sensors or during the write, which
+// keeps the checkpoint fsync entirely off the receive and query paths. A
+// sensor absorbing frames mid-walk is simply captured at whichever chunk
+// count the lock observed — recovery replays anything past it.
 func (s *Station) Checkpoint() error {
-	s.mu.RLock()
-	store := s.archive
+	store, _ := s.archiveBinding()
 	if store == nil {
-		s.mu.RUnlock()
 		return errors.New("station: no archive attached")
 	}
-	ck := &segstore.Checkpoint{Sensors: make(map[string]*segstore.SensorCheckpoint, len(s.sensors))}
-	for id, log := range s.sensors {
+	ck := &segstore.Checkpoint{Sensors: make(map[string]*segstore.SensorCheckpoint)}
+	s.forEachLog(func(id string, log *sensorLog) {
+		log.mu.Lock()
+		defer log.mu.Unlock()
 		if log.frames == 0 || log.index == nil {
-			continue
+			return
 		}
 		sc := &segstore.SensorCheckpoint{
 			Chunks:   log.totalChunks(),
@@ -70,10 +75,7 @@ func (s *Station) Checkpoint() error {
 			sc.IndexLeaves[row] = log.index.RowLeaves(row)
 		}
 		ck.Sensors[id] = sc
-	}
-	s.mu.RUnlock()
-	// The snapshot is consistent on its own; writing it outside the station
-	// lock keeps the fsync off the receive path.
+	})
 	return store.WriteCheckpoint(ck)
 }
 
@@ -92,15 +94,12 @@ type RecoverStats struct {
 // serving traffic, with the archive already attached.
 func (s *Station) Recover() (RecoverStats, error) {
 	var st RecoverStats
-	s.mu.Lock()
-	store := s.archive
+	store, _ := s.archiveBinding()
 	if store == nil {
-		s.mu.Unlock()
 		return st, errors.New("station: no archive attached")
 	}
 	ck, err := store.LoadCheckpoint()
 	if err != nil && !errors.Is(err, segstore.ErrNoCheckpoint) {
-		s.mu.Unlock()
 		return st, err
 	}
 	cover := make(map[string]int)
@@ -109,14 +108,12 @@ func (s *Station) Recover() (RecoverStats, error) {
 		for id, sc := range ck.Sensors {
 			log, rerr := s.restoreSensor(sc)
 			if rerr != nil {
-				s.mu.Unlock()
 				return st, fmt.Errorf("station: restoring sensor %q: %w", id, rerr)
 			}
-			s.sensors[id] = log
+			s.installLog(id, log)
 			cover[id] = sc.Chunks
 		}
 	}
-	s.mu.Unlock()
 
 	for _, id := range store.Sensors() {
 		id := id
@@ -139,17 +136,25 @@ func (s *Station) Recover() (RecoverStats, error) {
 			return st, err
 		}
 	}
-	s.mu.RLock()
-	st.Sensors = len(s.sensors)
-	s.mu.RUnlock()
+	st.Sensors = int(s.nsensors.Load())
 	if st.Replayed > 0 {
 		s.noteReplay(st.Replayed, false)
 	}
 	return st, nil
 }
 
-// restoreSensor rebuilds one sensor's log from its checkpoint slice. The
-// caller holds s.mu.
+// installLog publishes a restored sensor log in the directory.
+func (s *Station) installLog(id string, l *sensorLog) {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	if _, ok := sh.sensors[id]; !ok {
+		s.nsensors.Add(1)
+	}
+	sh.sensors[id] = l
+	sh.mu.Unlock()
+}
+
+// restoreSensor rebuilds one sensor's log from its checkpoint slice.
 func (s *Station) restoreSensor(sc *segstore.SensorCheckpoint) (*sensorLog, error) {
 	dec, err := core.NewDecoderAt(s.cfg, sc.Decoder)
 	if err != nil {
@@ -176,7 +181,8 @@ func (s *Station) restoreSensor(sc *segstore.SensorCheckpoint) (*sensorLog, erro
 		if err != nil {
 			return nil, err
 		}
-		ix.Instrument(s.met.queryQueries, s.met.queryNodes)
+		met := s.metrics()
+		ix.Instrument(met.queryQueries, met.queryNodes)
 		log.index = ix
 	}
 	return log, nil

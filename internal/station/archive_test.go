@@ -151,7 +151,7 @@ func TestColdQueriesBeyondMemoryWindow(t *testing.T) {
 	feedFrames(t, st, "s", frames)
 
 	// The window must actually have evicted: the cold path is the test.
-	log := st.sensors["s"]
+	log := st.lookupLog("s")
 	if log.first == 0 || len(log.chunks) > 5 {
 		t.Fatalf("no eviction happened: first=%d window=%d", log.first, len(log.chunks))
 	}
@@ -301,7 +301,7 @@ func TestArchiveDegradedMode(t *testing.T) {
 	}
 	feedFrames(t, st, "s", frames[4:])
 
-	log := st.sensors["s"]
+	log := st.lookupLog("s")
 	if !log.archDown {
 		t.Fatal("store failure did not trip degraded mode")
 	}

@@ -35,13 +35,15 @@ type QueryPoint struct {
 // the hierarchical aggregate index (plus exact ragged edges), so a query
 // over w windows costs O(w log n) instead of materialising the history.
 func (s *Station) Run(q Query) ([]QueryPoint, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	log, err := s.lookup(q.Sensor, q.Row)
+	done := s.queryTimer()
+	defer done()
+	// One snapshot answers every window, so the whole query sees a single
+	// consistent point in time regardless of concurrent ingest.
+	sn, err := s.snapshot(q.Sensor, q.Row)
 	if err != nil {
 		return nil, err
 	}
-	total := log.totalSamples()
+	total := sn.totalSamples()
 	from, to := q.From, q.To
 	if to == 0 {
 		to = total
@@ -60,7 +62,7 @@ func (s *Station) Run(q Query) ([]QueryPoint, error) {
 		if end > to {
 			end = to
 		}
-		sum, err := s.summarize(log, q.Sensor, q.Row, start, end, nil)
+		sum, err := sn.summarize(q.Row, start, end, nil)
 		if err != nil {
 			return nil, err
 		}

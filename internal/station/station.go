@@ -4,13 +4,52 @@
 // maintains the per-sensor base-signal replica via the core decoder, and
 // answers historical point, range and aggregate queries over the
 // approximate reconstruction of any quantity at any time in the past.
+//
+// # Concurrency and lock ordering
+//
+// The station has no global lock. Its concurrency discipline, which every
+// method in this package follows, is:
+//
+//   - The sensor directory is sharded: each shard guards only its slice of
+//     the id → *sensorLog map with a short RWMutex. Shard locks protect map
+//     access alone — never state inside a log — and logs are never removed
+//     from the directory, so a *sensorLog pointer, once fetched, stays
+//     valid forever and may be used after the shard lock is released.
+//   - Each sensorLog has its own mutex serialising every state mutation:
+//     ingest (decode, index append, archive append, eviction), checkpoint
+//     capture and recovery all hold l.mu. Writers on different sensors
+//     never contend.
+//   - Queries never hold l.mu while doing work: they capture an immutable
+//     snapshot of the sensor's history (window slice header, bounds
+//     header, aggregate-index snapshot) under a brief l.mu acquisition and
+//     then run entirely lock-free — cold archive fetches, segment decodes
+//     and aggregation included. Ingest is never blocked by a reader, and a
+//     slow cold query blocks nobody. The snapshot is safe because every
+//     captured structure is append-only: eviction replaces the window
+//     slice instead of mutating the shared backing array, and the index
+//     snapshot only reads tree nodes that later appends never rewrite
+//     (see query.Snapshot).
+//   - Disk I/O under l.mu happens in exactly one place, deliberately: the
+//     archive append inside receive. Durability-before-acknowledgement and
+//     the archive's strict per-sensor chunk ordering require the append to
+//     be serialised with the decode that produced the chunk. It is a
+//     per-sensor stall only; readers (snapshots) and other sensors are
+//     unaffected. Eviction is pure memory, checkpoints serialise their
+//     fsync outside all station locks, and recovery's replay reads archive
+//     files outside the segment-store lock.
+//   - Lock order is shard.mu → l.mu → segstore.Store.mu, and no path holds
+//     two of them at once except ingest (l.mu → store.mu inside Append).
+//     The segment store's lock is a leaf: it is never held during disk
+//     reads or segment decodes (see segstore's singleflight read path).
+//   - Station-wide mutable state (metrics, tracer, archive binding,
+//     degraded-sensor count) lives behind atomics, so hot paths read it
+//     without any lock.
 package station
 
 import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -31,8 +70,28 @@ import (
 // violation, which is what makes retransmission idempotent end to end.
 var ErrDuplicate = errors.New("station: duplicate transmission")
 
+// sensorShards is the size of the sharded sensor directory. Power of two;
+// large enough that directory lookups on different sensors almost never
+// share a cache line of lock, small enough to iterate cheaply.
+const sensorShards = 32
+
+// dirShard is one slice of the sensor directory. Its lock guards only the
+// map; sensorLog state is guarded by the log's own mutex.
+type dirShard struct {
+	mu      sync.RWMutex
+	sensors map[string]*sensorLog
+}
+
+// archiveRef is the station's archive binding, swapped atomically so the
+// ingest and query hot paths read it without a lock.
+type archiveRef struct {
+	store     *segstore.Store
+	memChunks int
+}
+
 // Station is a base station serving many sensors. It is safe for
-// concurrent use: sensor networks deliver frames from many radios at once.
+// concurrent use: sensor networks deliver frames from many radios at once,
+// and readers query the history while frames keep arriving.
 type Station struct {
 	cfg core.Config
 
@@ -43,28 +102,33 @@ type Station struct {
 	// sensor would be rejected forever as out-of-order.
 	AllowRestart bool
 
-	mu      sync.RWMutex
-	sensors map[string]*sensorLog
-	met     stationMetrics
+	shards   [sensorShards]dirShard
+	nsensors atomic.Int64 // distinct sensors heard from
+	degraded atomic.Int64 // sensors in archDown memory-only mode
+
+	// met is the installed telemetry (nil: uninstrumented). Atomic so the
+	// hot paths read it without a lock; the zero stationMetrics is all
+	// nil-safe no-ops.
+	met atomic.Pointer[stationMetrics]
 
 	// tracer, when set via SetTracer, continues the trace a sampled v3
-	// frame carries and records receive-path spans. Atomic so the hot
-	// path reads it without the station lock.
+	// frame carries and records receive-path spans.
 	tracer atomic.Pointer[trace.Recorder]
 
-	// archive, when attached via SetArchive, receives every accepted
-	// transmission and serves cold reads for chunks evicted from memory;
-	// memChunks bounds the per-sensor in-memory window (0: unbounded).
-	archive   *segstore.Store
-	memChunks int
+	// arch, when set via SetArchive, holds the durable archive that
+	// receives every accepted transmission and serves cold reads for
+	// chunks evicted from memory, plus the per-sensor in-memory window
+	// bound (0: unbounded).
+	arch atomic.Pointer[archiveRef]
 }
 
 // stationMetrics is the station's telemetry: reception totals, the
-// receive-path latency, and the per-transmission SBR compression record
+// receive-path latency, the per-transmission SBR compression record
 // (core.CompressionReport) aggregated across every sensor — the paper's
-// §6 evaluation quantities read off a live station. All fields are
-// nil-safe obs metrics; an uninstrumented station pays one nil check
-// per event.
+// §6 evaluation quantities read off a live station — and the query-serving
+// latency/contention series added with the concurrent read path. All
+// fields are nil-safe obs metrics; an uninstrumented station pays one
+// atomic load per event.
 type stationMetrics struct {
 	sensors         *obs.Gauge
 	transmissions   *obs.Counter
@@ -88,15 +152,35 @@ type stationMetrics struct {
 
 	queryQueries *obs.Counter
 	queryNodes   *obs.Counter
+
+	// Read-path series: query volume and latency, chunks served cold from
+	// the archive, and the time ingest and snapshot capture spend waiting
+	// for a sensor lock — the contention numbers that prove (or disprove)
+	// that readers and writers no longer block each other.
+	queries        *obs.Counter
+	querySeconds   *obs.Histogram
+	queryCold      *obs.Counter
+	queryLockWait  *obs.Histogram
+	ingestLockWait *obs.Histogram
+}
+
+// noMetrics is the uninstrumented default: every field nil, every obs call
+// a nil-safe no-op.
+var noMetrics = &stationMetrics{}
+
+// metrics returns the installed telemetry, never nil.
+func (s *Station) metrics() *stationMetrics {
+	if m := s.met.Load(); m != nil {
+		return m
+	}
+	return noMetrics
 }
 
 // Instrument registers the station's metrics on reg and starts feeding
 // them. Call it before traffic arrives; a nil registry attaches no-op
 // metrics (the baseline the overhead benchmark measures against).
 func (s *Station) Instrument(reg *obs.Registry) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.met = stationMetrics{
+	met := &stationMetrics{
 		sensors:         reg.Gauge("sbr_station_sensors", "Distinct sensors the station has heard from."),
 		transmissions:   reg.Counter("sbr_station_transmissions_total", "Transmissions accepted across all sensors."),
 		values:          reg.Counter("sbr_station_values_total", "Abstract bandwidth values received (paper's cost unit)."),
@@ -119,17 +203,40 @@ func (s *Station) Instrument(reg *obs.Registry) {
 
 		queryQueries: reg.Counter("sbr_query_index_queries_total", "Aggregate-index lookups answered."),
 		queryNodes:   reg.Counter("sbr_query_index_nodes_total", "Segment-tree nodes merged answering index lookups."),
+
+		queries:        reg.Counter("sbr_station_queries_total", "Historical queries answered (history, point, range, aggregate, windowed)."),
+		querySeconds:   reg.Histogram("sbr_station_query_seconds", "Query latency end to end, cold archive fetches included.", obs.LatencyBuckets),
+		queryCold:      reg.Counter("sbr_station_query_cold_chunks_total", "Chunks served from the archive (beyond the in-memory window) answering queries."),
+		queryLockWait:  reg.Histogram("sbr_station_query_lock_wait_seconds", "Time queries spent acquiring a sensor lock to capture their snapshot.", obs.LatencyBuckets),
+		ingestLockWait: reg.Histogram("sbr_station_ingest_lock_wait_seconds", "Time ingest spent acquiring a sensor lock before decoding.", obs.LatencyBuckets),
 	}
-	for _, log := range s.sensors {
-		if log.index != nil {
-			log.index.Instrument(s.met.queryQueries, s.met.queryNodes)
+	s.met.Store(met)
+	s.forEachLog(func(_ string, l *sensorLog) {
+		l.mu.Lock()
+		if l.index != nil {
+			l.index.Instrument(met.queryQueries, met.queryNodes)
 		}
-	}
+		l.view.Store(nil) // cached views bake the metrics pointer
+		l.mu.Unlock()
+	})
+	met.sensors.Set(float64(s.nsensors.Load()))
 }
 
 // sensorLog is the per-sensor state: the decoder replica and the decoded
 // history, the in-memory equivalent of the paper's per-sensor log file.
+// Its mutex serialises every mutation; queries hold it only long enough to
+// capture a snapshot (see the package comment).
 type sensorLog struct {
+	mu sync.Mutex
+
+	// view caches the last snapshot captured from this log: queries load
+	// it with a single atomic read and skip the lock entirely while the
+	// sensor is quiescent. Every mutation under mu clears it before
+	// unlocking, and snapshot() repopulates it only while holding mu, so a
+	// non-nil view always describes a state no older than the last
+	// completed mutation.
+	view atomic.Pointer[snap]
+
 	decoder *core.Decoder
 	n, m    int
 
@@ -140,6 +247,11 @@ type sensorLog struct {
 	// the whole history. bounds and the aggregate index always cover the
 	// full history — they are tiny per chunk, and keeping them hot is what
 	// keeps aggregates O(log n) regardless of eviction.
+	//
+	// Snapshot discipline: chunks and bounds are append-only as seen from
+	// any captured slice header — eviction builds a fresh slice instead of
+	// mutating the shared backing array, so a query snapshot stays valid
+	// without holding the lock.
 	first    int
 	archived int  // chunks [0, archived) durably appended to the archive
 	archDown bool // archive append failed: stop archiving and evicting
@@ -166,32 +278,77 @@ type sensorLog struct {
 }
 
 // totalChunks is the number of chunks ever accepted (in memory + archived).
+// The caller holds l.mu.
 func (l *sensorLog) totalChunks() int { return l.first + len(l.chunks) }
-
-// totalSamples is the recorded history length per quantity.
-func (l *sensorLog) totalSamples() int { return l.totalChunks() * l.m }
 
 // New creates a station whose sensors all run the given configuration.
 func New(cfg core.Config) (*Station, error) {
 	if _, err := core.NewDecoder(cfg); err != nil {
 		return nil, err
 	}
-	return &Station{cfg: cfg, AllowRestart: true, sensors: make(map[string]*sensorLog)}, nil
+	s := &Station{cfg: cfg, AllowRestart: true}
+	for i := range s.shards {
+		s.shards[i].sensors = make(map[string]*sensorLog)
+	}
+	return s, nil
 }
 
-// sensor returns (creating if needed) the log of the named sensor.
-// The caller must hold s.mu.
-func (s *Station) sensor(id string) (*sensorLog, error) {
-	log, ok := s.sensors[id]
-	if !ok {
-		dec, err := core.NewDecoder(s.cfg)
-		if err != nil {
-			return nil, err
-		}
-		log = &sensorLog{decoder: dec}
-		s.sensors[id] = log
+// shard returns the directory shard owning the named sensor (FNV-1a).
+func (s *Station) shard(id string) *dirShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
 	}
-	return log, nil
+	return &s.shards[h&(sensorShards-1)]
+}
+
+// lookupLog returns the named sensor's log, or nil when unknown. The
+// returned pointer outlives the shard lock: logs are never removed.
+func (s *Station) lookupLog(id string) *sensorLog {
+	sh := s.shard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.sensors[id]
+}
+
+// getOrCreate returns (creating if needed) the log of the named sensor.
+func (s *Station) getOrCreate(id string) (*sensorLog, error) {
+	if l := s.lookupLog(id); l != nil {
+		return l, nil
+	}
+	dec, err := core.NewDecoder(s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if l := sh.sensors[id]; l != nil {
+		return l, nil // lost the creation race; the spare decoder is dropped
+	}
+	l := &sensorLog{decoder: dec}
+	sh.sensors[id] = l
+	s.nsensors.Add(1)
+	return l, nil
+}
+
+// forEachLog visits every sensor log, unordered. The callback runs without
+// any shard lock held, so it may lock l.mu freely.
+func (s *Station) forEachLog(fn func(id string, l *sensorLog)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		ids := make([]string, 0, len(sh.sensors))
+		logs := make([]*sensorLog, 0, len(sh.sensors))
+		for id, l := range sh.sensors {
+			ids = append(ids, id)
+			logs = append(logs, l)
+		}
+		sh.mu.RUnlock()
+		for j, l := range logs {
+			fn(ids[j], l)
+		}
+	}
 }
 
 // SetTracer installs (or removes, with nil) the span recorder the
@@ -205,20 +362,22 @@ func (s *Station) Tracer() *trace.Recorder {
 	return s.tracer.Load()
 }
 
+// archiveRef returns the current archive binding (nil store: none).
+func (s *Station) archiveBinding() (store *segstore.Store, memChunks int) {
+	if a := s.arch.Load(); a != nil {
+		return a.store, a.memChunks
+	}
+	return nil, 0
+}
+
 // ArchiveDegraded reports whether any sensor has tripped into degraded
 // memory-only mode after an archive append failure. The transport's
 // admission control and the /readyz probe watch this: a degraded
 // archive means accepted frames are no longer made durable, so the
 // right move is to shed new traffic back to the sensors' outboxes.
+// Lock-free: admission control calls it on every arrival.
 func (s *Station) ArchiveDegraded() bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, l := range s.sensors {
-		if l.archDown {
-			return true
-		}
-	}
-	return false
+	return s.degraded.Load() > 0
 }
 
 // ReceiveFrame ingests one wire-encoded frame from the named sensor.
@@ -272,7 +431,7 @@ func fingerprint(frame []byte) uint64 {
 }
 
 // duplicate classifies t against the log's retransmission state. The
-// caller holds s.mu.
+// caller holds l.mu.
 func (l *sensorLog) duplicate(t *core.Transmission, src, sum uint64) bool {
 	if t.Seq >= l.nextSeq {
 		return false
@@ -310,26 +469,40 @@ func (l *sensorLog) duplicate(t *core.Transmission, src, sum uint64) bool {
 // when the caller has it (nil for in-process delivery: re-encoded on
 // demand if an archive needs it); replay marks frames re-read from the
 // archive during recovery, which must not be archived again; rsp is the
-// caller's receive span for sampled traced frames (nil: untraced).
+// caller's receive span for sampled traced frames (nil: untraced). It
+// serialises on the sensor's own lock only: ingest for different sensors
+// runs fully in parallel, and readers never hold this lock during work.
 func (s *Station) receive(id string, t *core.Transmission, frame []byte, rawBytes int, src, sum uint64, replay bool, rsp *trace.Span) (err error) {
+	met := s.metrics()
 	start := time.Now()
 	defer func() {
 		if err != nil {
 			if !errors.Is(err, ErrDuplicate) {
-				s.met.rejects.Inc()
+				met.rejects.Inc()
 			}
 			return
 		}
-		s.met.receiveSeconds.Observe(time.Since(start).Seconds())
+		met.receiveSeconds.Observe(time.Since(start).Seconds())
 	}()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	log, err := s.sensor(id)
+	log, err := s.getOrCreate(id)
 	if err != nil {
 		return err
 	}
+	store, memChunks := s.archiveBinding()
+	if met.ingestLockWait != nil {
+		t0 := time.Now()
+		log.mu.Lock()
+		met.ingestLockWait.Observe(time.Since(t0).Seconds())
+	} else {
+		log.mu.Lock()
+	}
+	defer log.mu.Unlock()
+	// Runs before the unlock above: any cached read view is stale once
+	// this frame lands (cleared even on the reject paths — cheap, and
+	// always safe).
+	defer log.view.Store(nil)
 	if log.duplicate(t, src, sum) {
-		s.met.duplicates.Inc()
+		met.duplicates.Inc()
 		// The dedup decision is the interesting event on this path: it is
 		// what turns a retransmission into an idempotent re-ack.
 		if dsp := rsp.Child("station.dedup"); dsp != nil {
@@ -348,13 +521,13 @@ func (s *Station) receive(id string, t *core.Transmission, frame []byte, rawByte
 		}
 		log.decoder = dec
 		log.restarts++
-		s.met.restarts.Inc()
+		met.restarts.Inc()
 	}
 	// Archiving needs the raw frame and, when this append opens a fresh
 	// segment, the decoder replica as it stands *before* this decode — that
 	// snapshot becomes the segment header that makes the segment
 	// self-contained for cold reads.
-	archiving := s.archive != nil && !replay && !log.archDown
+	archiving := store != nil && !replay && !log.archDown
 	var preState core.DecoderState
 	if archiving {
 		if frame == nil {
@@ -362,7 +535,7 @@ func (s *Station) receive(id string, t *core.Transmission, frame []byte, rawByte
 				return fmt.Errorf("station: sensor %q: re-encoding for archive: %w", id, err)
 			}
 		}
-		if s.archive.NeedsSegment(id) {
+		if store.NeedsSegment(id) {
 			preState = log.decoder.State()
 		}
 	}
@@ -383,7 +556,7 @@ func (s *Station) receive(id string, t *core.Transmission, frame []byte, rawByte
 		if err != nil {
 			return fmt.Errorf("station: sensor %q: %w", id, err)
 		}
-		ix.Instrument(s.met.queryQueries, s.met.queryNodes)
+		ix.Instrument(met.queryQueries, met.queryNodes)
 		log.index = ix
 	}
 	isp := rsp.Child("station.index")
@@ -406,7 +579,7 @@ func (s *Station) receive(id string, t *core.Transmission, frame []byte, rawByte
 	gchunk := log.totalChunks() - 1 // global index of the chunk just appended
 	if archiving {
 		asp := rsp.Child("segstore.append")
-		aerr := s.archive.AppendTraced(id, gchunk, rows, t.ErrBound, frame,
+		aerr := store.AppendTraced(id, gchunk, rows, t.ErrBound, frame,
 			func() core.DecoderState { return preState }, asp)
 		asp.End()
 		if aerr != nil {
@@ -416,7 +589,8 @@ func (s *Station) receive(id string, t *core.Transmission, frame []byte, rawByte
 			// sheds new arrivals, pushing the backlog out to the sensors'
 			// durable outboxes instead of growing an unarchivable window.
 			log.archDown = true
-			s.met.degradedSensors.Add(1)
+			s.degraded.Add(1)
+			met.degradedSensors.Add(1)
 		} else {
 			log.archived = gchunk + 1
 		}
@@ -424,53 +598,59 @@ func (s *Station) receive(id string, t *core.Transmission, frame []byte, rawByte
 	if replay {
 		log.archived = gchunk + 1 // the archive is where the frame came from
 	}
-	s.evict(log)
-	s.observeTransmission(log, t, rawBytes)
+	evict(log, memChunks)
+	s.observeTransmission(met, log, t, rawBytes)
 	return nil
 }
 
 // evict trims the in-memory window to memChunks, dropping only chunks the
-// archive holds durably. The caller holds s.mu.
-func (s *Station) evict(l *sensorLog) {
-	if s.memChunks <= 0 {
+// archive holds durably. The caller holds l.mu. The surviving window is
+// copied into a fresh slice — never trimmed in place — so query snapshots
+// captured before the eviction keep reading a stable backing array.
+func evict(l *sensorLog, memChunks int) {
+	if memChunks <= 0 {
 		return
 	}
-	for len(l.chunks) > s.memChunks && l.first < l.archived {
-		l.chunks[0] = nil // release the decoded rows
-		l.chunks = l.chunks[1:]
-		l.first++
+	drop := len(l.chunks) - memChunks
+	if max := l.archived - l.first; drop > max {
+		drop = max
 	}
+	if drop <= 0 {
+		return
+	}
+	rest := make([][]timeseries.Series, len(l.chunks)-drop)
+	copy(rest, l.chunks[drop:])
+	l.chunks = rest
+	l.first += drop
 }
 
 // observeTransmission feeds the accepted transmission into the telemetry:
 // reception totals plus the aggregated core.CompressionReport quantities.
-// The caller holds s.mu.
-func (s *Station) observeTransmission(log *sensorLog, t *core.Transmission, rawBytes int) {
-	if s.met.transmissions == nil {
+// The caller holds l.mu.
+func (s *Station) observeTransmission(met *stationMetrics, log *sensorLog, t *core.Transmission, rawBytes int) {
+	if met.transmissions == nil {
 		return // uninstrumented: skip even the report derivation
 	}
 	rep := core.ReportTransmission(t)
-	s.met.sensors.Set(float64(len(s.sensors)))
-	s.met.transmissions.Inc()
-	s.met.values.Add(uint64(t.Cost))
-	s.met.rawBytes.Add(uint64(rawBytes))
-	s.met.indexDepth.SetMax(float64(log.index.Depth()))
-	s.met.intervals.Add(uint64(rep.Intervals))
-	s.met.baseInserts.Add(uint64(rep.BaseInserts))
-	s.met.baseHits.Add(uint64(rep.BaseHits))
-	s.met.rampIntervals.Add(uint64(rep.RampIntervals))
-	s.met.achievedError.Observe(rep.AchievedError)
+	met.sensors.Set(float64(s.nsensors.Load()))
+	met.transmissions.Inc()
+	met.values.Add(uint64(t.Cost))
+	met.rawBytes.Add(uint64(rawBytes))
+	met.indexDepth.SetMax(float64(log.index.Depth()))
+	met.intervals.Add(uint64(rep.Intervals))
+	met.baseInserts.Add(uint64(rep.BaseInserts))
+	met.baseHits.Add(uint64(rep.BaseHits))
+	met.rampIntervals.Add(uint64(rep.RampIntervals))
+	met.achievedError.Observe(rep.AchievedError)
 	if t.Bounded() {
-		s.met.errBound.Observe(rep.ErrBound)
+		met.errBound.Observe(rep.ErrBound)
 	}
 }
 
 // noteReplay feeds the crash-recovery telemetry after one log file has
 // been replayed.
 func (s *Station) noteReplay(frames int, torn bool) {
-	s.mu.RLock()
-	met := s.met
-	s.mu.RUnlock()
+	met := s.metrics()
 	met.replayed.Add(uint64(frames))
 	if torn {
 		met.tornTails.Inc()
@@ -479,11 +659,14 @@ func (s *Station) noteReplay(frames int, torn bool) {
 
 // Sensors returns the known sensor IDs, sorted.
 func (s *Station) Sensors() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.sensors))
-	for id := range s.sensors {
-		out = append(out, id)
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.sensors {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -502,12 +685,12 @@ type Stats struct {
 
 // SensorStats reports reception statistics for the named sensor.
 func (s *Station) SensorStats(id string) (Stats, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	log, ok := s.sensors[id]
-	if !ok {
+	log := s.lookupLog(id)
+	if log == nil {
 		return Stats{}, fmt.Errorf("station: unknown sensor %q", id)
 	}
+	log.mu.Lock()
+	defer log.mu.Unlock()
 	return Stats{
 		Transmissions: log.frames,
 		Quantities:    log.n,
@@ -519,288 +702,28 @@ func (s *Station) SensorStats(id string) (Stats, error) {
 	}, nil
 }
 
-// lookup returns the named sensor's log after validating the quantity row.
-// The caller must hold s.mu (read or write).
-func (s *Station) lookup(id string, row int) (*sensorLog, error) {
-	log, ok := s.sensors[id]
-	if !ok {
-		return nil, fmt.Errorf("station: unknown sensor %q", id)
-	}
-	if row < 0 || row >= log.n {
-		return nil, fmt.Errorf("station: sensor %q has %d quantities, row %d requested",
-			id, log.n, row)
-	}
-	return log, nil
-}
-
-// chunkRowsAt returns the decoded rows of global chunk c of one sensor:
-// straight from the in-memory window when c is inside it, otherwise cold
-// from the archive (the segment holding c is loaded, decoded and cached).
-// Cold fetches are recorded as children of sp (nil: untraced). The caller
-// holds s.mu (read or write).
-func (s *Station) chunkRowsAt(l *sensorLog, id string, c int, sp *trace.Span) ([]timeseries.Series, error) {
-	if c >= l.first {
-		if i := c - l.first; i < len(l.chunks) {
-			return l.chunks[i], nil
-		}
-		return nil, fmt.Errorf("station: sensor %q chunk %d beyond recorded history", id, c)
-	}
-	if s.archive == nil {
-		return nil, fmt.Errorf("station: sensor %q chunk %d evicted and no archive attached", id, c)
-	}
-	csp := sp.Child("segstore.cold_fetch")
-	csp.AnnotateInt("chunk", int64(c))
-	rows, _, err := s.archive.ChunkRows(id, c)
-	csp.End()
-	return rows, err
-}
-
-// History returns the full reconstructed history of quantity row of the
-// named sensor: the concatenation of that row across every received chunk,
-// decoding archived segments for any chunk evicted from memory. It fails
-// with the archive's purge error when retention has dropped part of the
-// history.
-func (s *Station) History(id string, row int) (timeseries.Series, error) {
-	return s.HistoryTraced(id, row, nil)
-}
-
-// HistoryTraced is History recording its archive cold fetches as children
-// of sp (nil: identical to History).
-func (s *Station) HistoryTraced(id string, row int, sp *trace.Span) (timeseries.Series, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	log, err := s.lookup(id, row)
-	if err != nil {
-		return nil, err
-	}
-	out := make(timeseries.Series, 0, log.totalSamples())
-	for c := 0; c < log.totalChunks(); c++ {
-		rows, err := s.chunkRowsAt(log, id, c, sp)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, rows[row]...)
-	}
-	return out, nil
-}
-
 // HistoryLen returns the number of recorded samples per quantity of the
 // named sensor (archived chunks included).
 func (s *Station) HistoryLen(id string) (int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	log, ok := s.sensors[id]
-	if !ok {
+	log := s.lookupLog(id)
+	if log == nil {
 		return 0, fmt.Errorf("station: unknown sensor %q", id)
 	}
-	return log.totalSamples(), nil
-}
-
-// At answers a historical point query: the reconstructed value of quantity
-// row at global sample index idx (counted from the first transmission).
-// Samples evicted from memory are served cold from the archive.
-func (s *Station) At(id string, row, idx int) (float64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	log, err := s.lookup(id, row)
-	if err != nil {
-		return 0, err
-	}
-	if idx < 0 || idx >= log.totalSamples() {
-		return 0, fmt.Errorf("station: sample %d outside recorded history [0,%d)",
-			idx, log.totalSamples())
-	}
-	rows, err := s.chunkRowsAt(log, id, idx/log.m, nil)
-	if err != nil {
-		return 0, err
-	}
-	return rows[row][idx%log.m], nil
-}
-
-// Range answers a historical range query over [from, to) of quantity row,
-// materialising only the chunks the range overlaps (cold ones from the
-// archive).
-func (s *Station) Range(id string, row, from, to int) (timeseries.Series, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	log, err := s.lookup(id, row)
-	if err != nil {
-		return nil, err
-	}
-	if from < 0 || to > log.totalSamples() || from > to {
-		return nil, fmt.Errorf("station: range [%d,%d) outside history [0,%d)",
-			from, to, log.totalSamples())
-	}
-	out := make(timeseries.Series, 0, to-from)
-	for i := from; i < to; {
-		c := i / log.m
-		rows, err := s.chunkRowsAt(log, id, c, nil)
-		if err != nil {
-			return nil, err
-		}
-		lo := i - c*log.m
-		hi := log.m
-		if limit := to - c*log.m; limit < hi {
-			hi = limit
-		}
-		out = append(out, rows[row][lo:hi]...)
-		i = c*log.m + hi
-	}
-	return out, nil
-}
-
-// AggregateKind selects a range-aggregate function.
-type AggregateKind int
-
-const (
-	AggAvg AggregateKind = iota
-	AggSum
-	AggMin
-	AggMax
-)
-
-// Aggregate answers a historical aggregate query over [from, to) of
-// quantity row. It is answered from the hierarchical aggregate index in
-// O(log n) chunk-summary merges; only the ragged sub-chunk edges of the
-// range touch the reconstructed samples.
-func (s *Station) Aggregate(id string, row, from, to int, kind AggregateKind) (float64, error) {
-	v, _, err := s.AggregateWithBound(id, row, from, to, kind)
-	return v, err
-}
-
-// AggregateWithBound answers an aggregate query together with the
-// guaranteed maximum absolute error of the answer, derived from the §4.5
-// per-chunk bounds the sensors shipped: for Sum the bounds of the covered
-// samples accumulate, for Avg they average, and for Min/Max the worst
-// per-sample bound applies. The bound is zero when the sensor did not run
-// under the MaxAbs metric.
-func (s *Station) AggregateWithBound(id string, row, from, to int, kind AggregateKind) (value, bound float64, err error) {
-	return s.AggregateWithBoundTraced(id, row, from, to, kind, nil)
-}
-
-// AggregateWithBoundTraced is AggregateWithBound recording the index walk
-// and any archive cold fetches as children of sp (nil: untraced).
-func (s *Station) AggregateWithBoundTraced(id string, row, from, to int, kind AggregateKind, sp *trace.Span) (value, bound float64, err error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	log, err := s.lookup(id, row)
-	if err != nil {
-		return 0, 0, err
-	}
-	total := log.totalSamples()
-	if from < 0 || to > total || from > to {
-		return 0, 0, fmt.Errorf("station: range [%d,%d) outside history [0,%d)", from, to, total)
-	}
-	if from == to {
-		return 0, 0, fmt.Errorf("station: aggregate over empty range [%d,%d)", from, to)
-	}
-	wsp := sp.Child("query.index_walk")
-	sum, err := s.summarize(log, id, row, from, to, sp)
-	wsp.End()
-	if err != nil {
-		return 0, 0, err
-	}
-	return answerSummary(sum, kind)
-}
-
-// answerSummary turns a merged span summary into the aggregate answer and
-// its guaranteed maximum absolute error.
-func answerSummary(sum query.Summary, kind AggregateKind) (value, bound float64, err error) {
-	switch kind {
-	case AggAvg:
-		return sum.Sum / float64(sum.Count), sum.BoundSum / float64(sum.Count), nil
-	case AggSum:
-		return sum.Sum, sum.BoundSum, nil
-	case AggMin:
-		return sum.Min, sum.BoundMax, nil
-	case AggMax:
-		return sum.Max, sum.BoundMax, nil
-	default:
-		return math.NaN(), 0, fmt.Errorf("station: unknown aggregate kind %d", kind)
-	}
-}
-
-// summarize reduces [from, to) of one quantity: whole chunks come from the
-// aggregate index in O(log n) merges (the index spans the full history,
-// evicted chunks included), the ragged edges from an exact scan of the
-// overlapped chunk windows — cold-loaded from the archive when evicted.
-// The caller must hold the station lock and have validated the range.
-func (s *Station) summarize(l *sensorLog, id string, row, from, to int, sp *trace.Span) (query.Summary, error) {
-	m := l.m
-	c0 := (from + m - 1) / m // first fully covered chunk
-	c1 := to / m             // one past the last fully covered chunk
-	if c0 >= c1 {
-		// The range lives inside one chunk or straddles one boundary with
-		// no whole chunk in between: the exact scan is already minimal.
-		return s.scanRange(l, id, row, from, to, sp)
-	}
-	sum, err := l.index.QueryChunks(row, c0, c1)
-	if err != nil {
-		// Unreachable: receive() keeps the index in lock-step with chunks.
-		panic(err)
-	}
-	if lead := c0 * m; from < lead {
-		edge, err := s.scanRange(l, id, row, from, lead, sp)
-		if err != nil {
-			return query.Summary{}, err
-		}
-		sum = query.Merge(edge, sum)
-	}
-	if tail := c1 * m; tail < to {
-		edge, err := s.scanRange(l, id, row, tail, to, sp)
-		if err != nil {
-			return query.Summary{}, err
-		}
-		sum = query.Merge(sum, edge)
-	}
-	return sum, nil
-}
-
-// scanRange summarises [from, to) exactly by reducing each overlapped
-// chunk window in place, fetching evicted chunks cold from the archive.
-func (s *Station) scanRange(l *sensorLog, id string, row, from, to int, sp *trace.Span) (query.Summary, error) {
-	var out query.Summary
-	for from < to {
-		c := from / l.m
-		rows, err := s.chunkRowsAt(l, id, c, sp)
-		if err != nil {
-			return query.Summary{}, err
-		}
-		lo := from - c*l.m
-		hi := l.m
-		if limit := to - c*l.m; limit < hi {
-			hi = limit
-		}
-		out = query.Merge(out, query.Summarize(rows[row][lo:hi], l.bounds[c]))
-		from = c*l.m + hi
-	}
-	return out, nil
-}
-
-// AtWithBound answers a point query together with the guaranteed maximum
-// absolute error of the chunk the sample came from (Section 4.5). The
-// bound is zero when the sensor did not run under the MaxAbs metric.
-func (s *Station) AtWithBound(id string, row, idx int) (value, bound float64, err error) {
-	value, err = s.At(id, row, idx)
-	if err != nil {
-		return 0, 0, err
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	log := s.sensors[id]
-	return value, log.bounds[idx/log.m], nil
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	return log.totalChunks() * log.m, nil
 }
 
 // RangeBound returns the worst guaranteed maximum absolute error across
 // the chunks overlapping [from, to) of the named sensor's history.
 func (s *Station) RangeBound(id string, from, to int) (float64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	log, ok := s.sensors[id]
-	if !ok {
+	log := s.lookupLog(id)
+	if log == nil {
 		return 0, fmt.Errorf("station: unknown sensor %q", id)
 	}
-	total := log.totalSamples()
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	total := log.totalChunks() * log.m
 	if from < 0 || to > total || from >= to {
 		return 0, fmt.Errorf("station: range [%d,%d) outside history [0,%d)", from, to, total)
 	}
@@ -815,11 +738,28 @@ func (s *Station) RangeBound(id string, from, to int) (float64, error) {
 
 // BaseSignal returns the current base-signal replica of the named sensor.
 func (s *Station) BaseSignal(id string) (timeseries.Series, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	log, ok := s.sensors[id]
-	if !ok {
+	log := s.lookupLog(id)
+	if log == nil {
 		return nil, fmt.Errorf("station: unknown sensor %q", id)
 	}
+	log.mu.Lock()
+	defer log.mu.Unlock()
 	return log.decoder.BaseSignal(), nil
+}
+
+// QueryStats is a point-in-time summary of the read path, served on
+// /v1/stats next to the reception statistics.
+type QueryStats struct {
+	Queries    uint64 `json:"queries"`
+	ColdChunks uint64 `json:"cold_chunks"`
+}
+
+// ReadStats reports the station's query-serving counters (zero when
+// uninstrumented).
+func (s *Station) ReadStats() QueryStats {
+	met := s.metrics()
+	return QueryStats{
+		Queries:    met.queries.Value(),
+		ColdChunks: met.queryCold.Value(),
+	}
 }
