@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race chaos soak lint trace-gate cover bench bench-full bench-smoke query-bench recovery-bench fuzz examples experiments experiments-quick clean
+.PHONY: all build fmt-check vet test race chaos soak lint trace-gate selfmon-gate cover bench bench-full bench-smoke query-bench recovery-bench fuzz examples experiments experiments-quick clean
 
 all: build fmt-check vet test
 
@@ -50,6 +50,13 @@ lint:
 # the best of several timed attempts; see tracebench_test.go).
 trace-gate:
 	SBR_TRACE_GATE=1 $(GO) test -run TestTracingOverheadGate -count=1 -v ./internal/station
+
+# The self-monitoring overhead gate: with the sampler snapshotting the
+# registry at a 1ms cadence (50x the production default), ReceiveFrame
+# must stay within 2% of the obs-only path (best of several attempts;
+# see selfmonbench_test.go).
+selfmon-gate:
+	SBR_SELFMON_GATE=1 $(GO) test -run TestSelfmonOverheadGate -count=1 -v ./internal/station
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -32,6 +32,7 @@ import (
 	"sbr/internal/metrics"
 	"sbr/internal/netio"
 	"sbr/internal/obs"
+	"sbr/internal/obs/hist"
 	"sbr/internal/obs/trace"
 	"sbr/internal/outbox"
 	"sbr/internal/sensornet"
@@ -51,6 +52,8 @@ func main() {
 		outDir   = flag.String("outbox", "", "directory for per-node durable outboxes: frames are fsynced before first transmit and replayed on restart (empty: memory only)")
 		brkN     = flag.Int("breaker-threshold", 0, "trip the uplink circuit breaker open after this many consecutive transport failures (0: disabled)")
 		brkCool  = flag.Duration("breaker-cooldown", time.Second, "how long an open breaker waits before a half-open probe")
+		selfmon  = flag.Bool("selfmon", true, "record the run's own metrics into the SBR-compressed self-history and print an end-of-run summary")
+		selfIv   = flag.Duration("selfmon-interval", 100*time.Millisecond, "self-history sampling interval")
 	)
 	flag.Parse()
 
@@ -91,6 +94,15 @@ func main() {
 	// counters (scan-cache hits, incrementally scanned tail shifts), so the
 	// final summary and any rejection counts come from one telemetry source.
 	net.Instrument(reg)
+
+	// The self-monitoring sampler dogfoods the paper's own compressor on
+	// that registry: every counter and gauge above becomes an
+	// SBR-compressed time series, summarised (with sparklines) at the end.
+	var sampler *hist.Sampler
+	if *selfmon {
+		sampler = hist.NewSampler(reg, hist.Options{Interval: *selfIv})
+		sampler.Start()
+	}
 
 	// With sampling on, 1 in N frames is born traced at encode time; the
 	// trace context rides the wire (protocol v3) and the station's spans
@@ -268,6 +280,14 @@ func main() {
 		}
 	}
 
+	// The run's own telemetry, replayed from the SBR-compressed
+	// self-history: proof the operational plane eats its own dog food.
+	if sampler != nil {
+		sampler.Stop()
+		sampler.Tick() // capture the final state as one last sample
+		printSelfHistory(sampler, time.Since(start))
+	}
+
 	// Final structured summary, from the same registry the station fed.
 	v := reg.Values()
 	reg.Gauge("sbr_sensorsim_wall_seconds", "Wall-clock time of the whole simulation.").
@@ -287,6 +307,55 @@ func main() {
 		"tail_shifts", int(v["sbr_encode_tail_shifts_total"]),
 		"wall", time.Since(start).Round(time.Millisecond).String(),
 	)
+}
+
+// printSelfHistory summarises the sampler's store — compression totals
+// plus a sparkline per busiest series — entirely from windowed queries,
+// the same path /debug/metrics/history serves on stationd.
+func printSelfHistory(s *hist.Sampler, ran time.Duration) {
+	infos := s.Series()
+	if len(infos) == 0 {
+		return
+	}
+	var samples, hot int64
+	var windows, compressed int
+	for _, in := range infos {
+		samples += in.Samples
+		hot += int64(in.HotSamples)
+		windows += in.Windows
+		compressed += in.CompressedValues
+	}
+	fmt.Printf("\nSelf-monitoring history (%d series, sampled every %s, error bound %.3g):\n",
+		len(infos), s.Interval(), s.ErrorBound())
+	cold := samples - hot
+	if cold > 0 {
+		fmt.Printf("  cold store: %d windows, %d SBR values for %d samples (%.1fx)\n",
+			windows, compressed, cold, float64(cold)/float64(max(1, compressed)))
+	} else {
+		fmt.Printf("  %d samples, all still in the hot ring (run shorter than a window)\n", samples)
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].Samples != infos[j].Samples {
+			return infos[i].Samples > infos[j].Samples
+		}
+		return infos[i].Name < infos[j].Name
+	})
+	if len(infos) > 8 {
+		infos = infos[:8]
+	}
+	window := ran + s.Interval()
+	for _, in := range infos {
+		pts, _, err := s.RangeOver(in.Name, window, window/48)
+		if err != nil || len(pts) == 0 {
+			continue
+		}
+		vals := make([]float64, len(pts))
+		for i, p := range pts {
+			vals[i] = p.V
+		}
+		last := pts[len(pts)-1]
+		fmt.Printf("  %-44s %s  last=%.4g ±%.2g\n", in.Name, hist.Sparkline(vals), last.V, last.Err)
+	}
 }
 
 // weatherSource generates a 3-quantity sample stream: diurnal temperature,

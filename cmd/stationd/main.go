@@ -26,13 +26,28 @@
 // With -debug set, the admin plane is exposed on a separate listener so
 // operational traffic never competes with queries:
 //
-//	GET /healthz         — liveness: 200 while the process serves HTTP
-//	GET /readyz          — readiness: 503 while draining, archive degraded,
-//	                       or over the shed watermarks; 200 otherwise
-//	GET /debug/metrics   — Prometheus text exposition of the obs registry
-//	GET /debug/vars      — the same registry as an expvar-style JSON dump
-//	GET /debug/traces    — recent end-to-end frame traces (-trace-sample)
-//	GET /debug/pprof/…   — the standard net/http/pprof profiles
+//	GET /healthz                 — liveness: 200 while the process serves HTTP
+//	GET /readyz                  — readiness: 503 while draining, archive
+//	                               degraded, over the shed watermarks, or a
+//	                               page-severity alert is firing; 200 otherwise
+//	GET /debug/metrics           — Prometheus text exposition of the obs registry
+//	GET /debug/vars              — the same registry as an expvar-style JSON dump
+//	GET /debug/metrics/history   — windowed queries over the station's own
+//	                               metrics, stored as SBR-compressed history
+//	                               (-selfmon*; series/window/step/agg params,
+//	                               JSON or format=spark sparklines)
+//	GET /debug/alerts            — SLO alert rules and their firing state
+//	                               (-alert-rules; multi-window burn rates)
+//	GET /debug/traces            — recent end-to-end frame traces (-trace-sample)
+//	GET /debug/pprof/…           — the standard net/http/pprof profiles
+//
+// Self-monitoring (-selfmon, on by default) dogfoods the paper's
+// algorithm on the station's own telemetry: every registered series is
+// sampled each -selfmon-interval into hot ring buffers whose evicted
+// windows are SBR-compressed within a -selfmon-error relative error
+// bound, so every windowed answer carries an error bar. The alert engine
+// evaluates its rules after every sample; a firing page-severity rule
+// fails /readyz.
 //
 // -mutexprofile N and -blockprofile NS turn on runtime lock-contention
 // sampling (1 in N contended mutex events; blocking events >= NS ns), so
@@ -53,7 +68,6 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -65,6 +79,7 @@ import (
 	"sbr/internal/metrics"
 	"sbr/internal/netio"
 	"sbr/internal/obs"
+	"sbr/internal/obs/hist"
 	"sbr/internal/obs/trace"
 	"sbr/internal/segstore"
 	"sbr/internal/station"
@@ -77,31 +92,35 @@ var version = "dev"
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7070", "TCP listen address for sensor connections")
-		httpAddr  = flag.String("http", "", "HTTP query-API listen address (empty: disabled)")
-		debugAddr = flag.String("debug", "", "admin-plane listen address for /debug/metrics, /debug/vars, /debug/pprof (empty: disabled)")
-		logDir    = flag.String("logdir", "", "directory for legacy raw-frame logs (empty: disabled; exclusive with -datadir)")
-		dataDir   = flag.String("datadir", "", "persistent segment-store directory (empty: memory only)")
-		band      = flag.Int("band", 150, "TotalBand the sensors were configured with")
-		mbase     = flag.Int("mbase", 64, "MBase the sensors were configured with")
-		every     = flag.Duration("report", 10*time.Second, "statistics reporting interval (0: disabled)")
-		cacheSz   = flag.Int("history-cache", httpapi.DefaultCacheEntries, "query-API history cache entries")
-		ckptEvery = flag.Duration("checkpoint", time.Minute, "station checkpoint + retention interval with -datadir (0: only at shutdown)")
-		retAge    = flag.Duration("retention-age", 0, "drop sealed segments older than this (0: keep forever)")
-		retBytes  = flag.Int64("retention-bytes", 0, "archive byte budget; oldest segments dropped beyond it (0: unlimited)")
-		segChunks = flag.Int("segment-chunks", segstore.DefaultSegmentChunks, "transmissions per segment before sealing")
-		memChunks = flag.Int("mem-chunks", 256, "per-sensor in-memory chunk window with -datadir (0: unbounded)")
-		verbose   = flag.Bool("v", false, "log at debug level (per-connection events)")
-		maxConns  = flag.Int("max-conns", 0, "cap on concurrent sensor connections; extras are shed with a busy ack (0: unlimited)")
-		shedQueue = flag.Int("shed-queue", 0, "ingest watermark: shed arrivals while this many frames are in flight in the station (0: unlimited)")
-		retryHint = flag.Duration("retry-after", 0, "retry-after hint carried in busy acks; reliable clients floor their backoff by it (0: none)")
-		idleTO    = flag.Duration("idle-timeout", 0, "close sensor connections silent this long (0: 2m default, negative: never)")
-		hsTO      = flag.Duration("handshake-timeout", 0, "drop connections that stall in the handshake (0: 10s default, negative: never)")
-		drainTO   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget before force-closing connections")
-		traceN    = flag.Int("trace-sample", 0, "sample 1 in N station-born traces; wire-propagated traces are always continued (0: tracing disabled)")
-		traceCap  = flag.Int("trace-cap", 256, "completed traces retained for /debug/traces")
-		mutexFrac = flag.Int("mutexprofile", 0, "mutex contention profiling: sample 1 in N contended lock events for /debug/pprof/mutex (0: disabled)")
-		blockNs   = flag.Int("blockprofile", 0, "blocking profiling: sample blocking events >= this many ns for /debug/pprof/block (0: disabled)")
+		addr       = flag.String("addr", "127.0.0.1:7070", "TCP listen address for sensor connections")
+		httpAddr   = flag.String("http", "", "HTTP query-API listen address (empty: disabled)")
+		debugAddr  = flag.String("debug", "", "admin-plane listen address for /debug/metrics, /debug/vars, /debug/pprof (empty: disabled)")
+		logDir     = flag.String("logdir", "", "directory for legacy raw-frame logs (empty: disabled; exclusive with -datadir)")
+		dataDir    = flag.String("datadir", "", "persistent segment-store directory (empty: memory only)")
+		band       = flag.Int("band", 150, "TotalBand the sensors were configured with")
+		mbase      = flag.Int("mbase", 64, "MBase the sensors were configured with")
+		every      = flag.Duration("report", 10*time.Second, "statistics reporting interval (0: disabled)")
+		cacheSz    = flag.Int("history-cache", httpapi.DefaultCacheEntries, "query-API history cache entries")
+		ckptEvery  = flag.Duration("checkpoint", time.Minute, "station checkpoint + retention interval with -datadir (0: only at shutdown)")
+		retAge     = flag.Duration("retention-age", 0, "drop sealed segments older than this (0: keep forever)")
+		retBytes   = flag.Int64("retention-bytes", 0, "archive byte budget; oldest segments dropped beyond it (0: unlimited)")
+		segChunks  = flag.Int("segment-chunks", segstore.DefaultSegmentChunks, "transmissions per segment before sealing")
+		memChunks  = flag.Int("mem-chunks", 256, "per-sensor in-memory chunk window with -datadir (0: unbounded)")
+		verbose    = flag.Bool("v", false, "log at debug level (per-connection events)")
+		maxConns   = flag.Int("max-conns", 0, "cap on concurrent sensor connections; extras are shed with a busy ack (0: unlimited)")
+		shedQueue  = flag.Int("shed-queue", 0, "ingest watermark: shed arrivals while this many frames are in flight in the station (0: unlimited)")
+		retryHint  = flag.Duration("retry-after", 0, "retry-after hint carried in busy acks; reliable clients floor their backoff by it (0: none)")
+		idleTO     = flag.Duration("idle-timeout", 0, "close sensor connections silent this long (0: 2m default, negative: never)")
+		hsTO       = flag.Duration("handshake-timeout", 0, "drop connections that stall in the handshake (0: 10s default, negative: never)")
+		drainTO    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget before force-closing connections")
+		traceN     = flag.Int("trace-sample", 0, "sample 1 in N station-born traces; wire-propagated traces are always continued (0: tracing disabled)")
+		traceCap   = flag.Int("trace-cap", 256, "completed traces retained for /debug/traces")
+		selfmon    = flag.Bool("selfmon", true, "store the station's own metrics as SBR-compressed history and evaluate SLO alert rules (/debug/metrics/history, /debug/alerts)")
+		selfmonIv  = flag.Duration("selfmon-interval", 5*time.Second, "self-monitoring sampling interval")
+		selfmonErr = flag.Float64("selfmon-error", 0.01, "self-monitoring per-window relative error bound")
+		alertRules = flag.String("alert-rules", "", "JSON alert-rule file replacing the built-in SLO rules (empty: built-ins)")
+		mutexFrac  = flag.Int("mutexprofile", 0, "mutex contention profiling: sample 1 in N contended lock events for /debug/pprof/mutex (0: disabled)")
+		blockNs    = flag.Int("blockprofile", 0, "blocking profiling: sample blocking events >= this many ns for /debug/pprof/block (0: disabled)")
 	)
 	flag.Parse()
 
@@ -222,7 +241,43 @@ func main() {
 	dlog.Info("listening for sensors", "addr", srv.Addr(), "band", *band, "mbase", *mbase)
 
 	httpSrv := serveHTTP(dlog, srv, *httpAddr, "query API", httpapi.NewObserved(st, *cacheSz, reg))
-	debugSrv := serveHTTP(dlog, srv, *debugAddr, "debug plane", debugMux(reg, tracer, health(srv, st)))
+
+	// The self-monitoring plane: a sampler feeding SBR-compressed history
+	// of every registered metric, with the alert engine evaluated after
+	// each tick and its page-severity verdict wired into /readyz.
+	hlth := health(srv, st)
+	var sampler *hist.Sampler
+	var alerts *hist.Engine
+	if *selfmon {
+		sampler = hist.NewSampler(reg, hist.Options{
+			Interval:   *selfmonIv,
+			ErrorBound: *selfmonErr,
+		})
+		rules := hist.DefaultRules()
+		if *alertRules != "" {
+			rules, err = hist.LoadRules(*alertRules)
+			if err != nil {
+				fatal(dlog, err)
+			}
+		}
+		alerts, err = hist.NewEngine(sampler, tracer, rules)
+		if err != nil {
+			fatal(dlog, err)
+		}
+		sampler.AfterTick(alerts.Evaluate)
+		sampler.Start()
+		hlth.Add(httpapi.Check{Name: "alerts", Probe: alerts.PageErr})
+		dlog.Info("self-monitoring enabled", "interval", selfmonIv.String(),
+			"error_bound", *selfmonErr, "rules", len(rules))
+	}
+
+	debugSrv := serveHTTP(dlog, srv, *debugAddr, "debug plane", httpapi.NewDebugMux(httpapi.DebugOptions{
+		Registry: reg,
+		Tracer:   tracer,
+		Health:   hlth,
+		History:  sampler,
+		Alerts:   alerts,
+	}))
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -249,6 +304,9 @@ func main() {
 		case <-ckptTick:
 			checkpoint(dlog, st, seg)
 		case <-stop:
+			if sampler != nil {
+				sampler.Stop()
+			}
 			shutdown(dlog, reg, st, srv, httpSrv, debugSrv, store, seg, *drainTO)
 			return
 		}
@@ -319,25 +377,6 @@ func health(srv *netio.Server, st *station.Station) *httpapi.Health {
 			return nil
 		}},
 	)
-}
-
-// debugMux assembles the admin plane: metrics exposition in both formats,
-// the health surfaces, plus the standard pprof handlers, on a mux of its
-// own so nothing ever mounts them on a public listener by accident.
-func debugMux(reg *obs.Registry, tracer *trace.Recorder, h *httpapi.Health) http.Handler {
-	mux := http.NewServeMux()
-	h.Register(mux)
-	mux.Handle("/debug/metrics", reg.MetricsHandler())
-	mux.Handle("/debug/vars", reg.VarsHandler())
-	traces := tracer.Handler("/debug/traces")
-	mux.Handle("/debug/traces", traces)
-	mux.Handle("/debug/traces/", traces)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
 // shutdown tears the daemon down in dependency order: drain the sensor

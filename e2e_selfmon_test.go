@@ -1,0 +1,195 @@
+package sbr
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sbr/internal/httpapi"
+	"sbr/internal/obs"
+	"sbr/internal/obs/hist"
+)
+
+// TestEndToEndSelfMonitoring is the acceptance test for the self-hosted
+// metrics plane: operational counters and latency histograms sampled
+// into the SBR-compressed history for over an hour of (simulated) time,
+// then queried back through the real /debug/metrics/history HTTP
+// surface with windowed rate and quantile aggregates whose reported
+// error must honour the configured bound; then a forced shed episode
+// that flips /debug/alerts to a firing page and /readyz to 503, and a
+// quiet period that clears both.
+func TestEndToEndSelfMonitoring(t *testing.T) {
+	reg := obs.NewRegistry()
+	lat := reg.Histogram("sbr_station_receive_seconds", "ingest latency",
+		obs.ExpBuckets(1e-4, 2, 10))
+	shed := reg.Counter("sbr_netio_shed_total", "shed frames", obs.L("reason", "queue"))
+
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	const bound = 0.01
+	s := hist.NewSampler(reg, hist.Options{
+		Interval:        time.Second,
+		ChunkSamples:    256,
+		HotChunks:       2,
+		ErrorBound:      bound,
+		CheckpointEvery: 4,
+		Now:             func() time.Time { return now },
+		Filter:          func(name string) bool { return !strings.HasPrefix(name, "sbr_selfmon_") },
+	})
+	engine, err := hist.NewEngine(s, nil, hist.DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AfterTick(engine.Evaluate)
+
+	hlth := httpapi.NewHealth(httpapi.Check{Name: "alerts", Probe: engine.PageErr})
+	srv := httptest.NewServer(httpapi.NewDebugMux(httpapi.DebugOptions{
+		Registry: reg,
+		Health:   hlth,
+		History:  s,
+		Alerts:   engine,
+	}))
+	defer srv.Close()
+
+	// tick drives n one-second sampling rounds: f mutates the metrics
+	// the round will observe, then the sampler snapshots the registry.
+	tick := func(n int, f func(i int)) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if f != nil {
+				f(i)
+			}
+			s.Tick()
+			now = now.Add(time.Second)
+		}
+	}
+
+	// Over an hour of steady traffic: one ingest per second with a
+	// slowly breathing latency, so both the derived _count counter and
+	// the derived _p99 gauge accumulate well past the hot ring into
+	// SBR-compressed cold windows.
+	const quiet = 3700
+	tick(quiet, func(i int) {
+		lat.Observe(0.002 + 0.001*math.Sin(float64(i)/50))
+	})
+	if got := s.Series(); len(got) < 6 {
+		t.Fatalf("sampler stored %d series, want the histogram family and shed counter", len(got))
+	}
+
+	// A 1h windowed rate over the compressed counter: 3601 samples,
+	// ~3100 of them past the hot ring. Truth is exactly one observation
+	// per second; the answer must cover it within its own reported
+	// error, and that error must stay within the configured bound.
+	rate := getResult(t, srv.URL+"/debug/metrics/history?series=sbr_station_receive_seconds_count&window=1h&agg=rate")
+	if dev := math.Abs(rate.Value - 1.0); dev > rate.Err+1e-9 {
+		t.Errorf("1h rate = %v ± %v, truth 1.0: deviation %v outside reported error", rate.Value, rate.Err, dev)
+	}
+	if rate.Err > bound {
+		t.Errorf("1h rate reported error %v exceeds configured bound %v", rate.Err, bound)
+	}
+	if rate.Samples < 3600 {
+		t.Errorf("1h rate answered from %d samples, want ≥ 3600", rate.Samples)
+	}
+
+	// A 1h quantile over the derived p99 latency gauge. The gauge never
+	// leaves [0.001, 0.004]-ish territory, so the answer and its error
+	// must be of that scale.
+	q := getResult(t, srv.URL+"/debug/metrics/history?series=sbr_station_receive_seconds_p99&window=1h&agg=quantile&q=0.99")
+	if q.Value <= 0 || q.Value > 0.1 {
+		t.Errorf("1h p99-of-p99 = %v, want a plausible latency", q.Value)
+	}
+	if q.Err > bound {
+		t.Errorf("1h quantile reported error %v exceeds configured bound %v", q.Err, bound)
+	}
+
+	// The sparkline view renders the same window as text.
+	spark := get(t, srv.URL+"/debug/metrics/history?series=sbr_station_receive_seconds_p99&window=1h&format=spark", http.StatusOK)
+	if !strings.Contains(spark, "sbr_station_receive_seconds_p99") {
+		t.Errorf("spark view missing series name:\n%s", spark)
+	}
+
+	// Quiet network: nothing fires, the station is ready.
+	assertAlertState(t, srv.URL, "shed-rate", "ok")
+	assertReady(t, srv.URL, http.StatusOK)
+
+	// Forced shed episode: 5 sheds per second for two minutes pushes
+	// both the 1m and the 5m burn-rate windows past 1/s, so the page
+	// fires and readiness follows it down.
+	tick(120, func(int) { shed.Add(5) })
+	assertAlertState(t, srv.URL, "shed-rate", "firing")
+	body := assertReady(t, srv.URL, http.StatusServiceUnavailable)
+	if !strings.Contains(body, "shed-rate") {
+		t.Errorf("/readyz 503 body does not name the firing alert:\n%s", body)
+	}
+
+	// Ten quiet minutes drain both windows below threshold: the alert
+	// resolves and readiness recovers.
+	tick(600, nil)
+	assertAlertState(t, srv.URL, "shed-rate", "ok")
+	assertReady(t, srv.URL, http.StatusOK)
+}
+
+func get(t *testing.T, url string, wantStatus int) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d\n%s", url, resp.StatusCode, wantStatus, b)
+	}
+	return string(b)
+}
+
+func getResult(t *testing.T, url string) hist.Result {
+	t.Helper()
+	var out struct {
+		Result hist.Result `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(get(t, url, http.StatusOK)), &out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return out.Result
+}
+
+func assertAlertState(t *testing.T, base, rule, want string) {
+	t.Helper()
+	var out struct {
+		Alerts []hist.AlertStatus `json:"alerts"`
+	}
+	if err := json.Unmarshal([]byte(get(t, base+"/debug/alerts", http.StatusOK)), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range out.Alerts {
+		if a.Rule.Name == rule {
+			if a.State != want {
+				t.Errorf("alert %s state = %q (value %v), want %q", rule, a.State, a.Value, want)
+			}
+			return
+		}
+	}
+	t.Errorf("alert %s not in /debug/alerts", rule)
+}
+
+func assertReady(t *testing.T, base string, want int) string {
+	t.Helper()
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != want {
+		t.Fatalf("/readyz = %d, want %d\n%s", resp.StatusCode, want, b)
+	}
+	return string(b)
+}

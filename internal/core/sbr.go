@@ -113,6 +113,15 @@ func NewCompressorForceIns(cfg Config, ins int) (*Compressor, error) {
 // Config returns the active configuration.
 func (c *Compressor) Config() Config { return c.cfg }
 
+// SetErrorTarget adjusts the Section 4.5 error budget applied to
+// subsequent Encode calls. The target only steers interval splitting on
+// the sender; it is not part of the replicated decoder state, so sender
+// and receiver stay in sync no matter how it changes between batches.
+// The self-monitoring sampler uses this to scale each window's budget to
+// that window's signal range instead of fixing one absolute number for
+// the life of the stream.
+func (c *Compressor) SetErrorTarget(target float64) { c.cfg.ErrorTarget = target }
+
 // W returns the base-interval width, or 0 before the first batch.
 func (c *Compressor) W() int { return c.w }
 

@@ -1,0 +1,53 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"sbr/internal/obs"
+	"sbr/internal/obs/hist"
+	"sbr/internal/obs/trace"
+)
+
+// DebugOptions selects what the admin-plane mux serves. Any field may be
+// nil; the corresponding surface is then simply not mounted (the tracer
+// is the exception — its handler is nil-safe and serves 404s, so the
+// /debug/traces routes always exist).
+type DebugOptions struct {
+	Registry *obs.Registry   // /debug/metrics, /debug/vars
+	Tracer   *trace.Recorder // /debug/traces
+	Health   *Health         // /healthz, /readyz
+	History  *hist.Sampler   // /debug/metrics/history
+	Alerts   *hist.Engine    // /debug/alerts
+}
+
+// NewDebugMux assembles the admin plane on a mux of its own — health
+// surfaces, metrics exposition in both formats, the self-metrics history
+// and alert planes, traces, and the standard pprof handlers — so nothing
+// ever mounts them on a public listener by accident. Both stationd and
+// the end-to-end tests build their debug listener from this one place.
+func NewDebugMux(o DebugOptions) http.Handler {
+	mux := http.NewServeMux()
+	if o.Health != nil {
+		o.Health.Register(mux)
+	}
+	if o.Registry != nil {
+		mux.Handle("/debug/metrics", o.Registry.MetricsHandler())
+		mux.Handle("/debug/vars", o.Registry.VarsHandler())
+	}
+	traces := o.Tracer.Handler("/debug/traces")
+	mux.Handle("/debug/traces", traces)
+	mux.Handle("/debug/traces/", traces)
+	if o.History != nil {
+		mux.Handle("/debug/metrics/history", o.History.Handler())
+	}
+	if o.Alerts != nil {
+		mux.Handle("/debug/alerts", o.Alerts.Handler())
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

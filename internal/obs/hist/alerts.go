@@ -1,0 +1,450 @@
+package hist
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"sbr/internal/obs"
+	"sbr/internal/obs/trace"
+)
+
+// Severity ranks an alert: page-severity alerts fail the station's
+// readiness probe, warn-severity alerts only surface on /debug/alerts.
+type Severity string
+
+const (
+	SevPage Severity = "page"
+	SevWarn Severity = "warn"
+)
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("5m", "1h30m") so rule files stay human-editable.
+type Duration time.Duration
+
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// Rule is one declarative SLO condition over the self-metrics history.
+//
+// The rule breaches when Agg over EVERY listed window crosses Threshold —
+// the multi-window burn-rate pattern: a short window for responsiveness
+// and a long window so a brief spike alone cannot page. A breach must
+// then hold for For before the alert fires.
+type Rule struct {
+	Name     string   `json:"name"`
+	Severity Severity `json:"severity"`
+
+	// Series selects the series: an exact stored name, or a prefix when
+	// it ends in '*'. Multiple matches aggregate: rate/delta sum across
+	// series, value/quantile take the worst (max).
+	Series string `json:"series"`
+
+	// Agg is the windowed aggregate compared against Threshold:
+	// "rate", "delta", "quantile" (with Q), or "value" (newest sample;
+	// windows are then ignored).
+	Agg string  `json:"agg"`
+	Q   float64 `json:"q,omitempty"`
+
+	// Op is the comparison, ">" (default) or "<".
+	Op        string  `json:"op,omitempty"`
+	Threshold float64 `json:"threshold"`
+
+	Windows []Duration `json:"windows,omitempty"`
+	For     Duration   `json:"for,omitempty"`
+
+	// TraceStage, when set, cross-links firing annotations to the
+	// N-slowest trace exemplars pinned for that stage.
+	TraceStage string `json:"trace_stage,omitempty"`
+}
+
+// DefaultRules is the built-in SLO set: ingest latency, admission-control
+// shedding, archive degradation and outbox residue — the four signals the
+// earlier PRs made load-bearing.
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			Name:       "ingest-latency-p99",
+			Severity:   SevWarn,
+			Series:     "sbr_station_receive_seconds_p99",
+			Agg:        "quantile",
+			Q:          0.9,
+			Threshold:  0.1, // seconds
+			Windows:    []Duration{Duration(5 * time.Minute), Duration(time.Hour)},
+			For:        Duration(time.Minute),
+			TraceStage: "station.receive",
+		},
+		{
+			Name:       "shed-rate",
+			Severity:   SevPage,
+			Series:     "sbr_netio_shed_total*",
+			Agg:        "rate",
+			Threshold:  1, // sheds per second
+			Windows:    []Duration{Duration(time.Minute), Duration(5 * time.Minute)},
+			TraceStage: "netio.recv",
+		},
+		{
+			Name:      "archive-degraded",
+			Severity:  SevPage,
+			Series:    "sbr_station_degraded_sensors",
+			Agg:       "value",
+			Threshold: 0,
+		},
+		{
+			Name:      "outbox-residue",
+			Severity:  SevWarn,
+			Series:    "sbr_outbox_frames_pending",
+			Agg:       "value",
+			Threshold: 0,
+			For:       Duration(10 * time.Minute),
+		},
+	}
+}
+
+// LoadRules reads a JSON rule file (an array of Rule objects).
+func LoadRules(path string) ([]Rule, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rules []Rule
+	if err := json.Unmarshal(b, &rules); err != nil {
+		return nil, fmt.Errorf("hist: parsing alert rules %s: %w", path, err)
+	}
+	if err := ValidateRules(rules); err != nil {
+		return nil, fmt.Errorf("hist: %s: %w", path, err)
+	}
+	return rules, nil
+}
+
+// ValidateRules checks a rule set for structural errors.
+func ValidateRules(rules []Rule) error {
+	seen := make(map[string]bool, len(rules))
+	for i, r := range rules {
+		if r.Name == "" {
+			return fmt.Errorf("rule %d has no name", i)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Severity != SevPage && r.Severity != SevWarn {
+			return fmt.Errorf("rule %q: severity must be %q or %q", r.Name, SevPage, SevWarn)
+		}
+		if r.Series == "" {
+			return fmt.Errorf("rule %q selects no series", r.Name)
+		}
+		switch r.Agg {
+		case "rate", "delta", "quantile":
+			if len(r.Windows) == 0 {
+				return fmt.Errorf("rule %q: agg %q needs at least one window", r.Name, r.Agg)
+			}
+		case "value":
+		default:
+			return fmt.Errorf("rule %q: unknown agg %q", r.Name, r.Agg)
+		}
+		if r.Agg == "quantile" && (math.IsNaN(r.Q) || r.Q < 0 || r.Q > 1) {
+			return fmt.Errorf("rule %q: quantile q %v outside [0,1]", r.Name, r.Q)
+		}
+		if r.Op != "" && r.Op != ">" && r.Op != "<" {
+			return fmt.Errorf("rule %q: op must be \">\" or \"<\"", r.Name)
+		}
+	}
+	return nil
+}
+
+// Alert states.
+const (
+	StateOK      = "ok"
+	StatePending = "pending" // breaching, but not yet for the rule's For
+	StateFiring  = "firing"
+	StateNoData  = "no-data" // no matching series, or history too short
+)
+
+// TraceRef links a firing alert to one pinned slow-trace exemplar.
+type TraceRef struct {
+	ID     string `json:"id"`
+	Sensor string `json:"sensor,omitempty"`
+	DurUS  int64  `json:"dur_us"`
+	Href   string `json:"href"`
+}
+
+// AlertStatus is one rule's current evaluation, the /debug/alerts JSON.
+type AlertStatus struct {
+	Rule      Rule       `json:"rule"`
+	State     string     `json:"state"`
+	Since     time.Time  `json:"since,omitempty"`
+	Value     float64    `json:"value"`
+	Err       float64    `json:"err,omitempty"`
+	Message   string     `json:"message,omitempty"`
+	Exemplars []TraceRef `json:"trace_exemplars,omitempty"`
+}
+
+// Engine evaluates a rule set against a sampler's history after every
+// sampling tick. Wire it with sampler.AfterTick(engine.Evaluate).
+type Engine struct {
+	s      *Sampler
+	tracer *trace.Recorder
+	rules  []Rule
+
+	firing *obs.Gauge // sbr_selfmon_alerts_firing
+
+	mu     sync.Mutex
+	states map[string]*alertState
+	asOf   time.Time
+}
+
+type alertState struct {
+	state       string
+	since       time.Time // entered current state
+	breachSince time.Time // first tick of the current breach run
+	value       float64
+	err         float64
+	message     string
+}
+
+// NewEngine builds an engine over the sampler's history. tracer may be
+// nil (no exemplar cross-links). Rules are validated; invalid rule sets
+// are rejected.
+func NewEngine(s *Sampler, tracer *trace.Recorder, rules []Rule) (*Engine, error) {
+	if err := ValidateRules(rules); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		s:      s,
+		tracer: tracer,
+		rules:  rules,
+		firing: s.reg.Gauge("sbr_selfmon_alerts_firing", "Alert rules currently in the firing state."),
+		states: make(map[string]*alertState, len(rules)),
+	}
+	for _, r := range rules {
+		e.states[r.Name] = &alertState{state: StateNoData}
+	}
+	return e, nil
+}
+
+// Rules returns the engine's rule set.
+func (e *Engine) Rules() []Rule { return append([]Rule(nil), e.rules...) }
+
+// Evaluate runs every rule against the history as of now. It is the
+// sampler's AfterTick hook; safe for concurrent use with Status.
+func (e *Engine) Evaluate(now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.asOf = now
+	firing := 0
+	for _, r := range e.rules {
+		st := e.states[r.Name]
+		e.evalRule(r, st, now)
+		if st.state == StateFiring {
+			firing++
+		}
+	}
+	e.firing.Set(float64(firing))
+}
+
+func (e *Engine) evalRule(r Rule, st *alertState, now time.Time) {
+	value, errB, ok, msg := e.measure(r)
+	if msg != "" {
+		e.transition(st, StateNoData, now)
+		st.message = msg
+		return
+	}
+	st.value, st.err, st.message = value, errB, ""
+	if !ok {
+		st.breachSince = time.Time{}
+		e.transition(st, StateOK, now)
+		return
+	}
+	if st.breachSince.IsZero() {
+		st.breachSince = now
+	}
+	if now.Sub(st.breachSince) >= time.Duration(r.For) {
+		e.transition(st, StateFiring, now)
+	} else {
+		e.transition(st, StatePending, now)
+	}
+}
+
+func (e *Engine) transition(st *alertState, state string, now time.Time) {
+	if st.state != state {
+		st.state = state
+		st.since = now
+	}
+}
+
+// measure computes the rule's aggregate and whether every window
+// breaches. The reported value/err are the shortest window's (the one a
+// responder cares about). A non-empty msg means no data.
+func (e *Engine) measure(r Rule) (value, errB float64, breach bool, msg string) {
+	names := e.s.Match(r.Series)
+	if len(names) == 0 {
+		return 0, 0, false, fmt.Sprintf("no series match %q", r.Series)
+	}
+	windows := r.Windows
+	if r.Agg == "value" {
+		windows = []Duration{0}
+	}
+	breach = true
+	for wi, w := range windows {
+		v, eb, m := e.aggregate(r, names, time.Duration(w))
+		if m != "" {
+			return 0, 0, false, m
+		}
+		if wi == 0 {
+			value, errB = v, eb
+		}
+		if !compare(r.Op, v, r.Threshold) {
+			breach = false
+		}
+	}
+	return value, errB, breach, ""
+}
+
+// aggregate evaluates one window over every matched series: sum for the
+// flow-shaped aggregates (rate, delta), max for the level-shaped ones
+// (value, quantile).
+func (e *Engine) aggregate(r Rule, names []string, window time.Duration) (float64, float64, string) {
+	var sum, worst, errSum, errMax float64
+	worst = math.Inf(-1)
+	got := 0
+	for _, name := range names {
+		var res Result
+		var err error
+		switch r.Agg {
+		case "rate":
+			res, err = e.s.RateOver(name, window)
+		case "delta":
+			res, err = e.s.DeltaOver(name, window)
+		case "quantile":
+			res, err = e.s.QuantileOver(name, window, r.Q)
+		case "value":
+			res, err = e.s.LastValue(name)
+		}
+		if err != nil {
+			continue
+		}
+		got++
+		sum += res.Value
+		errSum += res.Err
+		worst = math.Max(worst, res.Value)
+		errMax = math.Max(errMax, res.Err)
+	}
+	if got == 0 {
+		return 0, 0, fmt.Sprintf("no data for %q over %s", r.Series, window)
+	}
+	switch r.Agg {
+	case "rate", "delta":
+		return sum, errSum, ""
+	default:
+		return worst, errMax, ""
+	}
+}
+
+func compare(op string, v, threshold float64) bool {
+	if op == "<" {
+		return v < threshold
+	}
+	return v > threshold
+}
+
+// PageErr is the readiness probe: non-nil while any page-severity rule
+// is firing, which is what flips /readyz to 503.
+func (e *Engine) PageErr() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range e.rules {
+		if r.Severity == SevPage && e.states[r.Name].state == StateFiring {
+			return fmt.Errorf("alert %q firing", r.Name)
+		}
+	}
+	return nil
+}
+
+// Status reports every rule's current state, firing rules first, then
+// pending, then by name. Firing and pending alerts with a TraceStage are
+// annotated with up to three pinned slow-trace exemplars.
+func (e *Engine) Status() []AlertStatus {
+	e.mu.Lock()
+	out := make([]AlertStatus, 0, len(e.rules))
+	for _, r := range e.rules {
+		st := e.states[r.Name]
+		out = append(out, AlertStatus{
+			Rule:    r,
+			State:   st.state,
+			Since:   st.since,
+			Value:   st.value,
+			Err:     st.err,
+			Message: st.message,
+		})
+	}
+	e.mu.Unlock()
+
+	for i := range out {
+		a := &out[i]
+		if a.Rule.TraceStage == "" || (a.State != StateFiring && a.State != StatePending) {
+			continue
+		}
+		for _, t := range e.tracer.Exemplars()[a.Rule.TraceStage] {
+			tv := t.Snapshot(false)
+			a.Exemplars = append(a.Exemplars, TraceRef{
+				ID:     tv.ID,
+				Sensor: tv.Sensor,
+				DurUS:  tv.DurUS,
+				Href:   "/debug/traces/" + tv.ID,
+			})
+			if len(a.Exemplars) == 3 {
+				break
+			}
+		}
+	}
+	rank := func(s string) int {
+		switch s {
+		case StateFiring:
+			return 0
+		case StatePending:
+			return 1
+		default:
+			return 2
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if ri, rj := rank(out[i].State), rank(out[j].State); ri != rj {
+			return ri < rj
+		}
+		return out[i].Rule.Name < out[j].Rule.Name
+	})
+	return out
+}
+
+// Handler serves the firing state (GET /debug/alerts).
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		e.mu.Lock()
+		asOf := e.asOf
+		e.mu.Unlock()
+		writeJSON(w, map[string]any{
+			"evaluated_at": asOf,
+			"alerts":       e.Status(),
+		})
+	})
+}

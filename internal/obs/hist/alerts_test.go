@@ -1,0 +1,227 @@
+package hist
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sbr/internal/obs"
+)
+
+func TestDurationJSONRoundTrip(t *testing.T) {
+	in := Duration(90 * time.Second)
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"1m30s"` {
+		t.Errorf("marshal = %s", b)
+	}
+	var out Duration
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip %v != %v", out, in)
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &out); err == nil {
+		t.Error("bad duration accepted")
+	}
+}
+
+func TestValidateRules(t *testing.T) {
+	if err := ValidateRules(DefaultRules()); err != nil {
+		t.Fatalf("default rules invalid: %v", err)
+	}
+	bad := []struct {
+		name string
+		rule Rule
+	}{
+		{"no name", Rule{Severity: SevWarn, Series: "x", Agg: "value"}},
+		{"bad severity", Rule{Name: "r", Severity: "critical", Series: "x", Agg: "value"}},
+		{"no series", Rule{Name: "r", Severity: SevWarn, Agg: "value"}},
+		{"bad agg", Rule{Name: "r", Severity: SevWarn, Series: "x", Agg: "mean"}},
+		{"rate no window", Rule{Name: "r", Severity: SevWarn, Series: "x", Agg: "rate"}},
+		{"bad q", Rule{Name: "r", Severity: SevWarn, Series: "x", Agg: "quantile", Q: 2,
+			Windows: []Duration{Duration(time.Minute)}}},
+		{"bad op", Rule{Name: "r", Severity: SevWarn, Series: "x", Agg: "value", Op: ">="}},
+	}
+	for _, tc := range bad {
+		if err := ValidateRules([]Rule{tc.rule}); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	dup := Rule{Name: "r", Severity: SevWarn, Series: "x", Agg: "value"}
+	if err := ValidateRules([]Rule{dup, dup}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+}
+
+func TestLoadRules(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rules.json")
+	blob := `[{"name":"shed","severity":"page","series":"x_total*","agg":"rate",
+	           "threshold":1,"windows":["1m","5m"],"for":"30s"}]`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rules, err := LoadRules(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].Windows[1] != Duration(5*time.Minute) {
+		t.Errorf("loaded %+v", rules)
+	}
+	if _, err := LoadRules(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(badPath, []byte(`[{"name":""}]`), 0o644) //nolint:errcheck
+	if _, err := LoadRules(badPath); err == nil {
+		t.Error("invalid rules accepted")
+	}
+}
+
+// alertHarness: a sampler plus engine over one counter and one gauge,
+// driven by a fake clock.
+type alertHarness struct {
+	reg *obs.Registry
+	clk *fakeClock
+	s   *Sampler
+	e   *Engine
+	ctr *obs.Counter
+	g   *obs.Gauge
+}
+
+func newAlertHarness(t *testing.T, rules []Rule) *alertHarness {
+	t.Helper()
+	reg := obs.NewRegistry()
+	h := &alertHarness{
+		reg: reg,
+		clk: newFakeClock(),
+		ctr: reg.Counter("x_shed_total", "test shed counter", obs.L("reason", "queue")),
+		g:   reg.Gauge("x_degraded", "test degraded gauge"),
+	}
+	h.s = NewSampler(reg, testOptions(h.clk))
+	e, err := NewEngine(h.s, nil, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.e = e
+	h.s.AfterTick(e.Evaluate)
+	return h
+}
+
+func (h *alertHarness) state(name string) string {
+	for _, st := range h.e.Status() {
+		if st.Rule.Name == name {
+			return st.State
+		}
+	}
+	return "absent"
+}
+
+func TestEngineMultiWindowBurnRate(t *testing.T) {
+	h := newAlertHarness(t, []Rule{{
+		Name: "shed", Severity: SevPage, Series: "x_shed_total*", Agg: "rate",
+		Threshold: 1,
+		Windows:   []Duration{Duration(5 * time.Second), Duration(20 * time.Second)},
+	}})
+
+	// Quiet start: long enough history, no increments → ok.
+	drive(h.s, h.clk, 25, nil)
+	if got := h.state("shed"); got != StateOK {
+		t.Fatalf("quiet state = %q, want ok", got)
+	}
+	if err := h.e.PageErr(); err != nil {
+		t.Fatalf("PageErr during quiet = %v", err)
+	}
+
+	// A 2-second burst breaches the short window (rate 4/s over 5s) but
+	// not the long one (20 sheds over 20s = 1/s, not > 1): the long
+	// window vetoes the blip and the rule must NOT fire.
+	drive(h.s, h.clk, 2, func(int) { h.ctr.Add(10) })
+	shortRes, err := h.s.RateOver("x_shed_total{reason=\"queue\"}", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shortRes.Value <= 1 {
+		t.Fatalf("short-window rate = %v, want > 1", shortRes.Value)
+	}
+	if got := h.state("shed"); got != StateOK {
+		t.Fatalf("after short burst state = %q, want ok (long window vetoes)", got)
+	}
+
+	// Sustained shedding breaches both windows → firing, and the page
+	// severity surfaces through PageErr.
+	drive(h.s, h.clk, 20, func(int) { h.ctr.Add(10) })
+	if got := h.state("shed"); got != StateFiring {
+		t.Fatalf("sustained state = %q, want firing", got)
+	}
+	if err := h.e.PageErr(); err == nil {
+		t.Fatal("PageErr nil while page rule firing")
+	}
+
+	// Recovery: counter flat again → rates decay under threshold → ok.
+	drive(h.s, h.clk, 30, nil)
+	if got := h.state("shed"); got != StateOK {
+		t.Fatalf("recovered state = %q, want ok", got)
+	}
+	if err := h.e.PageErr(); err != nil {
+		t.Fatalf("PageErr after recovery = %v", err)
+	}
+}
+
+func TestEngineForHoldsPending(t *testing.T) {
+	h := newAlertHarness(t, []Rule{{
+		Name: "degraded", Severity: SevWarn, Series: "x_degraded", Agg: "value",
+		Threshold: 0, For: Duration(5 * time.Second),
+	}})
+	drive(h.s, h.clk, 3, nil)
+	h.g.Set(2)
+	drive(h.s, h.clk, 3, nil)
+	if got := h.state("degraded"); got != StatePending {
+		t.Fatalf("state after 3s breach = %q, want pending (For=5s)", got)
+	}
+	drive(h.s, h.clk, 4, nil)
+	if got := h.state("degraded"); got != StateFiring {
+		t.Fatalf("state after 7s breach = %q, want firing", got)
+	}
+	// Warn severity never pages.
+	if err := h.e.PageErr(); err != nil {
+		t.Fatalf("PageErr for warn rule = %v", err)
+	}
+	h.g.Set(0)
+	drive(h.s, h.clk, 1, nil)
+	if got := h.state("degraded"); got != StateOK {
+		t.Fatalf("state after clear = %q, want ok", got)
+	}
+}
+
+func TestEngineNoData(t *testing.T) {
+	h := newAlertHarness(t, []Rule{{
+		Name: "ghost", Severity: SevPage, Series: "does_not_exist", Agg: "value",
+		Threshold: 0,
+	}})
+	drive(h.s, h.clk, 3, nil)
+	if got := h.state("ghost"); got != StateNoData {
+		t.Fatalf("state = %q, want no-data", got)
+	}
+	// no-data does not page.
+	if err := h.e.PageErr(); err != nil {
+		t.Fatalf("PageErr on no-data = %v", err)
+	}
+}
+
+func TestStatusOrdersFiringFirst(t *testing.T) {
+	h := newAlertHarness(t, []Rule{
+		{Name: "zz-quiet", Severity: SevWarn, Series: "x_degraded", Agg: "value", Threshold: 1e9},
+		{Name: "aa-fire", Severity: SevWarn, Series: "x_degraded", Agg: "value", Threshold: -1},
+	})
+	drive(h.s, h.clk, 2, nil)
+	sts := h.e.Status()
+	if sts[0].Rule.Name != "aa-fire" || sts[0].State != StateFiring {
+		t.Fatalf("first status = %+v, want aa-fire firing", sts[0])
+	}
+}

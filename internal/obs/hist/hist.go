@@ -1,0 +1,260 @@
+// Package hist stores the station's own operational metrics as
+// error-bounded, SBR-compressed history — the paper's algorithm
+// (Deligiannakis et al., SIGMOD 2004) dogfooded onto a second real
+// workload. A background Sampler snapshots every series the obs registry
+// knows (via Registry.Visit) at a fixed interval into per-series hot ring
+// buffers; each time a hot buffer accumulates one full window, the oldest
+// window is compressed with the repo's own internal/core SBR encoder
+// under the MaxAbs metric, so every cold window carries a provable
+// maximum-absolute-error bound. Months of self-metrics fit in memory, and
+// every answer the query layer gives ships with its error bar.
+//
+// On top of the store sit the windowed queries (RateOver, DeltaOver,
+// QuantileOver, MinMaxOver, Range — each returning value plus bound), the
+// /debug/metrics/history HTTP surface with JSON and ASCII-sparkline
+// views, and the SLO engine: declarative multi-window burn-rate rules
+// evaluated after every sampling tick, exposed on /debug/alerts and — for
+// page severity — failing the station's /readyz.
+//
+// Error-bound semantics: the configured ErrorBound is relative to each
+// window's signal range. When a window of samples is sealed, the encoder
+// is given the absolute budget ErrorBound·(max−min) for that window; the
+// achieved bound (always ≤ the budget, reported per window) is what
+// queries propagate. Scaling per window instead of fixing one absolute
+// number is what lets one knob cover a latency gauge at 10⁻³ and a byte
+// counter at 10⁹.
+//
+// Histograms are sampled as derived series: <name>_count and <name>_sum
+// (cumulative, rate-able) plus <name>_p50/_p95/_p99 snapshot quantiles —
+// which is how "what did ingest p99 look like over the last hour" becomes
+// a plain windowed query.
+package hist
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"sbr/internal/obs"
+)
+
+// Options configures a Sampler. The zero value is usable: every field
+// falls back to the default documented on it.
+type Options struct {
+	// Interval is the sampling period (default 5s). With the default
+	// window of 256 samples, one cold window then covers ~21 minutes.
+	Interval time.Duration
+
+	// ChunkSamples is the number of samples per compressed window
+	// (default 256). It is fixed for the life of the sampler: SBR
+	// requires every batch of a stream to have the same shape.
+	ChunkSamples int
+
+	// HotChunks is how many windows of raw samples stay uncompressed in
+	// the hot ring (default 2). Queries that fit in the hot ring answer
+	// with zero error.
+	HotChunks int
+
+	// ErrorBound is the per-window relative error bound (default 0.01):
+	// each sealed window is compressed to within ErrorBound times that
+	// window's value range, maximum absolute error.
+	ErrorBound float64
+
+	// MBase is the per-series base-signal buffer, in values (default 64).
+	MBase int
+
+	// CheckpointEvery stores a decoder-replica checkpoint every this many
+	// windows (default 8), bounding a cold read's replay to at most
+	// CheckpointEvery−1 windows before the one it wants.
+	CheckpointEvery int
+
+	// MaxWindows bounds the cold windows retained per series (default
+	// 4096 ≈ 3 months at the default cadence). Older windows are dropped
+	// whole-checkpoint-group at a time; queries report truncation.
+	MaxWindows int
+
+	// Now supplies the clock (default time.Now). Tests inject a fake.
+	Now func() time.Time
+
+	// Filter, when non-nil, limits which series are recorded: it is
+	// called once per new series full name (derived histogram series
+	// included) and must return true to record it.
+	Filter func(name string) bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 5 * time.Second
+	}
+	if o.ChunkSamples <= 0 {
+		o.ChunkSamples = 256
+	}
+	if o.HotChunks <= 0 {
+		o.HotChunks = 2
+	}
+	if o.ErrorBound <= 0 {
+		o.ErrorBound = 0.01
+	}
+	if o.MBase <= 0 {
+		o.MBase = 64
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 8
+	}
+	if o.MaxWindows <= 0 {
+		o.MaxWindows = 4096
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// meta is the sampler's own telemetry — the monitor monitoring itself.
+// Registered on the same registry it samples, so the history of the
+// history store is itself queryable.
+type meta struct {
+	series          *obs.Gauge
+	samples         *obs.Counter
+	windows         *obs.Gauge
+	compressedBytes *obs.Gauge
+	rawBytes        *obs.Gauge
+	errRatio        *obs.Histogram
+	dropped         *obs.Counter
+	sealErrors      *obs.Counter
+	tickSeconds     *obs.Histogram
+}
+
+// Sampler owns the self-metrics history: discovery, sampling, the hot
+// rings, the compressed cold windows and the query layer. Create with
+// NewSampler; drive with Start/Stop (production) or Tick (tests and
+// simulations that own the clock).
+type Sampler struct {
+	reg *obs.Registry
+	opt Options
+	met meta
+
+	mu     sync.RWMutex
+	series map[string]*series
+	skip   map[string]struct{} // names the Filter rejected, remembered
+	names  []string            // sorted series names, rebuilt on discovery
+	epoch  time.Time
+	ticks  int64 // samples taken so far == next tick index
+
+	afterTick func(now time.Time)
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewSampler builds a sampler over reg. It does not start sampling; call
+// Start, or drive Tick yourself. reg must be non-nil.
+func NewSampler(reg *obs.Registry, opt Options) *Sampler {
+	s := &Sampler{
+		reg:    reg,
+		opt:    opt.withDefaults(),
+		series: make(map[string]*series),
+		skip:   make(map[string]struct{}),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		met: meta{
+			series:          reg.Gauge("sbr_selfmon_series", "Self-metric series under SBR-compressed history."),
+			samples:         reg.Counter("sbr_selfmon_samples_total", "Samples appended across all self-metric series."),
+			windows:         reg.Gauge("sbr_selfmon_windows", "Compressed cold windows currently retained."),
+			compressedBytes: reg.Gauge("sbr_selfmon_compressed_bytes", "Bytes (8 per SBR cost value) held by compressed cold windows."),
+			rawBytes:        reg.Gauge("sbr_selfmon_raw_bytes", "Bytes the samples covered by cold windows would occupy raw."),
+			errRatio:        reg.Histogram("sbr_selfmon_window_error_ratio", "Achieved / configured error bound per sealed window (≤ 1 by construction).", obs.ExpBuckets(0.001, math.Sqrt(10), 7)),
+			dropped:         reg.Counter("sbr_selfmon_ticks_dropped_total", "Sampling ticks skipped because the previous tick was still running."),
+			sealErrors:      reg.Counter("sbr_selfmon_seal_errors_total", "Windows lost to an encode or replica-decode failure (series then serves its hot ring only)."),
+			tickSeconds:     reg.Histogram("sbr_selfmon_tick_seconds", "Wall time of one sampling tick, window compression included.", obs.LatencyBuckets),
+		},
+	}
+	return s
+}
+
+// Interval returns the sampling period.
+func (s *Sampler) Interval() time.Duration { return s.opt.Interval }
+
+// ErrorBound returns the configured relative error bound.
+func (s *Sampler) ErrorBound() float64 { return s.opt.ErrorBound }
+
+// AfterTick installs a hook run after every sampling tick, outside the
+// sampler's locks — the alert engine's evaluation entry point. Install
+// before Start.
+func (s *Sampler) AfterTick(fn func(now time.Time)) { s.afterTick = fn }
+
+// Start launches the background sampling loop. Safe to call once.
+func (s *Sampler) Start() {
+	s.startOnce.Do(func() {
+		go s.loop()
+	})
+}
+
+// Stop halts the background loop and waits for it to exit. Safe to call
+// even if Start never ran, and more than once.
+func (s *Sampler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.startOnce.Do(func() { close(s.done) }) // Start never ran: nothing to wait for
+	<-s.done
+}
+
+func (s *Sampler) loop() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.opt.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			// A tick that arrives while the previous one still runs is
+			// dropped by the ticker itself; detect the overrun by how
+			// long Tick took and account for the skipped samples.
+			start := time.Now()
+			s.Tick()
+			if d := time.Since(start); d > s.opt.Interval {
+				s.met.dropped.Add(uint64(d / s.opt.Interval))
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Tick takes one sample of every registered series. Exported so tests
+// and simulations can drive the sampler with their own clock; production
+// uses Start. Safe for concurrent use with queries (not with itself).
+func (s *Sampler) Tick() {
+	now := s.opt.Now()
+	start := time.Now()
+
+	s.mu.Lock()
+	if s.ticks == 0 {
+		s.epoch = now
+	}
+	idx := s.ticks
+	s.ticks++
+	discovered := false
+	s.reg.Visit(func(smp obs.Sample) {
+		discovered = s.record(idx, smp) || discovered
+	})
+	// Series that existed before this tick but were not visited cannot
+	// happen — registry families are never removed — so every live series
+	// now has exactly idx+1−startTick samples.
+	if discovered {
+		s.names = s.names[:0]
+		for name := range s.series {
+			s.names = append(s.names, name)
+		}
+		sort.Strings(s.names)
+	}
+	s.updateMetaLocked()
+	hook := s.afterTick
+	s.mu.Unlock()
+
+	s.met.tickSeconds.Observe(time.Since(start).Seconds())
+	if hook != nil {
+		hook(now)
+	}
+}

@@ -1,0 +1,335 @@
+package hist
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"sbr/internal/obs"
+)
+
+// fakeClock is a manually advanced time source: each Tick of the sampler
+// reads one instant, and the test advances it by the sampling interval.
+type fakeClock struct {
+	t time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time { return c.t }
+
+// testOptions builds a small-window sampler configuration driven by clk,
+// recording only non-selfmon series so tests count series exactly.
+func testOptions(clk *fakeClock) Options {
+	return Options{
+		Interval:        time.Second,
+		ChunkSamples:    32,
+		HotChunks:       2,
+		ErrorBound:      0.01,
+		MBase:           16,
+		CheckpointEvery: 4,
+		Now:             clk.now,
+		Filter:          func(name string) bool { return !strings.HasPrefix(name, "sbr_selfmon_") },
+	}
+}
+
+// drive advances the clock and takes n samples.
+func drive(s *Sampler, clk *fakeClock, n int, between func(i int)) {
+	for i := 0; i < n; i++ {
+		if between != nil {
+			between(i)
+		}
+		s.Tick()
+		clk.t = clk.t.Add(s.Interval())
+	}
+}
+
+func TestSamplerRecordsCountersAndGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("t_events_total", "test counter")
+	g := reg.Gauge("t_level", "test gauge")
+	clk := newFakeClock()
+	s := NewSampler(reg, testOptions(clk))
+
+	drive(s, clk, 10, func(i int) {
+		ctr.Add(3)
+		g.Set(float64(i))
+	})
+
+	infos := s.Series()
+	if len(infos) != 2 {
+		t.Fatalf("got %d series, want 2: %+v", len(infos), infos)
+	}
+	res, err := s.RateOver("t_events_total", 9*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-3) > 1e-9 {
+		t.Errorf("rate = %v, want 3/s", res.Value)
+	}
+	if res.Err != 0 {
+		t.Errorf("hot-only rate err = %v, want 0", res.Err)
+	}
+	d, err := s.DeltaOver("t_level", 9*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Value != 9 {
+		t.Errorf("delta = %v, want 9", d.Value)
+	}
+	last, err := s.LastValue("t_level")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Value != 9 {
+		t.Errorf("last = %v, want 9", last.Value)
+	}
+}
+
+func TestHistogramDerivedSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("t_latency_seconds", "test latency", obs.LatencyBuckets)
+	clk := newFakeClock()
+	s := NewSampler(reg, testOptions(clk))
+
+	drive(s, clk, 5, func(i int) { h.Observe(0.002) })
+
+	for _, want := range []string{
+		"t_latency_seconds_count", "t_latency_seconds_sum",
+		"t_latency_seconds_p50", "t_latency_seconds_p95", "t_latency_seconds_p99",
+	} {
+		if len(s.Match(want)) != 1 {
+			t.Errorf("derived series %q not recorded", want)
+		}
+	}
+	res, err := s.QuantileOver("t_latency_seconds_p99", 4*time.Second, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value <= 0.001 || res.Value > 0.01 {
+		t.Errorf("p99-of-p99 = %v, want within the 1ms..10ms bucket", res.Value)
+	}
+}
+
+func TestColdWindowsStayWithinBound(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("t_signal", "test signal")
+	clk := newFakeClock()
+	opt := testOptions(clk)
+	s := NewSampler(reg, opt)
+
+	// A sine over many windows: smooth enough to compress, varied enough
+	// that the per-window budget is non-trivial.
+	const n = 32 * 8 // 8 windows' worth; 6 sealed, 2 hot (ring holds 64+1)
+	truth := make([]float64, n)
+	drive(s, clk, n, func(i int) {
+		truth[i] = 100 + 50*math.Sin(float64(i)/20)
+		g.Set(truth[i])
+	})
+
+	infos := s.Series()
+	if len(infos) != 1 || infos[0].Windows < 5 {
+		t.Fatalf("expected ≥5 sealed windows, got %+v", infos)
+	}
+	if infos[0].Dead {
+		t.Fatal("series marked dead")
+	}
+
+	pts, truncated, err := s.RangeOver("t_signal", time.Duration(n)*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Error("full-history query reported truncated")
+	}
+	if len(pts) != n {
+		t.Fatalf("got %d points, want %d", len(pts), n)
+	}
+	for i, p := range pts {
+		if math.Abs(p.V-truth[i]) > p.Err+1e-9 {
+			t.Fatalf("point %d: |%v - %v| exceeds reported bound %v", i, p.V, truth[i], p.Err)
+		}
+		// Per-window budget: bound ≤ ErrorBound × that window's range.
+		w := i / opt.ChunkSamples
+		lo, hi := truth[w*opt.ChunkSamples], truth[w*opt.ChunkSamples]
+		for _, v := range truth[w*opt.ChunkSamples : (w+1)*opt.ChunkSamples] {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		if budget := opt.ErrorBound*(hi-lo) + 1e-6; p.Err > budget {
+			t.Fatalf("point %d: reported bound %v exceeds window budget %v", i, p.Err, budget)
+		}
+	}
+
+	// MinMax over everything: truth extremes within the reported bound.
+	minRes, maxRes, err := s.MinMaxOver("t_signal", time.Duration(n)*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tLo, tHi := truth[0], truth[0]
+	for _, v := range truth {
+		tLo, tHi = math.Min(tLo, v), math.Max(tHi, v)
+	}
+	if math.Abs(minRes.Value-tLo) > minRes.Err+1e-9 || math.Abs(maxRes.Value-tHi) > maxRes.Err+1e-9 {
+		t.Errorf("minmax = [%v,%v] ± %v, truth [%v,%v]", minRes.Value, maxRes.Value, maxRes.Err, tLo, tHi)
+	}
+}
+
+func TestRetentionDropsToCheckpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("t_ret", "retention test")
+	clk := newFakeClock()
+	opt := testOptions(clk)
+	opt.MaxWindows = 5
+	s := NewSampler(reg, opt)
+
+	const n = 32 * 20
+	drive(s, clk, n, func(i int) { g.Set(float64(i % 100)) })
+
+	info := s.Series()[0]
+	// Retention trims to a checkpointed head, so up to CheckpointEvery−1
+	// extra windows may survive.
+	if info.Windows > opt.MaxWindows+opt.CheckpointEvery-1 {
+		t.Fatalf("retention kept %d windows, cap %d (+%d checkpoint slack)",
+			info.Windows, opt.MaxWindows, opt.CheckpointEvery-1)
+	}
+
+	// A query over everything clamps to what is retained and says so.
+	pts, truncated, err := s.RangeOver("t_ret", time.Duration(n)*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Error("query past retention did not report truncation")
+	}
+	wantSamples := info.Windows*opt.ChunkSamples + info.HotSamples
+	if len(pts) != wantSamples {
+		t.Errorf("got %d points, want %d retained", len(pts), wantSamples)
+	}
+}
+
+func TestFilterAndSkipMemoised(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("keep_total", "kept")
+	reg.Counter("drop_total", "dropped")
+	clk := newFakeClock()
+	opt := testOptions(clk)
+	calls := map[string]int{}
+	opt.Filter = func(name string) bool {
+		calls[name]++
+		return name == "keep_total"
+	}
+	s := NewSampler(reg, opt)
+	drive(s, clk, 5, nil)
+
+	if got := s.Match("drop_total"); got != nil {
+		t.Errorf("filtered series recorded: %v", got)
+	}
+	if got := s.Match("keep_total"); len(got) != 1 {
+		t.Errorf("kept series missing: %v", got)
+	}
+	for name, c := range calls {
+		if c != 1 {
+			t.Errorf("Filter called %d times for %q, want 1", c, name)
+		}
+	}
+}
+
+func TestNaNSamplesSanitised(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("t_nan", "nan test")
+	clk := newFakeClock()
+	s := NewSampler(reg, testOptions(clk))
+
+	drive(s, clk, 4, func(i int) {
+		if i%2 == 0 {
+			g.Set(7)
+		} else {
+			g.Set(math.NaN())
+		}
+	})
+	pts, _, err := s.RangeOver("t_nan", 4*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if p.V != 7 {
+			t.Errorf("point %d = %v, want NaN replaced by last finite 7", i, p.V)
+		}
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	clk := newFakeClock()
+	s := NewSampler(reg, testOptions(clk))
+	if _, err := s.RateOver("nope", time.Minute); err == nil {
+		t.Error("query over unknown series did not error")
+	}
+	if _, err := s.QuantileOver("nope", time.Minute, 2); err == nil {
+		t.Error("out-of-range quantile did not error")
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("t_bg_total", "background test").Add(1)
+	s := NewSampler(reg, Options{Interval: time.Millisecond})
+	s.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.Match("t_bg_total")) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	if len(s.Match("t_bg_total")) == 0 {
+		t.Fatal("background sampler recorded nothing")
+	}
+}
+
+func TestStopWithoutStart(t *testing.T) {
+	s := NewSampler(obs.NewRegistry(), Options{})
+	s.Stop() // must not hang
+}
+
+func TestMetaMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("t_meta", "meta test")
+	clk := newFakeClock()
+	s := NewSampler(reg, testOptions(clk))
+
+	drive(s, clk, 32*3+2, func(i int) { g.Set(float64(i)) })
+
+	vals := reg.Values()
+	if vals["sbr_selfmon_series"] != 1 {
+		t.Errorf("sbr_selfmon_series = %v, want 1", vals["sbr_selfmon_series"])
+	}
+	if vals["sbr_selfmon_windows"] < 1 {
+		t.Errorf("sbr_selfmon_windows = %v, want ≥ 1", vals["sbr_selfmon_windows"])
+	}
+	if vals["sbr_selfmon_samples_total"] == 0 {
+		t.Error("sbr_selfmon_samples_total not incremented")
+	}
+	if vals["sbr_selfmon_compressed_bytes"] <= 0 {
+		t.Error("sbr_selfmon_compressed_bytes not tracked")
+	}
+	if vals["sbr_selfmon_compressed_bytes"] >= vals["sbr_selfmon_raw_bytes"] {
+		t.Errorf("no compression: %v compressed vs %v raw",
+			vals["sbr_selfmon_compressed_bytes"], vals["sbr_selfmon_raw_bytes"])
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	got := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp sparkline = %q", got)
+	}
+	if flat := Sparkline([]float64{5, 5, 5}); strings.ContainsRune(flat, ' ') {
+		t.Errorf("flat sparkline has gaps: %q", flat)
+	}
+}

@@ -1,0 +1,178 @@
+package hist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// sparkRunes maps a normalised value to one of eight bar heights.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line ASCII chart, one rune per
+// value, scaled to the series' own min..max (a flat series renders as
+// mid-height bars). Empty input renders empty.
+func Sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		idx := len(sparkRunes) / 2
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		out[i] = sparkRunes[idx]
+	}
+	return string(out)
+}
+
+// Handler serves the windowed-query API (GET /debug/metrics/history).
+//
+//	?                                  list all stored series (JSON)
+//	?series=NAME                       reconstruct the series (agg=range)
+//	 &window=1h                        trailing window (default 1h)
+//	 &step=1m                          range downsampling step (default window/60)
+//	 &agg=range|rate|delta|quantile|minmax
+//	 &q=0.99                           quantile for agg=quantile (default 0.99)
+//	 &format=json|spark                spark: text sparkline of the range
+func (s *Sampler) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("series")
+		if name == "" {
+			writeJSON(w, map[string]any{
+				"interval_seconds": s.opt.Interval.Seconds(),
+				"error_bound":      s.opt.ErrorBound,
+				"series":           s.Series(),
+			})
+			return
+		}
+		window := time.Hour
+		if v := r.URL.Query().Get("window"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				httpErr(w, http.StatusBadRequest, fmt.Errorf("bad window %q", v))
+				return
+			}
+			window = d
+		}
+		step := window / 60
+		if v := r.URL.Query().Get("step"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				httpErr(w, http.StatusBadRequest, fmt.Errorf("bad step %q", v))
+				return
+			}
+			step = d
+		}
+		agg := r.URL.Query().Get("agg")
+		if agg == "" {
+			agg = "range"
+		}
+
+		var (
+			res Result
+			err error
+		)
+		switch agg {
+		case "range":
+			s.serveRange(w, r, name, window, step)
+			return
+		case "rate":
+			res, err = s.RateOver(name, window)
+		case "delta":
+			res, err = s.DeltaOver(name, window)
+		case "quantile":
+			q := 0.99
+			if v := r.URL.Query().Get("q"); v != "" {
+				q, err = strconv.ParseFloat(v, 64)
+				if err != nil {
+					httpErr(w, http.StatusBadRequest, fmt.Errorf("bad q %q", v))
+					return
+				}
+			}
+			res, err = s.QuantileOver(name, window, q)
+		case "minmax":
+			var minRes, maxRes Result
+			minRes, maxRes, err = s.MinMaxOver(name, window)
+			if err == nil {
+				writeJSON(w, map[string]any{"series": name, "agg": agg, "min": minRes, "max": maxRes})
+				return
+			}
+		default:
+			httpErr(w, http.StatusBadRequest, fmt.Errorf("unknown agg %q", agg))
+			return
+		}
+		if err != nil {
+			httpErr(w, queryStatus(err), err)
+			return
+		}
+		writeJSON(w, map[string]any{"series": name, "agg": agg, "result": res})
+	})
+}
+
+func (s *Sampler) serveRange(w http.ResponseWriter, r *http.Request, name string, window, step time.Duration) {
+	pts, truncated, err := s.RangeOver(name, window, step)
+	if err != nil {
+		httpErr(w, queryStatus(err), err)
+		return
+	}
+	if r.URL.Query().Get("format") == "spark" {
+		vals := make([]float64, len(pts))
+		lo, hi := pts[0].V, pts[0].V
+		for i, p := range pts {
+			vals[i] = p.V
+			if p.V < lo {
+				lo = p.V
+			}
+			if p.V > hi {
+				hi = p.V
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "%s  %s .. %s\n%s\nmin=%g max=%g last=%g\n",
+			name,
+			pts[0].T.Format(time.RFC3339), pts[len(pts)-1].T.Format(time.RFC3339),
+			Sparkline(vals), lo, hi, vals[len(vals)-1])
+		return
+	}
+	writeJSON(w, map[string]any{
+		"series":    name,
+		"agg":       "range",
+		"step":      step.String(),
+		"truncated": truncated,
+		"points":    pts,
+	})
+}
+
+func queryStatus(err error) int {
+	if errors.Is(err, ErrNoSeries) {
+		return http.StatusNotFound
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck — client gone mid-write, nothing to do
+}
+
+func httpErr(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck
+}

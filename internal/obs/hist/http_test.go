@@ -1,0 +1,158 @@
+package hist
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sbr/internal/obs"
+)
+
+func getJSON(t *testing.T, s *Sampler, url string, out any) int {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code == 200 {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s: bad JSON: %v\n%s", url, err, rec.Body.String())
+		}
+	}
+	return rec.Code
+}
+
+func newHTTPSampler(t *testing.T) (*Sampler, *fakeClock) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("h_events_total", "http test counter")
+	clk := newFakeClock()
+	s := NewSampler(reg, testOptions(clk))
+	drive(s, clk, 100, func(i int) { ctr.Add(2) })
+	return s, clk
+}
+
+func TestHandlerList(t *testing.T) {
+	s, _ := newHTTPSampler(t)
+	var out struct {
+		IntervalSeconds float64      `json:"interval_seconds"`
+		ErrorBound      float64      `json:"error_bound"`
+		Series          []SeriesInfo `json:"series"`
+	}
+	if code := getJSON(t, s, "/debug/metrics/history", &out); code != 200 {
+		t.Fatalf("list status %d", code)
+	}
+	if out.IntervalSeconds != 1 || out.ErrorBound != 0.01 {
+		t.Errorf("list header = %+v", out)
+	}
+	if len(out.Series) != 1 || out.Series[0].Name != "h_events_total" {
+		t.Errorf("series = %+v", out.Series)
+	}
+}
+
+func TestHandlerAggregates(t *testing.T) {
+	s, _ := newHTTPSampler(t)
+	var rate struct {
+		Result Result `json:"result"`
+	}
+	code := getJSON(t, s, "/debug/metrics/history?series=h_events_total&agg=rate&window=30s", &rate)
+	if code != 200 {
+		t.Fatalf("rate status %d", code)
+	}
+	if rate.Result.Value < 1.9 || rate.Result.Value > 2.1 {
+		t.Errorf("rate = %+v, want ≈ 2/s", rate.Result)
+	}
+
+	var rng struct {
+		Points    []Point `json:"points"`
+		Truncated bool    `json:"truncated"`
+	}
+	code = getJSON(t, s, "/debug/metrics/history?series=h_events_total&window=50s&step=10s", &rng)
+	if code != 200 {
+		t.Fatalf("range status %d", code)
+	}
+	if len(rng.Points) != 6 { // 51 samples in 10-sample buckets
+		t.Errorf("got %d points: %+v", len(rng.Points), rng.Points)
+	}
+
+	var mm struct {
+		Min Result `json:"min"`
+		Max Result `json:"max"`
+	}
+	code = getJSON(t, s, "/debug/metrics/history?series=h_events_total&agg=minmax&window=30s", &mm)
+	if code != 200 {
+		t.Fatalf("minmax status %d", code)
+	}
+	if mm.Max.Value <= mm.Min.Value {
+		t.Errorf("minmax = %+v", mm)
+	}
+
+	var qt struct {
+		Result Result `json:"result"`
+	}
+	code = getJSON(t, s, "/debug/metrics/history?series=h_events_total&agg=quantile&q=0.5&window=30s", &qt)
+	if code != 200 {
+		t.Fatalf("quantile status %d", code)
+	}
+}
+
+func TestHandlerSparkline(t *testing.T) {
+	s, _ := newHTTPSampler(t)
+	req := httptest.NewRequest("GET", "/debug/metrics/history?series=h_events_total&window=50s&step=10s&format=spark", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("spark status %d: %s", rec.Code, rec.Body.String())
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "h_events_total") || !strings.ContainsAny(body, "▁▂▃▄▅▆▇█") {
+		t.Errorf("sparkline body = %q", body)
+	}
+}
+
+func TestHandlerErrors(t *testing.T) {
+	s, _ := newHTTPSampler(t)
+	var out map[string]any
+	if code := getJSON(t, s, "/debug/metrics/history?series=missing", &out); code != 404 {
+		t.Errorf("unknown series status %d, want 404", code)
+	}
+	for _, url := range []string{
+		"/debug/metrics/history?series=h_events_total&window=bogus",
+		"/debug/metrics/history?series=h_events_total&step=bogus",
+		"/debug/metrics/history?series=h_events_total&agg=bogus",
+		"/debug/metrics/history?series=h_events_total&agg=quantile&q=bogus",
+	} {
+		if code := getJSON(t, s, url, &out); code != 400 {
+			t.Errorf("%s: status %d, want 400", url, code)
+		}
+	}
+}
+
+func TestAlertsHandler(t *testing.T) {
+	h := newAlertHarness(t, []Rule{
+		{Name: "degraded", Severity: SevPage, Series: "x_degraded", Agg: "value", Threshold: 0},
+	})
+	h.g.Set(3)
+	drive(h.s, h.clk, 2, nil)
+
+	req := httptest.NewRequest("GET", "/debug/alerts", nil)
+	rec := httptest.NewRecorder()
+	h.e.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("alerts status %d", rec.Code)
+	}
+	var out struct {
+		EvaluatedAt time.Time     `json:"evaluated_at"`
+		Alerts      []AlertStatus `json:"alerts"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(out.Alerts) != 1 || out.Alerts[0].State != StateFiring {
+		t.Errorf("alerts = %+v", out.Alerts)
+	}
+	if out.EvaluatedAt.IsZero() {
+		t.Error("evaluated_at missing")
+	}
+}

@@ -1,0 +1,449 @@
+package hist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"sbr/internal/core"
+	"sbr/internal/obs"
+)
+
+// ErrNoSeries is returned (wrapped, with the name) by queries over a
+// series the sampler has never recorded.
+var ErrNoSeries = fmt.Errorf("hist: no such series")
+
+// Result is one windowed aggregate with its error bar: Value is the
+// answer, Err the maximum it can be off by given the per-window bounds of
+// the compressed samples it was computed from (0 when the whole window
+// was answered from the hot ring).
+type Result struct {
+	Value   float64   `json:"value"`
+	Err     float64   `json:"err"`
+	From    time.Time `json:"from"`
+	To      time.Time `json:"to"`
+	Samples int       `json:"samples"`
+
+	// Truncated reports that the requested window reached past the
+	// retained history (or before the series was born) and was clamped.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// Point is one reconstructed (possibly step-aggregated) sample of a
+// series, with its error bound.
+type Point struct {
+	T   time.Time `json:"t"`
+	V   float64   `json:"v"`
+	Err float64   `json:"err"`
+}
+
+// SeriesInfo describes one stored series for listings.
+type SeriesInfo struct {
+	Name             string  `json:"name"`
+	Kind             string  `json:"kind"`
+	Samples          int64   `json:"samples"`
+	HotSamples       int     `json:"hot_samples"`
+	Windows          int     `json:"windows"`
+	CompressedValues int     `json:"compressed_values"`
+	MaxWindowErr     float64 `json:"max_window_err"`
+	Dead             bool    `json:"dead,omitempty"`
+}
+
+// Series lists every stored series, sorted by name.
+func (s *Sampler) Series() []SeriesInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]SeriesInfo, 0, len(s.names))
+	for _, name := range s.names {
+		sr := s.series[name]
+		info := SeriesInfo{
+			Name:             name,
+			Kind:             sr.kind.String(),
+			Samples:          int64(len(sr.windows)*s.opt.ChunkSamples + len(sr.hot)),
+			HotSamples:       len(sr.hot),
+			Windows:          len(sr.windows),
+			CompressedValues: sr.coldCost,
+			Dead:             sr.dead,
+		}
+		for _, w := range sr.windows {
+			info.MaxWindowErr = math.Max(info.MaxWindowErr, w.err)
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// snap is one series' state captured under the read lock: the hot ring
+// copied (its backing array is mutated by seals), the window slice
+// referenced (windows are immutable once appended).
+type snap struct {
+	name      string
+	kind      obs.Kind
+	cfg       core.Config
+	chunk     int
+	interval  time.Duration
+	epoch     time.Time
+	startTick int64
+	hot       []float64
+	hotStart  int64
+	firstSeq  int
+	windows   []window
+}
+
+func (sn *snap) endTick() int64  { return sn.hotStart + int64(len(sn.hot)) }
+func (sn *snap) coldFrom() int64 { return sn.startTick + int64(sn.firstSeq*sn.chunk) }
+func (sn *snap) coldTo() int64 {
+	return sn.startTick + int64((sn.firstSeq+len(sn.windows))*sn.chunk)
+}
+
+// availFrom is the first tick answerable without a gap back from the
+// newest sample: the cold head when the cold span abuts the hot ring
+// (the normal case), the hot head otherwise (dead series, whose frozen
+// cold windows have drifted away from the still-advancing hot ring).
+func (sn *snap) availFrom() int64 {
+	if len(sn.windows) > 0 && sn.coldTo() == sn.hotStart {
+		return sn.coldFrom()
+	}
+	return sn.hotStart
+}
+
+func (sn *snap) timeAt(tick int64) time.Time {
+	return sn.epoch.Add(time.Duration(tick) * sn.interval)
+}
+
+// fetch snapshots one series under the read lock.
+func (s *Sampler) fetch(name string) (*snap, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sr, ok := s.series[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSeries, name)
+	}
+	return &snap{
+		name:      name,
+		kind:      sr.kind,
+		cfg:       sr.cfg,
+		chunk:     s.opt.ChunkSamples,
+		interval:  s.opt.Interval,
+		epoch:     s.epoch,
+		startTick: sr.startTick,
+		hot:       append([]float64(nil), sr.hot...),
+		hotStart:  sr.hotStart,
+		firstSeq:  sr.firstSeq,
+		windows:   sr.windows,
+	}, nil
+}
+
+// values reconstructs ticks [a, b) — clamped to available history — and
+// returns the samples with their per-sample error bounds, the first tick
+// actually covered, and whether clamping occurred.
+func (sn *snap) values(a, b int64) (vals, errs []float64, from int64, truncated bool, err error) {
+	if b > sn.endTick() {
+		b = sn.endTick()
+	}
+	if lo := sn.availFrom(); a < lo {
+		a = lo
+		truncated = true
+	}
+	if a >= b {
+		return nil, nil, a, truncated, fmt.Errorf("hist: window is empty after clamping to available history of %q", sn.name)
+	}
+	vals = make([]float64, 0, b-a)
+	errs = make([]float64, 0, b-a)
+
+	if a < sn.hotStart { // cold part
+		qa := int((a - sn.startTick) / int64(sn.chunk))
+		qbTick := b
+		if qbTick > sn.coldTo() {
+			qbTick = sn.coldTo()
+		}
+		qb := int((qbTick - 1 - sn.startTick) / int64(sn.chunk))
+		chunks, derr := sn.decodeWindows(qa, qb)
+		if derr != nil {
+			return nil, nil, a, truncated, derr
+		}
+		for q := qa; q <= qb; q++ {
+			wStart := sn.startTick + int64(q*sn.chunk)
+			row := chunks[q-qa]
+			werr := sn.windows[q-sn.firstSeq].err
+			for i, v := range row {
+				tick := wStart + int64(i)
+				if tick >= a && tick < b {
+					vals = append(vals, v)
+					errs = append(errs, werr)
+				}
+			}
+		}
+	}
+	for tick := max64(a, sn.hotStart); tick < b; tick++ {
+		vals = append(vals, sn.hot[tick-sn.hotStart])
+		errs = append(errs, 0)
+	}
+	return vals, errs, a, truncated, nil
+}
+
+// decodeWindows reconstructs cold windows qa..qb (global sequence
+// numbers, inclusive) by resuming the decoder at the nearest checkpoint
+// at or before qa and replaying forward — at most CheckpointEvery−1
+// windows of replay before the first one wanted.
+func (sn *snap) decodeWindows(qa, qb int) ([][]float64, error) {
+	i0 := qa - sn.firstSeq
+	i1 := qb - sn.firstSeq
+	if i0 < 0 || i1 >= len(sn.windows) {
+		return nil, fmt.Errorf("hist: windows [%d,%d] of %q outside retained [%d,%d]",
+			qa, qb, sn.name, sn.firstSeq, sn.firstSeq+len(sn.windows)-1)
+	}
+	ck := i0
+	for ck > 0 && sn.windows[ck].ckpt == nil {
+		ck--
+	}
+	st := sn.windows[ck].ckpt
+	if st == nil {
+		return nil, fmt.Errorf("hist: no checkpoint at or before window %d of %q", qa, sn.name)
+	}
+	dec, err := core.NewDecoderAt(sn.cfg, *st)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, 0, i1-i0+1)
+	for i := ck; i <= i1; i++ {
+		rows, err := dec.Decode(sn.windows[i].t)
+		if err != nil {
+			return nil, fmt.Errorf("hist: replaying window %d of %q: %w", sn.firstSeq+i, sn.name, err)
+		}
+		if i >= i0 {
+			out = append(out, rows[0])
+		}
+	}
+	return out, nil
+}
+
+// span converts a trailing window duration into the tick range [a, b)
+// ending at the series' newest sample. The span covers window/interval
+// steps, i.e. one more sample than steps, so a rate over it integrates
+// exactly `window` of wall time.
+func (sn *snap) span(window time.Duration) (int64, int64) {
+	b := sn.endTick()
+	n := int64(window/sn.interval) + 1
+	if n < 2 {
+		n = 2
+	}
+	a := b - n
+	if a < 0 {
+		a = 0
+	}
+	return a, b
+}
+
+func (sn *snap) result(from, to int64, samples int, errB float64, truncated bool) Result {
+	return Result{
+		Err:       errB,
+		From:      sn.timeAt(from),
+		To:        sn.timeAt(to - 1),
+		Samples:   samples,
+		Truncated: truncated,
+	}
+}
+
+// LastValue returns the newest recorded sample of the series. It is
+// always answered from the hot ring, so the bound is zero.
+func (s *Sampler) LastValue(name string) (Result, error) {
+	sn, err := s.fetch(name)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(sn.hot) == 0 {
+		return Result{}, fmt.Errorf("hist: series %q has no samples yet", name)
+	}
+	end := sn.endTick()
+	res := sn.result(end-1, end, 1, 0, false)
+	res.Value = sn.hot[len(sn.hot)-1]
+	return res, nil
+}
+
+// Match returns the stored series names matching pattern: an exact name,
+// or a prefix when the pattern ends in '*'.
+func (s *Sampler) Match(pattern string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(pattern) == 0 {
+		return nil
+	}
+	if pattern[len(pattern)-1] != '*' {
+		if _, ok := s.series[pattern]; ok {
+			return []string{pattern}
+		}
+		return nil
+	}
+	prefix := pattern[:len(pattern)-1]
+	var out []string
+	for _, name := range s.names {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// DeltaOver returns last − first over the trailing window. For counters
+// this is the raw increase ignoring resets; RateOver is reset-aware.
+func (s *Sampler) DeltaOver(name string, window time.Duration) (Result, error) {
+	sn, err := s.fetch(name)
+	if err != nil {
+		return Result{}, err
+	}
+	a, b := sn.span(window)
+	vals, errs, from, trunc, err := sn.values(a, b)
+	if err != nil {
+		return Result{}, err
+	}
+	res := sn.result(from, b, len(vals), errs[0]+errs[len(errs)-1], trunc)
+	res.Value = vals[len(vals)-1] - vals[0]
+	return res, nil
+}
+
+// RateOver returns the per-second increase of a (counter-shaped) series
+// over the trailing window, reset-aware: the sum of positive adjacent
+// differences divided by the covered wall time. The error bound accounts
+// for one telescoping run per reset: 2·maxErr·(resets+1)/seconds.
+func (s *Sampler) RateOver(name string, window time.Duration) (Result, error) {
+	sn, err := s.fetch(name)
+	if err != nil {
+		return Result{}, err
+	}
+	a, b := sn.span(window)
+	vals, errs, from, trunc, err := sn.values(a, b)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(vals) < 2 {
+		return Result{}, fmt.Errorf("hist: rate over %q needs at least 2 samples, have %d", name, len(vals))
+	}
+	var sum float64
+	resets := 0
+	maxErr := 0.0
+	for i, e := range errs {
+		maxErr = math.Max(maxErr, e)
+		if i == 0 {
+			continue
+		}
+		if d := vals[i] - vals[i-1]; d >= 0 {
+			sum += d
+		} else {
+			resets++
+		}
+	}
+	seconds := float64(len(vals)-1) * sn.interval.Seconds()
+	res := sn.result(from, b, len(vals), 2*maxErr*float64(resets+1)/seconds, trunc)
+	res.Value = sum / seconds
+	return res, nil
+}
+
+// QuantileOver returns the q-quantile of the sampled values over the
+// trailing window (nearest-rank with interpolation); the bound is the
+// largest per-sample bound in the window, since shifting every sample by
+// at most ε shifts any order statistic by at most ε.
+func (s *Sampler) QuantileOver(name string, window time.Duration, q float64) (Result, error) {
+	sn, err := s.fetch(name)
+	if err != nil {
+		return Result{}, err
+	}
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return Result{}, fmt.Errorf("hist: quantile %v outside [0,1]", q)
+	}
+	a, b := sn.span(window)
+	vals, errs, from, trunc, err := sn.values(a, b)
+	if err != nil {
+		return Result{}, err
+	}
+	maxErr := 0.0
+	for _, e := range errs {
+		maxErr = math.Max(maxErr, e)
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	rank := q * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	v := sorted[lo]
+	if hi > lo {
+		v += (sorted[hi] - sorted[lo]) * (rank - float64(lo))
+	}
+	res := sn.result(from, b, len(vals), maxErr, trunc)
+	res.Value = v
+	return res, nil
+}
+
+// MinMaxOver returns the smallest and largest sampled value over the
+// trailing window; both carry the same bound (the largest per-sample
+// bound in the window).
+func (s *Sampler) MinMaxOver(name string, window time.Duration) (Result, Result, error) {
+	sn, err := s.fetch(name)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	a, b := sn.span(window)
+	vals, errs, from, trunc, err := sn.values(a, b)
+	if err != nil {
+		return Result{}, Result{}, err
+	}
+	lo, hi, maxErr := vals[0], vals[0], 0.0
+	for i, v := range vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+		maxErr = math.Max(maxErr, errs[i])
+	}
+	minRes := sn.result(from, b, len(vals), maxErr, trunc)
+	minRes.Value = lo
+	maxRes := minRes
+	maxRes.Value = hi
+	return minRes, maxRes, nil
+}
+
+// RangeOver reconstructs the trailing window as a series of points, one
+// per step (step-bucket mean, worst per-sample bound). A zero step
+// returns every sample.
+func (s *Sampler) RangeOver(name string, window, step time.Duration) ([]Point, bool, error) {
+	sn, err := s.fetch(name)
+	if err != nil {
+		return nil, false, err
+	}
+	a, b := sn.span(window)
+	vals, errs, from, trunc, err := sn.values(a, b)
+	if err != nil {
+		return nil, trunc, err
+	}
+	per := 1
+	if step > 0 {
+		per = int(step / sn.interval)
+		if per < 1 {
+			per = 1
+		}
+	}
+	pts := make([]Point, 0, (len(vals)+per-1)/per)
+	for i := 0; i < len(vals); i += per {
+		j := i + per
+		if j > len(vals) {
+			j = len(vals)
+		}
+		var sum, maxErr float64
+		for k := i; k < j; k++ {
+			sum += vals[k]
+			maxErr = math.Max(maxErr, errs[k])
+		}
+		pts = append(pts, Point{
+			T:   sn.timeAt(from + int64(i)),
+			V:   sum / float64(j-i),
+			Err: maxErr,
+		})
+	}
+	return pts, trunc, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

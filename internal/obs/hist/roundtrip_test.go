@@ -1,0 +1,133 @@
+package hist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sbr/internal/obs"
+)
+
+// opSignal is one operational-metric shape the self-monitoring store must
+// honour its error bound on.
+type opSignal struct {
+	name string
+	gen  func(i int) float64
+}
+
+func opSignals() []opSignal {
+	rng := rand.New(rand.NewSource(42))
+	burst := make([]float64, 0, 2048)
+	level := 0.0
+	for i := 0; i < 2048; i++ {
+		// Bursty rate: long quiet floors with occasional spikes, the
+		// shape of a shed counter's derivative.
+		if rng.Float64() < 0.02 {
+			level = 50 + 100*rng.Float64()
+		} else {
+			level *= 0.5
+		}
+		burst = append(burst, level)
+	}
+	ctr := 0.0
+	mono := make([]float64, 0, 2048)
+	for i := 0; i < 2048; i++ {
+		// Monotone counter: steady drift plus jitter in the increments.
+		ctr += 10 + 5*rng.Float64()
+		mono = append(mono, ctr)
+	}
+	return []opSignal{
+		{"step_function", func(i int) float64 {
+			// Gauge that steps between plateaus (config reloads, pool
+			// resizes): constant runs with abrupt level changes.
+			return float64(100 * ((i / 37) % 5))
+		}},
+		{"monotone_counter", func(i int) float64 { return mono[i] }},
+		{"bursty_rate", func(i int) float64 { return burst[i] }},
+	}
+}
+
+// TestSBRRoundTripOperationalSignals seals several windows of each
+// operational shape through the real compressor and asserts, per
+// reconstructed sample, that the deviation stays within the reported
+// per-window bound, and that the reported bound stays within the
+// configured relative error budget for the window.
+func TestSBRRoundTripOperationalSignals(t *testing.T) {
+	for _, sig := range opSignals() {
+		sig := sig
+		t.Run(sig.name, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			g := reg.Gauge("t_roundtrip", "round-trip signal")
+			clk := newFakeClock()
+			opt := testOptions(clk)
+			opt.ChunkSamples = 64
+			opt.ErrorBound = 0.05
+			s := NewSampler(reg, opt)
+
+			const n = 64 * 12
+			truth := make([]float64, n)
+			drive(s, clk, n, func(i int) {
+				truth[i] = sig.gen(i)
+				g.Set(truth[i])
+			})
+
+			info := s.Series()[0]
+			if info.Dead {
+				t.Fatal("series died during sealing")
+			}
+			if info.Windows < 10 {
+				t.Fatalf("only %d windows sealed", info.Windows)
+			}
+
+			pts, _, err := s.RangeOver("t_roundtrip", time.Duration(n)*time.Second, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pts) != n {
+				t.Fatalf("got %d points, want %d", len(pts), n)
+			}
+			worst := 0.0
+			for i, p := range pts {
+				dev := math.Abs(p.V - truth[i])
+				if dev > p.Err+1e-9 {
+					t.Fatalf("%s sample %d: |%v−%v| = %v exceeds reported bound %v",
+						sig.name, i, p.V, truth[i], dev, p.Err)
+				}
+				w := i / opt.ChunkSamples
+				lo, hi := truth[w*opt.ChunkSamples], truth[w*opt.ChunkSamples]
+				for _, v := range truth[w*opt.ChunkSamples : (w+1)*opt.ChunkSamples] {
+					lo, hi = math.Min(lo, v), math.Max(hi, v)
+				}
+				if budget := opt.ErrorBound*(hi-lo) + 1e-6; p.Err > budget {
+					t.Fatalf("%s sample %d: reported bound %v exceeds configured budget %v",
+						sig.name, i, p.Err, budget)
+				}
+				worst = math.Max(worst, dev)
+			}
+			t.Logf("%s: %d windows, %d compressed values for %d samples, worst |dev| %.4g",
+				sig.name, info.Windows, info.CompressedValues, info.Samples, worst)
+
+			// The cold store must actually compress these shapes: the
+			// whole point of SBR over a raw ring.
+			if info.CompressedValues >= info.Windows*opt.ChunkSamples {
+				t.Errorf("%s: no compression (%d values for %d cold samples)",
+					sig.name, info.CompressedValues, info.Windows*opt.ChunkSamples)
+			}
+
+			// Counter semantics survive: reset-aware rate over the full
+			// span matches truth within the reported bound (plus slack
+			// for approximation-induced non-monotonicity).
+			if sig.name == "monotone_counter" {
+				res, err := s.RateOver("t_roundtrip", time.Duration(n-1)*time.Second)
+				if err != nil {
+					t.Fatal(err)
+				}
+				trueRate := (truth[n-1] - truth[0]) / float64(n-1)
+				if math.Abs(res.Value-trueRate) > res.Err+0.5 {
+					t.Errorf("rate = %v ± %v, truth %v", res.Value, res.Err, trueRate)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,243 @@
+package hist
+
+import (
+	"math"
+
+	"sbr/internal/core"
+	"sbr/internal/interval"
+	"sbr/internal/metrics"
+	"sbr/internal/obs"
+	"sbr/internal/timeseries"
+)
+
+// window is one sealed chunk of ChunkSamples samples, held as the SBR
+// transmission that reconstructs it.
+type window struct {
+	t *core.Transmission
+
+	// err is the achieved §4.5 maximum-absolute-error bound of this
+	// window's reconstruction (≤ the budget the encoder was given); it is
+	// the bound queries over the window propagate.
+	err float64
+
+	// ckpt, when non-nil, is the replica decoder's state immediately
+	// before this window: a cold read starting here needs no replay of
+	// earlier windows. Populated every CheckpointEvery windows, and
+	// always on the first retained window.
+	ckpt *core.DecoderState
+}
+
+// series is the history of one metric series: a hot ring of raw samples
+// and the sealed SBR-compressed cold windows behind it. All access is
+// guarded by the sampler's mutex.
+type series struct {
+	name string
+	kind obs.Kind
+	help string
+
+	cfg core.Config
+
+	startTick int64     // tick index of the first sample ever recorded
+	hot       []float64 // raw samples, hot[0] taken at tick hotStart
+	hotStart  int64
+
+	enc     *core.Compressor
+	replica *core.Decoder // kept in lockstep with enc; source of checkpoints
+
+	firstSeq int // global window index (== Transmission.Seq) of windows[0]
+	windows  []window
+	dropped  int64 // samples lost off the head (retention, or dead-series eviction)
+
+	coldCost int // Σ Transmission.Cost over retained windows, in values
+
+	// dead marks a series whose encode or replica-decode failed: the
+	// compressor/decoder pair can no longer be trusted to agree, so the
+	// series stops sealing and serves its hot ring only.
+	dead bool
+
+	last float64 // last finite sample, substituted for NaN/±Inf
+}
+
+// seriesConfig is the SBR configuration every self-metric stream runs
+// under. TotalBand is sized so the encoder can always split down to
+// exact reconstruction (ValuesPerInterval per sample, plus the worst-case
+// base-insert cost of ≤ 2·MBase values): compression then comes entirely
+// from the §4.5 error target stopping the split early, which is what
+// makes the per-window bound a guarantee rather than a best effort.
+func seriesConfig(opt Options) core.Config {
+	return core.Config{
+		TotalBand: interval.ValuesPerInterval*opt.ChunkSamples + 2*opt.MBase,
+		MBase:     opt.MBase,
+		Metric:    metrics.MaxAbs,
+	}
+}
+
+func (s *Sampler) newSeries(name string, kind obs.Kind, help string, tick int64) (*series, error) {
+	cfg := seriesConfig(s.opt)
+	enc, err := core.NewCompressor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := core.NewDecoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &series{
+		name:      name,
+		kind:      kind,
+		help:      help,
+		cfg:       cfg,
+		startTick: tick,
+		hotStart:  tick,
+		hot:       make([]float64, 0, s.opt.ChunkSamples),
+		enc:       enc,
+		replica:   dec,
+	}, nil
+}
+
+// record appends one sample (and, for histograms, its derived series) at
+// tick idx, reporting whether any new series was discovered.
+func (s *Sampler) record(idx int64, smp obs.Sample) bool {
+	if smp.Kind == obs.KindHistogram {
+		d := s.append(idx, smp.DerivedName("_count"), obs.KindCounter, smp.Help, float64(smp.Hist.Count))
+		d = s.append(idx, smp.DerivedName("_sum"), obs.KindCounter, smp.Help, smp.Hist.Sum) || d
+		d = s.append(idx, smp.DerivedName("_p50"), obs.KindGauge, smp.Help, smp.Hist.Quantile(0.50)) || d
+		d = s.append(idx, smp.DerivedName("_p95"), obs.KindGauge, smp.Help, smp.Hist.Quantile(0.95)) || d
+		d = s.append(idx, smp.DerivedName("_p99"), obs.KindGauge, smp.Help, smp.Hist.Quantile(0.99)) || d
+		return d
+	}
+	return s.append(idx, smp.FullName(), smp.Kind, smp.Help, smp.Value)
+}
+
+// append stores value v for the named series at tick idx, creating the
+// series on first sight. Called with s.mu held.
+func (s *Sampler) append(idx int64, name string, kind obs.Kind, help string, v float64) bool {
+	sr, ok := s.series[name]
+	discovered := false
+	if !ok {
+		if _, skipped := s.skip[name]; skipped {
+			return false
+		}
+		if s.opt.Filter != nil && !s.opt.Filter(name) {
+			s.skip[name] = struct{}{}
+			return false
+		}
+		var err error
+		sr, err = s.newSeries(name, kind, help, idx)
+		if err != nil {
+			// Impossible by construction (the config is validated shapes
+			// only); treat like a filtered series rather than panicking
+			// the sampling loop.
+			s.skip[name] = struct{}{}
+			return false
+		}
+		s.series[name] = sr
+		discovered = true
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		v = sr.last
+	} else {
+		sr.last = v
+	}
+	sr.hot = append(sr.hot, v)
+	s.met.samples.Inc()
+	if len(sr.hot) > s.opt.HotChunks*s.opt.ChunkSamples {
+		sr.seal(s)
+	}
+	return discovered
+}
+
+// seal compresses the oldest ChunkSamples samples of the hot ring into a
+// cold window and drops them from the ring. On a dead series the samples
+// are simply discarded.
+func (sr *series) seal(s *Sampler) {
+	c := s.opt.ChunkSamples
+	defer func() {
+		// The ring's backing array is reused: queries must copy the hot
+		// slice before releasing the sampler lock.
+		copy(sr.hot, sr.hot[c:])
+		sr.hot = sr.hot[:len(sr.hot)-c]
+		sr.hotStart += int64(c)
+	}()
+
+	if sr.dead {
+		sr.dropped += int64(c)
+		return
+	}
+
+	chunk := make(timeseries.Series, c)
+	copy(chunk, sr.hot[:c])
+	lo, hi := chunk[0], chunk[0]
+	for _, v := range chunk[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	// The window's absolute budget: the configured relative bound scaled
+	// to this window's range, floored so a flat window still gets a
+	// meaningful (near-exact) target instead of zero.
+	budget := s.opt.ErrorBound * (hi - lo)
+	if floor := 1e-9 * math.Max(1, math.Max(math.Abs(lo), math.Abs(hi))); budget < floor {
+		budget = floor
+	}
+	sr.enc.SetErrorTarget(budget)
+
+	t, err := sr.enc.Encode([]timeseries.Series{chunk})
+	if err == nil {
+		var ckpt *core.DecoderState
+		if t.Seq%s.opt.CheckpointEvery == 0 {
+			st := sr.replica.State()
+			ckpt = &st
+		}
+		if _, derr := sr.replica.Decode(t); derr != nil {
+			err = derr
+		} else {
+			sr.windows = append(sr.windows, window{t: t, err: t.ErrBound, ckpt: ckpt})
+			sr.coldCost += t.Cost
+			if budget > 0 {
+				s.met.errRatio.Observe(t.ErrBound / budget)
+			}
+			sr.retain(s)
+			return
+		}
+	}
+	// Encode advances the sender sequence even on failure, so the pair is
+	// desynchronised for good: freeze the cold store and fall back to
+	// hot-only serving rather than recording windows we cannot decode.
+	sr.dead = true
+	sr.dropped += int64(c)
+	s.met.sealErrors.Inc()
+}
+
+// retain enforces MaxWindows, dropping head windows — always up to a
+// checkpointed window, so the retained head never needs replay of
+// anything already discarded.
+func (sr *series) retain(s *Sampler) {
+	if len(sr.windows) <= s.opt.MaxWindows {
+		return
+	}
+	k := len(sr.windows) - s.opt.MaxWindows
+	for k < len(sr.windows) && sr.windows[k].ckpt == nil {
+		k++
+	}
+	for _, w := range sr.windows[:k] {
+		sr.coldCost -= w.t.Cost
+	}
+	sr.dropped += int64(k * s.opt.ChunkSamples)
+	sr.windows = append(sr.windows[:0:0], sr.windows[k:]...)
+	sr.firstSeq += k
+}
+
+// updateMetaLocked refreshes the sampler's own gauges. Called with s.mu
+// held; the gauge writes are atomic so scrapes need no lock.
+func (s *Sampler) updateMetaLocked() {
+	var windows, cost, coldSamples int
+	for _, sr := range s.series {
+		windows += len(sr.windows)
+		cost += sr.coldCost
+		coldSamples += len(sr.windows) * s.opt.ChunkSamples
+	}
+	s.met.series.Set(float64(len(s.series)))
+	s.met.windows.Set(float64(windows))
+	s.met.compressedBytes.Set(float64(cost * 8))
+	s.met.rawBytes.Set(float64(coldSamples * 8))
+}

@@ -196,15 +196,33 @@ func (h *Histogram) BucketCounts() []uint64 {
 // linear interpolation within the bucket the target rank falls into —
 // the same estimator Prometheus's histogram_quantile applies, computed
 // station-side so p50/p95/p99 are readable without a Prometheus server.
-// The first bucket interpolates from zero; a rank landing in the +Inf
-// bucket returns the last finite bound (the estimate saturates). A nil
-// or empty histogram returns 0.
+// The first bucket interpolates from zero, clamped to the bucket's upper
+// bound (a negative first bound answers the bound itself rather than a
+// value outside the bucket); a rank landing in the +Inf bucket returns
+// the last finite bound (the estimate saturates). A nil, bound-less or
+// empty histogram — and a NaN q — returns 0, never NaN.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil || len(h.bounds) == 0 {
 		return 0
 	}
-	total := h.count.Load()
-	if total == 0 {
+	// One consistent snapshot of the buckets: the total is derived from
+	// the same loads the rank walk uses, so a scrape racing Observe can
+	// never chase a rank past the last loaded bucket.
+	counts := make([]uint64, len(h.buckets))
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return bucketQuantile(h.bounds, counts, total, q)
+}
+
+// bucketQuantile is the interpolation shared by Histogram.Quantile and
+// HistView.Quantile: bounds are the finite upper bounds, counts the
+// per-bucket (non-cumulative) observation counts with the +Inf bucket
+// last, total their sum.
+func bucketQuantile(bounds []float64, counts []uint64, total uint64, q float64) float64 {
+	if len(bounds) == 0 || total == 0 || math.IsNaN(q) {
 		return 0
 	}
 	if q < 0 {
@@ -215,21 +233,24 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	rank := q * float64(total)
 	var cum float64
-	for i := range h.buckets {
-		n := float64(h.buckets[i].Load())
+	for i, c := range counts {
+		n := float64(c)
 		if cum+n >= rank && n > 0 {
-			if i >= len(h.bounds) {
-				return h.bounds[len(h.bounds)-1] // +Inf bucket: saturate
+			if i >= len(bounds) {
+				return bounds[len(bounds)-1] // +Inf bucket: saturate
 			}
-			lo := 0.0
+			hi := bounds[i]
+			// First bucket: interpolate from zero, clamped so the
+			// estimate never leaves the bucket (all-negative bounds).
+			lo := math.Min(0, hi)
 			if i > 0 {
-				lo = h.bounds[i-1]
+				lo = bounds[i-1]
 			}
-			return lo + (h.bounds[i]-lo)*(rank-cum)/n
+			return lo + (hi-lo)*(rank-cum)/n
 		}
 		cum += n
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }
 
 // LatencyBuckets spans 1µs to 10s in decades — wide enough for both the

@@ -11,20 +11,22 @@ import (
 	"sync"
 )
 
-// kind discriminates the three metric families.
-type kind int
+// Kind discriminates the three metric families. It is exported so
+// snapshot consumers (Registry.Visit) can branch on the family without
+// parsing exposition text.
+type Kind int
 
 const (
-	kindCounter kind = iota
-	kindGauge
-	kindHistogram
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
 )
 
-func (k kind) String() string {
+func (k Kind) String() string {
 	switch k {
-	case kindCounter:
+	case KindCounter:
 		return "counter"
-	case kindGauge:
+	case KindGauge:
 		return "gauge"
 	default:
 		return "histogram"
@@ -53,7 +55,7 @@ func (s *series) gaugeValue() float64 {
 type family struct {
 	name  string
 	help  string
-	kind  kind
+	kind  Kind
 	order []*series
 	byKey map[string]*series
 }
@@ -82,7 +84,7 @@ func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(kindCounter, name, help, labels, nil)
+	s := r.lookup(KindCounter, name, help, labels, nil)
 	return s.c
 }
 
@@ -91,7 +93,7 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(kindGauge, name, help, labels, nil)
+	s := r.lookup(KindGauge, name, help, labels, nil)
 	return s.g
 }
 
@@ -104,7 +106,7 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 	if r == nil {
 		return
 	}
-	r.lookupFunc(kindGauge, name, help, labels, nil, fn)
+	r.lookupFunc(KindGauge, name, help, labels, nil, fn)
 }
 
 // Histogram returns the named histogram, creating and registering it on
@@ -114,18 +116,18 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(kindHistogram, name, help, labels, bounds)
+	s := r.lookup(KindHistogram, name, help, labels, bounds)
 	return s.h
 }
 
-func (r *Registry) lookup(k kind, name, help string, labels []Label, bounds []float64) *series {
+func (r *Registry) lookup(k Kind, name, help string, labels []Label, bounds []float64) *series {
 	return r.lookupFunc(k, name, help, labels, bounds, nil)
 }
 
 // lookupFunc is lookup carrying an optional lazy-gauge callback, which
 // must be installed inside the registry lock: a concurrent scrape sees
 // either no series or a fully built one, never a half-initialised fn.
-func (r *Registry) lookupFunc(k kind, name, help string, labels []Label, bounds []float64, fn func() float64) *series {
+func (r *Registry) lookupFunc(k Kind, name, help string, labels []Label, bounds []float64, fn func() float64) *series {
 	if !validName(name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", name))
 	}
@@ -150,11 +152,11 @@ func (r *Registry) lookupFunc(k kind, name, help string, labels []Label, bounds 
 	if !ok {
 		s = &series{labels: append([]Label(nil), labels...), fn: fn}
 		switch k {
-		case kindCounter:
+		case KindCounter:
 			s.c = &Counter{}
-		case kindGauge:
+		case KindGauge:
 			s.g = &Gauge{}
-		case kindHistogram:
+		case KindHistogram:
 			s.h = NewHistogram(bounds)
 		}
 		f.byKey[key] = s
@@ -198,6 +200,87 @@ func (r *Registry) snapshot() []*family {
 	return out
 }
 
+// Sample is one registered series as a Visit callback sees it: the family
+// identity plus an atomically read value snapshot. Counters surface their
+// count (as a float64) and gauges their value — lazy GaugeFunc gauges are
+// evaluated — in Value; histograms carry their state in Hist and leave
+// Value zero. Labels is shared with the registry and must not be mutated.
+type Sample struct {
+	Name   string
+	Help   string
+	Labels []Label
+	Kind   Kind
+	Value  float64
+	Hist   *HistView
+}
+
+// FullName is the exposition identity of the series: the family name with
+// the rendered label set appended — the key Values and WriteJSON use, and
+// the series name the self-monitoring sampler stores history under.
+func (s *Sample) FullName() string { return s.Name + labelString(s.Labels, "") }
+
+// DerivedName is FullName with a suffix spliced between the family name
+// and the label set — the naming scheme for the series the
+// self-monitoring sampler derives from one histogram sample
+// (name_p99{...}, name_count{...}).
+func (s *Sample) DerivedName(suffix string) string {
+	return s.Name + suffix + labelString(s.Labels, "")
+}
+
+// HistView is one histogram's state at Visit time. Bounds is shared with
+// the live histogram (immutable after construction; do not mutate);
+// Counts is a fresh per-bucket snapshot with the +Inf bucket last, and
+// Count is the sum of that snapshot, so rank arithmetic over the view is
+// internally consistent even against a racing Observe.
+type HistView struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Quantile estimates the q-quantile of the view with the same
+// interpolation as Histogram.Quantile.
+func (v *HistView) Quantile(q float64) float64 {
+	if v == nil {
+		return 0
+	}
+	return bucketQuantile(v.Bounds, v.Counts, v.Count, q)
+}
+
+// Visit calls fn once per registered series, in registration order
+// (family-major, so all series of one name are contiguous). Values are
+// read atomically at call time; the registry lock is held only while the
+// family list is copied, never across callbacks, so fn may take locks of
+// its own and GaugeFunc callbacks run outside the registry lock. This is
+// the structured snapshot API the exposition writers, Values and the
+// self-monitoring sampler are built on — nothing iterates exposition
+// text. A nil registry visits nothing.
+func (r *Registry) Visit(fn func(Sample)) {
+	if r == nil {
+		return
+	}
+	for _, f := range r.snapshot() {
+		for _, s := range f.order {
+			smp := Sample{Name: f.name, Help: f.help, Labels: s.labels, Kind: f.kind}
+			switch f.kind {
+			case KindCounter:
+				smp.Value = float64(s.c.Value())
+			case KindGauge:
+				smp.Value = s.gaugeValue()
+			case KindHistogram:
+				counts := s.h.BucketCounts()
+				var total uint64
+				for _, c := range counts {
+					total += c
+				}
+				smp.Hist = &HistView{Bounds: s.h.bounds, Counts: counts, Count: total, Sum: s.h.Sum()}
+			}
+			fn(smp)
+		}
+	}
+}
+
 // WritePrometheus writes every metric in the Prometheus text exposition
 // format (version 0.0.4): HELP/TYPE headers, one line per series, and
 // cumulative le-labelled buckets plus _sum/_count for histograms.
@@ -205,52 +288,51 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	for _, f := range r.snapshot() {
-		if f.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
-				return err
+	var err error
+	last := ""
+	r.Visit(func(s Sample) {
+		if err != nil {
+			return
+		}
+		if s.Name != last {
+			last = s.Name
+			if s.Help != "" {
+				if _, err = fmt.Fprintf(w, "# HELP %s %s\n", s.Name, escapeHelp(s.Help)); err != nil {
+					return
+				}
+			}
+			if _, err = fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return
 			}
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
-			return err
-		}
-		for _, s := range f.order {
-			if err := writeSeries(w, f, s); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+		err = writeSample(w, s)
+	})
+	return err
 }
 
-func writeSeries(w io.Writer, f *family, s *series) error {
-	switch f.kind {
-	case kindCounter:
-		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(s.labels, ""), s.c.Value())
-		return err
-	case kindGauge:
-		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(s.labels, ""), formatFloat(s.gaugeValue()))
+func writeSample(w io.Writer, s Sample) error {
+	switch s.Kind {
+	case KindCounter, KindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, labelString(s.Labels, ""), formatFloat(s.Value))
 		return err
 	}
-	bounds := s.h.Bounds()
-	counts := s.h.BucketCounts()
 	var cum uint64
-	for i, c := range counts {
+	for i, c := range s.Hist.Counts {
 		cum += c
 		le := "+Inf"
-		if i < len(bounds) {
-			le = formatFloat(bounds[i])
+		if i < len(s.Hist.Bounds) {
+			le = formatFloat(s.Hist.Bounds[i])
 		}
 		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-			f.name, labelString(s.labels, le), cum); err != nil {
+			s.Name, labelString(s.Labels, le), cum); err != nil {
 			return err
 		}
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
-		f.name, labelString(s.labels, ""), formatFloat(s.h.Sum())); err != nil {
+		s.Name, labelString(s.Labels, ""), formatFloat(s.Hist.Sum)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(s.labels, ""), s.h.Count())
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, labelString(s.Labels, ""), s.Hist.Count)
 	return err
 }
 
@@ -306,35 +388,31 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		return err
 	}
 	out := make(map[string]any)
-	for _, f := range r.snapshot() {
-		for _, s := range f.order {
-			key := f.name + labelString(s.labels, "")
-			switch f.kind {
-			case kindCounter:
-				out[key] = s.c.Value()
-			case kindGauge:
-				out[key] = s.gaugeValue()
-			case kindHistogram:
-				bounds := s.h.Bounds()
-				counts := s.h.BucketCounts()
-				buckets := make(map[string]uint64, len(counts))
-				var cum uint64
-				for i, c := range counts {
-					cum += c
-					le := "+Inf"
-					if i < len(bounds) {
-						le = formatFloat(bounds[i])
-					}
-					buckets[le] = cum
+	r.Visit(func(s Sample) {
+		key := s.FullName()
+		switch s.Kind {
+		case KindCounter:
+			out[key] = uint64(s.Value)
+		case KindGauge:
+			out[key] = s.Value
+		case KindHistogram:
+			buckets := make(map[string]uint64, len(s.Hist.Counts))
+			var cum uint64
+			for i, c := range s.Hist.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(s.Hist.Bounds) {
+					le = formatFloat(s.Hist.Bounds[i])
 				}
-				out[key] = map[string]any{
-					"count":   s.h.Count(),
-					"sum":     s.h.Sum(),
-					"buckets": buckets,
-				}
+				buckets[le] = cum
+			}
+			out[key] = map[string]any{
+				"count":   s.Hist.Count,
+				"sum":     s.Hist.Sum,
+				"buckets": buckets,
 			}
 		}
-	}
+	})
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
@@ -345,23 +423,16 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // daemons log from on their reporting tick.
 func (r *Registry) Values() map[string]float64 {
 	out := make(map[string]float64)
-	if r == nil {
-		return out
-	}
-	for _, f := range r.snapshot() {
-		for _, s := range f.order {
-			key := f.name + labelString(s.labels, "")
-			switch f.kind {
-			case kindCounter:
-				out[key] = float64(s.c.Value())
-			case kindGauge:
-				out[key] = s.gaugeValue()
-			case kindHistogram:
-				out[key+"_count"] = float64(s.h.Count())
-				out[key+"_sum"] = s.h.Sum()
-			}
+	r.Visit(func(s Sample) {
+		key := s.FullName()
+		switch s.Kind {
+		case KindCounter, KindGauge:
+			out[key] = s.Value
+		case KindHistogram:
+			out[key+"_count"] = float64(s.Hist.Count)
+			out[key+"_sum"] = s.Hist.Sum
 		}
-	}
+	})
 	return out
 }
 
@@ -385,25 +456,20 @@ func (r *Registry) HistogramSummaries() []HistogramSummary {
 		return nil
 	}
 	var out []HistogramSummary
-	for _, f := range r.snapshot() {
-		if f.kind != kindHistogram {
-			continue
+	r.Visit(func(s Sample) {
+		if s.Kind != KindHistogram || s.Hist.Count == 0 {
+			return
 		}
-		for _, s := range f.order {
-			if s.h.Count() == 0 {
-				continue
-			}
-			out = append(out, HistogramSummary{
-				Name:   f.name,
-				Labels: labelString(s.labels, ""),
-				Count:  s.h.Count(),
-				Sum:    s.h.Sum(),
-				P50:    s.h.Quantile(0.50),
-				P95:    s.h.Quantile(0.95),
-				P99:    s.h.Quantile(0.99),
-			})
-		}
-	}
+		out = append(out, HistogramSummary{
+			Name:   s.Name,
+			Labels: labelString(s.Labels, ""),
+			Count:  s.Hist.Count,
+			Sum:    s.Hist.Sum,
+			P50:    s.Hist.Quantile(0.50),
+			P95:    s.Hist.Quantile(0.95),
+			P99:    s.Hist.Quantile(0.99),
+		})
+	})
 	return out
 }
 

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: 0, never NaN, for any q.
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, q := range []float64{0, 0.5, 1, math.NaN(), -1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// Bound-less histogram: 0 even with observations.
+	unbounded := NewHistogram(nil)
+	unbounded.Observe(5)
+	if got := unbounded.Quantile(0.5); got != 0 {
+		t.Errorf("boundless.Quantile(0.5) = %v, want 0", got)
+	}
+
+	// NaN q on a populated histogram: 0, never NaN.
+	h.Observe(1.5)
+	if got := h.Quantile(math.NaN()); got != 0 {
+		t.Errorf("Quantile(NaN) = %v, want 0", got)
+	}
+	// Out-of-range q clamps instead of extrapolating.
+	if got := h.Quantile(-3); got < 0 || got > 2 {
+		t.Errorf("Quantile(-3) = %v, want clamped into a bucket", got)
+	}
+	if got, want := h.Quantile(5), h.Quantile(1); got != want {
+		t.Errorf("Quantile(5) = %v, want Quantile(1) = %v", got, want)
+	}
+
+	// Single positive bucket: interpolation from zero stays within (0, 2].
+	single := NewHistogram([]float64{2})
+	single.Observe(1)
+	single.Observe(1)
+	if got := single.Quantile(0.5); got <= 0 || got > 2 {
+		t.Errorf("single-bucket Quantile(0.5) = %v, want within (0, 2]", got)
+	}
+	if got := single.Quantile(1); got != 2 {
+		t.Errorf("single-bucket Quantile(1) = %v, want upper bound 2", got)
+	}
+
+	// Single negative bucket: the estimate clamps to the bucket instead of
+	// interpolating down from zero through values outside it.
+	neg := NewHistogram([]float64{-5})
+	neg.Observe(-7)
+	if got := neg.Quantile(0.5); got > -5 {
+		t.Errorf("negative-bucket Quantile(0.5) = %v, want ≤ bucket bound -5", got)
+	}
+
+	// Rank in the +Inf bucket saturates at the last finite bound.
+	inf := NewHistogram([]float64{1})
+	inf.Observe(100)
+	if got := inf.Quantile(0.99); got != 1 {
+		t.Errorf("+Inf-bucket Quantile(0.99) = %v, want saturated 1", got)
+	}
+}
+
+func TestVisitIteratesAllKinds(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("v_total", "counter help", L("k", "a")).Add(3)
+	r.Counter("v_total", "counter help", L("k", "b")).Add(5)
+	r.Gauge("v_gauge", "gauge help").Set(2.5)
+	r.GaugeFunc("v_lazy", "lazy help", func() float64 { return 9 })
+	h := r.Histogram("v_hist", "hist help", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(100)
+
+	var got []Sample
+	r.Visit(func(s Sample) { got = append(got, s) })
+	if len(got) != 5 {
+		t.Fatalf("visited %d series, want 5", len(got))
+	}
+
+	byName := map[string]Sample{}
+	for _, s := range got {
+		byName[s.FullName()] = s
+	}
+	if s := byName[`v_total{k="a"}`]; s.Kind != KindCounter || s.Value != 3 {
+		t.Errorf("counter a = %+v", s)
+	}
+	if s := byName[`v_total{k="b"}`]; s.Value != 5 {
+		t.Errorf("counter b = %+v", s)
+	}
+	if s := byName["v_gauge"]; s.Kind != KindGauge || s.Value != 2.5 {
+		t.Errorf("gauge = %+v", s)
+	}
+	if s := byName["v_lazy"]; s.Value != 9 {
+		t.Errorf("lazy gauge = %+v", s)
+	}
+	hs := byName["v_hist"]
+	if hs.Kind != KindHistogram || hs.Hist == nil {
+		t.Fatalf("histogram = %+v", hs)
+	}
+	if hs.Hist.Count != 3 || hs.Hist.Sum != 105.5 {
+		t.Errorf("hist view count/sum = %d/%v", hs.Hist.Count, hs.Hist.Sum)
+	}
+	if want := []uint64{1, 1, 1}; len(hs.Hist.Counts) != 3 ||
+		hs.Hist.Counts[0] != want[0] || hs.Hist.Counts[1] != want[1] || hs.Hist.Counts[2] != want[2] {
+		t.Errorf("hist view counts = %v, want %v", hs.Hist.Counts, want)
+	}
+	if q := hs.Hist.Quantile(0.99); q != 10 {
+		t.Errorf("view Quantile(0.99) = %v, want saturated 10", q)
+	}
+	if (*HistView)(nil).Quantile(0.5) != 0 {
+		t.Error("nil HistView Quantile not 0")
+	}
+}
+
+func TestVisitNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Visit(func(Sample) { t.Fatal("nil registry visited a sample") })
+}
+
+func TestDerivedName(t *testing.T) {
+	s := Sample{Name: "lat_seconds", Labels: []Label{L("route", "/v1")}}
+	if got, want := s.DerivedName("_p99"), `lat_seconds_p99{route="/v1"}`; got != want {
+		t.Errorf("DerivedName = %q, want %q", got, want)
+	}
+	bare := Sample{Name: "lat_seconds"}
+	if got := bare.DerivedName("_count"); got != "lat_seconds_count" {
+		t.Errorf("bare DerivedName = %q", got)
+	}
+}
+
+// TestExpositionMatchesVisit pins the refactor: the Prometheus text and
+// JSON writers are built on Visit and must agree with a direct walk.
+func TestExpositionMatchesVisit(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("e_total", "events").Add(7)
+	r.Histogram("e_lat", "latency", []float64{1}).Observe(0.5)
+
+	var text strings.Builder
+	if err := r.WritePrometheus(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE e_total counter", "e_total 7",
+		"# TYPE e_lat histogram", `e_lat_bucket{le="1"} 1`, `e_lat_bucket{le="+Inf"} 1`,
+		"e_lat_sum 0.5", "e_lat_count 1",
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, text.String())
+		}
+	}
+
+	vals := r.Values()
+	if vals["e_total"] != 7 || vals["e_lat_count"] != 1 || vals["e_lat_sum"] != 0.5 {
+		t.Errorf("Values = %v", vals)
+	}
+}

@@ -220,6 +220,40 @@ func (s *Station) Instrument(reg *obs.Registry) {
 		l.mu.Unlock()
 	})
 	met.sensors.Set(float64(s.nsensors.Load()))
+
+	// Report-derived lazy gauges: state that otherwise only surfaces in
+	// reports and probes, evaluated at scrape (and self-monitoring
+	// sample) time so the history plane can watch and alert on it.
+	reg.GaugeFunc("sbr_station_archive_degraded",
+		"1 while any sensor is in degraded memory-only mode (archive appends failing).",
+		func() float64 {
+			if s.ArchiveDegraded() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("sbr_station_mem_window_chunks",
+		"Decoded chunks currently held in the in-memory windows across all sensors.",
+		func() float64 {
+			var n int
+			s.forEachLog(func(_ string, l *sensorLog) {
+				l.mu.Lock()
+				n += len(l.chunks)
+				l.mu.Unlock()
+			})
+			return float64(n)
+		})
+	reg.GaugeFunc("sbr_station_archived_chunks",
+		"Chunks made durable in the segment archive across all sensors.",
+		func() float64 {
+			var n int
+			s.forEachLog(func(_ string, l *sensorLog) {
+				l.mu.Lock()
+				n += l.archived
+				l.mu.Unlock()
+			})
+			return float64(n)
+		})
 }
 
 // sensorLog is the per-sensor state: the decoder replica and the decoded
